@@ -1,0 +1,43 @@
+# redrace-go — build/test/bench entry points.
+
+GO ?= go
+
+.PHONY: all build test race vet fuzz bench tables coverage-demo clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# Full suite under the Go race detector (exercises the parallel runtime
+# and the lock-free deques).
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing passes over every fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 15s ./internal/sched/
+	$(GO) test -fuzz FuzzDedupDecode -fuzztime 15s ./internal/apps/
+	$(GO) test -fuzz FuzzDedupRoundTrip -fuzztime 15s ./internal/apps/
+	$(GO) test -fuzz FuzzReplay -fuzztime 15s ./internal/trace/
+
+# The testing.B suite: Figure 7/8 cells, theorem scaling, ablations.
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Regenerate the paper's evaluation tables at full scale.
+tables:
+	$(GO) run ./cmd/benchtab -q
+
+# The §7 coverage sweep finding the Figure 1 race.
+coverage-demo:
+	$(GO) run ./cmd/rader -prog fig1 -coverage || true
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,81 @@
+// Command benchtab regenerates the paper's evaluation tables — Figure 7
+// (overhead over no instrumentation) and Figure 8 (overhead over an empty
+// tool) — on this host, printing the paper's numbers alongside.
+//
+// Usage:
+//
+//	benchtab                    # both tables, bench scale
+//	benchtab -table 7 -trials 5
+//	benchtab -apps fib,pbfs -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/tables"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "both", "which table: 7, 8, both")
+		trials   = flag.Int("trials", 3, "timing repetitions per cell (median)")
+		scaleStr = flag.String("scale", "bench", "input scale: test, small, bench")
+		appsStr  = flag.String("apps", "", "comma-separated benchmark subset (default all)")
+		seed     = flag.Int64("seed", 0, "seed for the check-reductions schedule")
+		quiet    = flag.Bool("q", false, "suppress per-cell progress")
+		csv      = flag.Bool("csv", false, "emit CSV instead of the rendered tables")
+	)
+	flag.Parse()
+
+	opts := tables.Options{Trials: *trials, Seed: *seed}
+	switch *scaleStr {
+	case "test":
+		opts.Scale = apps.Test
+	case "small":
+		opts.Scale = apps.Small
+	case "bench":
+		opts.Scale = apps.Bench
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: bad scale %q\n", *scaleStr)
+		os.Exit(2)
+	}
+	if *appsStr != "" {
+		opts.Apps = strings.Split(*appsStr, ",")
+	}
+	if !*quiet {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	fig7, fig8, err := tables.Generate(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		if *table == "7" || *table == "both" {
+			fmt.Print(fig7.RenderCSV())
+		}
+		if *table == "8" || *table == "both" {
+			fmt.Print(fig8.RenderCSV())
+		}
+		return
+	}
+	if *table == "7" || *table == "both" {
+		fmt.Println("=== Figure 7 ===")
+		fmt.Print(fig7.Render(tables.PaperFigure7))
+		ps, sp := fig7.Headline(true)
+		fmt.Printf("headline geomeans (excluding ferret, as the paper does): Peer-Set %.2f (paper %.2f), SP+ %.2f (paper %.2f)\n\n",
+			ps, tables.PaperHeadline7[0], sp, tables.PaperHeadline7[1])
+	}
+	if *table == "8" || *table == "both" {
+		fmt.Println("=== Figure 8 ===")
+		fmt.Print(fig8.Render(tables.PaperFigure8))
+		ps, sp := fig8.Headline(true)
+		fmt.Printf("headline geomeans (excluding ferret, as the paper does): Peer-Set %.2f (paper %.2f), SP+ %.2f (paper %.2f)\n",
+			ps, tables.PaperHeadline8[0], sp, tables.PaperHeadline8[1])
+	}
+}

@@ -1,0 +1,254 @@
+// Command rader runs a Cilk program under a race detector and steal
+// specification — the command-line face of the paper's Rader prototype.
+//
+// Usage:
+//
+//	rader -prog pbfs -detector sp+ -spec all
+//	rader -prog fig1 -detector sp+ -spec triple:1,2,3
+//	rader -prog fig1 -coverage            # full §7 sweep
+//	rader -prog fig1-early -detector peer-set
+//
+// Programs: the six benchmarks (collision, dedup, ferret, fib, knapsack,
+// pbfs) at -scale test|small|bench, plus the paper's figures: fig1 (the
+// §2 linked-list program), fig1-early (get_value before sync), fig1-late
+// (set_value after spawn), fig1-fixed (deep copy), fig2 (§3's dag, reads
+// at -reads strands).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/cilk"
+	"repro/internal/dag"
+	"repro/internal/mem"
+	"repro/internal/peerset"
+	"repro/internal/progs"
+	"repro/internal/rader"
+	"repro/internal/sched"
+	"repro/internal/spbags"
+	"repro/internal/spplus"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		progName = flag.String("prog", "fib", "program: benchmark name or fig1[-early|-late|-fixed], fig2")
+		detector = flag.String("detector", "sp+", "detector: none, empty, peer-set, sp-bags, sp+")
+		specStr  = flag.String("spec", "none", "steal specification (none, all, all-eager, depth:D, single:A, pair:A,B, triple:I,J,K, random:SEED,K, labels:...)")
+		scale    = flag.String("scale", "small", "benchmark scale: test, small, bench")
+		reads    = flag.String("reads", "1,9", "fig2 only: comma-separated strands that read the reducer")
+		coverage = flag.Bool("coverage", false, "run the full §7 specification sweep with SP+ and Peer-Set")
+		verbose  = flag.Bool("v", false, "print run statistics")
+		dot      = flag.Bool("dot", false, "emit the run's performance dag in Graphviz dot format and exit")
+		jsonOut  = flag.Bool("json", false, "print the race report as JSON (for CI)")
+		record   = flag.String("record", "", "record the run's event stream to this trace file")
+		replay   = flag.String("replay", "", "skip execution; replay a recorded trace file into the detector")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		det, err := rader.ParseDetector(*detector)
+		if err != nil {
+			fatal(err)
+		}
+		if err := replayTrace(*replay, det); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	prog, verify, desc, err := buildProgram(*progName, *scale, *reads)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("program: %s (%s)\n", *progName, desc)
+
+	if *coverage {
+		runCoverage(prog)
+		return
+	}
+
+	det, err := rader.ParseDetector(*detector)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := sched.Parse(*specStr)
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		rec := dag.NewRecorder()
+		cilk.Run(prog, cilk.Config{Spec: spec, Hooks: rec})
+		fmt.Print(rec.D.Dot(*progName))
+		return
+	}
+	if *record != "" {
+		if err := recordTrace(*record, prog, spec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace recorded to %s\n", *record)
+		return
+	}
+	out := rader.Run(prog, rader.Config{Detector: det, Spec: spec})
+	fmt.Printf("detector: %s   spec: %s   time: %v\n", det, sched.Format(spec), out.Duration)
+	if *verbose {
+		r := out.Result
+		fmt.Printf("frames=%d spawns=%d syncs=%d steals=%d views=%d reduces=%d loads=%d stores=%d reducer-reads=%d updates=%d\n",
+			r.Frames, r.Spawns, r.Syncs, len(r.Steals), r.Views, r.Reduces, r.Loads, r.Stores, r.Reads, r.Updates)
+		if out.Stats.Elems > 0 {
+			fmt.Printf("disjoint-set: %d elements, %d finds, %d unions (each amortized O(α))\n",
+				out.Stats.Elems, out.Stats.Finds, out.Stats.Unions)
+		}
+	}
+	if verify != nil {
+		if err := verify(); err != nil {
+			fmt.Printf("VERIFY FAILED: %v\n", err)
+		} else {
+			fmt.Println("verify: ok")
+		}
+	}
+	if out.Report == nil {
+		fmt.Println("(no detector attached)")
+		return
+	}
+	if *jsonOut {
+		b, err := json.Marshal(out.Report)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+		if !out.Report.Empty() {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println(out.Report.Summary())
+	if !out.Report.Empty() && len(out.Result.Steals) > 0 {
+		fmt.Printf("replay with: -spec '%s'\n", out.Replay)
+	}
+	if !out.Report.Empty() {
+		os.Exit(1)
+	}
+}
+
+func runCoverage(prog func(*cilk.Ctx)) {
+	cr := rader.Coverage(prog)
+	fmt.Printf("profile: max P-depth %d, max sync block %d, Cilk depth %d\n",
+		cr.Profile.MaxPDepth, cr.Profile.MaxSyncBlock, cr.Profile.CilkDepth)
+	fmt.Printf("specifications run: %d (SP+), plus one Peer-Set pass\n", cr.SpecsRun)
+	fmt.Printf("view-read: %s\n", cr.ViewReads.Summary())
+	if len(cr.Races) == 0 {
+		fmt.Println("determinacy: no races under any specification")
+	} else {
+		fmt.Printf("determinacy: %d distinct race(s):\n", len(cr.Races))
+		for _, f := range cr.Races {
+			fmt.Printf("  [%s] %v\n", f.Spec, f.Race)
+		}
+	}
+	if !cr.Clean() {
+		os.Exit(1)
+	}
+}
+
+func buildProgram(name, scaleStr, reads string) (func(*cilk.Ctx), func() error, string, error) {
+	al := mem.NewAllocator()
+	switch name {
+	case "fig1":
+		return progs.Fig1(al, progs.Fig1Options{}), nil, "Figure 1: shallow-copy list race", nil
+	case "fig1-early":
+		return progs.Fig1(al, progs.Fig1Options{EarlyGetValue: true}), nil, "Figure 1 with get_value before sync", nil
+	case "fig1-late":
+		return progs.Fig1(al, progs.Fig1Options{SetValueAfterSpawn: true}), nil, "Figure 1 with set_value after spawn", nil
+	case "fig1-fixed":
+		return progs.Fig1(al, progs.Fig1Options{DeepCopy: true}), nil, "Figure 1 with a deep copy (race-free)", nil
+	case "fig2":
+		var at []int
+		for _, s := range strings.Split(reads, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 || v > progs.Fig2Strands {
+				return nil, nil, "", fmt.Errorf("bad fig2 read strand %q", s)
+			}
+			at = append(at, v)
+		}
+		return progs.Fig2Reads(at...), nil,
+			fmt.Sprintf("Figure 2 dag with reducer reads at strands %v", at), nil
+	}
+	var sc apps.Scale
+	switch scaleStr {
+	case "test":
+		sc = apps.Test
+	case "small":
+		sc = apps.Small
+	case "bench":
+		sc = apps.Bench
+	default:
+		return nil, nil, "", fmt.Errorf("bad scale %q", scaleStr)
+	}
+	app, err := apps.ByName(name)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	ins := app.Build(al, sc)
+	return ins.Prog, ins.Verify, fmt.Sprintf("%s, input %s", app.Desc, ins.InputDesc), nil
+}
+
+func recordTrace(path string, prog func(*cilk.Ctx), spec cilk.StealSpec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tw := trace.NewWriter(f)
+	cilk.Run(prog, cilk.Config{Spec: spec, Hooks: tw})
+	if err := tw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func replayTrace(path string, det rader.DetectorName) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hooks cilk.Hooks
+	var report func() string
+	exit := 0
+	switch det {
+	case rader.PeerSet:
+		d := peerset.New()
+		hooks, report = d, func() string { return d.Report().Summary() }
+	case rader.SPBags:
+		d := spbags.New()
+		hooks, report = d, func() string { return d.Report().Summary() }
+	case rader.SPPlus:
+		d := spplus.New()
+		hooks, report = d, func() string { return d.Report().Summary() }
+	default:
+		return fmt.Errorf("replay needs peer-set, sp-bags or sp+ (got %s)", det)
+	}
+	n, err := trace.Replay(f, hooks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d events from %s under %s\n", n, path, det)
+	summary := report()
+	fmt.Println(summary)
+	if summary != "no races detected" {
+		exit = 1
+	}
+	os.Exit(exit)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rader:", err)
+	os.Exit(2)
+}

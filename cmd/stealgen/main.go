@@ -1,0 +1,74 @@
+// Command stealgen profiles a program and emits the §7 steal-specification
+// families that give SP+ complete coverage of all view-aware strands:
+// Θ(M) specifications for update strands (Theorem 6) and Θ(K³) for reduce
+// strands (Theorem 7).
+//
+// Usage:
+//
+//	stealgen -prog fib -scale test
+//	stealgen -prog fig1 -list        # print every specification
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/progs"
+	"repro/internal/sched"
+	"repro/internal/specgen"
+)
+
+func main() {
+	var (
+		progName = flag.String("prog", "fig1", "program: benchmark name or fig1")
+		scaleStr = flag.String("scale", "test", "benchmark scale: test, small, bench")
+		list     = flag.Bool("list", false, "print every specification, not just counts")
+	)
+	flag.Parse()
+
+	var prog func(*cilk.Ctx)
+	al := mem.NewAllocator()
+	if *progName == "fig1" {
+		prog = progs.Fig1(al, progs.Fig1Options{})
+	} else {
+		var sc apps.Scale
+		switch *scaleStr {
+		case "test":
+			sc = apps.Test
+		case "small":
+			sc = apps.Small
+		case "bench":
+			sc = apps.Bench
+		default:
+			fmt.Fprintf(os.Stderr, "stealgen: bad scale %q\n", *scaleStr)
+			os.Exit(2)
+		}
+		app, err := apps.ByName(*progName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stealgen:", err)
+			os.Exit(2)
+		}
+		prog = app.Build(al, sc).Prog
+	}
+
+	p := specgen.Measure(prog)
+	fmt.Printf("profile of %s: max P-depth M=%d, max sync block K=%d, Cilk depth D=%d\n",
+		*progName, p.MaxPDepth, p.MaxSyncBlock, p.CilkDepth)
+	upd := specgen.UpdateSpecs(p)
+	red := specgen.ReduceSpecs(p)
+	fmt.Printf("update-strand family (Theorem 6): %d specifications\n", len(upd))
+	fmt.Printf("reduce-strand family (Theorem 7): %d specifications (= K² + C(K,3) = %d)\n",
+		len(red), specgen.DistinctReduceOps(p.MaxSyncBlock))
+	if *list {
+		for _, s := range upd {
+			fmt.Println(" ", sched.Format(s))
+		}
+		for _, s := range red {
+			fmt.Println(" ", sched.Format(s))
+		}
+	}
+}

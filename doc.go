@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of "Efficiently
+// Detecting Races in Cilk Programs That Use Reducer Hyperobjects" (Lee &
+// Schardl, SPAA 2015). The root package holds the evaluation benchmarks
+// (bench_test.go) and CLI integration tests; the implementation lives
+// under internal/ — see README.md for the map, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,61 @@
+// Determinism demonstrates §7's precondition checker: the coverage
+// guarantee holds only for ostensibly deterministic programs, and
+// internal/ostensible tests that property differentially — fingerprinting
+// the view-oblivious event stream across a panel of schedules and
+// comparing reducer values across reduce orders.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/ostensible"
+	"repro/internal/reducer"
+)
+
+func main() {
+	fmt.Println("== Are the evaluation benchmarks ostensibly deterministic? ==")
+	for _, app := range apps.All() {
+		al := mem.NewAllocator()
+		ins := app.Build(al, apps.Test)
+		v := ostensible.Check(ins.Prog, 7)
+		fmt.Printf("%-10s %v\n", app.Name, v)
+	}
+	fmt.Println()
+	fmt.Println("pbfs fails by design: the frontier bag's structure depends on the")
+	fmt.Println("reduce tree, so traversal order — and which vertex wins each")
+	fmt.Println("discovery — is schedule-dependent. Its ANSWER is still deterministic;")
+	fmt.Println("its instruction trace is not, which is what §7's guarantee needs.")
+
+	fmt.Println()
+	fmt.Println("== A non-associative \"monoid\" is caught by value comparison ==")
+	sub := cilk.MonoidFuncs(
+		func(*cilk.Ctx) any { return 0 },
+		func(_ *cilk.Ctx, l, r any) any { return l.(int) - r.(int) }, // not associative!
+	)
+	v := ostensible.CheckValue(func(c *cilk.Ctx) string {
+		r := c.NewReducerQuiet("bad", sub, 0)
+		for i := 1; i <= 6; i++ {
+			i := i
+			c.Spawn("u", func(cc *cilk.Ctx) {
+				cc.Update(r, func(_ *cilk.Ctx, x any) any { return x.(int) + i })
+			})
+		}
+		c.Sync()
+		return fmt.Sprint(c.Value(r))
+	}, 3)
+	fmt.Printf("subtraction reducer: %v\n", v)
+
+	fmt.Println()
+	fmt.Println("== And a proper monoid passes ==")
+	ok := ostensible.CheckValue(func(c *cilk.Ctx) string {
+		h := reducer.New[int](c, "sum", reducer.OpAdd[int](), 0)
+		c.ParForGrain("w", 100, 4, func(cc *cilk.Ctx, i int) {
+			h.Update(cc, func(_ *cilk.Ctx, v int) int { return v + i })
+		})
+		return fmt.Sprint(h.Value(c))
+	}, 3)
+	fmt.Printf("opadd reducer:       %v\n", ok)
+}

@@ -1,0 +1,66 @@
+// Quickstart: declare a reducer, update it in parallel, read it after the
+// sync, and run the two race detectors over correct and buggy variants.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/peerset"
+	"repro/internal/reducer"
+	"repro/internal/spplus"
+)
+
+func main() {
+	// --- 1. A correct reducer sum. ---
+	var total int
+	sum := func(c *cilk.Ctx) {
+		h := reducer.New[int](c, "sum", reducer.OpAdd[int](), 0)
+		c.ParFor("add", 1000, func(cc *cilk.Ctx, i int) {
+			h.Update(cc, func(_ *cilk.Ctx, v int) int { return v + i })
+		})
+		total = h.Value(c) // after the loop's sync: safe
+	}
+	cilk.Run(sum, cilk.Config{})
+	fmt.Printf("serial schedule:        sum = %d\n", total)
+	cilk.Run(sum, cilk.Config{Spec: cilk.StealAll{}})
+	fmt.Printf("every-steal schedule:   sum = %d (deterministic)\n", total)
+
+	// Peer-Set finds no view-read race in it.
+	ps := peerset.New()
+	cilk.Run(sum, cilk.Config{Hooks: ps})
+	fmt.Printf("peer-set on correct:    %s\n", ps.Report().Summary())
+
+	// --- 2. A view-read race: reading before the sync. ---
+	racy := func(c *cilk.Ctx) {
+		h := reducer.New[int](c, "sum", reducer.OpAdd[int](), 0)
+		c.Spawn("worker", func(cc *cilk.Ctx) {
+			h.Update(cc, func(_ *cilk.Ctx, v int) int { return v + 42 })
+		})
+		_ = h.Value(c) // BUG: the spawned update may not be visible here
+		c.Sync()
+	}
+	ps2 := peerset.New()
+	cilk.Run(racy, cilk.Config{Hooks: ps2})
+	fmt.Printf("peer-set on buggy:      %s\n", ps2.Report().Summary())
+
+	// --- 3. A determinacy race under SP+ with a steal specification. ---
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	detRacy := func(c *cilk.Ctx) {
+		h := reducer.New[int](c, "h", reducer.OpAdd[int](), 0)
+		c.Spawn("reader", func(cc *cilk.Ctx) { cc.Load(x.At(0)) })
+		h.Update(c, func(cc *cilk.Ctx, v int) int {
+			cc.Store(x.At(0)) // view-aware write to the location the child reads
+			return v + 1
+		})
+		c.Sync()
+	}
+	sp := spplus.New()
+	cilk.Run(detRacy, cilk.Config{Hooks: sp}) // no steals: same view, serialized
+	fmt.Printf("sp+ no steals:          %s\n", sp.Report().Summary())
+	sp2 := spplus.New()
+	cilk.Run(detRacy, cilk.Config{Spec: cilk.StealAll{}, Hooks: sp2})
+	fmt.Printf("sp+ with steals:        %s\n", sp2.Report().Summary())
+}

@@ -1,0 +1,137 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/peerset"
+	"repro/internal/spplus"
+)
+
+// specsUnderTest cover the detector configurations of Figure 7.
+var specsUnderTest = []struct {
+	name string
+	spec cilk.StealSpec
+}{
+	{"no-steals", nil},
+	{"steal-all", cilk.StealAll{}},
+	{"steal-all-eager", cilk.StealAll{Reduce: cilk.ReduceEager}},
+}
+
+func TestAllAppsVerifyUnderEverySchedule(t *testing.T) {
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			for _, sc := range specsUnderTest {
+				al := mem.NewAllocator()
+				ins := app.Build(al, Test)
+				res := cilk.Run(ins.Prog, cilk.Config{Spec: sc.spec})
+				if err := ins.Verify(); err != nil {
+					t.Fatalf("%s under %s: %v", app.Name, sc.name, err)
+				}
+				if res.Spawns == 0 {
+					t.Fatalf("%s: no parallelism exercised", app.Name)
+				}
+				if res.Updates == 0 {
+					t.Fatalf("%s: no reducer updates — every benchmark uses a reducer", app.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestAppsViewReadClean(t *testing.T) {
+	// The benchmarks use reducers correctly: Peer-Set must stay silent.
+	for _, app := range All() {
+		al := mem.NewAllocator()
+		ins := app.Build(al, Test)
+		d := peerset.New()
+		cilk.Run(ins.Prog, cilk.Config{Hooks: d})
+		if !d.Report().Empty() {
+			t.Errorf("%s: view-read races reported:\n%s", app.Name, d.Report().Summary())
+		}
+	}
+}
+
+func TestAppsDeterminacyProfile(t *testing.T) {
+	// Under SP+ with steals, the only races the benchmarks may exhibit
+	// are pbfs's well-known benign write-write races on the distance
+	// array; the other five are determinacy-race-free.
+	for _, app := range All() {
+		al := mem.NewAllocator()
+		ins := app.Build(al, Test)
+		d := spplus.New()
+		cilk.Run(ins.Prog, cilk.Config{Spec: cilk.StealAll{}, Hooks: d})
+		if err := ins.Verify(); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		rep := d.Report()
+		if app.Name == "pbfs" {
+			continue // benign distance races expected; see TestPBFSBenignRaces
+		}
+		if !rep.Empty() {
+			t.Errorf("%s: determinacy races reported:\n%s", app.Name, rep.Summary())
+		}
+	}
+}
+
+func TestPBFSBenignRaces(t *testing.T) {
+	// PBFS's benign write-write race on dist[] is real and SP+ reports
+	// it; every reported race must be on the dist region.
+	al := mem.NewAllocator()
+	ins := PBFS().Build(al, Test)
+	d := spplus.New()
+	cilk.Run(ins.Prog, cilk.Config{Spec: cilk.StealAll{}, Hooks: d})
+	if err := ins.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Report().Races() {
+		if r.Kind != core.Determinacy {
+			t.Fatalf("unexpected race kind: %v", r)
+		}
+		if got := al.Describe(r.Addr); got[:4] != "dist" {
+			t.Fatalf("race outside dist region: %v at %s", r, got)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("pbfs"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}
+
+func TestScalesBuild(t *testing.T) {
+	// Small scale builds and runs for every app (bench scale is exercised
+	// by the bench harness, not unit tests).
+	for _, app := range All() {
+		al := mem.NewAllocator()
+		ins := app.Build(al, Small)
+		cilk.Run(ins.Prog, cilk.Config{})
+		if err := ins.Verify(); err != nil {
+			t.Fatalf("%s small: %v", app.Name, err)
+		}
+	}
+}
+
+func TestInstanceRerunnable(t *testing.T) {
+	// Build once, run twice (the harness reruns instances across
+	// configurations): verify must pass both times.
+	for _, app := range All() {
+		al := mem.NewAllocator()
+		ins := app.Build(al, Test)
+		cilk.Run(ins.Prog, cilk.Config{})
+		if err := ins.Verify(); err != nil {
+			t.Fatalf("%s first run: %v", app.Name, err)
+		}
+		cilk.Run(ins.Prog, cilk.Config{Spec: cilk.StealAll{}})
+		if err := ins.Verify(); err != nil {
+			t.Fatalf("%s second run: %v", app.Name, err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/reducer"
+	"repro/internal/workload"
+)
+
+// pairKey encodes a colliding pair for verification.
+func pairKey(i, j int) int64 { return int64(i)<<32 | int64(j) }
+
+// Collision is the 3-D collision-detection benchmark: all candidate pairs
+// of spheres are tested in parallel and colliding pairs are appended to a
+// "hypervector" reducer, the appendable-vector hyperobject the paper's
+// collision benchmark uses. The parallel loop runs over the first index
+// with each task scanning a stripe of partners, so the hypervector takes
+// one append per hit and the reduce operations concatenate stripes back
+// into serial order.
+func Collision() App {
+	return App{
+		Name: "collision",
+		Desc: "Collision detection in 3D",
+		Build: func(al *mem.Allocator, scale Scale) *Instance {
+			n := map[Scale]int{Test: 40, Small: 120, Bench: 900}[scale]
+			bodies := workload.RandomBodies(31, n)
+			region := al.Alloc("bodies", n)
+			var got []int64
+			ins := &Instance{InputDesc: fmt.Sprint(n)}
+			ins.Prog = func(c *cilk.Ctx) {
+				h := reducer.New[*reducer.Hypervector[int64]](
+					c, "hits", reducer.HypervectorMonoid[int64](), &reducer.Hypervector[int64]{})
+				c.ParForGrain("pairs", n, 4, func(cc *cilk.Ctx, i int) {
+					cc.Load(region.At(i))
+					for j := i + 1; j < n; j++ {
+						cc.Load(region.At(j))
+						if workload.Collides(bodies[i], bodies[j]) {
+							key := pairKey(i, j)
+							h.Update(cc, func(_ *cilk.Ctx, v *reducer.Hypervector[int64]) *reducer.Hypervector[int64] {
+								v.Append(key)
+								return v
+							})
+						}
+					}
+				})
+				got = h.Value(c).Elems
+			}
+			ins.Verify = func() error {
+				var want []int64
+				for i := 0; i < n; i++ {
+					for j := i + 1; j < n; j++ {
+						if workload.Collides(bodies[i], bodies[j]) {
+							want = append(want, pairKey(i, j))
+						}
+					}
+				}
+				if len(got) != len(want) {
+					return fmt.Errorf("collision found %d pairs, want %d", len(got), len(want))
+				}
+				// The hypervector preserves serial order exactly.
+				if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+					return fmt.Errorf("collision output not in serial order")
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						return fmt.Errorf("pair %d = %x, want %x", k, got[k], want[k])
+					}
+				}
+				return nil
+			}
+			return ins
+		},
+	}
+}

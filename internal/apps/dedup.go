@@ -1,0 +1,247 @@
+package apps
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/reducer"
+	"repro/internal/workload"
+)
+
+// Dedup is the compression benchmark derived from PARSEC's dedup,
+// restructured (as the paper did) to use Cilk linguistics and a
+// reducer_ostream for its output. The stream is cut into content-defined
+// chunks by a rolling-hash chunker (PARSEC dedup's Rabin stage); chunks
+// are fingerprinted in parallel (the instrumented reads); duplicate
+// decisions are made serially against the fingerprint table in stream
+// order; then each chunk is emitted in parallel — a back-reference for
+// duplicates, a run-length-compressed payload for fresh chunks — through
+// the ostream reducer, so the archive is byte-identical to the serial one
+// regardless of scheduling.
+func Dedup() App {
+	return App{
+		Name: "dedup",
+		Desc: "Compression program",
+		Build: func(al *mem.Allocator, scale Scale) *Instance {
+			var blocks int
+			switch scale {
+			case Test:
+				blocks = 64
+			case Small:
+				blocks = 512
+			default:
+				blocks = 12_000
+			}
+			const blockSize = 64
+			corpus := workload.RandomCorpus(53, blocks, blockSize, 0.5)
+			ends := workload.ChunkBoundaries(corpus.Data, 32, 64, 512)
+			chunks := len(ends)
+			dataRegion := al.Alloc("corpus", len(corpus.Data)/8+1) // one addr per 8 bytes
+			fpRegion := al.Alloc("fingerprints", chunks)
+			var got []byte
+			ins := &Instance{InputDesc: fmt.Sprintf("%d KB, %d CDC chunks", len(corpus.Data)/1024, chunks)}
+			ins.Prog = func(c *cilk.Ctx) {
+				fps := make([]uint64, chunks)
+				// Phase 1: fingerprint chunks in parallel.
+				c.ParForGrain("fingerprint", chunks, 8, func(cc *cilk.Ctx, i int) {
+					start := chunkStart(ends, i)
+					chunk := corpus.Data[start:ends[i]]
+					cc.LoadRange(dataRegion.At(start/8), len(chunk)/8+1)
+					fps[i] = fingerprint(chunk)
+					cc.Store(fpRegion.At(i))
+				})
+				// Phase 2: serial duplicate detection in stream order.
+				firstOf := make(map[uint64]int, chunks)
+				dupOf := make([]int, chunks)
+				for i := 0; i < chunks; i++ {
+					c.Load(fpRegion.At(i))
+					if j, ok := firstOf[fps[i]]; ok {
+						dupOf[i] = j
+					} else {
+						firstOf[fps[i]] = i
+						dupOf[i] = -1
+					}
+				}
+				// Phase 3: emit the archive in parallel via the ostream.
+				h := reducer.New[*reducer.Ostream](c, "archive", reducer.OstreamMonoid(), &reducer.Ostream{})
+				c.ParForGrain("emit", chunks, 8, func(cc *cilk.Ctx, i int) {
+					var rec []byte
+					if dupOf[i] >= 0 {
+						rec = encodeRef(i, dupOf[i])
+					} else {
+						start := chunkStart(ends, i)
+						chunk := corpus.Data[start:ends[i]]
+						cc.LoadRange(dataRegion.At(start/8), len(chunk)/8+1)
+						rec = encodeChunk(i, chunk)
+					}
+					h.Update(cc, func(_ *cilk.Ctx, o *reducer.Ostream) *reducer.Ostream {
+						o.Write(rec)
+						return o
+					})
+				})
+				got = h.Value(c).Bytes()
+			}
+			ins.Verify = func() error {
+				want := serialDedup(corpus.Data, ends)
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("archive differs: got %d bytes, want %d", len(got), len(want))
+				}
+				// The archive must also decompress back to the input.
+				back, err := decodeArchive(got, ends)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(back, corpus.Data) {
+					return fmt.Errorf("round trip failed")
+				}
+				return nil
+			}
+			return ins
+		},
+	}
+}
+
+func chunkStart(ends []int, i int) int {
+	if i == 0 {
+		return 0
+	}
+	return ends[i-1]
+}
+
+func fingerprint(chunk []byte) uint64 {
+	f := fnv.New64a()
+	f.Write(chunk)
+	return f.Sum64()
+}
+
+// encodeRef emits a back-reference record: 'R', chunk index, target index.
+func encodeRef(i, j int) []byte {
+	return []byte(fmt.Sprintf("R %d %d\n", i, j))
+}
+
+// encodeChunk emits a fresh-chunk record with run-length-encoded payload.
+func encodeChunk(i int, chunk []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "C %d ", i)
+	for p := 0; p < len(chunk); {
+		q := p
+		for q < len(chunk) && chunk[q] == chunk[p] && q-p < 255 {
+			q++
+		}
+		b.WriteByte(byte(q - p))
+		b.WriteByte(chunk[p])
+		p = q
+	}
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+func serialDedup(data []byte, ends []int) []byte {
+	firstOf := make(map[uint64]int, len(ends))
+	var out bytes.Buffer
+	for i := range ends {
+		chunk := data[chunkStart(ends, i):ends[i]]
+		fp := fingerprint(chunk)
+		if j, ok := firstOf[fp]; ok {
+			out.Write(encodeRef(i, j))
+		} else {
+			firstOf[fp] = i
+			out.Write(encodeChunk(i, chunk))
+		}
+	}
+	return out.Bytes()
+}
+
+// decodeArchive reverses the encoding, reconstructing the input stream
+// given the chunk boundaries the encoder used.
+func decodeArchive(arch []byte, ends []int) ([]byte, error) {
+	chunks := len(ends)
+	total := 0
+	if chunks > 0 {
+		total = ends[chunks-1]
+	}
+	out := make([]byte, total)
+	decoded := make([]bool, chunks)
+	pos := 0
+	readInt := func() (int, error) {
+		n := 0
+		seen := false
+		for pos < len(arch) && arch[pos] >= '0' && arch[pos] <= '9' {
+			n = n*10 + int(arch[pos]-'0')
+			pos++
+			seen = true
+		}
+		if !seen {
+			return 0, fmt.Errorf("dedup: bad integer at %d", pos)
+		}
+		return n, nil
+	}
+	for pos < len(arch) {
+		kind := arch[pos]
+		if pos+1 >= len(arch) || arch[pos+1] != ' ' {
+			return nil, fmt.Errorf("dedup: malformed record at %d", pos)
+		}
+		pos += 2 // kind and space
+		i, err := readInt()
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 || i >= chunks {
+			return nil, fmt.Errorf("dedup: chunk index %d out of range", i)
+		}
+		if pos >= len(arch) || arch[pos] != ' ' {
+			return nil, fmt.Errorf("dedup: malformed record body at %d", pos)
+		}
+		pos++ // space
+		dst := out[chunkStart(ends, i):ends[i]]
+		switch kind {
+		case 'R':
+			j, err := readInt()
+			if err != nil {
+				return nil, err
+			}
+			if j < 0 || j >= chunks || !decoded[j] {
+				return nil, fmt.Errorf("dedup: bad reference %d -> %d", i, j)
+			}
+			src := out[chunkStart(ends, j):ends[j]]
+			if len(src) != len(dst) {
+				return nil, fmt.Errorf("dedup: reference %d -> %d size mismatch", i, j)
+			}
+			copy(dst, src)
+			if pos >= len(arch) || arch[pos] != '\n' {
+				return nil, fmt.Errorf("dedup: reference %d missing terminator", i)
+			}
+			pos++ // newline
+		case 'C':
+			// Payload bytes are arbitrary (runs may encode 0x0a), so
+			// decode by length: RLE pairs until the chunk is full, then a
+			// terminating newline.
+			at := 0
+			for at < len(dst) {
+				if pos+1 >= len(arch) {
+					return nil, fmt.Errorf("dedup: truncated chunk %d", i)
+				}
+				run, b := int(arch[pos]), arch[pos+1]
+				pos += 2
+				if at+run > len(dst) {
+					return nil, fmt.Errorf("dedup: chunk %d overflows", i)
+				}
+				for r := 0; r < run; r++ {
+					dst[at] = b
+					at++
+				}
+			}
+			if pos >= len(arch) || arch[pos] != '\n' {
+				return nil, fmt.Errorf("dedup: chunk %d missing terminator", i)
+			}
+			pos++ // newline
+		default:
+			return nil, fmt.Errorf("dedup: bad record kind %q at %d", kind, pos-2)
+		}
+		decoded[i] = true
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/reducer"
+)
+
+// Fib is the synthetic stress test the paper devised for Rader: each
+// function call does almost no work besides spawning, updating an opadd
+// reducer and (under steals) reducing views, so detector overhead has
+// nothing to amortize against — which is why fib shows the worst
+// multiplicative overheads in Figure 7 (36.90× for check-updates, 75.60×
+// for check-reductions).
+func Fib() App {
+	return App{
+		Name: "fib",
+		Desc: "Recursive Fibonacci",
+		Build: func(al *mem.Allocator, scale Scale) *Instance {
+			n := map[Scale]int{Test: 12, Small: 16, Bench: 23}[scale]
+			// Each frame gets a private address for its result local,
+			// mirroring what ThreadSanitizer instrumentation sees of the
+			// C stack. Addresses are taken from a dedicated block rather
+			// than per-frame Alloc calls to keep the region table small.
+			frames := 2*fibValue(n+1) + 1
+			region := al.Alloc("fib-locals", frames)
+			var got int
+			var calls int
+			ins := &Instance{InputDesc: fmt.Sprint(n)}
+			ins.Prog = func(c *cilk.Ctx) {
+				next := 0
+				addr := func() mem.Addr {
+					a := region.At(next)
+					next++
+					return a
+				}
+				h := reducer.New[int](c, "calls", reducer.OpAdd[int](), 0)
+				var rec func(c *cilk.Ctx, n int) int
+				rec = func(c *cilk.Ctx, n int) int {
+					h.Update(c, func(_ *cilk.Ctx, v int) int { return v + 1 })
+					if n < 2 {
+						return n
+					}
+					local := addr()
+					var a, b int
+					c.Spawn("fib", func(cc *cilk.Ctx) {
+						a = rec(cc, n-1)
+						cc.Store(local) // write the spawned call's result
+					})
+					c.Call("fib", func(cc *cilk.Ctx) {
+						b = rec(cc, n-2)
+					})
+					c.Sync()
+					c.Load(local) // read the spawned result after the sync
+					return a + b
+				}
+				got = rec(c, n)
+				calls = h.Value(c)
+			}
+			ins.Verify = func() error {
+				if want := fibValue(n); got != want {
+					return fmt.Errorf("fib(%d) = %d, want %d", n, got, want)
+				}
+				if want := fibCalls(n); calls != want {
+					return fmt.Errorf("fib call count = %d, want %d", calls, want)
+				}
+				return nil
+			}
+			return ins
+		},
+	}
+}
+
+func fibValue(n int) int {
+	a, b := 0, 1
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// fibCalls counts invocations of the recursive function.
+func fibCalls(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return 1 + fibCalls(n-1) + fibCalls(n-2)
+}

@@ -1,0 +1,54 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzDedupDecode: the archive decoder must never panic on corrupt input —
+// it returns an error instead — and must keep round-tripping valid
+// archives.
+func FuzzDedupDecode(f *testing.F) {
+	data := bytes.Repeat([]byte("abcdefgh"), 32)
+	ends := workload.ChunkBoundaries(data, 32, 64, 128)
+	arch := serialDedup(data, ends)
+	f.Add(arch, []byte(data))
+	f.Add([]byte("R 1 0\n"), []byte(data))
+	f.Add([]byte("C 0 "), []byte("x"))
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte("X 0 0\n"), []byte("abcdefgh"))
+	f.Fuzz(func(t *testing.T, arch, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		ends := workload.ChunkBoundaries(data, 16, 32, 64)
+		out, err := decodeArchive(arch, ends)
+		if err == nil && len(out) != len(data) {
+			t.Fatalf("decode returned %d bytes, want %d", len(out), len(data))
+		}
+	})
+}
+
+// FuzzDedupRoundTrip: encode-then-decode is the identity for any input
+// stream under its own chunk boundaries.
+func FuzzDedupRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world hello world!!"))
+	f.Add([]byte{0, 0, 0, 0, 1, 2, 3, 4})
+	f.Add(bytes.Repeat([]byte{7}, 3000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		ends := workload.ChunkBoundaries(data, 16, 32, 128)
+		arch := serialDedup(data, ends)
+		back, err := decodeArchive(arch, ends)
+		if err != nil {
+			t.Fatalf("decode of own archive failed: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("round trip not identity")
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/reducer"
+	"repro/internal/workload"
+)
+
+func randomKnapsackFor(scale Scale, n int) *workload.KnapsackInstance {
+	return workload.RandomKnapsack(101+int64(scale), n)
+}
+
+func solveDP(inst *workload.KnapsackInstance) int {
+	return workload.SolveKnapsackDP(inst)
+}
+
+// bestSolution is the user-defined reducer view the knapsack benchmark
+// maintains: the best value found plus the decision vector achieving it —
+// the paper's "user-defined struct" reducer.
+type bestSolution struct {
+	Set   bool
+	Value int
+	Take  uint64 // bitmask of chosen items
+}
+
+// bestMonoid keeps the better solution; ties keep the serially-earlier
+// one, so the chosen decision vector is deterministic.
+func bestMonoid() cilk.Monoid {
+	return cilk.MonoidFuncs(
+		func(*cilk.Ctx) any { return bestSolution{} },
+		func(_ *cilk.Ctx, l, r any) any {
+			lv, rv := l.(bestSolution), r.(bestSolution)
+			switch {
+			case !rv.Set:
+				return lv
+			case !lv.Set:
+				return rv
+			case rv.Value > lv.Value:
+				return rv
+			default:
+				return lv
+			}
+		},
+	)
+}
+
+// Knapsack is the recursive branch-and-bound knapsack solver in the style
+// of Frigo's Cilk++ knapsack challenge entry, with the best solution held
+// in a user-defined struct reducer. Pruning consults an uninstrumented
+// shared lower bound — like the original's benign racy global, and like
+// ferret's uninstrumented library code in §8, it is outside the tool's
+// view by choice. Like fib it does little work per spawn, which is why its
+// Figure 7 overheads are second-worst (56.41× / 66.79×).
+func Knapsack() App {
+	return App{
+		Name: "knapsack",
+		Desc: "Recursive knapsack",
+		Build: func(al *mem.Allocator, scale Scale) *Instance {
+			n := map[Scale]int{Test: 10, Small: 14, Bench: 20}[scale]
+			inst := randomKnapsackFor(scale, n)
+			items := al.Alloc("items", n)
+			// Suffix sums of value bound the best completion from item i.
+			suffix := make([]int, n+1)
+			for i := n - 1; i >= 0; i-- {
+				suffix[i] = suffix[i+1] + inst.Items[i].Value
+			}
+			var got bestSolution
+			ins := &Instance{InputDesc: fmt.Sprint(n)}
+			ins.Prog = func(c *cilk.Ctx) {
+				h := reducer.New[bestSolution](c, "best", bestMonoid(), bestSolution{})
+				lower := 0 // uninstrumented benign pruning bound
+				var rec func(c *cilk.Ctx, i, cap, val int, take uint64)
+				rec = func(c *cilk.Ctx, i, cap, val int, take uint64) {
+					if i == len(inst.Items) {
+						if val > lower {
+							lower = val
+						}
+						h.Update(c, func(_ *cilk.Ctx, b bestSolution) bestSolution {
+							if !b.Set || val > b.Value {
+								return bestSolution{Set: true, Value: val, Take: take}
+							}
+							return b
+						})
+						return
+					}
+					if val+suffix[i] <= lower {
+						return // cannot beat the bound
+					}
+					c.Load(items.At(i)) // read item i's weight/value
+					it := inst.Items[i]
+					if it.Weight <= cap {
+						c.Spawn("take", func(cc *cilk.Ctx) {
+							rec(cc, i+1, cap-it.Weight, val+it.Value, take|1<<i)
+						})
+					}
+					c.Call("skip", func(cc *cilk.Ctx) {
+						rec(cc, i+1, cap, val, take)
+					})
+					c.Sync()
+				}
+				rec(c, 0, inst.Capacity, 0, 0)
+				got = h.Value(c)
+			}
+			ins.Verify = func() error {
+				want := solveDP(inst)
+				if !got.Set || got.Value != want {
+					return fmt.Errorf("knapsack best = %+v, want value %d", got, want)
+				}
+				// The decision vector must actually achieve the value.
+				val, wt := 0, 0
+				for i, it := range inst.Items {
+					if got.Take&(1<<i) != 0 {
+						val += it.Value
+						wt += it.Weight
+					}
+				}
+				if val != got.Value || wt > inst.Capacity {
+					return fmt.Errorf("decision vector inconsistent: val=%d wt=%d cap=%d", val, wt, inst.Capacity)
+				}
+				return nil
+			}
+			return ins
+		},
+	}
+}

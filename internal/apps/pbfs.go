@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/reducer"
+	"repro/internal/workload"
+)
+
+// PBFS is the Leiserson–Schardl work-efficient parallel breadth-first
+// search: the frontier lives in a pennant-bag reducer, each layer is
+// walked in parallel (one task per pennant, recursing down pennant
+// subtrees), and discovered vertices are inserted into the next layer's
+// bag through the reducer. Writes to the distance array are the
+// benchmark's instrumented accesses; two same-layer vertices may both
+// discover w and both write dist[w] — the classic benign write-write race
+// PBFS is famous for, which also makes the bag admit duplicates that the
+// next layer re-checks.
+func PBFS() App {
+	return App{
+		Name: "pbfs",
+		Desc: "Parallel breadth-first search",
+		Build: func(al *mem.Allocator, scale Scale) *Instance {
+			var nv, ne int
+			switch scale {
+			case Test:
+				nv, ne = 300, 900
+			case Small:
+				nv, ne = 3_000, 12_000
+			default:
+				// The paper's input size exactly: |V| = 0.3M, |E| = 1.9M.
+				nv, ne = 300_000, 1_900_000
+			}
+			g := workload.RandomGraph(77, nv, ne)
+			distRegion := al.Alloc("dist", nv)
+			dist := make([]int32, nv)
+			ins := &Instance{InputDesc: fmt.Sprintf("|V| = %d, |E| = %d", nv, ne)}
+			ins.Prog = func(c *cilk.Ctx) {
+				for i := range dist {
+					dist[i] = -1
+				}
+				dist[0] = 0
+				cur := reducer.NewBag[int32]()
+				cur.Insert(0)
+				for d := int32(0); !cur.Empty(); d++ {
+					next := reducer.New[*reducer.Bag[int32]](
+						c, "next-layer", reducer.BagMonoid[int32](), reducer.NewBag[int32]())
+					processLayer(c, g, cur, d, dist, distRegion, next)
+					cur = next.Value(c)
+				}
+			}
+			ins.Verify = func() error {
+				want := workload.BFSLevels(g, 0)
+				for v := range dist {
+					if dist[v] != want[v] {
+						return fmt.Errorf("dist[%d] = %d, want %d", v, dist[v], want[v])
+					}
+				}
+				return nil
+			}
+			return ins
+		},
+	}
+}
+
+// processLayer walks every pennant of the layer bag in parallel, relaxing
+// the out-edges of each vertex at distance d.
+func processLayer(c *cilk.Ctx, g *workload.Graph, layer *reducer.Bag[int32], d int32,
+	dist []int32, distRegion mem.Region, next reducer.Handle[*reducer.Bag[int32]]) {
+	pennants := layer.Pennants()
+	for _, pn := range pennants {
+		pn := pn
+		c.Spawn("pennant", func(cc *cilk.Ctx) {
+			walkPennant(cc, g, pn, 0, d, dist, distRegion, next)
+		})
+	}
+	c.Sync()
+}
+
+// walkPennant spawns down the pennant tree for spawnDepth levels, then
+// descends serially — the grain control of the PBFS paper's BAG-WALK.
+func walkPennant(c *cilk.Ctx, g *workload.Graph, pn *reducer.Pennant[int32], depth int, d int32,
+	dist []int32, distRegion mem.Region, next reducer.Handle[*reducer.Bag[int32]]) {
+	const spawnDepth = 6
+	relax(c, g, pn.Element(), d, dist, distRegion, next)
+	l, r := pn.Children()
+	if depth < spawnDepth {
+		if l != nil {
+			c.Spawn("pennant", func(cc *cilk.Ctx) {
+				walkPennant(cc, g, l, depth+1, d, dist, distRegion, next)
+			})
+		}
+		if r != nil {
+			c.Spawn("pennant", func(cc *cilk.Ctx) {
+				walkPennant(cc, g, r, depth+1, d, dist, distRegion, next)
+			})
+		}
+		c.Sync()
+		return
+	}
+	if l != nil {
+		walkSerial(c, g, l, d, dist, distRegion, next)
+	}
+	if r != nil {
+		walkSerial(c, g, r, d, dist, distRegion, next)
+	}
+}
+
+func walkSerial(c *cilk.Ctx, g *workload.Graph, pn *reducer.Pennant[int32], d int32,
+	dist []int32, distRegion mem.Region, next reducer.Handle[*reducer.Bag[int32]]) {
+	relax(c, g, pn.Element(), d, dist, distRegion, next)
+	l, r := pn.Children()
+	if l != nil {
+		walkSerial(c, g, l, d, dist, distRegion, next)
+	}
+	if r != nil {
+		walkSerial(c, g, r, d, dist, distRegion, next)
+	}
+}
+
+// relax explores v's neighbours: an undiscovered w gets distance d+1 and
+// joins the next layer's bag.
+func relax(c *cilk.Ctx, g *workload.Graph, v int32, d int32,
+	dist []int32, distRegion mem.Region, next reducer.Handle[*reducer.Bag[int32]]) {
+	if dist[v] != d {
+		return // duplicate insertion from the benign race; already done
+	}
+	for _, w := range g.Neighbors(int(v)) {
+		c.Load(distRegion.At(int(w)))
+		if dist[w] < 0 {
+			c.Store(distRegion.At(int(w)))
+			dist[w] = d + 1
+			next.Update(c, func(_ *cilk.Ctx, b *reducer.Bag[int32]) *reducer.Bag[int32] {
+				b.Insert(w)
+				return b
+			})
+		}
+	}
+}

@@ -1,0 +1,438 @@
+package cilk
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// sumMonoid is an integer addition monoid for tests.
+var sumMonoid = MonoidFuncs(
+	func(*Ctx) any { return 0 },
+	func(_ *Ctx, l, r any) any { return l.(int) + r.(int) },
+)
+
+// listMonoid concatenates []int views, preserving serial order.
+var listMonoid = MonoidFuncs(
+	func(*Ctx) any { return []int(nil) },
+	func(_ *Ctx, l, r any) any { return append(l.([]int), r.([]int)...) },
+)
+
+func TestSerialOrderDepthFirst(t *testing.T) {
+	var trace []string
+	prog := func(c *Ctx) {
+		trace = append(trace, "a1")
+		c.Spawn("f", func(c *Ctx) { trace = append(trace, "f") })
+		trace = append(trace, "a2")
+		c.Spawn("g", func(c *Ctx) { trace = append(trace, "g") })
+		trace = append(trace, "a3")
+		c.Sync()
+		trace = append(trace, "a4")
+	}
+	Run(prog, Config{})
+	want := "a1 f a2 g a3 a4"
+	if got := strings.Join(trace, " "); got != want {
+		t.Fatalf("serial order = %q, want %q", got, want)
+	}
+}
+
+func TestResultCounts(t *testing.T) {
+	res := Run(func(c *Ctx) {
+		c.Spawn("f", func(c *Ctx) {})
+		c.Spawn("g", func(c *Ctx) {
+			c.Spawn("h", func(c *Ctx) {})
+			c.Sync()
+		})
+		c.Sync()
+	}, Config{})
+	if res.Frames != 4 { // main, f, g, h
+		t.Fatalf("frames = %d, want 4", res.Frames)
+	}
+	if res.Spawns != 3 {
+		t.Fatalf("spawns = %d, want 3", res.Spawns)
+	}
+	// g syncs explicitly (counted once; implicit skipped only when block clean):
+	// g: explicit sync + implicit sync at return; main: explicit + implicit.
+	if res.Syncs < 2 {
+		t.Fatalf("syncs = %d, want >= 2", res.Syncs)
+	}
+}
+
+func TestReducerSerialNoSteals(t *testing.T) {
+	var got int
+	Run(func(c *Ctx) {
+		r := c.NewReducer("sum", sumMonoid, 0)
+		for i := 1; i <= 4; i++ {
+			i := i
+			c.Spawn("add", func(c *Ctx) {
+				c.Update(r, func(_ *Ctx, v any) any { return v.(int) + i })
+			})
+		}
+		c.Sync()
+		got = c.Value(r).(int)
+	}, Config{})
+	if got != 10 {
+		t.Fatalf("sum = %d, want 10", got)
+	}
+}
+
+func TestReducerDeterministicAcrossSpecs(t *testing.T) {
+	// The defining property of a reducer with an associative monoid: the
+	// retrieved value after sync is schedule-independent. List concat is
+	// associative but NOT commutative, so this also checks that reduces
+	// run in the correct (serial) order: left view ⊗ right view.
+	prog := func(want *[]int) func(*Ctx) {
+		return func(c *Ctx) {
+			r := c.NewReducer("list", listMonoid, []int(nil))
+			for i := 0; i < 9; i++ {
+				i := i
+				c.Spawn("app", func(c *Ctx) {
+					c.Update(r, func(_ *Ctx, v any) any { return append(v.([]int), i) })
+				})
+			}
+			c.Sync()
+			*want = c.Value(r).([]int)
+		}
+	}
+	var serial []int
+	Run(prog(&serial), Config{})
+	if fmt.Sprint(serial) != "[0 1 2 3 4 5 6 7 8]" {
+		t.Fatalf("serial = %v", serial)
+	}
+	specs := []StealSpec{
+		StealAll{Reduce: ReduceAtSync},
+		StealAll{Reduce: ReduceEager},
+		StealAll{Reduce: ReduceMiddleFirst},
+	}
+	for _, spec := range specs {
+		var got []int
+		Run(prog(&got), Config{Spec: spec})
+		if fmt.Sprint(got) != fmt.Sprint(serial) {
+			t.Errorf("spec %#v: got %v, want %v", spec, got, serial)
+		}
+	}
+}
+
+// randomSpec steals each continuation with probability p, deterministically
+// from a seed, to drive the quick-check determinism property.
+type randomSpec struct {
+	seed  int64
+	p     float64
+	order ReduceOrder
+}
+
+func (s randomSpec) ShouldSteal(ci ContInfo) bool {
+	// Hash seq with the seed for a stable pseudo-random decision.
+	h := uint64(ci.Seq)*0x9e3779b97f4a7c15 + uint64(s.seed)
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return float64(h%1000)/1000 < s.p
+}
+
+func (s randomSpec) Order() ReduceOrder { return s.order }
+
+func TestQuickReducerDeterminism(t *testing.T) {
+	// Random programs (random spawn trees with list-reducer updates) must
+	// produce the identical, serial-order list under every schedule.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depthBudget := 4
+		var build func(c *Ctx, r *Reducer, prefix string, budget int)
+		build = func(c *Ctx, r *Reducer, prefix string, budget int) {
+			n := rng.Intn(4)
+			for i := 0; i < n; i++ {
+				i := i
+				val := len(prefix)*10 + i
+				if budget > 0 && rng.Intn(2) == 0 {
+					c.Spawn("s", func(cc *Ctx) {
+						cc.Update(r, func(_ *Ctx, v any) any { return append(v.([]int), val) })
+						build(cc, r, prefix+"s", budget-1)
+					})
+				} else {
+					c.Update(r, func(_ *Ctx, v any) any { return append(v.([]int), val) })
+				}
+				if rng.Intn(4) == 0 {
+					c.Sync()
+				}
+			}
+			c.Sync()
+		}
+		run := func(spec StealSpec) []int {
+			rng = rand.New(rand.NewSource(seed)) // rebuild the same program
+			var out []int
+			Run(func(c *Ctx) {
+				r := c.NewReducer("l", listMonoid, []int(nil))
+				build(c, r, "", depthBudget)
+				out = c.Value(r).([]int)
+			}, Config{Spec: spec})
+			return out
+		}
+		want := run(NoSteals{})
+		for _, spec := range []StealSpec{
+			StealAll{Reduce: ReduceAtSync},
+			StealAll{Reduce: ReduceEager},
+			randomSpec{seed: seed, p: 0.5, order: ReduceAtSync},
+			randomSpec{seed: seed + 1, p: 0.3, order: ReduceMiddleFirst},
+			randomSpec{seed: seed + 2, p: 0.7, order: ReduceEager},
+		} {
+			if fmt.Sprint(run(spec)) != fmt.Sprint(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewCreatedOnlyOnSteal(t *testing.T) {
+	// With no steals there is exactly one view; with a steal the
+	// continuation sees a fresh identity view.
+	var contView int
+	prog := func(c *Ctx) {
+		r := c.NewReducer("sum", sumMonoid, 100)
+		c.Spawn("f", func(c *Ctx) {
+			c.Update(r, func(_ *Ctx, v any) any { return v.(int) + 1 })
+		})
+		// continuation: observe the view Update sees
+		c.Update(r, func(_ *Ctx, v any) any { contView = v.(int); return v })
+		c.Sync()
+	}
+	Run(prog, Config{})
+	if contView != 101 {
+		t.Fatalf("unstolen continuation saw view %d, want 101 (shared view)", contView)
+	}
+	Run(prog, Config{Spec: StealAll{}})
+	if contView != 0 {
+		t.Fatalf("stolen continuation saw view %d, want 0 (identity view)", contView)
+	}
+}
+
+func TestViewInvariant3SyncRestoresView(t *testing.T) {
+	// After a sync, the view is the same as the function's first strand's
+	// view, with all updates folded in.
+	var after int
+	Run(func(c *Ctx) {
+		r := c.NewReducer("sum", sumMonoid, 5)
+		c.Spawn("f", func(c *Ctx) {
+			c.Update(r, func(_ *Ctx, v any) any { return v.(int) + 10 })
+		})
+		c.Update(r, func(_ *Ctx, v any) any { return v.(int) + 100 }) // stolen continuation
+		c.Sync()
+		after = c.Value(r).(int)
+	}, Config{Spec: StealAll{}})
+	if after != 115 {
+		t.Fatalf("after sync = %d, want 115", after)
+	}
+}
+
+func TestStealsRecorded(t *testing.T) {
+	res := Run(func(c *Ctx) {
+		for i := 0; i < 3; i++ {
+			c.Spawn("f", func(c *Ctx) {})
+		}
+		c.Sync()
+	}, Config{Spec: StealAll{}})
+	if len(res.Steals) != 3 {
+		t.Fatalf("steals = %d, want 3", len(res.Steals))
+	}
+	if res.Views != 3 {
+		t.Fatalf("views = %d, want 3", res.Views)
+	}
+	if res.Reduces != 3 {
+		t.Fatalf("reduces = %d, want 3", res.Reduces)
+	}
+	if res.Steals[0].Index != 1 || res.Steals[2].Index != 3 {
+		t.Fatalf("continuation indices wrong: %v", res.Steals)
+	}
+}
+
+func TestParForCoversAllIterations(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 100} {
+		seen := make([]bool, n)
+		Run(func(c *Ctx) {
+			c.ParForGrain("loop", n, 3, func(_ *Ctx, i int) {
+				if seen[i] {
+					t.Fatalf("n=%d: iteration %d executed twice", n, i)
+				}
+				seen[i] = true
+			})
+		}, Config{Spec: StealAll{}})
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("n=%d: iteration %d never executed", n, i)
+			}
+		}
+	}
+}
+
+func TestParForSerialOrder(t *testing.T) {
+	var order []int
+	Run(func(c *Ctx) {
+		c.ParForGrain("loop", 10, 2, func(_ *Ctx, i int) { order = append(order, i) })
+	}, Config{})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution of ParFor out of order: %v", order)
+		}
+	}
+}
+
+func TestSpawnInsideUpdatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("spawn inside Update must panic")
+		}
+	}()
+	Run(func(c *Ctx) {
+		r := c.NewReducer("x", sumMonoid, 0)
+		c.Update(r, func(c *Ctx, v any) any {
+			c.Spawn("bad", func(*Ctx) {})
+			return v
+		})
+	}, Config{})
+}
+
+// hookCounter counts events to validate the event contract.
+type hookCounter struct {
+	Empty
+	enters, returns, syncs, steals, reduceStarts, reduceEnds int
+	vaBegin, vaEnd                                           int
+	creates, reads, loads, stores                            int
+	maxViewDepth                                             int
+	viewDepth                                                int
+}
+
+func (h *hookCounter) FrameEnter(*Frame)                  { h.enters++ }
+func (h *hookCounter) FrameReturn(*Frame, *Frame)         { h.returns++ }
+func (h *hookCounter) Sync(*Frame)                        { h.syncs++ }
+func (h *hookCounter) ContinuationStolen(*Frame, ViewID)  { h.steals++ }
+func (h *hookCounter) ReduceStart(*Frame, ViewID, ViewID) { h.reduceStarts++ }
+func (h *hookCounter) ReduceEnd(*Frame)                   { h.reduceEnds++ }
+func (h *hookCounter) ViewAwareBegin(*Frame, ViewOp, *Reducer) {
+	h.vaBegin++
+	h.viewDepth++
+	if h.viewDepth > h.maxViewDepth {
+		h.maxViewDepth = h.viewDepth
+	}
+}
+func (h *hookCounter) ViewAwareEnd(*Frame, ViewOp, *Reducer) { h.vaEnd++; h.viewDepth-- }
+func (h *hookCounter) ReducerCreate(*Frame, *Reducer)        { h.creates++ }
+func (h *hookCounter) ReducerRead(*Frame, *Reducer)          { h.reads++ }
+func (h *hookCounter) Load(*Frame, mem.Addr)                 { h.loads++ }
+func (h *hookCounter) Store(*Frame, mem.Addr)                { h.stores++ }
+
+func TestHookEventContract(t *testing.T) {
+	h := &hookCounter{}
+	al := mem.NewAllocator()
+	reg := al.Alloc("xs", 8)
+	Run(func(c *Ctx) {
+		r := c.NewReducer("sum", sumMonoid, 0)
+		for i := 0; i < 4; i++ {
+			i := i
+			c.Spawn("f", func(c *Ctx) {
+				c.Load(reg.At(i))
+				c.Store(reg.At(i))
+				c.Update(r, func(_ *Ctx, v any) any { return v.(int) + 1 })
+			})
+		}
+		c.Sync()
+		_ = c.Value(r)
+	}, Config{Spec: StealAll{}, Hooks: h})
+	if h.enters != 5 { // main + 4 children
+		t.Fatalf("enters = %d, want 5", h.enters)
+	}
+	if h.returns != 4 { // root emits no FrameReturn
+		t.Fatalf("returns = %d, want 4", h.returns)
+	}
+	if h.steals != 4 {
+		t.Fatalf("steals = %d, want 4", h.steals)
+	}
+	if h.reduceStarts != 4 || h.reduceEnds != 4 {
+		t.Fatalf("reduces = %d/%d, want 4/4", h.reduceStarts, h.reduceEnds)
+	}
+	if h.vaBegin != h.vaEnd {
+		t.Fatalf("view-aware begin/end mismatch: %d vs %d", h.vaBegin, h.vaEnd)
+	}
+	// 4 updates; children 2..4 run after a steal so need Create-Identity
+	// (3 of them); value-read after sync needs none (view present);
+	// 3 reduces run user code (the 4th transfers into... actually every
+	// dying slot has a view, and the keep slot always has one: 4 Combine
+	// calls minus those where keep lacks the view).
+	if h.maxViewDepth != 1 {
+		t.Fatalf("view-aware sections must not nest here: depth %d", h.maxViewDepth)
+	}
+	if h.creates != 1 || h.reads != 1 {
+		t.Fatalf("creates/reads = %d/%d, want 1/1", h.creates, h.reads)
+	}
+	if h.loads != 4 || h.stores != 4 {
+		t.Fatalf("loads/stores = %d/%d, want 4/4", h.loads, h.stores)
+	}
+}
+
+func TestMultiHooksFanOut(t *testing.T) {
+	a, b := &hookCounter{}, &hookCounter{}
+	Run(func(c *Ctx) {
+		c.Spawn("f", func(*Ctx) {})
+		c.Sync()
+	}, Config{Hooks: Multi{a, b}})
+	if a.enters != b.enters || a.enters != 2 {
+		t.Fatalf("multi hooks diverge: %d vs %d", a.enters, b.enters)
+	}
+}
+
+func TestFrameMetadata(t *testing.T) {
+	Run(func(c *Ctx) {
+		if c.Frame().Depth != 0 || c.Frame().Label != "main" {
+			t.Fatal("root frame metadata wrong")
+		}
+		c.Spawn("child", func(cc *Ctx) {
+			f := cc.Frame()
+			if f.Depth != 1 || !f.Spawned || f.Parent != c.Frame() {
+				t.Fatalf("child frame metadata wrong: %+v", f)
+			}
+		})
+		c.Call("callee", func(cc *Ctx) {
+			if cc.Frame().Spawned {
+				t.Fatal("called frame must not be marked spawned")
+			}
+		})
+		c.Sync()
+	}, Config{})
+}
+
+func TestValueAfterStealMaterializesIdentity(t *testing.T) {
+	var v any
+	Run(func(c *Ctx) {
+		r := c.NewReducer("sum", sumMonoid, 42)
+		c.Spawn("f", func(*Ctx) {})
+		v = c.Value(r) // stolen continuation: a view-read race in real code
+		c.Sync()
+	}, Config{Spec: StealAll{}})
+	if v.(int) != 0 {
+		t.Fatalf("value in stolen continuation = %v, want identity 0", v)
+	}
+}
+
+func TestUninstrumentedRunHasNoHookOverheadPath(t *testing.T) {
+	// Smoke test: a run with nil hooks must not panic on any code path
+	// that would dereference hooks.
+	res := Run(func(c *Ctx) {
+		r := c.NewReducer("s", sumMonoid, 0)
+		c.ParFor("loop", 100, func(cc *Ctx, i int) {
+			cc.Update(r, func(_ *Ctx, v any) any { return v.(int) + i })
+		})
+		if got := c.Value(r).(int); got != 4950 {
+			t.Fatalf("sum = %d, want 4950", got)
+		}
+	}, Config{Spec: StealAll{}})
+	if res.Views == 0 || res.Reduces == 0 {
+		t.Fatal("expected steals and reduces under StealAll")
+	}
+}

@@ -1,0 +1,116 @@
+package cilk
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// eventLog records every hook invocation as one line, pinning the
+// executor's event contract: detectors are written against exactly this
+// ordering, so any change to it must show up here first.
+type eventLog struct {
+	lines []string
+}
+
+func (l *eventLog) add(format string, args ...any) {
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *eventLog) ProgramStart(f *Frame)   { l.add("program-start") }
+func (l *eventLog) ProgramEnd(f *Frame)     { l.add("program-end") }
+func (l *eventLog) FrameEnter(f *Frame)     { l.add("enter %s spawned=%v", f, f.Spawned) }
+func (l *eventLog) FrameReturn(g, f *Frame) { l.add("return %s -> %s", g, f) }
+func (l *eventLog) Sync(f *Frame)           { l.add("sync %s", f) }
+func (l *eventLog) ContinuationStolen(f *Frame, v ViewID) {
+	l.add("stolen %s vid=%d", f, v)
+}
+func (l *eventLog) ReduceStart(f *Frame, k, d ViewID) { l.add("reduce %s keep=%d die=%d", f, k, d) }
+func (l *eventLog) ReduceEnd(f *Frame)                { l.add("reduce-end %s", f) }
+func (l *eventLog) ViewAwareBegin(f *Frame, op ViewOp, r *Reducer) {
+	l.add("va-begin %s %v %s", f, op, r.Name)
+}
+func (l *eventLog) ViewAwareEnd(f *Frame, op ViewOp, r *Reducer) {
+	l.add("va-end %s %v %s", f, op, r.Name)
+}
+func (l *eventLog) ReducerCreate(f *Frame, r *Reducer) { l.add("create %s %s", f, r.Name) }
+func (l *eventLog) ReducerRead(f *Frame, r *Reducer)   { l.add("read %s %s", f, r.Name) }
+func (l *eventLog) Load(f *Frame, a mem.Addr)          { l.add("load %s %d", f, a) }
+func (l *eventLog) Store(f *Frame, a mem.Addr)         { l.add("store %s %d", f, a) }
+
+// TestEventContractGolden runs a small program with one steal and pins the
+// exact event sequence the executor emits.
+func TestEventContractGolden(t *testing.T) {
+	log := &eventLog{}
+	prog := func(c *Ctx) {
+		r := c.NewReducer("h", sumMonoid, 0)
+		c.Load(100)
+		c.Spawn("child", func(cc *Ctx) {
+			cc.Update(r, func(_ *Ctx, v any) any { return v.(int) + 1 })
+			cc.Store(200)
+		})
+		c.Update(r, func(_ *Ctx, v any) any { return v.(int) + 2 }) // stolen ctx: create-identity first
+		c.Sync()
+		_ = c.Value(r)
+	}
+	Run(prog, Config{Spec: StealAll{}, Hooks: log})
+	want := strings.TrimSpace(`
+program-start
+enter main#0 spawned=false
+create main#0 h
+load main#0 100
+enter child#1 spawned=true
+va-begin child#1 Update h
+va-end child#1 Update h
+store child#1 200
+return child#1 -> main#0
+stolen main#0 vid=1
+va-begin main#0 Create-Identity h
+va-end main#0 Create-Identity h
+va-begin main#0 Update h
+va-end main#0 Update h
+reduce main#0 keep=0 die=1
+va-begin main#0 Reduce h
+va-end main#0 Reduce h
+reduce-end main#0
+sync main#0
+read main#0 h
+sync main#0
+program-end`)
+	got := strings.Join(log.lines, "\n")
+	if got != want {
+		t.Fatalf("event contract changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestEventContractFig5 pins the Figure 5 schedule's reduce-tree events.
+func TestEventContractFig5(t *testing.T) {
+	log := &eventLog{}
+	// A minimal 3-spawn frame under a steal-everything schedule with
+	// middle-first reduction: reduces fire as (v1,v2) then right-to-left.
+	Run(func(c *Ctx) {
+		r := c.NewReducer("h", sumMonoid, 0)
+		for i := 0; i < 3; i++ {
+			c.Spawn("f", func(cc *Ctx) {
+				cc.Update(r, func(_ *Ctx, v any) any { return v.(int) + 1 })
+			})
+		}
+		c.Sync()
+	}, Config{Spec: StealAll{Reduce: ReduceMiddleFirst}, Hooks: log})
+	var reduces []string
+	for _, l := range log.lines {
+		if strings.HasPrefix(l, "reduce main") {
+			reduces = append(reduces, l)
+		}
+	}
+	want := []string{
+		"reduce main#0 keep=1 die=2", // middle pair first
+		"reduce main#0 keep=1 die=3", // then right-to-left
+		"reduce main#0 keep=0 die=1",
+	}
+	if fmt.Sprint(reduces) != fmt.Sprint(want) {
+		t.Fatalf("reduce order = %v, want %v", reduces, want)
+	}
+}

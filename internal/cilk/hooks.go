@@ -1,0 +1,200 @@
+package cilk
+
+import "repro/internal/mem"
+
+// Hooks is the instrumentation interface the executor drives. It is the Go
+// analogue of the compiler instrumentation Rader inserts: parallel-control
+// events (akin to the Low Overhead Annotations) plus memory-access events
+// (akin to the ThreadSanitizer hooks). Detectors implement Hooks; passing a
+// nil Hooks to the executor runs the program with no instrumentation at
+// all, which is the "no instrumentation" baseline of Figure 7, while
+// passing Empty runs it against no-op callbacks, the "empty tool" baseline
+// of Figure 8.
+//
+// Event ordering contract, matching §5 and §6:
+//
+//   - FrameEnter(G) fires before any event of G's body; FrameReturn(G)
+//     fires after G's implicit sync and before control resumes in the
+//     parent.
+//   - ContinuationStolen(F, vid) fires when the serial execution reaches a
+//     continuation the steal specification marks stolen, before any event
+//     of the continuation itself.
+//   - ReduceStart(F, keep, die) fires before the Reduce operation's own
+//     view-aware section and its memory accesses; the SP+ P-bag union is
+//     performed on this event, which is why a reduce strand's accesses
+//     carry the surviving view ID (§6).
+//   - Sync(F) fires after every reduction of the sync block has completed,
+//     so the detector's P stack is back to a single bag (§6's invariant).
+//   - ViewAwareBegin/ViewAwareEnd bracket the body of every Update,
+//     Create-Identity and Reduce operation; Load/Store events in between
+//     come from a view-aware strand, all others from view-oblivious
+//     strands.
+type Hooks interface {
+	ProgramStart(root *Frame)
+	ProgramEnd(root *Frame)
+
+	FrameEnter(f *Frame)
+	FrameReturn(f, parent *Frame)
+	Sync(f *Frame)
+	ContinuationStolen(f *Frame, newVID ViewID)
+
+	ReduceStart(f *Frame, keepVID, dieVID ViewID)
+	ReduceEnd(f *Frame)
+	ViewAwareBegin(f *Frame, op ViewOp, r *Reducer)
+	ViewAwareEnd(f *Frame, op ViewOp, r *Reducer)
+
+	ReducerCreate(f *Frame, r *Reducer)
+	ReducerRead(f *Frame, r *Reducer)
+
+	Load(f *Frame, a mem.Addr)
+	Store(f *Frame, a mem.Addr)
+}
+
+// Empty is a Hooks implementation whose callbacks do nothing. Running a
+// program against Empty measures pure instrumentation dispatch cost — the
+// paper's "empty tool" (§8).
+type Empty struct{}
+
+// ProgramStart implements Hooks.
+func (Empty) ProgramStart(*Frame) {}
+
+// ProgramEnd implements Hooks.
+func (Empty) ProgramEnd(*Frame) {}
+
+// FrameEnter implements Hooks.
+func (Empty) FrameEnter(*Frame) {}
+
+// FrameReturn implements Hooks.
+func (Empty) FrameReturn(*Frame, *Frame) {}
+
+// Sync implements Hooks.
+func (Empty) Sync(*Frame) {}
+
+// ContinuationStolen implements Hooks.
+func (Empty) ContinuationStolen(*Frame, ViewID) {}
+
+// ReduceStart implements Hooks.
+func (Empty) ReduceStart(*Frame, ViewID, ViewID) {}
+
+// ReduceEnd implements Hooks.
+func (Empty) ReduceEnd(*Frame) {}
+
+// ViewAwareBegin implements Hooks.
+func (Empty) ViewAwareBegin(*Frame, ViewOp, *Reducer) {}
+
+// ViewAwareEnd implements Hooks.
+func (Empty) ViewAwareEnd(*Frame, ViewOp, *Reducer) {}
+
+// ReducerCreate implements Hooks.
+func (Empty) ReducerCreate(*Frame, *Reducer) {}
+
+// ReducerRead implements Hooks.
+func (Empty) ReducerRead(*Frame, *Reducer) {}
+
+// Load implements Hooks.
+func (Empty) Load(*Frame, mem.Addr) {}
+
+// Store implements Hooks.
+func (Empty) Store(*Frame, mem.Addr) {}
+
+// Multi fans events out to several Hooks in order, so a detector and a
+// trace recorder can observe the same run.
+type Multi []Hooks
+
+// ProgramStart implements Hooks.
+func (m Multi) ProgramStart(f *Frame) {
+	for _, h := range m {
+		h.ProgramStart(f)
+	}
+}
+
+// ProgramEnd implements Hooks.
+func (m Multi) ProgramEnd(f *Frame) {
+	for _, h := range m {
+		h.ProgramEnd(f)
+	}
+}
+
+// FrameEnter implements Hooks.
+func (m Multi) FrameEnter(f *Frame) {
+	for _, h := range m {
+		h.FrameEnter(f)
+	}
+}
+
+// FrameReturn implements Hooks.
+func (m Multi) FrameReturn(f, p *Frame) {
+	for _, h := range m {
+		h.FrameReturn(f, p)
+	}
+}
+
+// Sync implements Hooks.
+func (m Multi) Sync(f *Frame) {
+	for _, h := range m {
+		h.Sync(f)
+	}
+}
+
+// ContinuationStolen implements Hooks.
+func (m Multi) ContinuationStolen(f *Frame, vid ViewID) {
+	for _, h := range m {
+		h.ContinuationStolen(f, vid)
+	}
+}
+
+// ReduceStart implements Hooks.
+func (m Multi) ReduceStart(f *Frame, keep, die ViewID) {
+	for _, h := range m {
+		h.ReduceStart(f, keep, die)
+	}
+}
+
+// ReduceEnd implements Hooks.
+func (m Multi) ReduceEnd(f *Frame) {
+	for _, h := range m {
+		h.ReduceEnd(f)
+	}
+}
+
+// ViewAwareBegin implements Hooks.
+func (m Multi) ViewAwareBegin(f *Frame, op ViewOp, r *Reducer) {
+	for _, h := range m {
+		h.ViewAwareBegin(f, op, r)
+	}
+}
+
+// ViewAwareEnd implements Hooks.
+func (m Multi) ViewAwareEnd(f *Frame, op ViewOp, r *Reducer) {
+	for _, h := range m {
+		h.ViewAwareEnd(f, op, r)
+	}
+}
+
+// ReducerCreate implements Hooks.
+func (m Multi) ReducerCreate(f *Frame, r *Reducer) {
+	for _, h := range m {
+		h.ReducerCreate(f, r)
+	}
+}
+
+// ReducerRead implements Hooks.
+func (m Multi) ReducerRead(f *Frame, r *Reducer) {
+	for _, h := range m {
+		h.ReducerRead(f, r)
+	}
+}
+
+// Load implements Hooks.
+func (m Multi) Load(f *Frame, a mem.Addr) {
+	for _, h := range m {
+		h.Load(f, a)
+	}
+}
+
+// Store implements Hooks.
+func (m Multi) Store(f *Frame, a mem.Addr) {
+	for _, h := range m {
+		h.Store(f, a)
+	}
+}

@@ -1,0 +1,132 @@
+package cilk
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// invariantChecker verifies the §5 view invariants online, at every event
+// of every run it observes:
+//
+//  1. within a strand the view context never changes (contexts switch
+//     only at steals, reductions and syncs);
+//  2. a spawned child's first strand inherits the spawning strand's view,
+//     and a stolen continuation gets a brand-new view ID;
+//  3. a sync strand sees the view of the function's first strand.
+type invariantChecker struct {
+	Empty
+	t       *testing.T
+	entry   map[FrameID]ViewID // view at frame entry
+	seen    map[ViewID]bool    // all view IDs ever current
+	current map[FrameID]ViewID
+}
+
+func newInvariantChecker(t *testing.T) *invariantChecker {
+	return &invariantChecker{
+		t:       t,
+		entry:   make(map[FrameID]ViewID),
+		seen:    map[ViewID]bool{0: true},
+		current: make(map[FrameID]ViewID),
+	}
+}
+
+func (ic *invariantChecker) FrameEnter(f *Frame) {
+	vid := f.CurrentVID()
+	if f.Parent != nil && vid != f.Parent.CurrentVID() {
+		ic.t.Errorf("invariant 2: frame %v entered with view %d, parent holds %d",
+			f, vid, f.Parent.CurrentVID())
+	}
+	ic.entry[f.ID] = vid
+	ic.current[f.ID] = vid
+	ic.seen[vid] = true
+}
+
+func (ic *invariantChecker) ContinuationStolen(f *Frame, newVID ViewID) {
+	if ic.seen[newVID] {
+		ic.t.Errorf("invariant 2: stolen continuation reuses view %d", newVID)
+	}
+	ic.seen[newVID] = true
+	ic.current[f.ID] = newVID
+	if f.CurrentVID() != newVID {
+		ic.t.Errorf("stolen continuation of %v not in its new view", f)
+	}
+}
+
+func (ic *invariantChecker) ReduceStart(f *Frame, keep, die ViewID) {
+	if !ic.seen[keep] || !ic.seen[die] {
+		ic.t.Errorf("reduce of unknown views (%d,%d)", keep, die)
+	}
+	if keep == die {
+		ic.t.Errorf("reduce of a view with itself: %d", keep)
+	}
+}
+
+func (ic *invariantChecker) ReduceEnd(f *Frame) {
+	ic.current[f.ID] = f.CurrentVID()
+}
+
+func (ic *invariantChecker) Sync(f *Frame) {
+	if got, want := f.CurrentVID(), ic.entry[f.ID]; got != want {
+		ic.t.Errorf("invariant 3: sync of %v sees view %d, entry view was %d", f, got, want)
+	}
+	if f.PendingViews() != 0 {
+		ic.t.Errorf("invariant 3: sync of %v with %d unreduced views", f, f.PendingViews())
+	}
+	ic.current[f.ID] = f.CurrentVID()
+}
+
+func (ic *invariantChecker) Load(f *Frame, a mem.Addr) {
+	// Invariant 1: between control events the frame's view is stable.
+	if cur, ok := ic.current[f.ID]; ok && f.CurrentVID() != cur {
+		ic.t.Errorf("invariant 1: view of %v changed mid-strand (%d -> %d)",
+			f, cur, f.CurrentVID())
+	}
+}
+
+func TestViewInvariantsOnline(t *testing.T) {
+	progs := []func(*Ctx){
+		func(c *Ctx) { // nested spawn tree with reducers
+			r := c.NewReducer("h", listMonoid, []int(nil))
+			var rec func(c *Ctx, d int)
+			rec = func(c *Ctx, d int) {
+				if d == 0 {
+					c.Update(r, func(_ *Ctx, v any) any { return append(v.([]int), d) })
+					c.Load(1)
+					return
+				}
+				c.Spawn("l", func(cc *Ctx) { rec(cc, d-1) })
+				c.Load(2)
+				c.Call("r", func(cc *Ctx) { rec(cc, d-1) })
+				c.Sync()
+				c.Load(3)
+			}
+			rec(c, 4)
+		},
+		func(c *Ctx) { // wide sync blocks
+			r := c.NewReducer("h", sumMonoid, 0)
+			for b := 0; b < 3; b++ {
+				for i := 0; i < 5; i++ {
+					c.Spawn("u", func(cc *Ctx) {
+						cc.Update(r, func(_ *Ctx, v any) any { return v.(int) + 1 })
+						cc.Load(4)
+					})
+					c.Load(5)
+				}
+				c.Sync()
+			}
+		},
+	}
+	specs := []StealSpec{
+		nil, StealAll{}, StealAll{Reduce: ReduceEager}, StealAll{Reduce: ReduceMiddleFirst},
+	}
+	for pi, prog := range progs {
+		for _, spec := range specs {
+			ic := newInvariantChecker(t)
+			Run(prog, Config{Spec: spec, Hooks: ic})
+			if t.Failed() {
+				t.Fatalf("invariants violated (program %d, spec %#v)", pi, spec)
+			}
+		}
+	}
+}

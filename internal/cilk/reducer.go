@@ -1,0 +1,62 @@
+package cilk
+
+import "fmt"
+
+// Monoid is the algebraic triple (T, ⊗, e) that defines a reducer (§2). The
+// view type T is `any` at this layer; package reducer provides typed
+// wrappers and a library of common monoids. Identity constructs e; Combine
+// implements ⊗, which must be associative for the reducer to behave
+// deterministically. Combine may mutate and return left (the dominating
+// view); it must not retain right after returning.
+//
+// Both methods receive the executing *Ctx because reducer operations are
+// user code from the detector's point of view: a Create-Identity or Reduce
+// body may itself Load and Store instrumented memory — indeed the paper's
+// Figure 1 race is a write performed inside a Reduce operation.
+type Monoid interface {
+	Identity(c *Ctx) any
+	Combine(c *Ctx, left, right any) any
+}
+
+// Reducer is a reducer hyperobject handle. It is created inside a program
+// via Ctx.NewReducer and accessed via Ctx.Value, Ctx.SetValue (both
+// reducer-reads in the paper's sense) and Ctx.Update (a view-aware
+// operation on the current view).
+type Reducer struct {
+	Name string
+	m    Monoid
+	idx  int // registration index within the run
+}
+
+// String implements fmt.Stringer.
+func (r *Reducer) String() string { return fmt.Sprintf("reducer(%s#%d)", r.Name, r.idx) }
+
+// Index returns the reducer's registration index within its run.
+func (r *Reducer) Index() int { return r.idx }
+
+// Monoid returns the reducer's monoid.
+func (r *Reducer) Monoid() Monoid { return r.m }
+
+// funcMonoid adapts a pair of closures to Monoid.
+type funcMonoid struct {
+	identity func(c *Ctx) any
+	combine  func(c *Ctx, left, right any) any
+}
+
+func (m funcMonoid) Identity(c *Ctx) any { return m.identity(c) }
+
+func (m funcMonoid) Combine(c *Ctx, left, right any) any { return m.combine(c, left, right) }
+
+// MonoidFuncs builds a Monoid from two closures, for quick user-defined
+// reducers (the paper's list_monoid is expressed this way in the examples).
+func MonoidFuncs(identity func(c *Ctx) any, combine func(c *Ctx, left, right any) any) Monoid {
+	return funcMonoid{identity: identity, combine: combine}
+}
+
+// SyntheticReducer builds a detached reducer handle for trace replay: a
+// recorded event stream identifies reducers by registration index only, and
+// the replayer needs distinct *Reducer identities to hand to detectors. The
+// handle carries no monoid and must not be used with a live executor.
+func SyntheticReducer(name string, idx int) *Reducer {
+	return &Reducer{Name: name, idx: idx}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cilk"
+)
+
+func TestReportDedup(t *testing.T) {
+	var rp Report
+	r := Race{Kind: Determinacy, Addr: 42, First: Access{Frame: 1}, Second: Access{Frame: 2}}
+	for i := 0; i < 5; i++ {
+		rp.Add(r)
+	}
+	if rp.Total() != 5 {
+		t.Fatalf("total = %d, want 5", rp.Total())
+	}
+	if rp.Distinct() != 1 {
+		t.Fatalf("distinct = %d, want 1", rp.Distinct())
+	}
+	if len(rp.Races()) != 1 {
+		t.Fatalf("retained = %d, want 1", len(rp.Races()))
+	}
+}
+
+func TestReportDistinguishesKeys(t *testing.T) {
+	var rp Report
+	rp.Add(Race{Kind: Determinacy, Addr: 1, First: Access{Frame: 1}, Second: Access{Frame: 2}})
+	rp.Add(Race{Kind: Determinacy, Addr: 2, First: Access{Frame: 1}, Second: Access{Frame: 2}})
+	rp.Add(Race{Kind: ViewRead, Reducer: "sum", First: Access{Frame: 1}, Second: Access{Frame: 2}})
+	rp.Add(Race{Kind: ViewRead, Reducer: "list", First: Access{Frame: 1}, Second: Access{Frame: 2}})
+	rp.Add(Race{Kind: Determinacy, Addr: 1, First: Access{Frame: 3}, Second: Access{Frame: 2}})
+	if rp.Distinct() != 5 {
+		t.Fatalf("distinct = %d, want 5", rp.Distinct())
+	}
+}
+
+func TestReportLimit(t *testing.T) {
+	rp := Report{Limit: 2}
+	for i := 0; i < 10; i++ {
+		rp.Add(Race{Kind: Determinacy, Addr: 100, First: Access{Frame: 1}, Second: Access{Frame: cilk.FrameID(2 + i)}})
+	}
+	if got := len(rp.Races()); got != 2 {
+		t.Fatalf("retained = %d, want 2", got)
+	}
+	if rp.Distinct() != 10 {
+		t.Fatalf("distinct = %d, want 10 (limit caps retention, not counting)", rp.Distinct())
+	}
+}
+
+func TestReportEmptyAndSummary(t *testing.T) {
+	var rp Report
+	if !rp.Empty() {
+		t.Fatal("fresh report must be empty")
+	}
+	if rp.Summary() != "no races detected" {
+		t.Fatalf("summary = %q", rp.Summary())
+	}
+	rp.Add(Race{Kind: ViewRead, Reducer: "sum",
+		First:  Access{Frame: 1, Label: "main", Op: OpReducerRead},
+		Second: Access{Frame: 2, Label: "f", Op: OpReducerRead}})
+	s := rp.Summary()
+	if !strings.Contains(s, "view-read race") || !strings.Contains(s, `"sum"`) {
+		t.Fatalf("summary missing details: %q", s)
+	}
+	if !rp.HasKind(ViewRead) || rp.HasKind(Determinacy) {
+		t.Fatal("HasKind wrong")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{ViewRead.String(), "view-read race"},
+		{Determinacy.String(), "determinacy race"},
+		{OpRead.String(), "read"},
+		{OpWrite.String(), "write"},
+		{OpReducerRead.String(), "reducer-read"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("got %q, want %q", tc.got, tc.want)
+		}
+	}
+	a := Access{Frame: 3, Label: "f", Op: OpWrite, ViewAware: true, VID: 7}
+	if !strings.Contains(a.String(), "view-aware") {
+		t.Fatalf("access string missing view-aware: %q", a)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	var rp Report
+	rp.Add(Race{Kind: Determinacy, Addr: 3,
+		First:  Access{Frame: 1, Label: "r", Path: "main>r", Op: OpRead},
+		Second: Access{Frame: 2, Label: "w", Op: OpWrite, ViewAware: true, ViewOp: cilk.OpReduce, VID: 4}})
+	rp.Add(Race{Kind: ViewRead, Reducer: "sum",
+		First:  Access{Frame: 1, Label: "a", Op: OpReducerRead},
+		Second: Access{Frame: 2, Label: "b", Op: OpReducerRead}})
+	b, err := json.Marshal(&rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Races []struct {
+			Kind    string `json:"kind"`
+			Addr    uint64 `json:"addr"`
+			Reducer string `json:"reducer"`
+			Second  struct {
+				ViewAware bool   `json:"viewAware"`
+				ViewOp    string `json:"viewOp"`
+				VID       int64  `json:"vid"`
+			} `json:"second"`
+		} `json:"races"`
+		Distinct int `json:"distinct"`
+		Total    int `json:"total"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Distinct != 2 || decoded.Total != 2 || len(decoded.Races) != 2 {
+		t.Fatalf("counts wrong: %+v", decoded)
+	}
+	if decoded.Races[0].Addr != 3 || !decoded.Races[0].Second.ViewAware ||
+		decoded.Races[0].Second.ViewOp != "Reduce" || decoded.Races[0].Second.VID != 4 {
+		t.Fatalf("determinacy race JSON wrong: %s", b)
+	}
+	if decoded.Races[1].Reducer != "sum" || decoded.Races[1].Addr != 0 {
+		t.Fatalf("view-read race JSON wrong: %s", b)
+	}
+	// An empty report still renders a valid document.
+	var empty Report
+	b2, err := json.Marshal(&empty)
+	if err != nil || string(b2) != `{"races":[],"distinct":0,"total":0}` {
+		t.Fatalf("empty report JSON = %s (%v)", b2, err)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "encoding/json"
+
+// reportJSON is the machine-readable form of a Report, for CI integration
+// (rader -json).
+type reportJSON struct {
+	Races    []raceJSON `json:"races"`
+	Distinct int        `json:"distinct"`
+	Total    int        `json:"total"`
+}
+
+type raceJSON struct {
+	Kind    string     `json:"kind"`
+	Addr    uint64     `json:"addr,omitempty"`
+	Reducer string     `json:"reducer,omitempty"`
+	First   accessJSON `json:"first"`
+	Second  accessJSON `json:"second"`
+}
+
+type accessJSON struct {
+	Frame     int32  `json:"frame"`
+	Label     string `json:"label"`
+	Path      string `json:"path,omitempty"`
+	Op        string `json:"op"`
+	ViewAware bool   `json:"viewAware,omitempty"`
+	ViewOp    string `json:"viewOp,omitempty"`
+	VID       int64  `json:"vid,omitempty"`
+}
+
+func toAccessJSON(a Access) accessJSON {
+	out := accessJSON{
+		Frame: int32(a.Frame), Label: a.Label, Path: a.Path,
+		Op: a.Op.String(), ViewAware: a.ViewAware,
+	}
+	if a.ViewAware {
+		out.ViewOp = a.ViewOp.String()
+		out.VID = int64(a.VID)
+	}
+	return out
+}
+
+// MarshalJSON renders the report's retained races plus counters.
+func (rp *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Races:    []raceJSON{},
+		Distinct: rp.Distinct(),
+		Total:    rp.Total(),
+	}
+	for _, r := range rp.Races() {
+		rj := raceJSON{
+			Kind:    r.Kind.String(),
+			Reducer: r.Reducer,
+			First:   toAccessJSON(r.First),
+			Second:  toAccessJSON(r.Second),
+		}
+		if r.Kind == Determinacy {
+			rj.Addr = uint64(r.Addr)
+		}
+		out.Races = append(out.Races, rj)
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/cilk"
+)
+
+// Lineage records, for each detector element (function instantiation or
+// reduce invocation), its frame, label and parent element, so a race
+// report can reconstruct the spawn path of each participant on demand —
+// "main>update_list>insert" tells the user where the racing strand came
+// from without any cost on the hot path.
+type Lineage struct {
+	meta []lineageEntry
+}
+
+type lineageEntry struct {
+	frame  cilk.FrameID
+	label  string
+	parent int32
+}
+
+// NoParent marks a root element.
+const NoParent int32 = -1
+
+// Add registers element id (dense, append-ordered) with its parent.
+func (l *Lineage) Add(id int32, frame cilk.FrameID, label string, parent int32) {
+	for int(id) >= len(l.meta) {
+		l.meta = append(l.meta, lineageEntry{parent: NoParent})
+	}
+	l.meta[id] = lineageEntry{frame: frame, label: label, parent: parent}
+}
+
+// Frame returns the frame of element id.
+func (l *Lineage) Frame(id int32) cilk.FrameID {
+	if int(id) >= len(l.meta) || id < 0 {
+		return -1
+	}
+	return l.meta[id].frame
+}
+
+// Label returns the label of element id.
+func (l *Lineage) Label(id int32) string {
+	if int(id) >= len(l.meta) || id < 0 {
+		return "?"
+	}
+	return l.meta[id].label
+}
+
+// Path reconstructs the spawn path of element id, innermost last,
+// truncated to the last maxDepth segments (0 means 16).
+func (l *Lineage) Path(id int32) string {
+	const defaultDepth = 16
+	var segs []string
+	for cur := id; cur != NoParent && int(cur) < len(l.meta); cur = l.meta[cur].parent {
+		segs = append(segs, l.meta[cur].label)
+		if len(segs) > defaultDepth {
+			segs = append(segs, "…")
+			break
+		}
+	}
+	// reverse
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return strings.Join(segs, ">")
+}

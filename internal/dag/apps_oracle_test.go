@@ -1,0 +1,62 @@
+package dag
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/spplus"
+)
+
+// TestAppsAgainstOracle validates the SP+ sandwich property on the real
+// evaluation benchmarks (test scale): every physically racy address is
+// reported and every report is at least a literal-§5 race. This is the
+// strongest end-to-end check in the repository — the oracle recomputes
+// logical parallelism, view parallelism and schedule serialization from
+// scratch on tens of thousands of recorded strands.
+func TestAppsAgainstOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quadratic oracle on app-sized dags")
+	}
+	for _, app := range apps.All() {
+		app := app
+		for _, sc := range []struct {
+			name string
+			spec cilk.StealSpec
+		}{
+			{"serial", nil},
+			{"steal-all", cilk.StealAll{}},
+		} {
+			t.Run(app.Name+"/"+sc.name, func(t *testing.T) {
+				al := mem.NewAllocator()
+				ins := app.Build(al, apps.Test)
+				rec := NewRecorder()
+				det := spplus.New()
+				cilk.Run(ins.Prog, cilk.Config{Spec: sc.spec, Hooks: cilk.Multi{rec, det}})
+				if err := ins.Verify(); err != nil {
+					t.Fatal(err)
+				}
+				if n := len(rec.D.Strands); n > 60_000 {
+					t.Skipf("dag too large for the quadratic oracle: %d strands", n)
+				}
+				physical := rec.D.RacyAddrs()
+				liberal := rec.D.LiberalRacyAddrs()
+				got := map[mem.Addr]bool{}
+				for _, r := range det.Report().Races() {
+					got[r.Addr] = true
+				}
+				for a := range physical {
+					if !got[a] {
+						t.Errorf("physically racy %s missed by SP+", al.Describe(a))
+					}
+				}
+				for a := range got {
+					if !liberal[a] {
+						t.Errorf("SP+ reported %s beyond the literal §5 condition", al.Describe(a))
+					}
+				}
+			})
+		}
+	}
+}

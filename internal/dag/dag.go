@@ -1,0 +1,343 @@
+// Package dag records an executed Cilk computation as its (performance)
+// dag — strands and parallel control dependencies, including the reduce
+// strands and reduce-tree dependencies that executing a steal specification
+// introduces (§5, Figure 5) — and provides brute-force oracles over it:
+// pairwise logical parallelism by reachability, peer sets (§3), view-read
+// races, and determinacy races per the §5 conditions. The oracles are
+// quadratic and meant for property-testing the Peer-Set and SP+ detectors
+// on small programs, not for production detection.
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+)
+
+// Strand is one vertex of the recorded dag.
+type Strand struct {
+	ID       int
+	Frame    cilk.FrameID
+	Label    string
+	VID      cilk.ViewID // view context of the strand
+	IsReduce bool        // strand executes a runtime Reduce operation
+}
+
+// Access is one recorded memory access.
+type Access struct {
+	Strand    int
+	Addr      mem.Addr
+	Write     bool
+	ViewAware bool
+	Seq       int // global serial order
+}
+
+// ReducerRead is one recorded reducer-read (create, set-value, get-value).
+type ReducerRead struct {
+	Strand  int
+	Reducer *cilk.Reducer
+	Seq     int
+}
+
+// Dag is the recorded computation.
+type Dag struct {
+	Strands []Strand
+	Out     [][]int // adjacency lists; every edge goes forward in ID order
+	Acc     []Access
+	Reads   []ReducerRead
+
+	reach      []bitset // lazily computed reachability closure
+	schedReach []bitset // closure including same-view serialization
+}
+
+// Edge adds a dependency u → v.
+func (d *Dag) edge(u, v int) {
+	if u < 0 || v < 0 {
+		return
+	}
+	if u >= v {
+		panic(fmt.Sprintf("dag: non-forward edge %d -> %d", u, v))
+	}
+	d.Out[u] = append(d.Out[u], v)
+	d.reach = nil
+	d.schedReach = nil
+}
+
+func (d *Dag) newStrand(frame cilk.FrameID, label string, vid cilk.ViewID, isReduce bool) int {
+	id := len(d.Strands)
+	d.Strands = append(d.Strands, Strand{ID: id, Frame: frame, Label: label, VID: vid, IsReduce: isReduce})
+	d.Out = append(d.Out, nil)
+	d.reach = nil
+	d.schedReach = nil
+	return id
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// closure computes, for each strand, the set of strands reachable from it.
+// All edges are forward in ID order, so a single reverse sweep suffices.
+func (d *Dag) closure() []bitset {
+	if d.reach != nil {
+		return d.reach
+	}
+	n := len(d.Strands)
+	reach := make([]bitset, n)
+	for i := n - 1; i >= 0; i-- {
+		reach[i] = newBitset(n)
+		for _, s := range d.Out[i] {
+			reach[i].set(s)
+			reach[i].or(reach[s])
+		}
+	}
+	d.reach = reach
+	return reach
+}
+
+// scheduleClosure is reachability over the dag edges *plus* same-view
+// serialization chains. In the fixed schedule, all strands operating on one
+// view are executed under that view's ownership — a single worker at a
+// time, with ownership handed off through joins and reductions — so they
+// are totally ordered in serial-execution order. This closure is the
+// physical happens-before of the schedule; pairs involving a view-aware
+// access race only if they are parallel here (an unstolen continuation and
+// the reductions feeding it cannot overlap a later same-view reduction, no
+// matter how the dag looks).
+func (d *Dag) scheduleClosure() []bitset {
+	if d.schedReach != nil {
+		return d.schedReach
+	}
+	n := len(d.Strands)
+	extra := make([][]int, n)
+	last := make(map[cilk.ViewID]int)
+	for i, s := range d.Strands {
+		if prev, ok := last[s.VID]; ok {
+			extra[prev] = append(extra[prev], i)
+		}
+		last[s.VID] = i
+	}
+	reach := make([]bitset, n)
+	for i := n - 1; i >= 0; i-- {
+		reach[i] = newBitset(n)
+		for _, s := range d.Out[i] {
+			reach[i].set(s)
+			reach[i].or(reach[s])
+		}
+		for _, s := range extra[i] {
+			reach[i].set(s)
+			reach[i].or(reach[s])
+		}
+	}
+	d.schedReach = reach
+	return reach
+}
+
+// ParallelInSchedule reports whether u and v can overlap in some execution
+// of the fixed schedule: no path in either direction through dag edges or
+// same-view serialization.
+func (d *Dag) ParallelInSchedule(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return !d.scheduleClosure()[u].has(v)
+}
+
+// Precedes reports u ≺ v: a path exists from u to v.
+func (d *Dag) Precedes(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		return false // edges only go forward
+	}
+	return d.closure()[u].has(v)
+}
+
+// Parallel reports u ‖ v: distinct strands with no path either way.
+func (d *Dag) Parallel(u, v int) bool {
+	if u == v {
+		return false
+	}
+	return !d.Precedes(u, v) && !d.Precedes(v, u)
+}
+
+// Peers returns peers(u), the set of strands logically parallel with u, as
+// a bitset over strand IDs (§3).
+func (d *Dag) Peers(u int) bitset {
+	n := len(d.Strands)
+	p := newBitset(n)
+	for v := 0; v < n; v++ {
+		if d.Parallel(u, v) {
+			p.set(v)
+		}
+	}
+	return p
+}
+
+// SamePeers reports whether peers(u) = peers(v).
+func (d *Dag) SamePeers(u, v int) bool {
+	return d.Peers(u).equal(d.Peers(v))
+}
+
+// ViewReadRaces returns all pairs of reducer-reads of the same reducer
+// whose strands have different peer sets — the §3 definition of a
+// view-read race. Call it only on a dag recorded with NoSteals (the user
+// dag), since peer-set semantics are defined over the ordinary dag.
+func (d *Dag) ViewReadRaces() [][2]ReducerRead {
+	var out [][2]ReducerRead
+	for i := 0; i < len(d.Reads); i++ {
+		for j := i + 1; j < len(d.Reads); j++ {
+			a, b := d.Reads[i], d.Reads[j]
+			if a.Reducer != b.Reducer {
+				continue
+			}
+			if !d.SamePeers(a.Strand, b.Strand) {
+				out = append(out, [2]ReducerRead{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// HasViewReadRace reports whether any view-read race exists.
+func (d *Dag) HasViewReadRace() bool { return len(d.ViewReadRaces()) > 0 }
+
+// DeterminacyRaces returns, per the §5 conditions, every racing access
+// pair: both touch one location, at least one writes, and the two strands
+// can actually race. When the later access is view-oblivious, logical
+// parallelism in the dag suffices — the access exists under every schedule,
+// so some schedule realizes the overlap. When the later access is
+// view-aware, its existence is tied to this schedule, so the pair must be
+// parallel in the schedule's physical happens-before: logically parallel
+// AND not serialized through same-view ownership chains (in particular the
+// two strands must operate on parallel views).
+func (d *Dag) DeterminacyRaces() [][2]Access {
+	byAddr := make(map[mem.Addr][]Access)
+	for _, a := range d.Acc {
+		byAddr[a.Addr] = append(byAddr[a.Addr], a)
+	}
+	var out [][2]Access
+	for _, accs := range byAddr {
+		for i := 0; i < len(accs); i++ {
+			for j := i + 1; j < len(accs); j++ {
+				e1, e2 := accs[i], accs[j]
+				if !e1.Write && !e2.Write {
+					continue
+				}
+				if e1.Strand == e2.Strand {
+					continue
+				}
+				if e2.ViewAware {
+					if !d.ParallelInSchedule(e1.Strand, e2.Strand) {
+						continue
+					}
+				} else if !d.Parallel(e1.Strand, e2.Strand) {
+					continue
+				}
+				out = append(out, [2]Access{e1, e2})
+			}
+		}
+	}
+	return out
+}
+
+// RacyAddrs returns the set of addresses involved in at least one
+// determinacy race under the physical-schedule semantics of
+// DeterminacyRaces. Every address here must be reported by SP+ — a miss is
+// a detector bug.
+func (d *Dag) RacyAddrs() map[mem.Addr]bool {
+	out := make(map[mem.Addr]bool)
+	for _, pair := range d.DeterminacyRaces() {
+		out[pair[0].Addr] = true
+	}
+	return out
+}
+
+// LiberalRacyAddrs returns the racy addresses under the literal pairwise §5
+// condition: both strands logically parallel in the dag and, for a
+// view-aware later access, associated with distinct views. This is a
+// superset of RacyAddrs: it ignores the transitive same-view ownership
+// serialization that the schedule enforces (a view handed from a reduction
+// to an unstolen continuation serializes strands the pairwise condition
+// calls parallel). SP+'s reports must stay inside this set — anything
+// outside would pair strands that are serial or share a view.
+//
+// The gap between the two sets is where the paper's Figure 6 pseudocode
+// genuinely sits: its shadow-replacement rule ("replace when the reduce
+// strand shares the last accessor's view ID") prunes exactly the
+// serialized same-view chains, but bag view-IDs drift as bags merge, so a
+// handful of physically-serialized cross-view pairs are still reported.
+// All of them are races under the paper's own literal definition.
+func (d *Dag) LiberalRacyAddrs() map[mem.Addr]bool {
+	byAddr := make(map[mem.Addr][]Access)
+	for _, a := range d.Acc {
+		byAddr[a.Addr] = append(byAddr[a.Addr], a)
+	}
+	out := make(map[mem.Addr]bool)
+	for addr, accs := range byAddr {
+	pairs:
+		for i := 0; i < len(accs); i++ {
+			for j := i + 1; j < len(accs); j++ {
+				e1, e2 := accs[i], accs[j]
+				if !e1.Write && !e2.Write {
+					continue
+				}
+				if e1.Strand == e2.Strand || !d.Parallel(e1.Strand, e2.Strand) {
+					continue
+				}
+				if e2.ViewAware &&
+					d.Strands[e1.Strand].VID == d.Strands[e2.Strand].VID {
+					continue
+				}
+				out[addr] = true
+				break pairs
+			}
+		}
+	}
+	return out
+}
+
+// ReduceStrands returns the IDs of all reduce strands.
+func (d *Dag) ReduceStrands() []int {
+	var out []int
+	for _, s := range d.Strands {
+		if s.IsReduce {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// StrandsOf returns the strand IDs of one frame, in serial order.
+func (d *Dag) StrandsOf(f cilk.FrameID) []int {
+	var out []int
+	for _, s := range d.Strands {
+		if s.Frame == f {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cilk"
+)
+
+// Dot renders the recorded (performance) dag in Graphviz dot format,
+// Figure 2/Figure 5 style: strands as boxes clustered by function
+// instantiation, reduce strands as double octagons, edges as parallel
+// control dependencies, and strands colored by view ID so the view
+// contexts that simulated steals created are visible at a glance.
+func (d *Dag) Dot(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, style=filled, fontname=\"monospace\"];\n")
+
+	// Stable view-color assignment: view IDs in first-appearance order.
+	palette := []string{
+		"#dce9f7", "#f7dcdc", "#dcf7e0", "#f7f3dc", "#eadcf7",
+		"#dcf4f7", "#f7e6dc", "#e8f7dc", "#f7dcef", "#e0e0e0",
+	}
+	colorOf := make(map[cilk.ViewID]string)
+	nextColor := 0
+	color := func(v cilk.ViewID) string {
+		c, ok := colorOf[v]
+		if !ok {
+			c = palette[nextColor%len(palette)]
+			colorOf[v] = c
+			nextColor++
+		}
+		return c
+	}
+
+	// Group strands by frame for clusters.
+	frames := make(map[cilk.FrameID][]Strand)
+	var frameIDs []cilk.FrameID
+	for _, s := range d.Strands {
+		if _, ok := frames[s.Frame]; !ok {
+			frameIDs = append(frameIDs, s.Frame)
+		}
+		frames[s.Frame] = append(frames[s.Frame], s)
+	}
+	sort.Slice(frameIDs, func(i, j int) bool { return frameIDs[i] < frameIDs[j] })
+
+	for _, fid := range frameIDs {
+		ss := frames[fid]
+		fmt.Fprintf(&b, "  subgraph \"cluster_f%d\" {\n", fid)
+		fmt.Fprintf(&b, "    label=\"%s#%d\"; color=gray;\n", ss[0].Label, fid)
+		for _, s := range ss {
+			shape := "box"
+			label := fmt.Sprintf("%d", s.ID)
+			if s.IsReduce {
+				shape = "doubleoctagon"
+				label = fmt.Sprintf("r%d", s.ID)
+			}
+			fmt.Fprintf(&b, "    n%d [label=\"%s\\nv%d\", shape=%s, fillcolor=%q];\n",
+				s.ID, label, s.VID, shape, color(s.VID))
+		}
+		b.WriteString("  }\n")
+	}
+	for u, succs := range d.Out {
+		for _, v := range succs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", u, v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cilk"
+	"repro/internal/progs"
+)
+
+func TestDotRendersPerformanceDag(t *testing.T) {
+	r := NewRecorder()
+	cilk.Run(progs.Fig5(func(*cilk.Ctx, string) {}, nil),
+		cilk.Config{Spec: progs.Fig5Spec{}, Hooks: r})
+	dot := r.D.Dot("fig5")
+	for _, want := range []string{
+		"digraph \"fig5\"",
+		"doubleoctagon", // reduce strands
+		"subgraph",      // frame clusters
+		"->",            // edges
+		"v3",            // the δ view appears
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	// Every strand has a node line; every edge references defined nodes.
+	if got := strings.Count(dot, "n0 ["); got != 1 {
+		t.Fatalf("node n0 defined %d times", got)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("dot must be closed")
+	}
+}
+
+func TestDotDistinctColorsPerView(t *testing.T) {
+	r := NewRecorder()
+	cilk.Run(progs.Fig5(func(*cilk.Ctx, string) {}, nil),
+		cilk.Config{Spec: progs.Fig5Spec{}, Hooks: r})
+	dot := r.D.Dot("x")
+	// Four views → at least four distinct fill colors.
+	colors := map[string]bool{}
+	for _, line := range strings.Split(dot, "\n") {
+		if i := strings.Index(line, "fillcolor=\""); i >= 0 {
+			colors[line[i+11:i+18]] = true
+		}
+	}
+	if len(colors) < 4 {
+		t.Fatalf("expected ≥4 view colors, got %d", len(colors))
+	}
+}

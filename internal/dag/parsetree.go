@@ -1,0 +1,282 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+)
+
+// NodeKind labels SP parse tree nodes.
+type NodeKind int8
+
+// Parse-tree node kinds: leaves are strands, internal nodes compose their
+// children in series (S) or parallel (P).
+const (
+	LeafNode NodeKind = iota
+	SNode
+	PNode
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case LeafNode:
+		return "leaf"
+	case SNode:
+		return "S"
+	case PNode:
+		return "P"
+	default:
+		return "?"
+	}
+}
+
+// PTNode is one node of a canonical SP parse tree (§4, Figure 4).
+type PTNode struct {
+	Kind   NodeKind
+	Left   *PTNode
+	Right  *PTNode
+	Parent *PTNode
+	LeafID int // valid when Kind == LeafNode
+	Frame  cilk.FrameID
+}
+
+// ParseTree is the canonical SP parse tree of a Cilk computation that
+// uses no reducers (the §4 model): leaves are strands in serial order;
+// each sync block is a right-leaning chain whose node is a P node exactly
+// when its left child is a spawned subcomputation; a spine of S nodes
+// links a function's sync blocks.
+type ParseTree struct {
+	Root   *PTNode
+	Leaves []*PTNode
+}
+
+// LCA returns the least common ancestor of two leaves.
+func (t *ParseTree) LCA(u, v int) *PTNode {
+	depth := func(n *PTNode) int {
+		d := 0
+		for ; n.Parent != nil; n = n.Parent {
+			d++
+		}
+		return d
+	}
+	a, b := t.Leaves[u], t.Leaves[v]
+	da, db := depth(a), depth(b)
+	for ; da > db; da-- {
+		a = a.Parent
+	}
+	for ; db > da; db-- {
+		b = b.Parent
+	}
+	for a != b {
+		a, b = a.Parent, b.Parent
+	}
+	return a
+}
+
+// ParallelLeaves reports u ‖ v via Feng–Leiserson's Lemma 4: two strands
+// are logically parallel iff their LCA is a P node.
+func (t *ParseTree) ParallelLeaves(u, v int) bool {
+	if u == v {
+		return false
+	}
+	return t.LCA(u, v).Kind == PNode
+}
+
+// AllSPath reports whether the path connecting leaves u and v consists
+// entirely of S nodes — by Lemma 2, exactly the condition for
+// peers(u) = peers(v).
+func (t *ParseTree) AllSPath(u, v int) bool {
+	if u == v {
+		return true
+	}
+	lca := t.LCA(u, v)
+	if lca.Kind != SNode {
+		return false
+	}
+	for _, leaf := range []int{u, v} {
+		for n := t.Leaves[leaf].Parent; n != lca; n = n.Parent {
+			if n.Kind != SNode {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Render draws the tree with one node per line, Figure 4 style.
+func (t *ParseTree) Render() string {
+	var b strings.Builder
+	var walk func(n *PTNode, indent int)
+	walk = func(n *PTNode, indent int) {
+		if n == nil {
+			return
+		}
+		pad := strings.Repeat("  ", indent)
+		if n.Kind == LeafNode {
+			fmt.Fprintf(&b, "%s%d\n", pad, n.LeafID)
+			return
+		}
+		fmt.Fprintf(&b, "%s%v\n", pad, n.Kind)
+		walk(n.Left, indent+1)
+		walk(n.Right, indent+1)
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// ptElem is one element of a sync block under construction: a leaf or a
+// completed child subtree.
+type ptElem struct {
+	node    *PTNode
+	spawned bool // composes in parallel with the rest of the block
+}
+
+type ptFrame struct {
+	id     cilk.FrameID
+	blocks [][]ptElem
+	cur    []ptElem
+	// leaf open for the currently executing strand
+	open *PTNode
+}
+
+// ParseRecorder implements cilk.Hooks and builds the canonical SP parse
+// tree of a run with no simulated steals. Every control event closes the
+// current strand leaf — empty strands are still dag vertices, so leaves
+// may carry no accesses. Accesses map to the open leaf, letting tests
+// correlate parse-tree leaves with the Recorder's strands.
+type ParseRecorder struct {
+	cilk.Empty
+
+	stack  []*ptFrame
+	leaves []*PTNode
+	tree   *ParseTree
+	// Acc records (leaf, addr, write) per access in serial order.
+	Acc []Access
+	seq int
+}
+
+// NewParseRecorder returns an empty parse-tree recorder.
+func NewParseRecorder() *ParseRecorder { return &ParseRecorder{} }
+
+func (r *ParseRecorder) top() *ptFrame { return r.stack[len(r.stack)-1] }
+
+func (r *ParseRecorder) openLeaf(f *ptFrame) *PTNode {
+	leaf := &PTNode{Kind: LeafNode, LeafID: len(r.leaves), Frame: f.id}
+	r.leaves = append(r.leaves, leaf)
+	f.open = leaf
+	return leaf
+}
+
+func (r *ParseRecorder) closeLeaf(f *ptFrame) {
+	if f.open != nil {
+		f.cur = append(f.cur, ptElem{node: f.open})
+		f.open = nil
+	}
+}
+
+// FrameEnter implements cilk.Hooks.
+func (r *ParseRecorder) FrameEnter(f *cilk.Frame) {
+	if len(r.stack) > 0 {
+		r.closeLeaf(r.top())
+	}
+	fr := &ptFrame{id: f.ID}
+	r.stack = append(r.stack, fr)
+	r.openLeaf(fr)
+}
+
+// FrameReturn implements cilk.Hooks: the child's finished tree becomes an
+// element of the parent's current sync block.
+func (r *ParseRecorder) FrameReturn(g, f *cilk.Frame) {
+	child := r.top()
+	r.stack = r.stack[:len(r.stack)-1]
+	sub := r.finish(child)
+	parent := r.top()
+	parent.cur = append(parent.cur, ptElem{node: sub, spawned: g.Spawned})
+	r.openLeaf(parent)
+}
+
+// Sync implements cilk.Hooks: close the block, start the next.
+func (r *ParseRecorder) Sync(f *cilk.Frame) {
+	fr := r.top()
+	r.closeLeaf(fr)
+	fr.blocks = append(fr.blocks, fr.cur)
+	fr.cur = nil
+	r.openLeaf(fr)
+}
+
+// ContinuationStolen must not occur: the §4 parse tree models the
+// ordinary (reducer-free schedule) dag.
+func (r *ParseRecorder) ContinuationStolen(*cilk.Frame, cilk.ViewID) {
+	panic("dag: ParseRecorder requires a no-steal schedule")
+}
+
+// Load implements cilk.Hooks.
+func (r *ParseRecorder) Load(f *cilk.Frame, a mem.Addr) { r.access(a, false) }
+
+// Store implements cilk.Hooks.
+func (r *ParseRecorder) Store(f *cilk.Frame, a mem.Addr) { r.access(a, true) }
+
+func (r *ParseRecorder) access(a mem.Addr, write bool) {
+	r.seq++
+	r.Acc = append(r.Acc, Access{Strand: r.top().open.LeafID, Addr: a, Write: write, Seq: r.seq})
+}
+
+// ProgramEnd implements cilk.Hooks: finish the root.
+func (r *ParseRecorder) ProgramEnd(*cilk.Frame) {
+	root := r.top()
+	r.stack = r.stack[:0]
+	r.tree = &ParseTree{Root: r.finish(root), Leaves: r.leaves}
+	for _, leaf := range r.leaves {
+		_ = leaf
+	}
+	setParents(r.tree.Root, nil)
+}
+
+// finish closes the frame's last strand and block and assembles the
+// canonical subtree: per block, a right-leaning chain whose node kind is P
+// exactly when the left child is a spawned subtree; blocks joined by a
+// spine of S nodes.
+func (r *ParseRecorder) finish(fr *ptFrame) *PTNode {
+	r.closeLeaf(fr)
+	fr.blocks = append(fr.blocks, fr.cur)
+	fr.cur = nil
+	var blockTrees []*PTNode
+	for _, block := range fr.blocks {
+		if len(block) == 0 {
+			continue
+		}
+		t := block[len(block)-1].node
+		for i := len(block) - 2; i >= 0; i-- {
+			kind := SNode
+			if block[i].spawned {
+				kind = PNode
+			}
+			t = &PTNode{Kind: kind, Left: block[i].node, Right: t, Frame: fr.id}
+		}
+		blockTrees = append(blockTrees, t)
+	}
+	if len(blockTrees) == 0 {
+		// A frame always has at least its first strand.
+		panic("dag: frame with no parse-tree elements")
+	}
+	spine := blockTrees[len(blockTrees)-1]
+	for i := len(blockTrees) - 2; i >= 0; i-- {
+		spine = &PTNode{Kind: SNode, Left: blockTrees[i], Right: spine, Frame: fr.id}
+	}
+	return spine
+}
+
+func setParents(n, parent *PTNode) {
+	if n == nil {
+		return
+	}
+	n.Parent = parent
+	setParents(n.Left, n)
+	setParents(n.Right, n)
+}
+
+// Tree returns the finished parse tree (after the run).
+func (r *ParseRecorder) Tree() *ParseTree { return r.tree }

@@ -1,0 +1,153 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/progs"
+)
+
+// recordBoth runs a program under both the dag recorder and the parse-tree
+// recorder and returns them; each access appears in both logs at the same
+// position, giving the strand↔leaf correspondence.
+func recordBoth(prog func(*cilk.Ctx)) (*Recorder, *ParseRecorder) {
+	rec := NewRecorder()
+	pt := NewParseRecorder()
+	cilk.Run(prog, cilk.Config{Hooks: cilk.Multi{rec, pt}})
+	return rec, pt
+}
+
+func TestFig4ParseTree(t *testing.T) {
+	// The canonical parse tree of the Figure 2 computation (Figure 4
+	// shows function a's subtree): the sync block of a is the chain
+	// S(1, P(b, S(4, P(c, S(10, S(e, 15)))))) with a spine S linking
+	// strand 16's block.
+	_, pt := recordBoth(progs.Fig2(func(c *cilk.Ctx, s int) {
+		c.Load(mem.Addr(1000 + s))
+	}))
+	tree := pt.Tree()
+	if tree == nil {
+		t.Fatal("no tree built")
+	}
+	// Find the leaf of each figure strand through the access log.
+	site := map[int]int{}
+	for _, a := range pt.Acc {
+		site[int(a.Addr)-1000] = a.Strand
+	}
+	// Root frame: the spine's left subtree holds strands 1..15, the right
+	// holds 16.
+	if tree.Root.Kind != SNode {
+		t.Fatalf("root = %v, want S (the spine)", tree.Root.Kind)
+	}
+	// Chain kinds along block 1 of a: S P S P S S.
+	var kinds []NodeKind
+	for n := tree.Root.Left; n != nil && n.Kind != LeafNode; n = n.Right {
+		kinds = append(kinds, n.Kind)
+	}
+	want := []NodeKind{SNode, PNode, SNode, PNode, SNode, SNode}
+	if len(kinds) != len(want) {
+		t.Fatalf("chain kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("chain kinds = %v, want %v", kinds, want)
+		}
+	}
+	// Figure 4's caption: the LCA of strands inside one sync block…
+	// spot checks via the lemmas:
+	if !tree.ParallelLeaves(site[2], site[4]) {
+		t.Error("b ‖ 4: LCA must be a P node")
+	}
+	if tree.ParallelLeaves(site[4], site[10]) {
+		t.Error("4 ≺ 10: LCA must be an S node")
+	}
+	if !tree.AllSPath(site[10], site[11]) {
+		t.Error("path 10..11 must be all S nodes")
+	}
+	if tree.AllSPath(site[10], site[14]) {
+		t.Error("path 10..14 crosses a P node (f's spawn)")
+	}
+	if !strings.Contains(tree.Render(), "P") {
+		t.Error("render must show P nodes")
+	}
+}
+
+func TestLemma2OnFig2(t *testing.T) {
+	// Lemma 2: peers(u) = peers(v) iff the parse-tree path u..v is all S
+	// nodes. Cross-check parse tree vs the reachability-based peer sets
+	// for every pair of accessed strands.
+	rec, pt := recordBoth(progs.Fig2(func(c *cilk.Ctx, s int) {
+		c.Load(mem.Addr(1000 + s))
+	}))
+	if len(rec.D.Acc) != len(pt.Acc) {
+		t.Fatal("access logs diverge")
+	}
+	for i := range rec.D.Acc {
+		for j := i + 1; j < len(rec.D.Acc); j++ {
+			si, sj := rec.D.Acc[i].Strand, rec.D.Acc[j].Strand
+			li, lj := pt.Acc[i].Strand, pt.Acc[j].Strand
+			if got, want := pt.Tree().AllSPath(li, lj), rec.D.SamePeers(si, sj); got != want {
+				t.Errorf("access pair (%d,%d): all-S=%v, same-peers=%v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestLemma4OnRandomPrograms(t *testing.T) {
+	// Feng–Leiserson Lemma 4 (u ‖ v iff LCA is a P node) and Lemma 2,
+	// cross-checked against the reachability oracle on random reducer-free
+	// programs.
+	check := func(seed int64) bool {
+		al := mem.NewAllocator()
+		prog := progs.Random(al, progs.RandomOpts{Seed: seed, NoReducers: true})
+		rec, pt := recordBoth(prog)
+		if len(rec.D.Acc) != len(pt.Acc) {
+			return false
+		}
+		n := len(rec.D.Acc)
+		if n > 60 {
+			n = 60 // quadratic pair check; cap the work
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				si, sj := rec.D.Acc[i].Strand, rec.D.Acc[j].Strand
+				li, lj := pt.Acc[i].Strand, pt.Acc[j].Strand
+				if si == sj != (li == lj) {
+					t.Logf("seed %d: strand identity diverges at pair (%d,%d)", seed, i, j)
+					return false
+				}
+				if si == sj {
+					continue
+				}
+				if pt.Tree().ParallelLeaves(li, lj) != rec.D.Parallel(si, sj) {
+					t.Logf("seed %d: Lemma 4 violated at pair (%d,%d)", seed, i, j)
+					return false
+				}
+				if pt.Tree().AllSPath(li, lj) != rec.D.SamePeers(si, sj) {
+					t.Logf("seed %d: Lemma 2 violated at pair (%d,%d)", seed, i, j)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRecorderRejectsSteals(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ParseRecorder must reject stolen continuations")
+		}
+	}()
+	pt := NewParseRecorder()
+	cilk.Run(func(c *cilk.Ctx) {
+		c.Spawn("f", func(*cilk.Ctx) {})
+		c.Sync()
+	}, cilk.Config{Spec: cilk.StealAll{}, Hooks: pt})
+}

@@ -1,0 +1,284 @@
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+)
+
+// Recorder implements cilk.Hooks and builds the performance dag of the run
+// it observes. Strand boundaries follow §3 and §5: a strand ends at every
+// spawn, call, return, sync, stolen continuation and reduce operation;
+// reduce operations execute as their own strands carrying the surviving
+// view ID; the reduce strands before a sync form the reduce tree, whose
+// root feeds the sync strand.
+//
+// Strands materialize lazily — only when code actually runs between two
+// control events — so the serial simulation's interleaving (a reduce
+// executing between a child's return and a stolen continuation, say)
+// introduces no phantom dependencies: a stolen continuation depends only on
+// its spawn strand, never on reductions that merely precede it in the
+// serial order.
+type Recorder struct {
+	D *Dag
+
+	stack   []*fRec
+	seq     int
+	vaDepth int
+	// active reduce strand, or -1
+	reduceStrand int
+}
+
+type fRec struct {
+	id    cilk.FrameID
+	label string
+	// cur is the materialized strand currently executing, or -1.
+	cur int
+	// nextPred is the program-order predecessor of the next strand to
+	// materialize: the spawn strand after a spawn, the child's last strand
+	// after a call, the previous strand otherwise. -1 for a frame's first
+	// strand (its predecessor lives in the parent and is wired at enter).
+	nextPred int
+	// vids mirrors the executor's view-slot stack for the frame.
+	vids []cilk.ViewID
+	// ends holds, per live view context, the endpoints its eventual
+	// reduce (or the sync) must await: returned spawned children's last
+	// strands, and the context's reduce strand once one ran.
+	ends map[cilk.ViewID][]int
+	// latest is the most recent strand (code or reduce) per context; a
+	// reduce strand here means the context's view was produced by that
+	// reduction, so following strands in the context depend on it.
+	latest map[cilk.ViewID]int
+}
+
+func (f *fRec) topVID() cilk.ViewID { return f.vids[len(f.vids)-1] }
+
+// NewRecorder returns a recorder with an empty dag.
+func NewRecorder() *Recorder {
+	return &Recorder{D: &Dag{}, reduceStrand: -1}
+}
+
+func (r *Recorder) top() *fRec { return r.stack[len(r.stack)-1] }
+
+// ensure materializes the frame's current strand if none is active.
+func (r *Recorder) ensure(rec *fRec) int {
+	if rec.cur >= 0 {
+		return rec.cur
+	}
+	v := rec.topVID()
+	s := r.D.newStrand(rec.id, rec.label, v, false)
+	if rec.nextPred >= 0 {
+		r.D.edge(rec.nextPred, s)
+	}
+	if prev, ok := rec.latest[v]; ok && r.D.Strands[prev].IsReduce {
+		// The context's view was produced by a reduction; the worker
+		// resumes this context only after that reduce completes.
+		r.D.edge(prev, s)
+	}
+	rec.latest[v] = s
+	rec.cur = s
+	return s
+}
+
+// endCur closes the frame's current strand (if any), making it the
+// program-order predecessor of the next one.
+func (r *Recorder) endCur(rec *fRec) {
+	if rec.cur >= 0 {
+		rec.nextPred = rec.cur
+		rec.cur = -1
+	}
+}
+
+// ProgramStart implements cilk.Hooks.
+func (r *Recorder) ProgramStart(*cilk.Frame) {}
+
+// ProgramEnd implements cilk.Hooks.
+func (r *Recorder) ProgramEnd(*cilk.Frame) {}
+
+// FrameEnter ends the parent's current strand; the child's first strand,
+// when it materializes, hangs off the spawn/call strand and inherits the
+// parent's view context.
+func (r *Recorder) FrameEnter(f *cilk.Frame) {
+	rec := &fRec{
+		id:       f.ID,
+		label:    f.Label,
+		cur:      -1,
+		nextPred: -1,
+		vids:     []cilk.ViewID{0},
+		ends:     make(map[cilk.ViewID][]int),
+		latest:   make(map[cilk.ViewID]int),
+	}
+	if len(r.stack) > 0 {
+		parent := r.top()
+		ps := r.ensure(parent)
+		r.endCur(parent)
+		rec.nextPred = ps
+		rec.vids[0] = parent.topVID()
+	}
+	r.stack = append(r.stack, rec)
+}
+
+// FrameReturn closes the child. After a call, the parent's next strand
+// follows the child's last strand; after a spawn, it is the continuation
+// (following the spawn strand, which endCur already recorded) and the
+// child's last strand joins the current view context's endpoints.
+func (r *Recorder) FrameReturn(g, f *cilk.Frame) {
+	grec := r.top()
+	if grec.id != g.ID {
+		panic(fmt.Sprintf("dag: event order violation: return %d, top %d", g.ID, grec.id))
+	}
+	last := r.ensure(grec)
+	r.stack = r.stack[:len(r.stack)-1]
+	frec := r.top()
+	if g.Spawned {
+		v := frec.topVID()
+		frec.ends[v] = append(frec.ends[v], last)
+		// frec.nextPred is still the spawn strand: the continuation edge.
+	} else {
+		frec.nextPred = last
+	}
+}
+
+// ContinuationStolen ends the current strand (if code ran) and switches the
+// frame into the fresh view context; the stolen continuation's strand will
+// depend only on its program-order predecessor, not on any reduction.
+func (r *Recorder) ContinuationStolen(f *cilk.Frame, newVID cilk.ViewID) {
+	rec := r.top()
+	r.endCur(rec)
+	rec.vids = append(rec.vids, newVID)
+}
+
+// ReduceStart creates the reduce strand joining every endpoint of the two
+// views being reduced; it carries the surviving view ID and becomes the
+// merged context's sole endpoint and latest producer.
+func (r *Recorder) ReduceStart(f *cilk.Frame, keepVID, dieVID cilk.ViewID) {
+	rec := r.top()
+	if rec.topVID() == dieVID {
+		// The frame's current strand (materializing it now if it ran no
+		// code — empty strands are still dag vertices) is in the dominated
+		// context and is an input of this reduction.
+		r.ensure(rec)
+		r.endCur(rec)
+	}
+	idx := -1
+	for i := len(rec.vids) - 1; i > 0; i-- {
+		if rec.vids[i] == dieVID && rec.vids[i-1] == keepVID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("dag: reduce of unknown pair (%d,%d)", keepVID, dieVID))
+	}
+	rec.vids = append(rec.vids[:idx], rec.vids[idx+1:]...)
+
+	rs := r.D.newStrand(f.ID, f.Label+"/reduce", keepVID, true)
+	for _, vid := range []cilk.ViewID{keepVID, dieVID} {
+		for _, e := range rec.ends[vid] {
+			r.D.edge(e, rs)
+		}
+		if prev, ok := rec.latest[vid]; ok && !containsInt(rec.ends[vid], prev) {
+			r.D.edge(prev, rs)
+		}
+	}
+	delete(rec.ends, dieVID)
+	delete(rec.latest, dieVID)
+	rec.ends[keepVID] = []int{rs}
+	rec.latest[keepVID] = rs
+	r.reduceStrand = rs
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// ReduceEnd closes the reduce strand; the frame's next strand materializes
+// lazily and picks up its dependency on the reduction via latest.
+func (r *Recorder) ReduceEnd(f *cilk.Frame) {
+	r.reduceStrand = -1
+}
+
+// Sync materializes the sync strand: it joins the frame's last strand and
+// every remaining endpoint of the (single, by view invariant 3) surviving
+// context, including the root of the reduce tree.
+func (r *Recorder) Sync(f *cilk.Frame) {
+	rec := r.top()
+	// Materialize the strand preceding the sync even if it ran no code —
+	// the dag model's continuation strands exist regardless (e.g. strand 8
+	// of Figure 2 when c's continuation does nothing), and peer sets
+	// depend on their presence.
+	r.ensure(rec)
+	r.endCur(rec)
+	v := rec.topVID()
+	s := r.D.newStrand(rec.id, rec.label, v, false)
+	if rec.nextPred >= 0 {
+		r.D.edge(rec.nextPred, s)
+	}
+	for _, e := range rec.ends[v] {
+		r.D.edge(e, s)
+	}
+	if prev, ok := rec.latest[v]; ok && r.D.Strands[prev].IsReduce && !containsInt(rec.ends[v], prev) {
+		r.D.edge(prev, s)
+	}
+	delete(rec.ends, v)
+	rec.latest[v] = s
+	rec.cur = s
+}
+
+// ViewAwareBegin implements cilk.Hooks.
+func (r *Recorder) ViewAwareBegin(f *cilk.Frame, op cilk.ViewOp, rd *cilk.Reducer) {
+	r.vaDepth++
+}
+
+// ViewAwareEnd implements cilk.Hooks.
+func (r *Recorder) ViewAwareEnd(f *cilk.Frame, op cilk.ViewOp, rd *cilk.Reducer) {
+	r.vaDepth--
+}
+
+// ReducerCreate records the create as a reducer-read.
+func (r *Recorder) ReducerCreate(f *cilk.Frame, rd *cilk.Reducer) {
+	r.recordRead(rd)
+}
+
+// ReducerRead records a set_value/get_value reducer-read.
+func (r *Recorder) ReducerRead(f *cilk.Frame, rd *cilk.Reducer) {
+	r.recordRead(rd)
+}
+
+func (r *Recorder) recordRead(rd *cilk.Reducer) {
+	r.seq++
+	r.D.Reads = append(r.D.Reads, ReducerRead{Strand: r.curStrand(), Reducer: rd, Seq: r.seq})
+}
+
+// Load records a read access.
+func (r *Recorder) Load(f *cilk.Frame, a mem.Addr) {
+	r.seq++
+	r.D.Acc = append(r.D.Acc, Access{
+		Strand: r.curStrand(), Addr: a, Write: false,
+		ViewAware: r.vaDepth > 0, Seq: r.seq,
+	})
+}
+
+// Store records a write access.
+func (r *Recorder) Store(f *cilk.Frame, a mem.Addr) {
+	r.seq++
+	r.D.Acc = append(r.D.Acc, Access{
+		Strand: r.curStrand(), Addr: a, Write: true,
+		ViewAware: r.vaDepth > 0, Seq: r.seq,
+	})
+}
+
+func (r *Recorder) curStrand() int {
+	if r.reduceStrand >= 0 {
+		return r.reduceStrand
+	}
+	return r.ensure(r.top())
+}
+
+var _ cilk.Hooks = (*Recorder)(nil)

@@ -1,0 +1,220 @@
+// Package ehlabel implements the English-Hebrew labeling determinacy-race
+// detector of Nudler and Rudolph, the earliest of the labeling schemes §9
+// of the paper surveys. Every strand carries two static labels: an English
+// label ordering fork branches left-to-right and a Hebrew label ordering
+// them right-to-left. Two strands are logically in series iff the two
+// lexicographic orders agree on them; a disagreement means they sit on
+// different branches of some fork — logically parallel.
+//
+// Labels never change once assigned (they are "static", as §9 notes), and
+// their length grows with the number of fork points on the strand's path —
+// the space behaviour that offset-span labeling (package offsetspan)
+// improved to nesting depth, and that the bags algorithms replaced with
+// constant-size set membership. BenchmarkAblationLabeling quantifies the
+// three side by side.
+//
+// The Cilk mapping mirrors package offsetspan: a spawn is a binary fork —
+// English orders (child=0, continuation=1), Hebrew orders (child=1,
+// continuation=0) — and a sync appends a dominating component to the block
+// base in both labelings, ordering the sync strand after the whole block
+// in both orders while keeping every previously issued label intact.
+package ehlabel
+
+import (
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// label is an immutable component sequence; copied on extension. Labels
+// are static: they only ever grow, never shrink or mutate — the defining
+// property (and space drawback) §9 ascribes to the scheme.
+type label []int32
+
+func (l label) extend(c int32) label {
+	out := make(label, len(l)+1)
+	copy(out, l)
+	out[len(l)] = c
+	return out
+}
+
+// syncComponent computes the component a sync appends to the block base:
+// it must exceed everything the block issued at that label position in
+// both orders. Spawn branches contribute only {0, 1} there, so 2 suffices
+// — unless a called child at the same label depth synced internally, in
+// which case adoption wrote the child's (even, ≥2) sync component at that
+// position and ours must go past it, or the clock would rewind and later
+// labels would collide with the child's subtree (the same stale-base
+// disease the offset-span detector needed curing of).
+func syncComponent(cur label, baseLen int) int32 {
+	if len(cur) > baseLen && cur[baseLen] >= 2 {
+		return cur[baseLen] + 2
+	}
+	return 2
+}
+
+// less is lexicographic comparison with prefix-before-extension.
+func less(a, b label) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ordered reports whether the strands labeled (ae,ah) and (be,bh) are
+// logically in series: the English and Hebrew orders agree.
+func ordered(ae, ah, be, bh label) bool {
+	return less(ae, be) == less(ah, bh) // equal labels never occur across ops that matter
+}
+
+type frameRec struct {
+	id    cilk.FrameID
+	label string
+	e, h  label
+	// baseE/baseH are the labels at the start of the current sync block;
+	// the sync successor extends them rather than the (longer) current
+	// labels, keeping growth one component per sync.
+	baseE, baseH label
+}
+
+// Detector runs English-Hebrew labeling over the cilk event stream; like
+// SP-bags and offset-span it detects determinacy races between
+// view-oblivious strands of one serial run.
+type Detector struct {
+	cilk.Empty
+
+	stack  []*frameRec
+	reader map[mem.Addr]shadowEntry
+	writer map[mem.Addr]shadowEntry
+	report core.Report
+	maxLen int
+}
+
+type shadowEntry struct {
+	e, h  label
+	frame cilk.FrameID
+	name  string
+}
+
+// New returns a fresh detector.
+func New() *Detector {
+	return &Detector{
+		reader: make(map[mem.Addr]shadowEntry),
+		writer: make(map[mem.Addr]shadowEntry),
+	}
+}
+
+// Name implements core.Detector.
+func (d *Detector) Name() string { return "english-hebrew" }
+
+// Report implements core.Detector.
+func (d *Detector) Report() *core.Report { return &d.report }
+
+// MaxLabelLen reports the longest label issued — grows with the number of
+// fork points, §9's stated drawback of the scheme.
+func (d *Detector) MaxLabelLen() int { return d.maxLen }
+
+func (d *Detector) track(l label) label {
+	if len(l) > d.maxLen {
+		d.maxLen = len(l)
+	}
+	return l
+}
+
+func (d *Detector) top() *frameRec { return d.stack[len(d.stack)-1] }
+
+// FrameEnter implements cilk.Hooks.
+func (d *Detector) FrameEnter(f *cilk.Frame) {
+	rec := &frameRec{id: f.ID, label: f.Label}
+	if len(d.stack) == 0 {
+		rec.e = d.track(label{0})
+		rec.h = d.track(label{0})
+	} else {
+		parent := d.top()
+		if f.Spawned {
+			rec.e = d.track(parent.e.extend(0))
+			rec.h = d.track(parent.h.extend(1))
+			parent.e = d.track(parent.e.extend(1))
+			parent.h = d.track(parent.h.extend(0))
+		} else {
+			rec.e, rec.h = parent.e, parent.h
+		}
+	}
+	rec.baseE, rec.baseH = rec.e, rec.h
+	d.stack = append(d.stack, rec)
+}
+
+// FrameReturn implements cilk.Hooks.
+func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	grec := d.top()
+	d.stack = d.stack[:len(d.stack)-1]
+	if !g.Spawned {
+		// The called child advanced logical time; adopt its labels. The
+		// block base stays the caller's: the caller's own sync must still
+		// dominate children it spawned before the call.
+		parent := d.top()
+		parent.e, parent.h = grec.e, grec.h
+	}
+}
+
+// Sync implements cilk.Hooks: the sync strand's labels extend the block
+// base with the sync component in both labelings. Every label the block
+// issued extends the base with a 0 or 1 in each order, so the sync
+// compares greater in both — in series after the block — while any two
+// parallel strands still disagree at their fork component.
+func (d *Detector) Sync(f *cilk.Frame) {
+	rec := d.top()
+	c := syncComponent(rec.e, len(rec.baseE))
+	rec.e = d.track(rec.baseE.extend(c))
+	rec.h = d.track(rec.baseH.extend(c))
+	rec.baseE, rec.baseH = rec.e, rec.h
+}
+
+// Load implements cilk.Hooks.
+func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
+	rec := d.top()
+	if w, ok := d.writer[a]; ok && !ordered(w.e, w.h, rec.e, rec.h) {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  core.Access{Frame: w.frame, Label: w.name, Op: core.OpWrite},
+			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpRead},
+		})
+	}
+	if r, ok := d.reader[a]; !ok || ordered(r.e, r.h, rec.e, rec.h) {
+		d.reader[a] = shadowEntry{e: rec.e, h: rec.h, frame: rec.id, name: rec.label}
+	}
+}
+
+// Store implements cilk.Hooks.
+func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
+	rec := d.top()
+	if r, ok := d.reader[a]; ok && !ordered(r.e, r.h, rec.e, rec.h) {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  core.Access{Frame: r.frame, Label: r.name, Op: core.OpRead},
+			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpWrite},
+		})
+	}
+	w, ok := d.writer[a]
+	if ok && !ordered(w.e, w.h, rec.e, rec.h) {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  core.Access{Frame: w.frame, Label: w.name, Op: core.OpWrite},
+			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpWrite},
+		})
+	}
+	if !ok || ordered(w.e, w.h, rec.e, rec.h) {
+		d.writer[a] = shadowEntry{e: rec.e, h: rec.h, frame: rec.id, name: rec.label}
+	}
+}
+
+var (
+	_ core.Detector = (*Detector)(nil)
+	_ cilk.Hooks    = (*Detector)(nil)
+)

@@ -1,0 +1,188 @@
+package ehlabel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cilk"
+	"repro/internal/dag"
+	"repro/internal/mem"
+	"repro/internal/offsetspan"
+	"repro/internal/progs"
+	"repro/internal/spbags"
+)
+
+func run(prog func(*cilk.Ctx)) (*Detector, bool) {
+	d := New()
+	cilk.Run(prog, cilk.Config{Hooks: d})
+	return d, !d.Report().Empty()
+}
+
+func TestBasicRaceAndSync(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if _, racy := run(func(c *cilk.Ctx) {
+		c.Spawn("w", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+		c.Load(x.At(0))
+		c.Sync()
+	}); !racy {
+		t.Fatal("race missed")
+	}
+	if _, racy := run(func(c *cilk.Ctx) {
+		c.Spawn("w", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+		c.Sync()
+		c.Load(x.At(0))
+	}); racy {
+		t.Fatal("false positive across sync")
+	}
+}
+
+func TestLabelOrderRules(t *testing.T) {
+	pe, ph := label{0}, label{0}
+	childE, childH := pe.extend(0), ph.extend(1)
+	contE, contH := pe.extend(1), ph.extend(0)
+	if ordered(childE, childH, contE, contH) {
+		t.Fatal("child ‖ continuation")
+	}
+	if !ordered(pe, ph, childE, childH) {
+		t.Fatal("prefix is in series with its extensions")
+	}
+	// Sync extends the block BASE with the sync component.
+	syncE, syncH := pe.extend(2), ph.extend(2)
+	if !ordered(childE, childH, syncE, syncH) {
+		t.Fatal("sync joins the child")
+	}
+	if !ordered(contE, contH, syncE, syncH) {
+		t.Fatal("sync joins the continuation")
+	}
+	// Grandchild spawned from the continuation is still parallel with the
+	// first child, and joined by the sync.
+	gcE, gcH := contE.extend(0), contH.extend(1)
+	if ordered(childE, childH, gcE, gcH) {
+		t.Fatal("children of different spawns are parallel")
+	}
+	if !ordered(gcE, gcH, syncE, syncH) {
+		t.Fatal("sync joins later children")
+	}
+}
+
+func TestCalledChildAdvancesClock(t *testing.T) {
+	// The regression scenario that caught offset-span's stale-base bug.
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if _, racy := run(func(c *cilk.Ctx) {
+		c.Call("f", func(c *cilk.Ctx) {
+			c.Spawn("s", func(*cilk.Ctx) {})
+			c.Sync()
+			c.Store(x.At(0))
+			c.Sync()
+		})
+		c.Sync()
+		c.Spawn("g", func(c *cilk.Ctx) { c.Load(x.At(0)) })
+		c.Sync()
+	}); racy {
+		t.Fatal("false positive: called child's syncs advanced the clock")
+	}
+}
+
+func TestQuickThreeDetectorsAgree(t *testing.T) {
+	// On reducer-free random programs, english-hebrew, offset-span,
+	// SP-bags and the dag oracle all agree per address.
+	check := func(seed int64) bool {
+		al := mem.NewAllocator()
+		prog := progs.Random(al, progs.RandomOpts{Seed: seed, NoReducers: true})
+		eh := New()
+		os := offsetspan.New()
+		sb := spbags.New()
+		rec := dag.NewRecorder()
+		cilk.Run(prog, cilk.Config{Hooks: cilk.Multi{eh, os, sb, rec}})
+		want := rec.D.RacyAddrs()
+		addrsOf := func(races []mem.Addr) map[mem.Addr]bool {
+			m := map[mem.Addr]bool{}
+			for _, a := range races {
+				m[a] = true
+			}
+			return m
+		}
+		var ehA, osA, sbA []mem.Addr
+		for _, r := range eh.Report().Races() {
+			ehA = append(ehA, r.Addr)
+		}
+		for _, r := range os.Report().Races() {
+			osA = append(osA, r.Addr)
+		}
+		for _, r := range sb.Report().Races() {
+			sbA = append(sbA, r.Addr)
+		}
+		for _, got := range []map[mem.Addr]bool{addrsOf(ehA), addrsOf(osA), addrsOf(sbA)} {
+			if len(got) != len(want) {
+				t.Logf("seed %d: detector found %d addrs, oracle %d", seed, len(got), len(want))
+				return false
+			}
+			for a := range want {
+				if !got[a] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticLabelsGrowAcrossBlocks(t *testing.T) {
+	// §9's contrast: English-Hebrew labels are static — once a sync block
+	// closes, its sync component stays in every later label, so labels
+	// keep growing over a long sequence of sync blocks. Offset-span
+	// labels are dynamic: the sync BUMPS an existing component, so the
+	// label length stays at the nesting depth no matter how many blocks
+	// run.
+	prog := func(blocks, spawnsPerBlock int) func(*cilk.Ctx) {
+		return func(c *cilk.Ctx) {
+			for b := 0; b < blocks; b++ {
+				for i := 0; i < spawnsPerBlock; i++ {
+					c.Spawn("s", func(*cilk.Ctx) {})
+				}
+				c.Sync()
+			}
+		}
+	}
+	eh := New()
+	cilk.Run(prog(32, 4), cilk.Config{Hooks: eh})
+	os := offsetspan.New()
+	cilk.Run(prog(32, 4), cilk.Config{Hooks: os})
+	if eh.MaxLabelLen() < 32 {
+		t.Fatalf("english-hebrew labels must grow past the block count: %d", eh.MaxLabelLen())
+	}
+	if os.MaxLabelLen() > 8 {
+		t.Fatalf("offset-span labels must stay near nesting depth: %d", os.MaxLabelLen())
+	}
+	if eh.MaxLabelLen() < 4*os.MaxLabelLen() {
+		t.Fatalf("static labels (%d) should dwarf dynamic ones (%d) over many blocks",
+			eh.MaxLabelLen(), os.MaxLabelLen())
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "english-hebrew" {
+		t.Fatal("name")
+	}
+}
+
+func TestRegressionSameDepthCallRewind(t *testing.T) {
+	// Regression for the false positive at seed 6187384068851411581: a
+	// called child syncing at the caller's own label depth used to let
+	// the caller's next sync rewind the clock, colliding label spaces
+	// between the child's subtree and later spawns.
+	al := mem.NewAllocator()
+	prog := progs.Random(al, progs.RandomOpts{Seed: 6187384068851411581, NoReducers: true})
+	eh := New()
+	sb := spbags.New()
+	cilk.Run(prog, cilk.Config{Hooks: cilk.Multi{eh, sb}})
+	if eh.Report().Distinct() != sb.Report().Distinct() {
+		t.Fatalf("english-hebrew found %d distinct races, sp-bags %d",
+			eh.Report().Distinct(), sb.Report().Distinct())
+	}
+}

@@ -1,0 +1,175 @@
+// Package mem provides the simulated shared-memory substrate the detectors
+// instrument. The paper's Rader prototype piggybacks on ThreadSanitizer
+// compiler instrumentation to observe each read and write of the program
+// under test; here, programs instead allocate logical address ranges from an
+// Allocator and report their accesses through the cilk execution context,
+// which forwards (address, kind) pairs to the active detector.
+//
+// The package also provides the paged shadow spaces ("reader" and "writer"
+// in the paper) that map each accessed address to the ID of the function
+// instantiation that last read or wrote it.
+package mem
+
+import "fmt"
+
+// Addr is a logical address in the simulated shared memory.
+type Addr uint64
+
+// Region is a named contiguous address range, typically shadowing one Go
+// slice of the program under test.
+type Region struct {
+	Name string
+	Base Addr
+	Len  uint64
+}
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a Addr) bool {
+	return a >= r.Base && a < r.Base+Addr(r.Len)
+}
+
+// At returns the address of element i of the region.
+func (r Region) At(i int) Addr {
+	if i < 0 || uint64(i) >= r.Len {
+		panic(fmt.Sprintf("mem: %s[%d] out of range [0,%d)", r.Name, i, r.Len))
+	}
+	return r.Base + Addr(i)
+}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	return fmt.Sprintf("%s[%#x,%#x)", r.Name, uint64(r.Base), uint64(r.Base)+r.Len)
+}
+
+// Allocator hands out non-overlapping address ranges. The zero value is
+// ready for use and allocates from address 1 (address 0 is reserved so the
+// zero Addr never aliases real data).
+type Allocator struct {
+	next    Addr
+	regions []Region
+}
+
+// NewAllocator returns an allocator starting at address 1.
+func NewAllocator() *Allocator { return &Allocator{next: 1} }
+
+// Alloc reserves n addresses under the given name.
+func (al *Allocator) Alloc(name string, n int) Region {
+	if al.next == 0 {
+		al.next = 1
+	}
+	if n < 0 {
+		panic("mem: negative allocation")
+	}
+	r := Region{Name: name, Base: al.next, Len: uint64(n)}
+	al.next += Addr(n)
+	al.regions = append(al.regions, r)
+	return r
+}
+
+// Resolve returns the region containing a, for human-readable race reports.
+func (al *Allocator) Resolve(a Addr) (Region, bool) {
+	for _, r := range al.regions {
+		if r.Contains(a) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Describe renders an address as region[offset] when known.
+func (al *Allocator) Describe(a Addr) string {
+	if r, ok := al.Resolve(a); ok {
+		return fmt.Sprintf("%s[%d]", r.Name, uint64(a-r.Base))
+	}
+	return fmt.Sprintf("%#x", uint64(a))
+}
+
+// Footprint reports the total number of addresses allocated, the v in the
+// paper's O(T·alpha(v,v)) bounds.
+func (al *Allocator) Footprint() uint64 { return uint64(al.next) - 1 }
+
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// Shadow is a two-level paged shadow space mapping addresses to int32
+// values (function-instantiation IDs in the detectors). Unmapped addresses
+// read as the sentinel passed at construction. Pages materialize on first
+// write, so sparse address spaces stay cheap while hot loops avoid map
+// overhead — the ablation bench BenchmarkAblationShadow quantifies this
+// against MapShadow.
+type Shadow struct {
+	pages    map[uint64][]int32
+	sentinel int32
+	// one-entry cache: hot loops touch consecutive addresses
+	lastPage uint64
+	lastBuf  []int32
+}
+
+// NewShadow returns a shadow space whose unwritten entries read as sentinel.
+func NewShadow(sentinel int32) *Shadow {
+	return &Shadow{pages: make(map[uint64][]int32), sentinel: sentinel, lastPage: ^uint64(0)}
+}
+
+func (s *Shadow) page(a Addr, create bool) []int32 {
+	pn := uint64(a) >> pageBits
+	if pn == s.lastPage {
+		return s.lastBuf
+	}
+	buf, ok := s.pages[pn]
+	if !ok {
+		if !create {
+			return nil
+		}
+		buf = make([]int32, pageSize)
+		if s.sentinel != 0 {
+			for i := range buf {
+				buf[i] = s.sentinel
+			}
+		}
+		s.pages[pn] = buf
+	}
+	s.lastPage, s.lastBuf = pn, buf
+	return buf
+}
+
+// Get returns the value stored at a, or the sentinel if never written.
+func (s *Shadow) Get(a Addr) int32 {
+	buf := s.page(a, false)
+	if buf == nil {
+		return s.sentinel
+	}
+	return buf[uint64(a)&pageMask]
+}
+
+// Set stores v at address a.
+func (s *Shadow) Set(a Addr, v int32) {
+	s.page(a, true)[uint64(a)&pageMask] = v
+}
+
+// Pages reports how many shadow pages have materialized.
+func (s *Shadow) Pages() int { return len(s.pages) }
+
+// MapShadow is the map-backed alternative used only as the ablation baseline.
+type MapShadow struct {
+	m        map[Addr]int32
+	sentinel int32
+}
+
+// NewMapShadow returns a map-backed shadow with the given sentinel.
+func NewMapShadow(sentinel int32) *MapShadow {
+	return &MapShadow{m: make(map[Addr]int32), sentinel: sentinel}
+}
+
+// Get returns the value at a or the sentinel.
+func (s *MapShadow) Get(a Addr) int32 {
+	if v, ok := s.m[a]; ok {
+		return v
+	}
+	return s.sentinel
+}
+
+// Set stores v at a.
+func (s *MapShadow) Set(a Addr, v int32) { s.m[a] = v }

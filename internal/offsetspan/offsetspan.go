@@ -1,0 +1,245 @@
+// Package offsetspan implements Mellor-Crummey's offset-span labeling
+// determinacy-race detector, the related-work baseline §9 of the paper
+// compares the bags algorithms against. Every strand carries a label — a
+// sequence of (offset, span) pairs whose length grows with the spawn
+// nesting depth — and two strands' logical ordering is decided by
+// comparing labels alone:
+//
+//   - equal labels, or one a prefix of the other: logically in series;
+//   - at the first differing pair, equal spans with congruent offsets
+//     (mod span): in series, smaller offset first;
+//   - otherwise: logically parallel.
+//
+// The Cilk mapping treats each spawn as a binary fork — the child extends
+// the current label with (0,2), the continuation with (1,2) — and a sync
+// as the matching join: the label reverts to the sync block's base with
+// its last pair's offset bumped by its span, which orders the sync strand
+// after every strand of the block while keeping labels finite.
+//
+// Compared with SP-bags (and hence SP+), labels cost O(depth) space per
+// shadow entry and O(depth) time per comparison, versus the bags' O(1)
+// pointers and amortized O(α) finds — the §9 trade-off this package exists
+// to make measurable (BenchmarkAblationLabeling). Like SP-bags it has no
+// notion of reducer views and loses the paper's guarantees on programs
+// that use reducers.
+package offsetspan
+
+import (
+	"fmt"
+
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// pair is one (offset, span) label component.
+type pair struct {
+	off  int32
+	span int32
+}
+
+// label is an immutable strand label. Slices are copied on extension, so
+// shadow entries can retain them.
+type label []pair
+
+func (l label) String() string {
+	s := ""
+	for _, p := range l {
+		s += fmt.Sprintf("[%d,%d]", p.off, p.span)
+	}
+	return s
+}
+
+// extend returns l ++ (off, span) as fresh storage.
+func (l label) extend(off, span int32) label {
+	out := make(label, len(l)+1)
+	copy(out, l)
+	out[len(l)] = pair{off: off, span: span}
+	return out
+}
+
+// bump returns l with its final offset advanced by the span — the join
+// label ordered after every extension of l.
+func (l label) bump() label {
+	out := make(label, len(l))
+	copy(out, l)
+	out[len(out)-1].off += out[len(out)-1].span
+	return out
+}
+
+// ordered reports whether the strands labeled a and b are logically in
+// series (in either direction); otherwise they are parallel.
+func ordered(a, b label) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		pa, pb := a[i], b[i]
+		if pa.span != pb.span {
+			// Cannot happen under the Cilk mapping; treat conservatively
+			// as parallel so a mapping bug surfaces as a false positive.
+			return false
+		}
+		return (pa.off-pb.off)%pa.span == 0
+	}
+	return true // equal or prefix: series
+}
+
+type frameRec struct {
+	id    cilk.FrameID
+	label string
+	cur   label
+	base  label // label at the start of the current sync block
+}
+
+// Detector runs offset-span labeling over the cilk event stream. Like
+// SP-bags it detects determinacy races between view-oblivious strands and
+// is driven by one serial run.
+type Detector struct {
+	cilk.Empty
+
+	stack  []*frameRec
+	reader map[mem.Addr]shadowEntry
+	writer map[mem.Addr]shadowEntry
+	report core.Report
+	// label accounting for the §9 space comparison
+	maxLen   int
+	labelSum int
+	labels   int
+}
+
+type shadowEntry struct {
+	l     label
+	frame cilk.FrameID
+	name  string
+}
+
+// New returns a fresh offset-span detector.
+func New() *Detector {
+	return &Detector{
+		reader: make(map[mem.Addr]shadowEntry),
+		writer: make(map[mem.Addr]shadowEntry),
+	}
+}
+
+// Name implements core.Detector.
+func (d *Detector) Name() string { return "offset-span" }
+
+// Report implements core.Detector.
+func (d *Detector) Report() *core.Report { return &d.report }
+
+// MaxLabelLen reports the longest label created — the O(depth) space
+// factor §9 contrasts with the bags' constant-size IDs.
+func (d *Detector) MaxLabelLen() int { return d.maxLen }
+
+// MeanLabelLen reports the average label length.
+func (d *Detector) MeanLabelLen() float64 {
+	if d.labels == 0 {
+		return 0
+	}
+	return float64(d.labelSum) / float64(d.labels)
+}
+
+func (d *Detector) track(l label) label {
+	if len(l) > d.maxLen {
+		d.maxLen = len(l)
+	}
+	d.labelSum += len(l)
+	d.labels++
+	return l
+}
+
+func (d *Detector) top() *frameRec { return d.stack[len(d.stack)-1] }
+
+// FrameEnter assigns the child's first label: a (0,2) extension for a
+// spawned child — with the parent moving to the (1,2) continuation — and
+// the caller's own label for a called child.
+func (d *Detector) FrameEnter(f *cilk.Frame) {
+	rec := &frameRec{id: f.ID, label: f.Label}
+	if len(d.stack) == 0 {
+		rec.cur = d.track(label{{off: 0, span: 1}})
+	} else {
+		parent := d.top()
+		if f.Spawned {
+			rec.cur = d.track(parent.cur.extend(0, 2))
+			parent.cur = d.track(parent.cur.extend(1, 2))
+		} else {
+			rec.cur = parent.cur
+		}
+	}
+	rec.base = rec.cur
+	d.stack = append(d.stack, rec)
+}
+
+// FrameReturn pops the child; a called child's final label becomes the
+// caller's (series), a spawned child's dies with it.
+func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	grec := d.top()
+	d.stack = d.stack[:len(d.stack)-1]
+	if !g.Spawned {
+		d.top().cur = grec.cur
+	}
+}
+
+// Sync joins the block: the label reverts to the current label's prefix at
+// the block base's depth, with its last pair bumped. Bumping the *current*
+// prefix rather than the stored base matters when a called child at the
+// same label depth synced internally — its bumps advanced the clock at
+// this depth, and bumping the stale base would rewind time and reuse
+// labels, turning serial strands into phantom parallel ones. The prefix's
+// last offset grows monotonically through the block, so the bump is
+// ordered after every label the block issued.
+func (d *Detector) Sync(f *cilk.Frame) {
+	rec := d.top()
+	prefix := rec.cur[:len(rec.base)]
+	rec.cur = d.track(prefix.bump())
+	rec.base = rec.cur
+}
+
+// Load implements the read rule (single-reader shadow, as in the serial
+// SP-bags discipline).
+func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
+	rec := d.top()
+	if w, ok := d.writer[a]; ok && !ordered(w.l, rec.cur) {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  core.Access{Frame: w.frame, Label: w.name, Op: core.OpWrite},
+			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpRead},
+		})
+	}
+	if r, ok := d.reader[a]; !ok || ordered(r.l, rec.cur) {
+		d.reader[a] = shadowEntry{l: rec.cur, frame: rec.id, name: rec.label}
+	}
+}
+
+// Store implements the write rule.
+func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
+	rec := d.top()
+	if r, ok := d.reader[a]; ok && !ordered(r.l, rec.cur) {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  core.Access{Frame: r.frame, Label: r.name, Op: core.OpRead},
+			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpWrite},
+		})
+	}
+	w, ok := d.writer[a]
+	if ok && !ordered(w.l, rec.cur) {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  core.Access{Frame: w.frame, Label: w.name, Op: core.OpWrite},
+			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpWrite},
+		})
+	}
+	if !ok || ordered(w.l, rec.cur) {
+		d.writer[a] = shadowEntry{l: rec.cur, frame: rec.id, name: rec.label}
+	}
+}
+
+var (
+	_ core.Detector = (*Detector)(nil)
+	_ cilk.Hooks    = (*Detector)(nil)
+)

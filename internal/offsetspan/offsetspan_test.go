@@ -1,0 +1,184 @@
+package offsetspan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cilk"
+	"repro/internal/dag"
+	"repro/internal/mem"
+	"repro/internal/progs"
+	"repro/internal/spbags"
+)
+
+func run(prog func(*cilk.Ctx)) (*Detector, bool) {
+	d := New()
+	cilk.Run(prog, cilk.Config{Hooks: d})
+	return d, !d.Report().Empty()
+}
+
+func TestBasicRace(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if _, racy := run(func(c *cilk.Ctx) {
+		c.Spawn("w", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+		c.Load(x.At(0))
+		c.Sync()
+	}); !racy {
+		t.Fatal("race missed")
+	}
+}
+
+func TestSyncJoins(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if _, racy := run(func(c *cilk.Ctx) {
+		c.Spawn("w", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+		c.Sync()
+		c.Load(x.At(0))
+	}); racy {
+		t.Fatal("false positive across sync")
+	}
+}
+
+func TestCalledFrameAdvancesTime(t *testing.T) {
+	// A called child's spawns must be ordered against the caller's later
+	// accesses through the child's internal sync.
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if _, racy := run(func(c *cilk.Ctx) {
+		c.Call("f", func(c *cilk.Ctx) {
+			c.Spawn("w", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+			c.Sync()
+		})
+		c.Load(x.At(0)) // after f's sync: serial
+	}); racy {
+		t.Fatal("false positive: called frame's sync must order its spawns")
+	}
+}
+
+func TestCalledFrameSpawnsStayParallelToCallerSpawns(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if _, racy := run(func(c *cilk.Ctx) {
+		c.Spawn("w", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+		c.Call("f", func(c *cilk.Ctx) {
+			c.Spawn("r", func(c *cilk.Ctx) { c.Load(x.At(0)) })
+			c.Sync()
+		})
+		c.Sync()
+	}); !racy {
+		t.Fatal("spawn in called frame is parallel with caller's outstanding spawn")
+	}
+}
+
+func TestLabelOrderedRules(t *testing.T) {
+	base := label{{0, 1}}
+	child := base.extend(0, 2)
+	cont := base.extend(1, 2)
+	sync := base.bump()
+	if ordered(child, cont) {
+		t.Fatal("child ‖ continuation")
+	}
+	if !ordered(base, child) || !ordered(base, cont) {
+		t.Fatal("prefix must be ordered")
+	}
+	if !ordered(child, sync) || !ordered(cont, sync) {
+		t.Fatal("sync joins the block")
+	}
+	grand := child.extend(1, 2).extend(0, 2)
+	if ordered(grand, cont) {
+		t.Fatal("descendant of child stays parallel to continuation")
+	}
+	if !ordered(grand, sync) {
+		t.Fatal("sync joins deep descendants too")
+	}
+}
+
+func TestQuickAgreesWithSPBagsAndOracle(t *testing.T) {
+	// On reducer-free random programs, offset-span, SP-bags and the dag
+	// oracle must return identical racy-address sets.
+	check := func(seed int64) bool {
+		al := mem.NewAllocator()
+		prog := progs.Random(al, progs.RandomOpts{Seed: seed, NoReducers: true})
+		os := New()
+		sb := spbags.New()
+		rec := dag.NewRecorder()
+		cilk.Run(prog, cilk.Config{Hooks: cilk.Multi{os, sb, rec}})
+		want := rec.D.RacyAddrs()
+		osAddrs := map[mem.Addr]bool{}
+		for _, r := range os.Report().Races() {
+			osAddrs[r.Addr] = true
+		}
+		sbAddrs := map[mem.Addr]bool{}
+		for _, r := range sb.Report().Races() {
+			sbAddrs[r.Addr] = true
+		}
+		if len(osAddrs) != len(want) || len(sbAddrs) != len(want) {
+			t.Logf("seed %d: oracle %d, offset-span %d, sp-bags %d addrs",
+				seed, len(want), len(osAddrs), len(sbAddrs))
+			return false
+		}
+		for a := range want {
+			if !osAddrs[a] || !sbAddrs[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegressionCalledChildAdvancesClock(t *testing.T) {
+	// Regression for a false positive found by the property test (seed
+	// -4360200582654258469): a called child syncing at the caller's label
+	// depth advances the clock; the caller's own sync must bump the
+	// *current* prefix, not the stale block base, or labels get reused
+	// and serial strands look parallel.
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if _, racy := run(func(c *cilk.Ctx) {
+		c.Call("f", func(c *cilk.Ctx) {
+			c.Spawn("s", func(*cilk.Ctx) {})
+			c.Sync()
+			c.Store(x.At(0)) // in f's post-sync context
+			c.Sync()
+		})
+		c.Sync()
+		c.Spawn("g", func(c *cilk.Ctx) {
+			c.Load(x.At(0)) // serial with the store through both syncs
+		})
+		c.Sync()
+	}); racy {
+		t.Fatal("false positive: called child's syncs advanced the clock")
+	}
+}
+
+func TestLabelLengthGrowsWithDepth(t *testing.T) {
+	// §9's point: label size grows with spawn nesting depth.
+	grow := func(depth int) int {
+		var nest func(c *cilk.Ctx, d int)
+		nest = func(c *cilk.Ctx, d int) {
+			if d == 0 {
+				return
+			}
+			c.Spawn("n", func(cc *cilk.Ctx) { nest(cc, d-1) })
+			c.Sync()
+		}
+		d := New()
+		cilk.Run(func(c *cilk.Ctx) { nest(c, depth) }, cilk.Config{Hooks: d})
+		return d.MaxLabelLen()
+	}
+	l4, l16 := grow(4), grow(16)
+	if l16 <= l4 {
+		t.Fatalf("labels must grow with depth: %d vs %d", l4, l16)
+	}
+	if l16 < 16 {
+		t.Fatalf("max label at depth 16 = %d, want >= 16", l16)
+	}
+	if New().MeanLabelLen() != 0 {
+		t.Fatal("fresh detector has no labels")
+	}
+}

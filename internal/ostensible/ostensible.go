@@ -1,0 +1,194 @@
+// Package ostensible checks the precondition of the paper's §7 coverage
+// guarantee: that a program is *ostensibly deterministic* — in the absence
+// of a race, its view-oblivious instructions are fixed across all
+// executions regardless of scheduling, and its reducers' reduce operations
+// are semantically associative. The SP+ sweep is complete only for such
+// programs, but the paper offers no way to test for the property; this
+// package provides a practical differential check: run the program under a
+// panel of schedules, fingerprint everything schedule-independent — the
+// frame tree, sync structure, view-oblivious memory accesses and
+// reducer-reads — and compare. It also stress-tests associativity by
+// comparing each reducer's final value across reduce orders.
+//
+// A differential check cannot prove determinism (that would require the
+// race detectors themselves, or exhaustive schedule enumeration), but a
+// mismatch is a proof of nondeterminism, and the panel includes the
+// schedules most likely to shake one out: no steals, every steal, eager
+// and middle-first reduction, and seeded random schedules.
+package ostensible
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/progs"
+)
+
+// fingerprinter hashes the schedule-independent event stream.
+type fingerprinter struct {
+	cilk.Empty
+	h       uint64
+	events  int
+	inAware int
+}
+
+func newFingerprinter() *fingerprinter {
+	return &fingerprinter{h: 14695981039346656037} // FNV offset basis
+}
+
+func (f *fingerprinter) mix(vals ...uint64) {
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			f.h ^= (v >> (8 * i)) & 0xff
+			f.h *= 1099511628211
+		}
+	}
+	f.events++
+}
+
+// FrameEnter folds the frame structure: id, label hash, spawned flag.
+func (f *fingerprinter) FrameEnter(fr *cilk.Frame) {
+	f.mix(1, uint64(fr.ID), hashString(fr.Label), boolBit(fr.Spawned))
+}
+
+// FrameReturn implements cilk.Hooks.
+func (f *fingerprinter) FrameReturn(g, p *cilk.Frame) { f.mix(2, uint64(g.ID)) }
+
+// Sync implements cilk.Hooks.
+func (f *fingerprinter) Sync(fr *cilk.Frame) { f.mix(3, uint64(fr.ID)) }
+
+// ViewAwareBegin implements cilk.Hooks: accesses inside view-aware
+// sections are schedule-dependent by nature and excluded.
+func (f *fingerprinter) ViewAwareBegin(*cilk.Frame, cilk.ViewOp, *cilk.Reducer) { f.inAware++ }
+
+// ViewAwareEnd implements cilk.Hooks.
+func (f *fingerprinter) ViewAwareEnd(*cilk.Frame, cilk.ViewOp, *cilk.Reducer) { f.inAware-- }
+
+// Load implements cilk.Hooks.
+func (f *fingerprinter) Load(fr *cilk.Frame, a mem.Addr) {
+	if f.inAware == 0 {
+		f.mix(4, uint64(fr.ID), uint64(a))
+	}
+}
+
+// Store implements cilk.Hooks.
+func (f *fingerprinter) Store(fr *cilk.Frame, a mem.Addr) {
+	if f.inAware == 0 {
+		f.mix(5, uint64(fr.ID), uint64(a))
+	}
+}
+
+// ReducerCreate implements cilk.Hooks.
+func (f *fingerprinter) ReducerCreate(fr *cilk.Frame, r *cilk.Reducer) {
+	f.mix(6, uint64(fr.ID), uint64(r.Index()))
+}
+
+// ReducerRead implements cilk.Hooks.
+func (f *fingerprinter) ReducerRead(fr *cilk.Frame, r *cilk.Reducer) {
+	f.mix(7, uint64(fr.ID), uint64(r.Index()))
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Verdict is the outcome of a determinism check.
+type Verdict struct {
+	// Deterministic reports whether every schedule produced the same
+	// view-oblivious fingerprint.
+	Deterministic bool
+	// Schedules is the number of schedules compared.
+	Schedules int
+	// Mismatch names the first diverging schedule, if any.
+	Mismatch string
+	// Events is the event count of the reference run.
+	Events int
+}
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	if v.Deterministic {
+		return fmt.Sprintf("ostensibly deterministic across %d schedules (%d events)", v.Schedules, v.Events)
+	}
+	return fmt.Sprintf("NOT ostensibly deterministic: schedule %q diverges from the serial run", v.Mismatch)
+}
+
+// panel is the default schedule panel.
+func panel(seed int64) []struct {
+	name string
+	spec cilk.StealSpec
+} {
+	return []struct {
+		name string
+		spec cilk.StealSpec
+	}{
+		{"serial", nil},
+		{"steal-all", cilk.StealAll{}},
+		{"steal-all-eager", cilk.StealAll{Reduce: cilk.ReduceEager}},
+		{"steal-all-middle", cilk.StealAll{Reduce: cilk.ReduceMiddleFirst}},
+		{"random-a", progs.RandomSpec{Seed: seed, P: 0.3}},
+		{"random-b", progs.RandomSpec{Seed: seed + 1, P: 0.7, Reduce: cilk.ReduceEager}},
+	}
+}
+
+// Check runs prog under the schedule panel and compares view-oblivious
+// fingerprints. prog must be rerunnable.
+func Check(prog func(*cilk.Ctx), seed int64) Verdict {
+	var ref uint64
+	var refEvents int
+	v := Verdict{Deterministic: true}
+	for i, sc := range panel(seed) {
+		fp := newFingerprinter()
+		cilk.Run(prog, cilk.Config{Spec: sc.spec, Hooks: fp})
+		v.Schedules++
+		if i == 0 {
+			ref, refEvents = fp.h, fp.events
+			v.Events = refEvents
+			continue
+		}
+		if fp.h != ref {
+			v.Deterministic = false
+			v.Mismatch = sc.name
+			return v
+		}
+	}
+	return v
+}
+
+// CheckValue additionally compares a result the caller extracts after each
+// run (typically a reducer's final value rendered to a string), catching
+// non-associative monoids whose oblivious trace is stable but whose
+// reduced value is not.
+func CheckValue(prog func(*cilk.Ctx) string, seed int64) Verdict {
+	var ref string
+	v := Verdict{Deterministic: true}
+	for i, sc := range panel(seed) {
+		var got string
+		wrapped := func(c *cilk.Ctx) { got = prog(c) }
+		fp := newFingerprinter()
+		cilk.Run(wrapped, cilk.Config{Spec: sc.spec, Hooks: fp})
+		v.Schedules++
+		if i == 0 {
+			ref = got
+			v.Events = fp.events
+			continue
+		}
+		if got != ref {
+			v.Deterministic = false
+			v.Mismatch = sc.name
+			return v
+		}
+	}
+	return v
+}

@@ -1,0 +1,243 @@
+// Package peerset implements the Peer-Set algorithm (§3 of the paper),
+// which executes a Cilk computation serially and detects view-read races:
+// pairs of reducer-reads performed at strands with different peer sets,
+// where the peer set of a strand u is the set of strands logically parallel
+// with u.
+//
+// Following Figure 3, the algorithm maintains, for each Cilk function
+// instantiation F on the call stack:
+//
+//   - F.ls, the local-spawn count: spawns F has executed since it last
+//     synced;
+//   - F.as, the ancestor-spawn count: the total spawns each ancestor of F
+//     has performed since that ancestor last synced;
+//   - F.SS, a bag with the IDs of F's completed descendants whose peer set
+//     equals that of F's first strand;
+//   - F.SP, a bag with the IDs of F's completed descendants whose peer set
+//     equals that of the last continuation strand executed in F;
+//   - F.P, a bag with the IDs of all other completed descendants of F.
+//
+// Bags live in a disjoint-set forest (package dsu), so each operation costs
+// amortized O(alpha). A shadow space maps every reducer h to reader(h), the
+// function that last read h, together with the spawn count it read at. By
+// Lemmas 2 and 3, the reads at strands u then v have equal peer sets iff
+// reader(h) is found in an SS or SP bag and the spawn counts match; the
+// detector reports a view-read race otherwise (Theorem 4: it reports a race
+// iff one exists). Total cost is O(T·alpha(x,x)) for a program running in
+// time T with x reducers (Theorem 1).
+package peerset
+
+import (
+	"fmt"
+
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/dsu"
+)
+
+type bagKind int8
+
+const (
+	kindSS bagKind = iota
+	kindSP
+	kindP
+)
+
+// bag is one Peer-Set bag: a possibly-empty set in the disjoint-set forest.
+// The forest payload of the set's root points back at the bag, so finding
+// the bag containing a frame is a Find plus one pointer chase.
+type bag struct {
+	kind bagKind
+	root dsu.Elem // dsu.None when empty
+}
+
+type frameRec struct {
+	id    cilk.FrameID
+	label string
+	elem  dsu.Elem
+	ls    int // local-spawn count
+	as    int // ancestor-spawn count
+	ss    *bag
+	sp    *bag
+	p     *bag
+}
+
+type readerInfo struct {
+	elem  dsu.Elem
+	frame cilk.FrameID
+	label string
+	s     int // spawn count of the reader at the read
+}
+
+// Detector runs the Peer-Set algorithm over the cilk event stream. It must
+// be driven by exactly one cilk.Run; create a fresh Detector per run.
+type Detector struct {
+	cilk.Empty // Peer-Set ignores memory accesses and view events
+
+	forest *dsu.Forest
+	stack  []*frameRec
+	reader map[*cilk.Reducer]readerInfo
+	lin    core.Lineage
+	report core.Report
+}
+
+// New returns a fresh Peer-Set detector.
+func New() *Detector {
+	return &Detector{
+		forest: dsu.NewForest(256),
+		reader: make(map[*cilk.Reducer]readerInfo),
+	}
+}
+
+// Name implements core.Detector.
+func (d *Detector) Name() string { return "peer-set" }
+
+// Report implements core.Detector.
+func (d *Detector) Report() *core.Report { return &d.report }
+
+func (d *Detector) newBag(k bagKind) *bag { return &bag{kind: k, root: dsu.None} }
+
+// addToBag inserts a fresh forest element for rec into b.
+func (d *Detector) addToBag(b *bag, e dsu.Elem) {
+	if b.root == dsu.None {
+		b.root = e
+		d.forest.SetPayload(e, b)
+		return
+	}
+	b.root = d.forest.Union(b.root, e)
+}
+
+// unionInto unions src's contents into dst and empties src.
+func (d *Detector) unionInto(dst, src *bag) {
+	if src.root == dsu.None {
+		return
+	}
+	if dst.root == dsu.None {
+		dst.root = src.root
+		d.forest.SetPayload(src.root, dst)
+	} else {
+		dst.root = d.forest.Union(dst.root, src.root)
+	}
+	src.root = dsu.None
+}
+
+func (d *Detector) top() *frameRec { return d.stack[len(d.stack)-1] }
+
+// FrameEnter implements the "F calls or spawns G" case of Figure 3.
+func (d *Detector) FrameEnter(f *cilk.Frame) {
+	rec := &frameRec{id: f.ID, label: f.Label}
+	if len(d.stack) > 0 {
+		parent := d.top()
+		if f.Spawned {
+			parent.ls++
+			// A new spawn changes the peer set of F's subsequent strands:
+			// descendants matching the previous continuation no longer
+			// match any strand of F.
+			d.unionInto(parent.p, parent.sp)
+		}
+		rec.as = parent.as + parent.ls
+	}
+	rec.ss = d.newBag(kindSS)
+	rec.sp = d.newBag(kindSP)
+	rec.p = d.newBag(kindP)
+	rec.elem = d.forest.MakeSet(nil)
+	d.addToBag(rec.ss, rec.elem) // G.SS = MakeBag(G)
+	parent := core.NoParent
+	if len(d.stack) > 0 {
+		parent = int32(d.top().elem)
+	}
+	d.lin.Add(int32(rec.elem), f.ID, f.Label, parent)
+	d.stack = append(d.stack, rec)
+}
+
+// FrameReturn implements the "G returns to F" case of Figure 3.
+func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	grec := d.top()
+	if grec.id != g.ID {
+		panic(fmt.Sprintf("peerset: event order violation: returning %v, top is %v", g.ID, grec.id))
+	}
+	d.stack = d.stack[:len(d.stack)-1]
+	frec := d.top()
+	if frec.id != f.ID {
+		panic("peerset: parent mismatch on return")
+	}
+	d.unionInto(frec.p, grec.p)
+	switch {
+	case g.Spawned:
+		// Everything under a spawned child is parallel to F's later
+		// strands' peers differently — G's descendants can never share a
+		// peer set with a strand of F.
+		d.unionInto(frec.p, grec.ss)
+	case frec.ls == 0:
+		// Called with no outstanding spawns: G's first strand has the
+		// same peer set as F's first strand.
+		d.unionInto(frec.ss, grec.ss)
+	default:
+		// Called with outstanding spawns: G's first strand matches F's
+		// last executed continuation strand.
+		d.unionInto(frec.sp, grec.ss)
+	}
+	// G.SP is guaranteed empty: functions sync before returning.
+}
+
+// Sync implements the "F syncs" case of Figure 3.
+func (d *Detector) Sync(f *cilk.Frame) {
+	rec := d.top()
+	if rec.id != f.ID {
+		panic("peerset: sync frame mismatch")
+	}
+	rec.ls = 0
+	d.unionInto(rec.p, rec.sp)
+}
+
+// ReducerCreate treats reducer creation as a reducer-read (§3 defines
+// reducer-reads as creating, resetting, or querying the reducer).
+func (d *Detector) ReducerCreate(f *cilk.Frame, r *cilk.Reducer) {
+	d.readReducer(f, r)
+}
+
+// ReducerRead handles set_value and get_value reducer-reads.
+func (d *Detector) ReducerRead(f *cilk.Frame, r *cilk.Reducer) {
+	d.readReducer(f, r)
+}
+
+// readReducer implements the "F reads reducer h" case of Figure 3.
+func (d *Detector) readReducer(f *cilk.Frame, r *cilk.Reducer) {
+	rec := d.top()
+	if rec.id != f.ID {
+		panic("peerset: read frame mismatch")
+	}
+	s := rec.as + rec.ls
+	if prev, ok := d.reader[r]; ok {
+		b := d.forest.Payload(prev.elem).(*bag)
+		if b.kind == kindP || prev.s != s {
+			d.report.Add(core.Race{
+				Kind:    core.ViewRead,
+				Reducer: r.Name,
+				First: core.Access{
+					Frame: prev.frame, Label: prev.label,
+					Path: d.lin.Path(int32(prev.elem)), Op: core.OpReducerRead,
+				},
+				Second: core.Access{
+					Frame: rec.id, Label: rec.label,
+					Path: d.lin.Path(int32(rec.elem)), Op: core.OpReducerRead,
+				},
+			})
+		}
+	}
+	d.reader[r] = readerInfo{elem: rec.elem, frame: rec.id, label: rec.label, s: s}
+}
+
+// The algorithm is oblivious to raw memory traffic; the embedded cilk.Empty
+// provides the no-op Load/Store and view-aware handlers.
+var (
+	_ core.Detector = (*Detector)(nil)
+	_ cilk.Hooks    = (*Detector)(nil)
+)
+
+// Stats implements core.StatsProvider: the disjoint-set accounting behind
+// the O(T·α(x,x)) bound of Theorem 1.
+func (d *Detector) Stats() core.Stats {
+	finds, unions := d.forest.Stats()
+	return core.Stats{Elems: d.forest.Len(), Finds: finds, Unions: unions}
+}

@@ -1,0 +1,85 @@
+package peerset
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cilk"
+	"repro/internal/progs"
+)
+
+// TestDefinitionOneSemantics checks the paper's Definition 1 directly: if
+// peers(u) = peers(v), then the view read at v equals the view read at u
+// combined with every update performed between the start of u and the
+// start of v in the serial walk — under *every* schedule. Each Figure 2
+// strand reads its current view first and then appends its own number, so
+// for a same-class pair (u, v) the expected view at v is
+// view(u) ++ [u, u+1, …, v−1].
+func TestDefinitionOneSemantics(t *testing.T) {
+	listMonoid := cilk.MonoidFuncs(
+		func(*cilk.Ctx) any { return []int(nil) },
+		func(_ *cilk.Ctx, l, r any) any { return append(l.([]int), r.([]int)...) },
+	)
+	specs := []cilk.StealSpec{
+		nil,
+		cilk.StealAll{},
+		cilk.StealAll{Reduce: cilk.ReduceEager},
+		cilk.StealAll{Reduce: cilk.ReduceMiddleFirst},
+		progs.RandomSpec{Seed: 5, P: 0.5},
+	}
+	record := func(spec cilk.StealSpec) map[int][]int {
+		views := make(map[int][]int)
+		prog := func(c *cilk.Ctx) {
+			r := c.NewReducerQuiet("h", listMonoid, []int(nil))
+			progs.Fig2(func(cc *cilk.Ctx, strand int) {
+				v := cc.Value(r).([]int)
+				views[strand] = append([]int(nil), v...)
+				cc.Update(r, func(_ *cilk.Ctx, x any) any {
+					return append(x.([]int), strand)
+				})
+			})(c)
+		}
+		cilk.Run(prog, cilk.Config{Spec: spec})
+		return views
+	}
+
+	for _, spec := range specs {
+		views := record(spec)
+		for _, class := range progs.Fig2PeerClasses {
+			for i := 0; i < len(class); i++ {
+				for j := i + 1; j < len(class); j++ {
+					u, v := class[i], class[j]
+					want := append(append([]int(nil), views[u]...), seq(u, v)...)
+					if fmt.Sprint(views[v]) != fmt.Sprint(want) {
+						t.Errorf("spec %#v: Definition 1 violated for (%d,%d): view(%d)=%v, want %v",
+							spec, u, v, v, views[v], want)
+					}
+				}
+			}
+		}
+	}
+
+	// The converse: for a cross-class pair (the paper's example race
+	// between strands 1 and 9), some schedule must violate the formula —
+	// that schedule-dependence is what makes it a view-read race.
+	violated := false
+	for _, spec := range specs {
+		views := record(spec)
+		want := append(append([]int(nil), views[1]...), seq(1, 9)...)
+		if fmt.Sprint(views[9]) != fmt.Sprint(want) {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("reads at strands 1 and 9 must violate Definition 1 under some schedule")
+	}
+}
+
+// seq returns [u, u+1, …, v−1].
+func seq(u, v int) []int {
+	var out []int
+	for s := u; s < v; s++ {
+		out = append(out, s)
+	}
+	return out
+}

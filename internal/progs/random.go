@@ -1,0 +1,135 @@
+package progs
+
+import (
+	"math/rand"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+)
+
+// RandomOpts configures the random-program generator used by the
+// property-based tests that cross-validate the detectors against the dag
+// oracle.
+type RandomOpts struct {
+	Seed     int64
+	MaxDepth int // spawn/call nesting budget
+	MaxStmts int // statements per frame
+	Addrs    int // shared address pool size
+	Reducers int // number of reducers
+	// MonoidStores makes each reducer's Combine write to the reducer's
+	// dedicated scratch address, so reduce strands perform instrumented
+	// accesses (the Figure 1 pattern).
+	MonoidStores bool
+	// Reads sprinkles reducer-reads (get_value) through the program,
+	// for view-read-race testing.
+	Reads bool
+	// NoReducers generates a purely view-oblivious program (updates and
+	// reads become plain loads/stores), for baseline-equivalence tests.
+	NoReducers bool
+}
+
+// Random returns a random but deterministic Cilk program: a seeded tree of
+// spawns, calls, syncs, loads, stores, reducer updates and reducer reads
+// over a small shared address pool. The structure is a function of the
+// seed only — the serial execution order is schedule-independent, so the
+// same seed yields the same program under every steal specification.
+func Random(al *mem.Allocator, o RandomOpts) func(*cilk.Ctx) {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 4
+	}
+	if o.MaxStmts == 0 {
+		o.MaxStmts = 6
+	}
+	if o.Addrs == 0 {
+		o.Addrs = 8
+	}
+	if o.Reducers == 0 {
+		o.Reducers = 2
+	}
+	pool := al.Alloc("pool", o.Addrs)
+	scratch := al.Alloc("scratch", o.Reducers)
+
+	return func(c *cilk.Ctx) {
+		rng := rand.New(rand.NewSource(o.Seed))
+		reds := make([]*cilk.Reducer, o.Reducers)
+		for i := range reds {
+			i := i
+			m := cilk.MonoidFuncs(
+				func(*cilk.Ctx) any { return 0 },
+				func(cc *cilk.Ctx, l, r any) any {
+					if o.MonoidStores {
+						cc.Load(scratch.At(i))
+						cc.Store(scratch.At(i))
+					}
+					return l.(int) + r.(int)
+				},
+			)
+			reds[i] = c.NewReducerQuiet("r", m, 0)
+		}
+		var body func(c *cilk.Ctx, depth int)
+		body = func(c *cilk.Ctx, depth int) {
+			n := 1 + rng.Intn(o.MaxStmts)
+			for s := 0; s < n; s++ {
+				switch k := rng.Intn(10); {
+				case k < 2: // load
+					c.Load(pool.At(rng.Intn(o.Addrs)))
+				case k < 4: // store
+					c.Store(pool.At(rng.Intn(o.Addrs)))
+				case k < 6 && depth > 0: // spawn
+					c.Spawn("s", func(cc *cilk.Ctx) { body(cc, depth-1) })
+				case k < 7 && depth > 0: // call
+					c.Call("c", func(cc *cilk.Ctx) { body(cc, depth-1) })
+				case k < 8: // sync
+					c.Sync()
+				case k < 9: // update a reducer; the body may touch the pool
+					touch := rng.Intn(3)
+					addr := pool.At(rng.Intn(o.Addrs))
+					if o.NoReducers {
+						c.Store(addr)
+						continue
+					}
+					r := reds[rng.Intn(len(reds))]
+					c.Update(r, func(cc *cilk.Ctx, v any) any {
+						switch touch {
+						case 0:
+							cc.Load(addr)
+						case 1:
+							cc.Store(addr)
+						}
+						return v.(int) + 1
+					})
+				default: // reducer read
+					if o.Reads && !o.NoReducers {
+						c.Value(reds[rng.Intn(len(reds))])
+					} else {
+						c.Load(pool.At(rng.Intn(o.Addrs)))
+					}
+				}
+			}
+			c.Sync()
+		}
+		body(c, o.MaxDepth)
+	}
+}
+
+// RandomSpec is a seeded steal specification stealing each continuation
+// with probability P, with the given reduce order — the counterpart of
+// Random for schedule-space exploration.
+type RandomSpec struct {
+	Seed   int64
+	P      float64
+	Reduce cilk.ReduceOrder
+}
+
+// ShouldSteal hashes the continuation's global sequence number with the
+// seed for a stable pseudo-random decision.
+func (s RandomSpec) ShouldSteal(ci cilk.ContInfo) bool {
+	h := uint64(ci.Seq)*0x9e3779b97f4a7c15 + uint64(s.Seed)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return float64(h%1024)/1024 < s.P
+}
+
+// Order implements cilk.StealSpec.
+func (s RandomSpec) Order() cilk.ReduceOrder { return s.Reduce }

@@ -1,0 +1,224 @@
+// Package rader is the tool layer tying programs, schedules and detectors
+// together — the Go analogue of the paper's Rader prototype (§8). It runs
+// a Cilk program under a chosen detector and steal specification, returns
+// the race report together with the stolen-continuation labels needed to
+// replay the schedule, and drives the §7 coverage sweep that checks every
+// execution of an ostensibly deterministic program by running SP+ once per
+// generated specification.
+package rader
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/ehlabel"
+	"repro/internal/offsetspan"
+	"repro/internal/peerset"
+	"repro/internal/sched"
+	"repro/internal/spbags"
+	"repro/internal/specgen"
+	"repro/internal/spplus"
+)
+
+// DetectorName selects the analysis run alongside the program.
+type DetectorName string
+
+// The available analyses. None and EmptyTool are the two baselines of the
+// evaluation: no instrumentation at all, and instrumentation calling no-op
+// hooks.
+const (
+	None      DetectorName = "none"
+	EmptyTool DetectorName = "empty"
+	PeerSet   DetectorName = "peer-set"
+	SPBags    DetectorName = "sp-bags"
+	SPPlus    DetectorName = "sp+"
+	// OffsetSpan is the Mellor-Crummey labeling detector of §9's related
+	// work, included as a second reducer-oblivious baseline.
+	OffsetSpan DetectorName = "offset-span"
+	// EnglishHebrew is the Nudler-Rudolph labeling detector, the earliest
+	// scheme §9 surveys.
+	EnglishHebrew DetectorName = "english-hebrew"
+)
+
+// ParseDetector validates a detector name.
+func ParseDetector(s string) (DetectorName, error) {
+	switch DetectorName(s) {
+	case None, EmptyTool, PeerSet, SPBags, SPPlus, OffsetSpan, EnglishHebrew:
+		return DetectorName(s), nil
+	default:
+		return "", fmt.Errorf("rader: unknown detector %q (have none, empty, peer-set, sp-bags, sp+, offset-span, english-hebrew)", s)
+	}
+}
+
+// Config selects the analysis and schedule for one run.
+type Config struct {
+	Detector DetectorName
+	Spec     cilk.StealSpec
+}
+
+// Outcome reports one analysed run.
+type Outcome struct {
+	Detector DetectorName
+	Report   *core.Report // nil for None and EmptyTool
+	Result   *cilk.Result
+	Duration time.Duration
+	// Stats holds the detector's disjoint-set accounting when available.
+	Stats core.Stats
+	// Replay is the textual steal specification reproducing this
+	// schedule, reported alongside races for regression testing (§8).
+	Replay string
+}
+
+// Run executes prog once under cfg.
+func Run(prog func(*cilk.Ctx), cfg Config) *Outcome {
+	var det core.Detector
+	var hooks cilk.Hooks
+	switch cfg.Detector {
+	case None, "":
+		hooks = nil
+	case EmptyTool:
+		hooks = cilk.Empty{}
+	case PeerSet:
+		det = peerset.New()
+		hooks = det
+	case SPBags:
+		det = spbags.New()
+		hooks = det
+	case SPPlus:
+		det = spplus.New()
+		hooks = det
+	case OffsetSpan:
+		det = offsetspan.New()
+		hooks = det
+	case EnglishHebrew:
+		det = ehlabel.New()
+		hooks = det
+	default:
+		panic(fmt.Sprintf("rader: bad detector %q", cfg.Detector))
+	}
+	start := time.Now()
+	res := cilk.Run(prog, cilk.Config{Spec: cfg.Spec, Hooks: hooks})
+	dur := time.Since(start)
+	out := &Outcome{
+		Detector: cfg.Detector,
+		Result:   res,
+		Duration: dur,
+		Replay:   sched.Format(sched.FromSteals(res.Steals, orderOf(cfg.Spec))),
+	}
+	if det != nil {
+		out.Report = det.Report()
+		if sp, ok := det.(core.StatsProvider); ok {
+			out.Stats = sp.Stats()
+		}
+	}
+	return out
+}
+
+func orderOf(spec cilk.StealSpec) cilk.ReduceOrder {
+	if spec == nil {
+		return cilk.ReduceAtSync
+	}
+	return spec.Order()
+}
+
+// CoverageFinding records which specification elicited a race.
+type CoverageFinding struct {
+	Spec string
+	Race core.Race
+}
+
+// CoverageResult summarizes a §7 sweep.
+type CoverageResult struct {
+	Profile   specgen.Profile
+	SpecsRun  int
+	ViewReads *core.Report // Peer-Set result (schedule-independent)
+	// Races holds one representative finding per distinct determinacy
+	// race, with the specification that elicited it.
+	Races []CoverageFinding
+	total int
+}
+
+// Clean reports whether the sweep found nothing.
+func (cr *CoverageResult) Clean() bool {
+	return cr.ViewReads.Empty() && len(cr.Races) == 0
+}
+
+// TotalReports counts raw race reports across the sweep.
+func (cr *CoverageResult) TotalReports() int { return cr.total }
+
+// Coverage performs the paper's full §7 check of an ostensibly
+// deterministic program: one Peer-Set run for view-read races (the
+// detector is schedule-independent) and one SP+ run per specification in
+// the Θ(M + K³) family, checking every execution for determinacy races
+// that involve a view-oblivious strand. prog must be rerunnable.
+func Coverage(prog func(*cilk.Ctx)) *CoverageResult {
+	return sweep(func() func(*cilk.Ctx) { return prog }, 1)
+}
+
+// CoverageParallel is Coverage with the per-specification SP+ runs spread
+// across workers goroutines — the sweep is embarrassingly parallel since
+// each specification analyses an independent execution. Because program
+// instances usually carry mutable workload state, the caller supplies a
+// factory producing a fresh, independent instance per run; instances must
+// allocate identical address layouts (e.g. a fresh mem.Allocator each) so
+// findings from different runs describe the same locations.
+func CoverageParallel(factory func() func(*cilk.Ctx), workers int) *CoverageResult {
+	if workers < 1 {
+		workers = 1
+	}
+	return sweep(factory, workers)
+}
+
+func sweep(factory func() func(*cilk.Ctx), workers int) *CoverageResult {
+	cr := &CoverageResult{}
+	cr.Profile = specgen.Measure(factory())
+
+	ps := Run(factory(), Config{Detector: PeerSet})
+	cr.ViewReads = ps.Report
+
+	specs := specgen.All(cr.Profile)
+	type specResult struct {
+		spec  string
+		races []core.Race
+		total int
+	}
+	results := make([]specResult, len(specs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out := Run(factory(), Config{Detector: SPPlus, Spec: specs[i]})
+				results[i] = specResult{
+					spec:  sched.Format(specs[i]),
+					races: out.Report.Races(),
+					total: out.Report.Total(),
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	seen := make(map[string]bool)
+	for _, res := range results {
+		cr.SpecsRun++
+		cr.total += res.total
+		for _, race := range res.races {
+			key := race.String()
+			if !seen[key] {
+				seen[key] = true
+				cr.Races = append(cr.Races, CoverageFinding{Spec: res.spec, Race: race})
+			}
+		}
+	}
+	return cr
+}

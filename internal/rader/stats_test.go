@@ -1,0 +1,42 @@
+package rader
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cilk"
+	"repro/internal/mem"
+)
+
+// TestDSUWorkLinearInEvents checks the operation-count form of Theorems 1
+// and 5: the number of disjoint-set operations a detector performs is
+// linear in the number of instrumentation events, with the α factor inside
+// each operation — so ops/event stays bounded by a small constant as the
+// input grows.
+func TestDSUWorkLinearInEvents(t *testing.T) {
+	for _, det := range []DetectorName{PeerSet, SPBags, SPPlus} {
+		var prev float64
+		for i, scale := range []apps.Scale{apps.Test, apps.Small} {
+			al := mem.NewAllocator()
+			ins := apps.Fib().Build(al, scale)
+			out := Run(ins.Prog, Config{Detector: det, Spec: cilk.StealAll{}})
+			events := float64(out.Result.Loads + out.Result.Stores + out.Result.Reads +
+				uint64(out.Result.Frames) + uint64(out.Result.Syncs) + uint64(out.Result.Reduces))
+			opsPerEvent := float64(out.Stats.Finds+out.Stats.Unions) / events
+			if opsPerEvent > 8 {
+				t.Fatalf("%s scale %v: %.1f DSU ops per event — not O(1) per event", det, scale, opsPerEvent)
+			}
+			if i > 0 {
+				// Growing the input must not grow the per-event cost by
+				// more than a sliver (α is effectively constant).
+				if opsPerEvent > prev*1.5 {
+					t.Fatalf("%s: ops/event grew %f -> %f across scales", det, prev, opsPerEvent)
+				}
+			}
+			prev = opsPerEvent
+			if out.Stats.Elems == 0 {
+				t.Fatalf("%s: no DSU elements recorded", det)
+			}
+		}
+	}
+}

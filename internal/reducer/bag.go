@@ -1,0 +1,173 @@
+package reducer
+
+import "repro/internal/cilk"
+
+// Bag is the Leiserson–Schardl pennant bag from "A work-efficient parallel
+// breadth-first search algorithm (or how to cope with the nondeterminism
+// of reducers)" — the reducer data structure the paper's pbfs benchmark
+// uses. A pennant is a tree of 2^k elements whose root has a single child
+// that is a complete binary tree of 2^k−1 elements; a bag is a sparse
+// array of pennants, one per set bit of the element count, maintained like
+// a binary counter. Insert is O(1) amortized; Union of two bags is
+// O(log n) pointer surgery (a full adder over pennants), which is what
+// makes the bag an efficient reducer monoid.
+type Bag[T any] struct {
+	spine []*pennant[T]
+	n     int
+}
+
+type pennant[T any] struct {
+	el   T
+	l, r *pennant[T]
+}
+
+// pennantUnion combines two pennants of equal size 2^k into one of size
+// 2^(k+1): y adopts x's child tree as its right child and becomes x's
+// child.
+func pennantUnion[T any](x, y *pennant[T]) *pennant[T] {
+	y.r = x.l
+	x.l = y
+	return x
+}
+
+// pennantSplit undoes pennantUnion, halving a pennant of size 2^(k+1)
+// into two of size 2^k.
+func pennantSplit[T any](x *pennant[T]) (*pennant[T], *pennant[T]) {
+	y := x.l
+	x.l = y.r
+	y.r = nil
+	return x, y
+}
+
+// NewBag returns an empty bag.
+func NewBag[T any]() *Bag[T] { return &Bag[T]{} }
+
+// Len reports the number of elements in the bag.
+func (b *Bag[T]) Len() int { return b.n }
+
+// Empty reports whether the bag holds no elements.
+func (b *Bag[T]) Empty() bool { return b.n == 0 }
+
+// Insert adds one element, carrying pennants like a binary counter.
+func (b *Bag[T]) Insert(x T) {
+	p := &pennant[T]{el: x}
+	k := 0
+	for {
+		if k == len(b.spine) {
+			b.spine = append(b.spine, nil)
+		}
+		if b.spine[k] == nil {
+			b.spine[k] = p
+			break
+		}
+		p = pennantUnion(b.spine[k], p)
+		b.spine[k] = nil
+		k++
+	}
+	b.n++
+}
+
+// Union merges other into b in O(log n) time, emptying other. Merging is a
+// full adder over the two spines; element order inside pennants is
+// unspecified, which is fine because a bag is unordered by contract.
+func (b *Bag[T]) Union(other *Bag[T]) {
+	if other.n == 0 {
+		return
+	}
+	if len(other.spine) > len(b.spine) {
+		b.spine, other.spine = other.spine, b.spine
+	}
+	var carry *pennant[T]
+	for k := 0; k < len(b.spine); k++ {
+		var o *pennant[T]
+		if k < len(other.spine) {
+			o = other.spine[k]
+		}
+		b.spine[k], carry = fullAdder(b.spine[k], o, carry)
+		if o == nil && carry == nil && k >= len(other.spine) {
+			break
+		}
+	}
+	if carry != nil {
+		b.spine = append(b.spine, carry)
+	}
+	b.n += other.n
+	other.spine = nil
+	other.n = 0
+}
+
+func fullAdder[T any](x, y, z *pennant[T]) (sum, carry *pennant[T]) {
+	switch {
+	case x == nil && y == nil:
+		return z, nil
+	case x == nil && z == nil:
+		return y, nil
+	case y == nil && z == nil:
+		return x, nil
+	case x == nil:
+		return nil, pennantUnion(y, z)
+	case y == nil:
+		return nil, pennantUnion(x, z)
+	case z == nil:
+		return nil, pennantUnion(x, y)
+	default:
+		return x, pennantUnion(y, z)
+	}
+}
+
+// ForEach visits every element serially.
+func (b *Bag[T]) ForEach(f func(T)) {
+	for _, p := range b.spine {
+		walkPennant(p, f)
+	}
+}
+
+func walkPennant[T any](p *pennant[T], f func(T)) {
+	if p == nil {
+		return
+	}
+	f(p.el)
+	walkPennant(p.l, f)
+	walkPennant(p.r, f)
+}
+
+// Pennants returns the bag's pennants for parallel traversal: callers
+// spawn one task per pennant and recurse over each pennant with Split.
+func (b *Bag[T]) Pennants() []*Pennant[T] {
+	var out []*Pennant[T]
+	for _, p := range b.spine {
+		if p != nil {
+			out = append(out, &Pennant[T]{p: p})
+		}
+	}
+	return out
+}
+
+// Pennant is an exported handle over one pennant for parallel walks.
+type Pennant[T any] struct{ p *pennant[T] }
+
+// Element returns the pennant root's element.
+func (pn *Pennant[T]) Element() T { return pn.p.el }
+
+// Children returns the root's subtrees (either may be nil).
+func (pn *Pennant[T]) Children() (l, r *Pennant[T]) {
+	if pn.p.l != nil {
+		l = &Pennant[T]{p: pn.p.l}
+	}
+	if pn.p.r != nil {
+		r = &Pennant[T]{p: pn.p.r}
+	}
+	return l, r
+}
+
+// BagMonoid is the bag-union monoid: identity is the empty bag, Combine
+// unions the right (serially later) bag into the left.
+func BagMonoid[T any]() cilk.Monoid {
+	return typed[*Bag[T]]{
+		identity: func(*cilk.Ctx) *Bag[T] { return NewBag[T]() },
+		combine: func(_ *cilk.Ctx, l, r *Bag[T]) *Bag[T] {
+			l.Union(r)
+			return l
+		},
+	}
+}

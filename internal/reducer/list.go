@@ -1,0 +1,160 @@
+package reducer
+
+import "repro/internal/cilk"
+
+// LinkedList is the list reducer's view as Cilk++ actually ships it: a
+// singly linked list with head and tail pointers so Reduce is an O(1)
+// splice — the very operation whose hidden write the paper's Figure 1
+// race lives in. The slice-based List monoid in this package is simpler
+// but its Combine copies; LinkedList keeps reduction constant-time, which
+// matters when τ appears in SP+'s O((T+Mτ)·α) bound.
+type LinkedList[T any] struct {
+	head, tail *listNode[T]
+	n          int
+}
+
+type listNode[T any] struct {
+	v    T
+	next *listNode[T]
+}
+
+// PushBack appends v in O(1).
+func (l *LinkedList[T]) PushBack(v T) {
+	n := &listNode[T]{v: v}
+	if l.tail == nil {
+		l.head, l.tail = n, n
+	} else {
+		l.tail.next = n
+		l.tail = n
+	}
+	l.n++
+}
+
+// Len reports the element count.
+func (l *LinkedList[T]) Len() int { return l.n }
+
+// Splice appends other's nodes in O(1), emptying other.
+func (l *LinkedList[T]) Splice(other *LinkedList[T]) {
+	if other.head == nil {
+		return
+	}
+	if l.tail == nil {
+		l.head, l.tail = other.head, other.tail
+	} else {
+		l.tail.next = other.head
+		l.tail = other.tail
+	}
+	l.n += other.n
+	other.head, other.tail, other.n = nil, nil, 0
+}
+
+// Slice materializes the contents in order.
+func (l *LinkedList[T]) Slice() []T {
+	out := make([]T, 0, l.n)
+	for n := l.head; n != nil; n = n.next {
+		out = append(out, n.v)
+	}
+	return out
+}
+
+// ForEach visits elements in order.
+func (l *LinkedList[T]) ForEach(f func(T)) {
+	for n := l.head; n != nil; n = n.next {
+		f(n.v)
+	}
+}
+
+// LinkedListMonoid splices views in serial order with O(1) Combine.
+func LinkedListMonoid[T any]() cilk.Monoid {
+	return typed[*LinkedList[T]]{
+		identity: func(*cilk.Ctx) *LinkedList[T] { return &LinkedList[T]{} },
+		combine: func(_ *cilk.Ctx, l, r *LinkedList[T]) *LinkedList[T] {
+			l.Splice(r)
+			return l
+		},
+	}
+}
+
+// MapMonoid merges map views: keys unique to either side transfer; keys
+// present in both combine their values with the supplied (associative)
+// value combiner, left value first — so per-key results equal the serial
+// reduction over that key's updates.
+func MapMonoid[K comparable, V any](combineValue func(l, r V) V) cilk.Monoid {
+	return typed[map[K]V]{
+		identity: func(*cilk.Ctx) map[K]V { return make(map[K]V) },
+		combine: func(_ *cilk.Ctx, l, r map[K]V) map[K]V {
+			// Merge the smaller side into the larger when the larger is
+			// the left (serial-earlier) view; if the right view is larger
+			// we still must merge into l to keep left-bias of the value
+			// combiner, so only the iteration cost differs.
+			for k, rv := range r {
+				if lv, ok := l[k]; ok {
+					l[k] = combineValue(lv, rv)
+				} else {
+					l[k] = rv
+				}
+			}
+			return l
+		},
+	}
+}
+
+// Histogram is a MapMonoid specialization counting occurrences.
+func Histogram[K comparable]() cilk.Monoid {
+	return MapMonoid[K, int](func(l, r int) int { return l + r })
+}
+
+// Moments is a statistics reducer view: count, sum, min and max of a
+// stream of float64 observations.
+type Moments struct {
+	Count    int
+	Sum      float64
+	Min, Max float64
+}
+
+// Observe folds one observation into the view.
+func (m Moments) Observe(x float64) Moments {
+	if m.Count == 0 {
+		return Moments{Count: 1, Sum: x, Min: x, Max: x}
+	}
+	m.Count++
+	m.Sum += x
+	if x < m.Min {
+		m.Min = x
+	}
+	if x > m.Max {
+		m.Max = x
+	}
+	return m
+}
+
+// Mean returns the running mean (0 for an empty view).
+func (m Moments) Mean() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.Count)
+}
+
+// MomentsMonoid combines statistics views; commutative and associative.
+func MomentsMonoid() cilk.Monoid {
+	return typed[Moments]{
+		identity: func(*cilk.Ctx) Moments { return Moments{} },
+		combine: func(_ *cilk.Ctx, l, r Moments) Moments {
+			if l.Count == 0 {
+				return r
+			}
+			if r.Count == 0 {
+				return l
+			}
+			out := Moments{Count: l.Count + r.Count, Sum: l.Sum + r.Sum, Min: l.Min, Max: l.Max}
+			if r.Min < out.Min {
+				out.Min = r.Min
+			}
+			if r.Max > out.Max {
+				out.Max = r.Max
+			}
+			return out
+		},
+	}
+}

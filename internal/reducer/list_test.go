@@ -1,0 +1,157 @@
+package reducer
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cilk"
+)
+
+func TestLinkedListBasics(t *testing.T) {
+	var l LinkedList[int]
+	for i := 0; i < 5; i++ {
+		l.PushBack(i)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if fmt.Sprint(l.Slice()) != "[0 1 2 3 4]" {
+		t.Fatalf("slice = %v", l.Slice())
+	}
+	var other LinkedList[int]
+	other.PushBack(5)
+	other.PushBack(6)
+	l.Splice(&other)
+	if l.Len() != 7 || other.Len() != 0 {
+		t.Fatal("splice must move everything")
+	}
+	sum := 0
+	l.ForEach(func(v int) { sum += v })
+	if sum != 21 {
+		t.Fatalf("foreach sum = %d", sum)
+	}
+	// Splice into empty, splice of empty.
+	var e LinkedList[int]
+	e.Splice(&l)
+	if e.Len() != 7 {
+		t.Fatal("splice into empty")
+	}
+	e.Splice(&other)
+	if e.Len() != 7 {
+		t.Fatal("splice of empty must be a no-op")
+	}
+}
+
+func TestLinkedListReducerSerialOrder(t *testing.T) {
+	for _, spec := range specs {
+		var got []int
+		cilk.Run(func(c *cilk.Ctx) {
+			h := New[*LinkedList[int]](c, "ll", LinkedListMonoid[int](), &LinkedList[int]{})
+			c.ParForGrain("app", 60, 2, func(cc *cilk.Ctx, i int) {
+				h.Update(cc, func(_ *cilk.Ctx, l *LinkedList[int]) *LinkedList[int] {
+					l.PushBack(i)
+					return l
+				})
+			})
+			got = h.Value(c).Slice()
+		}, cilk.Config{Spec: spec})
+		if len(got) != 60 {
+			t.Fatalf("len = %d", len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("spec %#v: out of order at %d: %v", spec, i, got[:i+1])
+			}
+		}
+	}
+}
+
+func TestMapMonoidMergesPerKey(t *testing.T) {
+	for _, spec := range specs {
+		var got map[string]int
+		cilk.Run(func(c *cilk.Ctx) {
+			h := New[map[string]int](c, "m", MapMonoid[string, int](func(l, r int) int { return l + r }),
+				map[string]int{})
+			c.ParForGrain("upd", 90, 3, func(cc *cilk.Ctx, i int) {
+				key := fmt.Sprintf("k%d", i%3)
+				h.Update(cc, func(_ *cilk.Ctx, m map[string]int) map[string]int {
+					m[key] += i
+					return m
+				})
+			})
+			got = h.Value(c)
+		}, cilk.Config{Spec: spec})
+		want := map[string]int{"k0": 0, "k1": 0, "k2": 0}
+		for i := 0; i < 90; i++ {
+			want[fmt.Sprintf("k%d", i%3)] += i
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("spec %#v: %s = %d, want %d", spec, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestMapMonoidNonCommutativeValues(t *testing.T) {
+	// Per-key values concatenate in serial order even though the map
+	// itself is unordered.
+	var got map[int]string
+	cilk.Run(func(c *cilk.Ctx) {
+		h := New[map[int]string](c, "m", MapMonoid[int, string](func(l, r string) string { return l + r }),
+			map[int]string{})
+		c.ParForGrain("upd", 12, 1, func(cc *cilk.Ctx, i int) {
+			h.Update(cc, func(_ *cilk.Ctx, m map[int]string) map[int]string {
+				m[i%2] += fmt.Sprintf("%d,", i)
+				return m
+			})
+		})
+		got = h.Value(c)
+	}, cilk.Config{Spec: cilk.StealAll{Reduce: cilk.ReduceMiddleFirst}})
+	if got[0] != "0,2,4,6,8,10," || got[1] != "1,3,5,7,9,11," {
+		t.Fatalf("per-key serial order broken: %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var got map[byte]int
+	data := []byte("abracadabra")
+	cilk.Run(func(c *cilk.Ctx) {
+		h := New[map[byte]int](c, "hist", Histogram[byte](), map[byte]int{})
+		c.ParForGrain("count", len(data), 1, func(cc *cilk.Ctx, i int) {
+			h.Update(cc, func(_ *cilk.Ctx, m map[byte]int) map[byte]int {
+				m[data[i]]++
+				return m
+			})
+		})
+		got = h.Value(c)
+	}, cilk.Config{Spec: cilk.StealAll{}})
+	if got['a'] != 5 || got['b'] != 2 || got['r'] != 2 || got['c'] != 1 || got['d'] != 1 {
+		t.Fatalf("histogram = %v", got)
+	}
+}
+
+func TestMomentsReducer(t *testing.T) {
+	for _, spec := range specs {
+		var got Moments
+		cilk.Run(func(c *cilk.Ctx) {
+			h := New[Moments](c, "stats", MomentsMonoid(), Moments{})
+			c.ParForGrain("obs", 100, 4, func(cc *cilk.Ctx, i int) {
+				h.Update(cc, func(_ *cilk.Ctx, m Moments) Moments {
+					return m.Observe(float64(i))
+				})
+			})
+			got = h.Value(c)
+		}, cilk.Config{Spec: spec})
+		if got.Count != 100 || got.Min != 0 || got.Max != 99 {
+			t.Fatalf("moments = %+v", got)
+		}
+		if math.Abs(got.Mean()-49.5) > 1e-9 {
+			t.Fatalf("mean = %f", got.Mean())
+		}
+	}
+	if (Moments{}).Mean() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+}

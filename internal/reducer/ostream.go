@@ -1,0 +1,77 @@
+package reducer
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/cilk"
+)
+
+// Ostream is the view type of the reducer_ostream hyperobject: parallel
+// subcomputations write freely to their view's buffer, and reduction
+// concatenates buffers in serial order, so the final output reads exactly
+// as a serial execution would have produced it. The paper's dedup and
+// ferret benchmarks write their output through one of these.
+type Ostream struct {
+	buf bytes.Buffer
+}
+
+// Write implements io.Writer.
+func (o *Ostream) Write(p []byte) (int, error) { return o.buf.Write(p) }
+
+// WriteString appends s.
+func (o *Ostream) WriteString(s string) { o.buf.WriteString(s) }
+
+// Printf appends formatted output.
+func (o *Ostream) Printf(format string, args ...any) {
+	fmt.Fprintf(&o.buf, format, args...)
+}
+
+// Len reports the buffered byte count.
+func (o *Ostream) Len() int { return o.buf.Len() }
+
+// Bytes returns the buffered output.
+func (o *Ostream) Bytes() []byte { return o.buf.Bytes() }
+
+// String returns the buffered output as a string.
+func (o *Ostream) String() string { return o.buf.String() }
+
+// WriteTo flushes the buffered output to w.
+func (o *Ostream) WriteTo(w io.Writer) (int64, error) { return o.buf.WriteTo(w) }
+
+// OstreamMonoid concatenates views in serial order.
+func OstreamMonoid() cilk.Monoid {
+	return typed[*Ostream]{
+		identity: func(*cilk.Ctx) *Ostream { return &Ostream{} },
+		combine: func(_ *cilk.Ctx, l, r *Ostream) *Ostream {
+			l.buf.Write(r.buf.Bytes())
+			return l
+		},
+	}
+}
+
+// Hypervector is the appendable-vector reducer the paper's collision
+// benchmark uses: Update appends to the view's slice, Combine concatenates
+// preserving serial order. It differs from List by tracking capacity
+// explicitly so Combine can reuse the left view's storage.
+type Hypervector[T any] struct {
+	Elems []T
+}
+
+// Append adds x to the view.
+func (h *Hypervector[T]) Append(x T) { h.Elems = append(h.Elems, x) }
+
+// Len reports the element count.
+func (h *Hypervector[T]) Len() int { return len(h.Elems) }
+
+// HypervectorMonoid concatenates hypervectors in serial order.
+func HypervectorMonoid[T any]() cilk.Monoid {
+	return typed[*Hypervector[T]]{
+		identity: func(*cilk.Ctx) *Hypervector[T] { return &Hypervector[T]{} },
+		combine: func(_ *cilk.Ctx, l, r *Hypervector[T]) *Hypervector[T] {
+			l.Elems = append(l.Elems, r.Elems...)
+			return l
+		},
+	}
+}

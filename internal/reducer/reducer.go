@@ -1,0 +1,189 @@
+// Package reducer is the reducer library layered over the cilk runtime's
+// Monoid interface: the common monoids that Cilk Plus ships (op_add,
+// op_mul, op_min/op_max with index, bitwise ops, ostream), plus the
+// published reducer data structures the paper's benchmarks use — the
+// Leiserson–Schardl pennant Bag that powers PBFS, the hypervector used by
+// collision, and a Holder. All reductions are associative but generally
+// not commutative, which is the property that makes reducers deterministic
+// (§1): Combine(left, right) always receives the serially-earlier view on
+// the left.
+package reducer
+
+import (
+	"repro/internal/cilk"
+)
+
+// typed adapts a pair of typed closures to cilk.Monoid.
+type typed[T any] struct {
+	identity func(c *cilk.Ctx) T
+	combine  func(c *cilk.Ctx, l, r T) T
+}
+
+func (m typed[T]) Identity(c *cilk.Ctx) any { return m.identity(c) }
+
+func (m typed[T]) Combine(c *cilk.Ctx, l, r any) any {
+	return m.combine(c, l.(T), r.(T))
+}
+
+// Handle is a typed wrapper around a *cilk.Reducer.
+type Handle[T any] struct {
+	R *cilk.Reducer
+}
+
+// New declares a typed reducer on ctx (a reducer-read).
+func New[T any](c *cilk.Ctx, name string, m cilk.Monoid, initial T) Handle[T] {
+	return Handle[T]{R: c.NewReducer(name, m, initial)}
+}
+
+// NewQuiet declares a typed reducer without the creation reducer-read,
+// modeling a global reducer constructed before the computation.
+func NewQuiet[T any](c *cilk.Ctx, name string, m cilk.Monoid, initial T) Handle[T] {
+	return Handle[T]{R: c.NewReducerQuiet(name, m, initial)}
+}
+
+// Update applies f to the current view.
+func (h Handle[T]) Update(c *cilk.Ctx, f func(c *cilk.Ctx, view T) T) {
+	c.Update(h.R, func(cc *cilk.Ctx, v any) any { return f(cc, v.(T)) })
+}
+
+// Value retrieves the current view (a reducer-read).
+func (h Handle[T]) Value(c *cilk.Ctx) T { return c.Value(h.R).(T) }
+
+// Set resets the current view (a reducer-read).
+func (h Handle[T]) Set(c *cilk.Ctx, v T) { c.SetValue(h.R, v) }
+
+// Number is the constraint for the arithmetic monoids.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// OpAdd is the addition monoid (Cilk Plus reducer_opadd).
+func OpAdd[T Number]() cilk.Monoid {
+	return typed[T]{
+		identity: func(*cilk.Ctx) T { var z T; return z },
+		combine:  func(_ *cilk.Ctx, l, r T) T { return l + r },
+	}
+}
+
+// OpMul is the multiplication monoid (reducer_opmul).
+func OpMul[T Number]() cilk.Monoid {
+	return typed[T]{
+		identity: func(*cilk.Ctx) T { var z T; return z + 1 },
+		combine:  func(_ *cilk.Ctx, l, r T) T { return l * r },
+	}
+}
+
+// MaxView is the view of OpMax: a running maximum plus whether it is set,
+// and the serial index where it was attained (reducer_max_index).
+type MaxView[T Number] struct {
+	Set   bool
+	Value T
+	Index int
+}
+
+// Max folds a candidate into the view.
+func (v MaxView[T]) Max(x T, index int) MaxView[T] {
+	if !v.Set || x > v.Value {
+		return MaxView[T]{Set: true, Value: x, Index: index}
+	}
+	return v
+}
+
+// OpMax is the maximum monoid with index (reducer_max_index). Ties keep
+// the serially-earlier index, preserving determinism.
+func OpMax[T Number]() cilk.Monoid {
+	return typed[MaxView[T]]{
+		identity: func(*cilk.Ctx) MaxView[T] { return MaxView[T]{} },
+		combine: func(_ *cilk.Ctx, l, r MaxView[T]) MaxView[T] {
+			switch {
+			case !r.Set:
+				return l
+			case !l.Set:
+				return r
+			case r.Value > l.Value:
+				return r
+			default:
+				return l
+			}
+		},
+	}
+}
+
+// MinView is the view of OpMin.
+type MinView[T Number] struct {
+	Set   bool
+	Value T
+	Index int
+}
+
+// Min folds a candidate into the view.
+func (v MinView[T]) Min(x T, index int) MinView[T] {
+	if !v.Set || x < v.Value {
+		return MinView[T]{Set: true, Value: x, Index: index}
+	}
+	return v
+}
+
+// OpMin is the minimum monoid with index (reducer_min_index).
+func OpMin[T Number]() cilk.Monoid {
+	return typed[MinView[T]]{
+		identity: func(*cilk.Ctx) MinView[T] { return MinView[T]{} },
+		combine: func(_ *cilk.Ctx, l, r MinView[T]) MinView[T] {
+			switch {
+			case !r.Set:
+				return l
+			case !l.Set:
+				return r
+			case r.Value < l.Value:
+				return r
+			default:
+				return l
+			}
+		},
+	}
+}
+
+// OpAnd is the bitwise-and monoid (reducer_opand).
+func OpAnd[T ~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64]() cilk.Monoid {
+	return typed[T]{
+		identity: func(*cilk.Ctx) T { var z T; return ^z },
+		combine:  func(_ *cilk.Ctx, l, r T) T { return l & r },
+	}
+}
+
+// OpOr is the bitwise-or monoid (reducer_opor).
+func OpOr[T ~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64]() cilk.Monoid {
+	return typed[T]{
+		identity: func(*cilk.Ctx) T { var z T; return z },
+		combine:  func(_ *cilk.Ctx, l, r T) T { return l | r },
+	}
+}
+
+// OpXor is the bitwise-xor monoid (reducer_opxor).
+func OpXor[T ~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64]() cilk.Monoid {
+	return typed[T]{
+		identity: func(*cilk.Ctx) T { var z T; return z },
+		combine:  func(_ *cilk.Ctx, l, r T) T { return l ^ r },
+	}
+}
+
+// List is the list-append monoid over slices: identity is nil, Combine is
+// concatenation. Appends in serial order; the view type is []T.
+func List[T any]() cilk.Monoid {
+	return typed[[]T]{
+		identity: func(*cilk.Ctx) []T { return nil },
+		combine:  func(_ *cilk.Ctx, l, r []T) []T { return append(l, r...) },
+	}
+}
+
+// Holder is the holder hyperobject: a per-view scratch value with no
+// meaningful reduction (the left view wins), used to give each parallel
+// subcomputation private workspace.
+func Holder[T any](mk func() T) cilk.Monoid {
+	return typed[T]{
+		identity: func(*cilk.Ctx) T { return mk() },
+		combine:  func(_ *cilk.Ctx, l, r T) T { return l },
+	}
+}

@@ -1,0 +1,43 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/cilk"
+)
+
+// FuzzParse: Parse must never panic; when it succeeds, Format must round
+// trip through a second Parse to an equivalent spec, and the spec must be
+// callable.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"none", "all", "all-eager", "depth:3", "single:2", "pair:1,4",
+		"pair-mid:2,9", "triple:1,2,5", "random:42,8",
+		"labels:main/b0/c1@1;f/b2/c3@9", "", "bogus", "depth:",
+		"triple:9", "random:,", "labels:",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := Parse(s)
+		if err != nil {
+			return
+		}
+		text := Format(spec)
+		spec2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Format produced unparsable %q from %q: %v", text, s, err)
+		}
+		// Both specs must agree on a few probe continuations.
+		fr := &cilk.Frame{ID: 1}
+		for idx := 1; idx <= 6; idx++ {
+			ci := cilk.ContInfo{Frame: fr, Index: idx, PDepth: idx, SyncBlock: 1, Seq: idx}
+			if spec.ShouldSteal(ci) != spec2.ShouldSteal(ci) {
+				t.Fatalf("round trip changed decisions for %q", s)
+			}
+		}
+		if spec.Order() != spec2.Order() {
+			t.Fatalf("round trip changed reduce order for %q", s)
+		}
+	})
+}

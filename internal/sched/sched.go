@@ -1,0 +1,269 @@
+// Package sched is the steal-specification library (§5, §8). A steal
+// specification fixes the schedule the SP+ algorithm analyses: which
+// continuations are stolen (each minting a reducer view) and in which
+// order views reduce. Rader's practical encodings (§8) are all here — a
+// triple of continuation indices applied to every sync block for eliciting
+// reduce strands, a continuation depth for eliciting update strands, a
+// seeded random choice per sync block, and an explicit label set for
+// replaying a reported racy schedule — plus textual (de)serialization for
+// the command-line tools.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cilk"
+)
+
+// ByDepth steals every continuation whose P-depth (number of P nodes on
+// the root-to-continuation parse-tree path) equals D — one member of
+// Theorem 6's breadth-first family. Rader's "check updates" configuration
+// uses D equal to half the maximum sync-block size.
+type ByDepth struct {
+	D      int
+	Reduce cilk.ReduceOrder
+}
+
+// ShouldSteal implements cilk.StealSpec.
+func (s ByDepth) ShouldSteal(ci cilk.ContInfo) bool { return ci.PDepth == s.D }
+
+// Order implements cilk.StealSpec.
+func (s ByDepth) Order() cilk.ReduceOrder { return s.Reduce }
+
+// String implements fmt.Stringer.
+func (s ByDepth) String() string { return fmt.Sprintf("depth:%d", s.D) }
+
+// Triple steals continuations I < J < K of every sync block and reduces
+// the two views they delimit first (ReduceMiddleFirst), eliciting the
+// reduce strand that combines the I..J and J..K update segments — the §8
+// "three values specifying the continuations to be stolen" encoding that
+// drives Theorem 7's coverage family.
+type Triple struct {
+	I, J, K int
+}
+
+// ShouldSteal implements cilk.StealSpec.
+func (s Triple) ShouldSteal(ci cilk.ContInfo) bool {
+	return ci.Index == s.I || ci.Index == s.J || ci.Index == s.K
+}
+
+// Order implements cilk.StealSpec.
+func (s Triple) Order() cilk.ReduceOrder { return cilk.ReduceMiddleFirst }
+
+// String implements fmt.Stringer.
+func (s Triple) String() string { return fmt.Sprintf("triple:%d,%d,%d", s.I, s.J, s.K) }
+
+// Single steals continuation A of every sync block. At the sync the lone
+// parallel view reduces into the base view, eliciting the reduce operation
+// combining update segments (0, A] and (A, K] of a K-continuation block.
+type Single struct {
+	A int
+}
+
+// ShouldSteal implements cilk.StealSpec.
+func (s Single) ShouldSteal(ci cilk.ContInfo) bool { return ci.Index == s.A }
+
+// Order implements cilk.StealSpec.
+func (s Single) Order() cilk.ReduceOrder { return cilk.ReduceAtSync }
+
+// String implements fmt.Stringer.
+func (s Single) String() string { return fmt.Sprintf("single:%d", s.A) }
+
+// Pair steals continuations A < B of every sync block. With the default
+// eager reduction the base view merges with the view the pair delimits as
+// soon as the next child returns, eliciting the reduce of the block prefix
+// with segments (A, B]; with Mid set, reduction is middle-first at the
+// sync, eliciting the reduce of (A, B] with the block's tail view instead.
+type Pair struct {
+	A, B int
+	Mid  bool
+}
+
+// ShouldSteal implements cilk.StealSpec.
+func (s Pair) ShouldSteal(ci cilk.ContInfo) bool { return ci.Index == s.A || ci.Index == s.B }
+
+// Order implements cilk.StealSpec.
+func (s Pair) Order() cilk.ReduceOrder {
+	if s.Mid {
+		return cilk.ReduceMiddleFirst
+	}
+	return cilk.ReduceEager
+}
+
+// String implements fmt.Stringer.
+func (s Pair) String() string {
+	if s.Mid {
+		return fmt.Sprintf("pair-mid:%d,%d", s.A, s.B)
+	}
+	return fmt.Sprintf("pair:%d,%d", s.A, s.B)
+}
+
+// Random picks, per sync block, three continuation indices in [1, K]
+// pseudo-randomly from the seed — Rader's "random seed and maximum sync
+// block size" input (§8). The choice is stable per (frame, sync block), so
+// a run is reproducible from the seed alone.
+type Random struct {
+	Seed int64
+	K    int // maximum sync-block size
+}
+
+// ShouldSteal implements cilk.StealSpec.
+func (s Random) ShouldSteal(ci cilk.ContInfo) bool {
+	if s.K < 1 {
+		return false
+	}
+	for pick := 0; pick < 3; pick++ {
+		h := uint64(ci.Frame.ID)*0x9e3779b97f4a7c15 ^
+			uint64(ci.SyncBlock)*0xbf58476d1ce4e5b9 ^
+			uint64(s.Seed)*0x94d049bb133111eb ^
+			uint64(pick)*0xd6e8feb86659fd93
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 32
+		if ci.Index == 1+int(h%uint64(s.K)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Order implements cilk.StealSpec.
+func (s Random) Order() cilk.ReduceOrder { return cilk.ReduceMiddleFirst }
+
+// String implements fmt.Stringer.
+func (s Random) String() string { return fmt.Sprintf("random:%d,%d", s.Seed, s.K) }
+
+// Labels steals exactly the continuations named by their replay labels
+// (cilk.ContInfo.String()), the encoding Rader reports alongside a race so
+// the triggering schedule can be repeated as a regression test (§8).
+type Labels struct {
+	Set    map[string]bool
+	Reduce cilk.ReduceOrder
+}
+
+// FromSteals builds a Labels spec replaying the steals of a previous run.
+func FromSteals(steals []cilk.ContInfo, order cilk.ReduceOrder) Labels {
+	set := make(map[string]bool, len(steals))
+	for _, ci := range steals {
+		set[ci.String()] = true
+	}
+	return Labels{Set: set, Reduce: order}
+}
+
+// ShouldSteal implements cilk.StealSpec.
+func (s Labels) ShouldSteal(ci cilk.ContInfo) bool { return s.Set[ci.String()] }
+
+// Order implements cilk.StealSpec.
+func (s Labels) Order() cilk.ReduceOrder { return s.Reduce }
+
+// String implements fmt.Stringer.
+func (s Labels) String() string {
+	labels := make([]string, 0, len(s.Set))
+	for l := range s.Set {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return "labels:" + strings.Join(labels, ";")
+}
+
+// Parse decodes a specification from its textual form:
+//
+//	none | all | all-eager | depth:D | triple:I,J,K | random:SEED,K |
+//	labels:L1;L2;...
+func Parse(s string) (cilk.StealSpec, error) {
+	head, rest, _ := strings.Cut(s, ":")
+	switch head {
+	case "none", "":
+		return cilk.NoSteals{}, nil
+	case "all":
+		return cilk.StealAll{}, nil
+	case "all-eager":
+		return cilk.StealAll{Reduce: cilk.ReduceEager}, nil
+	case "depth":
+		d, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad depth spec %q: %w", s, err)
+		}
+		return ByDepth{D: d}, nil
+	case "single":
+		a, err := strconv.Atoi(rest)
+		if err != nil || a < 1 {
+			return nil, fmt.Errorf("sched: bad single spec %q", s)
+		}
+		return Single{A: a}, nil
+	case "pair", "pair-mid":
+		parts := strings.Split(rest, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("sched: pair needs two indices: %q", s)
+		}
+		a, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		b, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || a < 1 || b <= a {
+			return nil, fmt.Errorf("sched: pair indices must satisfy 1 <= a < b: %q", s)
+		}
+		return Pair{A: a, B: b, Mid: head == "pair-mid"}, nil
+	case "triple":
+		parts := strings.Split(rest, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("sched: triple needs three indices: %q", s)
+		}
+		var idx [3]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("sched: bad triple %q: %w", s, err)
+			}
+			idx[i] = v
+		}
+		if !(idx[0] < idx[1] && idx[1] < idx[2]) || idx[0] < 1 {
+			return nil, fmt.Errorf("sched: triple indices must satisfy 1 <= i < j < k: %q", s)
+		}
+		return Triple{I: idx[0], J: idx[1], K: idx[2]}, nil
+	case "random":
+		parts := strings.Split(rest, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("sched: random needs seed,K: %q", s)
+		}
+		seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad random seed %q: %w", s, err)
+		}
+		k, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad random K %q: %w", s, err)
+		}
+		return Random{Seed: seed, K: k}, nil
+	case "labels":
+		set := make(map[string]bool)
+		for _, l := range strings.Split(rest, ";") {
+			if l = strings.TrimSpace(l); l != "" {
+				set[l] = true
+			}
+		}
+		return Labels{Set: set}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown specification %q", s)
+	}
+}
+
+// Format renders a spec in the textual form Parse accepts.
+func Format(spec cilk.StealSpec) string {
+	switch v := spec.(type) {
+	case nil:
+		return "none"
+	case cilk.NoSteals:
+		return "none"
+	case cilk.StealAll:
+		if v.Reduce == cilk.ReduceEager {
+			return "all-eager"
+		}
+		return "all"
+	case fmt.Stringer:
+		return v.String()
+	default:
+		return fmt.Sprintf("%T", spec)
+	}
+}

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/cilk"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"none", "all", "all-eager", "depth:3", "single:2", "pair:1,4",
+		"triple:1,2,5", "random:42,8",
+	} {
+		spec, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := Format(spec); got != s {
+			t.Errorf("Format(Parse(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"bogus", "depth:x", "triple:1,2", "triple:3,2,1", "triple:0,1,2",
+		"pair:2,2", "single:0", "random:1", "random:x,2",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+// contOf builds a ContInfo with the given coordinates for direct spec
+// checks.
+func contOf(frame *cilk.Frame, index, pdepth, syncBlock int) cilk.ContInfo {
+	return cilk.ContInfo{Frame: frame, Index: index, PDepth: pdepth, SyncBlock: syncBlock}
+}
+
+func TestByDepth(t *testing.T) {
+	s := ByDepth{D: 2}
+	f := &cilk.Frame{}
+	if !s.ShouldSteal(contOf(f, 1, 2, 0)) || s.ShouldSteal(contOf(f, 1, 3, 0)) {
+		t.Fatal("ByDepth keys on PDepth")
+	}
+}
+
+func TestTriplePairSingle(t *testing.T) {
+	f := &cilk.Frame{}
+	tr := Triple{I: 1, J: 3, K: 5}
+	for idx := 1; idx <= 6; idx++ {
+		want := idx == 1 || idx == 3 || idx == 5
+		if tr.ShouldSteal(contOf(f, idx, 0, 0)) != want {
+			t.Fatalf("triple at index %d", idx)
+		}
+	}
+	if tr.Order() != cilk.ReduceMiddleFirst {
+		t.Fatal("triples reduce middle-first")
+	}
+	pr := Pair{A: 2, B: 4}
+	if !pr.ShouldSteal(contOf(f, 2, 0, 0)) || pr.ShouldSteal(contOf(f, 3, 0, 0)) {
+		t.Fatal("pair indices")
+	}
+	if pr.Order() != cilk.ReduceEager {
+		t.Fatal("pairs reduce eagerly")
+	}
+	sg := Single{A: 3}
+	if !sg.ShouldSteal(contOf(f, 3, 0, 0)) || sg.ShouldSteal(contOf(f, 1, 0, 0)) {
+		t.Fatal("single index")
+	}
+}
+
+func TestRandomStableAndBounded(t *testing.T) {
+	s := Random{Seed: 7, K: 8}
+	f := &cilk.Frame{ID: 3}
+	// Stability: same continuation, same answer.
+	ci := contOf(f, 4, 0, 2)
+	first := s.ShouldSteal(ci)
+	for i := 0; i < 10; i++ {
+		if s.ShouldSteal(ci) != first {
+			t.Fatal("Random must be deterministic per continuation")
+		}
+	}
+	// At most three indices stolen per sync block.
+	stolen := 0
+	for idx := 1; idx <= s.K; idx++ {
+		if s.ShouldSteal(contOf(f, idx, 0, 2)) {
+			stolen++
+		}
+	}
+	if stolen < 1 || stolen > 3 {
+		t.Fatalf("random spec steals %d indices, want 1..3", stolen)
+	}
+	if (Random{Seed: 1, K: 0}).ShouldSteal(ci) {
+		t.Fatal("K=0 steals nothing")
+	}
+}
+
+func TestLabelsReplay(t *testing.T) {
+	// Record the steals of one run, replay them exactly.
+	prog := func(c *cilk.Ctx) {
+		for i := 0; i < 5; i++ {
+			c.Spawn("f", func(c *cilk.Ctx) {
+				c.Spawn("g", func(*cilk.Ctx) {})
+				c.Sync()
+			})
+		}
+		c.Sync()
+	}
+	first := cilk.Run(prog, cilk.Config{Spec: Random{Seed: 3, K: 5}})
+	if len(first.Steals) == 0 {
+		t.Skip("seed stole nothing; pick another")
+	}
+	replay := FromSteals(first.Steals, cilk.ReduceAtSync)
+	second := cilk.Run(prog, cilk.Config{Spec: replay})
+	if len(second.Steals) != len(first.Steals) {
+		t.Fatalf("replay stole %d, original %d", len(second.Steals), len(first.Steals))
+	}
+	for i := range first.Steals {
+		if first.Steals[i].String() != second.Steals[i].String() {
+			t.Fatalf("steal %d differs: %v vs %v", i, first.Steals[i], second.Steals[i])
+		}
+	}
+	// Round-trip through the textual form too.
+	spec2, err := Parse(Format(replay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := cilk.Run(prog, cilk.Config{Spec: spec2})
+	if len(third.Steals) != len(first.Steals) {
+		t.Fatal("textual replay diverged")
+	}
+}
+
+func TestPDepthMatchesSpawnCounts(t *testing.T) {
+	// PDepth of a continuation equals the Peer-Set spawn count as+ls at
+	// that point; spot-check on a nested program.
+	var depths []int
+	spy := specSpy{onCont: func(ci cilk.ContInfo) { depths = append(depths, ci.PDepth) }}
+	cilk.Run(func(c *cilk.Ctx) {
+		c.Spawn("a", func(c *cilk.Ctx) { // cont: pdepth 1
+			c.Spawn("b", func(*cilk.Ctx) {}) // cont: pdepth 2
+			c.Spawn("b", func(*cilk.Ctx) {}) // cont: pdepth 3
+			c.Sync()
+			c.Spawn("b", func(*cilk.Ctx) {}) // cont: pdepth 2 (after sync)
+			c.Sync()
+		})
+		c.Spawn("a", func(*cilk.Ctx) {}) // cont: pdepth 2
+		c.Sync()
+	}, cilk.Config{Spec: spy})
+	want := []int{2, 3, 2, 1, 2}
+	if len(depths) != len(want) {
+		t.Fatalf("continuations = %v", depths)
+	}
+	for i := range want {
+		if depths[i] != want[i] {
+			t.Fatalf("pdepths = %v, want %v", depths, want)
+		}
+	}
+}
+
+type specSpy struct {
+	onCont func(cilk.ContInfo)
+}
+
+func (s specSpy) ShouldSteal(ci cilk.ContInfo) bool {
+	s.onCont(ci)
+	return false
+}
+
+func (s specSpy) Order() cilk.ReduceOrder { return cilk.ReduceAtSync }

@@ -1,0 +1,206 @@
+// Package spbags implements the Feng–Leiserson SP-bags algorithm, the
+// classic serial determinacy-race detector for Cilk programs that the
+// paper's SP+ algorithm extends (§5). SP-bags maintains, for each Cilk
+// function F on the call stack, an S bag (IDs of F's completed descendants
+// that are logically in series with the currently executing strand, plus F
+// itself) and a P bag (IDs of completed descendants logically in parallel
+// with it), in a disjoint-set forest. Two shadow spaces, reader and writer,
+// record the last function to read and write each location; by
+// pseudotransitivity of ‖, a single reader suffices.
+//
+// SP-bags has no notion of reducer views: it treats view-aware accesses
+// like any other access. On programs that use reducers it therefore loses
+// the paper's guarantees — it reports "races" between strands that share a
+// view (false positives, see TestFig5FalsePositive in the spplus package)
+// and its verdicts on reduce strands depend on bookkeeping it does not
+// have. It is included as the baseline the evaluation compares against.
+package spbags
+
+import (
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/mem"
+)
+
+type bagKind int8
+
+const (
+	kindS bagKind = iota
+	kindP
+)
+
+type bag struct {
+	kind bagKind
+	root dsu.Elem
+}
+
+type frameRec struct {
+	id    cilk.FrameID
+	label string
+	elem  dsu.Elem
+	s     *bag
+	p     *bag
+}
+
+// Detector runs SP-bags over the cilk event stream. Create one per run.
+type Detector struct {
+	cilk.Empty
+
+	forest  *dsu.Forest
+	stack   []*frameRec
+	reader  *mem.Shadow
+	writer  *mem.Shadow
+	lin     core.Lineage
+	report  core.Report
+	current *frameRec
+}
+
+// New returns a fresh SP-bags detector.
+func New() *Detector {
+	return &Detector{
+		forest: dsu.NewForest(256),
+		reader: mem.NewShadow(int32(dsu.None)),
+		writer: mem.NewShadow(int32(dsu.None)),
+	}
+}
+
+// Name implements core.Detector.
+func (d *Detector) Name() string { return "sp-bags" }
+
+// Report implements core.Detector.
+func (d *Detector) Report() *core.Report { return &d.report }
+
+func (d *Detector) newBag(k bagKind) *bag { return &bag{kind: k, root: dsu.None} }
+
+func (d *Detector) addToBag(b *bag, e dsu.Elem) {
+	if b.root == dsu.None {
+		b.root = e
+		d.forest.SetPayload(e, b)
+		return
+	}
+	b.root = d.forest.Union(b.root, e)
+}
+
+func (d *Detector) unionInto(dst, src *bag) {
+	if src.root == dsu.None {
+		return
+	}
+	if dst.root == dsu.None {
+		dst.root = src.root
+		d.forest.SetPayload(src.root, dst)
+	} else {
+		dst.root = d.forest.Union(dst.root, src.root)
+	}
+	src.root = dsu.None
+}
+
+func (d *Detector) top() *frameRec { return d.stack[len(d.stack)-1] }
+
+// FrameEnter pushes S_G = {G} and P_G = {} for the new function G.
+func (d *Detector) FrameEnter(f *cilk.Frame) {
+	rec := &frameRec{id: f.ID, label: f.Label}
+	rec.s = d.newBag(kindS)
+	rec.p = d.newBag(kindP)
+	rec.elem = d.forest.MakeSet(nil)
+	d.addToBag(rec.s, rec.elem)
+	parent := core.NoParent
+	if len(d.stack) > 0 {
+		parent = int32(d.top().elem)
+	}
+	d.lin.Add(int32(rec.elem), f.ID, f.Label, parent)
+	d.stack = append(d.stack, rec)
+	d.current = rec
+}
+
+// FrameReturn merges the child's bags into the parent: a spawned child's S
+// bag becomes parallel work (into P_F); a called child's S bag stays serial
+// (into S_F). The child synced before returning, so its P bag is empty.
+func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	grec := d.top()
+	d.stack = d.stack[:len(d.stack)-1]
+	frec := d.top()
+	if g.Spawned {
+		d.unionInto(frec.p, grec.s)
+	} else {
+		d.unionInto(frec.s, grec.s)
+	}
+	d.unionInto(frec.p, grec.p) // defensive: empty in well-formed runs
+	d.current = frec
+}
+
+// Sync moves everything parallel into series: S_F ∪= P_F.
+func (d *Detector) Sync(f *cilk.Frame) {
+	rec := d.top()
+	d.unionInto(rec.s, rec.p)
+}
+
+func (d *Detector) bagOf(e dsu.Elem) *bag {
+	return d.forest.Payload(e).(*bag)
+}
+
+func (d *Detector) access(op core.AccessOp) core.Access {
+	e := int32(d.current.elem)
+	return core.Access{Frame: d.current.id, Label: d.current.label, Path: d.lin.Path(e), Op: op}
+}
+
+func (d *Detector) prior(e dsu.Elem, op core.AccessOp) core.Access {
+	return core.Access{
+		Frame: d.lin.Frame(int32(e)), Label: d.lin.Label(int32(e)),
+		Path: d.lin.Path(int32(e)), Op: op,
+	}
+}
+
+// Load implements the SP-bags read rule: a race iff the last writer is in
+// a P bag; the reader shadow advances only when the previous reader is in
+// an S bag (pseudotransitivity of ‖ makes one reader sufficient).
+func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
+	rec := d.current
+	if w := dsu.Elem(d.writer.Get(a)); w != dsu.None {
+		if d.bagOf(w).kind == kindP {
+			d.report.Add(core.Race{
+				Kind: core.Determinacy, Addr: a,
+				First:  d.prior(w, core.OpWrite),
+				Second: d.access(core.OpRead),
+			})
+		}
+	}
+	if r := dsu.Elem(d.reader.Get(a)); r == dsu.None || d.bagOf(r).kind == kindS {
+		d.reader.Set(a, int32(rec.elem))
+	}
+}
+
+// Store implements the SP-bags write rule: a race iff the last reader or
+// last writer is in a P bag.
+func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
+	rec := d.current
+	if r := dsu.Elem(d.reader.Get(a)); r != dsu.None && d.bagOf(r).kind == kindP {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  d.prior(r, core.OpRead),
+			Second: d.access(core.OpWrite),
+		})
+	}
+	w := dsu.Elem(d.writer.Get(a))
+	if w != dsu.None && d.bagOf(w).kind == kindP {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  d.prior(w, core.OpWrite),
+			Second: d.access(core.OpWrite),
+		})
+	}
+	if w == dsu.None || d.bagOf(w).kind == kindS {
+		d.writer.Set(a, int32(rec.elem))
+	}
+}
+
+var (
+	_ core.Detector = (*Detector)(nil)
+	_ cilk.Hooks    = (*Detector)(nil)
+)
+
+// Stats implements core.StatsProvider.
+func (d *Detector) Stats() core.Stats {
+	finds, unions := d.forest.Stats()
+	return core.Stats{Elems: d.forest.Len(), Finds: finds, Unions: unions}
+}

@@ -1,0 +1,167 @@
+package spbags
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+)
+
+func run(prog func(*cilk.Ctx)) bool {
+	d := New()
+	cilk.Run(prog, cilk.Config{Hooks: d})
+	return !d.Report().Empty()
+}
+
+func TestSpawnWriteContinuationRead(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if !run(func(c *cilk.Ctx) {
+		c.Spawn("w", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+		c.Load(x.At(0))
+		c.Sync()
+	}) {
+		t.Fatal("race missed")
+	}
+}
+
+func TestSyncSerializes(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if run(func(c *cilk.Ctx) {
+		c.Spawn("w", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+		c.Sync()
+		c.Store(x.At(0))
+	}) {
+		t.Fatal("false positive after sync")
+	}
+}
+
+func TestCallSerializes(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if run(func(c *cilk.Ctx) {
+		c.Call("w", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+		c.Store(x.At(0))
+	}) {
+		t.Fatal("call is serial")
+	}
+}
+
+func TestNestedSpawnRace(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if !run(func(c *cilk.Ctx) {
+		c.Spawn("a", func(c *cilk.Ctx) {
+			c.Spawn("b", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+			c.Sync()
+		})
+		c.Spawn("c", func(c *cilk.Ctx) { c.Load(x.At(0)) })
+		c.Sync()
+	}) {
+		t.Fatal("race across sibling subtrees missed")
+	}
+}
+
+func TestMultipleSyncBlocks(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 4)
+	if run(func(c *cilk.Ctx) {
+		for b := 0; b < 4; b++ {
+			b := b
+			c.Spawn("w", func(c *cilk.Ctx) { c.Store(x.At(b)) })
+			c.Sync()
+			c.Load(x.At(b))
+		}
+	}) {
+		t.Fatal("per-block sync must serialize each pair")
+	}
+}
+
+func TestReadReadNoRace(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if run(func(c *cilk.Ctx) {
+		c.Spawn("r1", func(c *cilk.Ctx) { c.Load(x.At(0)) })
+		c.Spawn("r2", func(c *cilk.Ctx) { c.Load(x.At(0)) })
+		c.Sync()
+	}) {
+		t.Fatal("parallel reads are fine")
+	}
+}
+
+func TestPseudotransitivitySingleReaderSuffices(t *testing.T) {
+	// Feng–Leiserson's key space optimization: keeping only the first
+	// parallel reader never loses a race. Serial reader then parallel
+	// reader then a write racing with the parallel one.
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	if !run(func(c *cilk.Ctx) {
+		c.Load(x.At(0)) // serial reader (same frame)
+		c.Spawn("r", func(c *cilk.Ctx) { c.Load(x.At(0)) })
+		c.Spawn("w", func(c *cilk.Ctx) { c.Store(x.At(0)) })
+		c.Sync()
+	}) {
+		t.Fatal("race between parallel reader and writer missed")
+	}
+}
+
+func TestQuickNoFalseNegativesOnChains(t *testing.T) {
+	// Spawn chains with one writer and one reader at random positions:
+	// race iff neither a sync nor a common serial chain separates them.
+	check := func(wpos, rpos, syncpos uint8) bool {
+		w := int(wpos % 6)
+		r := int(rpos % 6)
+		s := int(syncpos % 7) // sync after position s (6 = no sync)
+		al := mem.NewAllocator()
+		x := al.Alloc("x", 1)
+		var racy bool
+		prog := func(c *cilk.Ctx) {
+			for i := 0; i < 6; i++ {
+				i := i
+				c.Spawn("t", func(cc *cilk.Ctx) {
+					if i == w {
+						cc.Store(x.At(0))
+					}
+					if i == r {
+						cc.Load(x.At(0))
+					}
+				})
+				if i == s {
+					c.Sync()
+				}
+			}
+			c.Sync()
+		}
+		racy = run(prog)
+		// Expected: w and r (when distinct or even equal? same task: both
+		// accesses in one strand: no race) race iff distinct and not
+		// separated by the sync.
+		want := w != r && !(s >= min(w, r) && s < max(w, r))
+		return racy == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "sp-bags" {
+		t.Fatal("name")
+	}
+}

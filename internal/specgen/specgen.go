@@ -1,0 +1,153 @@
+// Package specgen constructs the §7 steal-specification families that give
+// SP+ its coverage guarantee for ostensibly deterministic programs: with D
+// the Cilk depth and K the maximum sync-block size, Θ(M) specifications
+// (M ≤ KD) elicit every possible update strand (Theorem 6), and Θ(K³)
+// specifications elicit every possible reduce strand (Theorem 7). Running
+// SP+ once per generated specification therefore checks every execution of
+// the program for determinacy races involving a view-oblivious strand.
+package specgen
+
+import (
+	"repro/internal/cilk"
+	"repro/internal/sched"
+)
+
+// Profile describes the program quantities the generators need. Measure
+// derives one from a single uninstrumented run.
+type Profile struct {
+	// MaxPDepth is the maximum number of P nodes on any root-to-leaf path
+	// of the SP parse tree — the M of Theorem 6.
+	MaxPDepth int
+	// MaxSyncBlock is the maximum number of continuations in any sync
+	// block — the K of Theorem 7.
+	MaxSyncBlock int
+	// CilkDepth is the maximum function nesting depth D.
+	CilkDepth int
+}
+
+// profiler observes one run and measures the Profile quantities.
+type profiler struct {
+	cilk.Empty
+	p Profile
+}
+
+// stealAllProbe steals everything so PDepth reflects the full parse tree.
+func (pr *profiler) observe(ci cilk.ContInfo) {
+	if ci.PDepth > pr.p.MaxPDepth {
+		pr.p.MaxPDepth = ci.PDepth
+	}
+	if ci.Index > pr.p.MaxSyncBlock {
+		pr.p.MaxSyncBlock = ci.Index
+	}
+	if ci.Depth+1 > pr.p.CilkDepth {
+		pr.p.CilkDepth = ci.Depth + 1
+	}
+}
+
+type probeSpec struct{ pr *profiler }
+
+func (s probeSpec) ShouldSteal(ci cilk.ContInfo) bool {
+	s.pr.observe(ci)
+	return false
+}
+
+func (s probeSpec) Order() cilk.ReduceOrder { return cilk.ReduceAtSync }
+
+// Measure runs the program once (serially, stealing nothing) and returns
+// its Profile. The serial order — and with it every continuation and its
+// P-depth — is schedule-independent for ostensibly deterministic programs,
+// so one run suffices.
+func Measure(prog func(*cilk.Ctx)) Profile {
+	pr := &profiler{}
+	cilk.Run(prog, cilk.Config{Spec: probeSpec{pr: pr}})
+	return pr.p
+}
+
+// UpdateSpecs returns Theorem 6's breadth-first family: specification d
+// steals every continuation with exactly d P nodes on its root-to-leaf
+// parse-tree path. Two continuations share a specification iff they share
+// that count, so the family has exactly MaxPDepth members (plus the
+// no-steal base schedule) and elicits every possible update strand: the
+// view an Update observes is determined by the closest enclosing stolen
+// continuation, and each specification realizes one distance.
+func UpdateSpecs(p Profile) []cilk.StealSpec {
+	specs := make([]cilk.StealSpec, 0, p.MaxPDepth+1)
+	specs = append(specs, cilk.NoSteals{})
+	for d := 1; d <= p.MaxPDepth; d++ {
+		specs = append(specs, sched.ByDepth{D: d})
+	}
+	return specs
+}
+
+// ReduceSpecs returns Theorem 7's family, applied to every sync block (§8
+// shows reusing the same indices across sync blocks preserves the
+// guarantee). A view over a K-continuation sync block is an interval
+// between two delimiters, where a delimiter is a stolen continuation, the
+// block start, or the sync; a possible reduce operation is an adjacent
+// interval pair (x, y)(y, z) with x ∈ {start, 1..y−1}, y ∈ {1..K} a steal,
+// and z ∈ {y+1..K, sync}. There are Σ_y y·(K−y+1) = K² + C(K,3) of them
+// (the paper's Θ(K³)), and the family elicits each with exactly one
+// specification:
+//
+//   - x = start, z = sync: the single steal at y;
+//   - x = start, z ≤ K:   the pair (y, z) with eager reduction;
+//   - x ≥ 1,  z = sync:   the pair (x, y) with middle-first reduction;
+//   - x ≥ 1,  z ≤ K:      the triple (x, y, z) with middle-first reduction.
+//
+// Totalling K + 2·C(K,2) + C(K,3) = K² + C(K,3) specifications — the
+// matching upper bound to Theorem 7's Ω(K³) lower bound.
+func ReduceSpecs(p Profile) []cilk.StealSpec {
+	k := p.MaxSyncBlock
+	var specs []cilk.StealSpec
+	for a := 1; a <= k; a++ {
+		specs = append(specs, sched.Single{A: a})
+	}
+	for a := 1; a <= k; a++ {
+		for b := a + 1; b <= k; b++ {
+			specs = append(specs, sched.Pair{A: a, B: b})
+			specs = append(specs, sched.Pair{A: a, B: b, Mid: true})
+		}
+	}
+	for i := 1; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			for l := j + 1; l <= k; l++ {
+				specs = append(specs, sched.Triple{I: i, J: j, K: l})
+			}
+		}
+	}
+	return specs
+}
+
+// All returns the full §7 coverage family: the update family plus the
+// reduce family, Θ(M + K³) specifications in total.
+func All(p Profile) []cilk.StealSpec {
+	return append(UpdateSpecs(p), ReduceSpecs(p)...)
+}
+
+// Binomial3 is C(n, 3), the count appearing in the Theorem 7 bounds.
+func Binomial3(n int) int {
+	if n < 3 {
+		return 0
+	}
+	return n * (n - 1) * (n - 2) / 6
+}
+
+// DistinctReduceOps counts the distinct possible reduce operations over a
+// sync block with k continuations: adjacent view-interval pairs delimited
+// by a middle steal y, a left boundary (block start or an earlier steal)
+// and a right boundary (a later steal or the sync) — Σ_y y·(k−y+1)
+// = k² + C(k,3), the concrete instance of Theorem 7's Θ(k³).
+func DistinctReduceOps(k int) int { return k*k + Binomial3(k) }
+
+// TheoremSevenLowerBound evaluates the paper's explicit lower-bound sum
+// for the number of reduce trees needed on a sequence of n elements:
+// |R| ≥ Σ_{s=n/2+1}^{2(n+1)/3-1} (n−s+1)(2n−3s+2) = Ω(n³).
+func TheoremSevenLowerBound(n int) int {
+	total := 0
+	for s := n/2 + 1; s <= 2*(n+1)/3-1; s++ {
+		if t := (n - s + 1) * (2*n - 3*s + 2); t > 0 {
+			total += t
+		}
+	}
+	return total
+}

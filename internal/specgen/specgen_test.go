@@ -1,0 +1,331 @@
+package specgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cilk"
+	"repro/internal/sched"
+)
+
+// tagMonoid concatenates string tags and reports each Combine's inputs.
+func tagMonoid(onReduce func(left, right []string)) cilk.Monoid {
+	return cilk.MonoidFuncs(
+		func(*cilk.Ctx) any { return []string(nil) },
+		func(_ *cilk.Ctx, l, r any) any {
+			lt, rt := l.([]string), r.([]string)
+			if onReduce != nil {
+				onReduce(lt, rt)
+			}
+			return append(lt, rt...)
+		},
+	)
+}
+
+// oneSyncBlock builds a program with a single sync block of K
+// continuations. Segment i of the block (0 ≤ i ≤ K) updates the reducer
+// with tag s<i>, and spawned child i updates with tag c<i> (which lands in
+// the view of segment i−1, its inherited context).
+func oneSyncBlock(k int, onReduce func(l, r []string), onUpdate func(site string, view []string)) func(*cilk.Ctx) {
+	return func(c *cilk.Ctx) {
+		r := c.NewReducerQuiet("h", tagMonoid(onReduce), []string(nil))
+		upd := func(cc *cilk.Ctx, tag string) {
+			cc.Update(r, func(_ *cilk.Ctx, v any) any {
+				if onUpdate != nil {
+					onUpdate(tag, v.([]string))
+				}
+				return append(v.([]string), tag)
+			})
+		}
+		upd(c, "s0")
+		for i := 1; i <= k; i++ {
+			tag := fmt.Sprintf("c%d", i)
+			c.Spawn("child", func(cc *cilk.Ctx) { upd(cc, tag) })
+			upd(c, fmt.Sprintf("s%d", i))
+		}
+		c.Sync()
+	}
+}
+
+// seqSubset steals exactly the continuations whose global sequence numbers
+// are in the set — the brute-force enumeration device.
+type seqSubset struct {
+	set   map[int]bool
+	order cilk.ReduceOrder
+}
+
+func (s seqSubset) ShouldSteal(ci cilk.ContInfo) bool { return s.set[ci.Seq] }
+
+func (s seqSubset) Order() cilk.ReduceOrder { return s.order }
+
+// allOrders are the reduce orders the executor can express.
+var allOrders = []cilk.ReduceOrder{cilk.ReduceAtSync, cilk.ReduceEager, cilk.ReduceMiddleFirst}
+
+func sig(l, r []string) string {
+	return strings.Join(l, " ") + " | " + strings.Join(r, " ")
+}
+
+func TestMeasureProfile(t *testing.T) {
+	p := Measure(oneSyncBlock(5, nil, nil))
+	if p.MaxSyncBlock != 5 {
+		t.Fatalf("K = %d, want 5", p.MaxSyncBlock)
+	}
+	if p.MaxPDepth != 5 {
+		t.Fatalf("M = %d, want 5", p.MaxPDepth)
+	}
+	if p.CilkDepth != 1 {
+		t.Fatalf("D = %d, want 1", p.CilkDepth)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	if Binomial3(5) != 10 || Binomial3(2) != 0 {
+		t.Fatal("Binomial3 wrong")
+	}
+	// DistinctReduceOps(k) = Σ_y y·(k−y+1), cross-checked directly.
+	for k := 1; k <= 10; k++ {
+		want := 0
+		for y := 1; y <= k; y++ {
+			want += y * (k - y + 1)
+		}
+		if got := DistinctReduceOps(k); got != want {
+			t.Fatalf("DistinctReduceOps(%d) = %d, want %d", k, got, want)
+		}
+	}
+	// The reduce family has exactly one member per possible reduce op.
+	for k := 1; k <= 8; k++ {
+		p := Profile{MaxSyncBlock: k}
+		if got := len(ReduceSpecs(p)); got != DistinctReduceOps(k) {
+			t.Fatalf("K=%d: family size %d, want %d", k, got, DistinctReduceOps(k))
+		}
+	}
+}
+
+// TestTheorem7ReduceCoverage: on a single sync block of K continuations,
+// the generated C(K+1,3) specifications elicit exactly the C(K+1,3)
+// distinct reduce operations, and brute-forcing every steal subset under
+// every expressible reduce order elicits nothing more.
+func TestTheorem7ReduceCoverage(t *testing.T) {
+	const k = 5
+	collect := func(spec cilk.StealSpec) map[string]bool {
+		out := make(map[string]bool)
+		cilk.Run(oneSyncBlock(k, func(l, r []string) { out[sig(l, r)] = true }, nil),
+			cilk.Config{Spec: spec})
+		return out
+	}
+
+	family := make(map[string]bool)
+	p := Profile{MaxSyncBlock: k}
+	for _, spec := range ReduceSpecs(p) {
+		for s := range collect(spec) {
+			family[s] = true
+		}
+	}
+	if len(family) != DistinctReduceOps(k) {
+		var got []string
+		for s := range family {
+			got = append(got, s)
+		}
+		sort.Strings(got)
+		t.Fatalf("family elicited %d distinct reduce ops, want %d:\n%s",
+			len(family), DistinctReduceOps(k), strings.Join(got, "\n"))
+	}
+
+	// Brute force: all 2^k steal subsets × every reduce order. The K
+	// continuations of the block have sequence numbers 1..k.
+	brute := make(map[string]bool)
+	for mask := 0; mask < 1<<k; mask++ {
+		set := make(map[int]bool)
+		for b := 0; b < k; b++ {
+			if mask&(1<<b) != 0 {
+				set[b+1] = true
+			}
+		}
+		for _, order := range allOrders {
+			for s := range collect(seqSubset{set: set, order: order}) {
+				brute[s] = true
+			}
+		}
+	}
+	for s := range brute {
+		if !family[s] {
+			t.Errorf("brute force elicited %q, family missed it", s)
+		}
+	}
+	for s := range family {
+		if !brute[s] {
+			t.Errorf("family elicited %q outside the brute-force universe", s)
+		}
+	}
+}
+
+// nestedProg is a two-level program for the Theorem 6 update-coverage
+// test: updates at several P-depths.
+func nestedProg(onUpdate func(site string, view []string)) func(*cilk.Ctx) {
+	return func(c *cilk.Ctx) {
+		r := c.NewReducerQuiet("h", tagMonoid(nil), []string(nil))
+		upd := func(cc *cilk.Ctx, tag string) {
+			cc.Update(r, func(_ *cilk.Ctx, v any) any {
+				if onUpdate != nil {
+					onUpdate(tag, v.([]string))
+				}
+				return append(v.([]string), tag)
+			})
+		}
+		upd(c, "m0")
+		c.Spawn("A", func(c *cilk.Ctx) {
+			upd(c, "a0")
+			c.Spawn("B", func(c *cilk.Ctx) { upd(c, "b0") })
+			upd(c, "a1")
+			c.Spawn("B", func(c *cilk.Ctx) { upd(c, "b1") })
+			upd(c, "a2")
+			c.Sync()
+			upd(c, "a3")
+		})
+		upd(c, "m1")
+		c.Spawn("A", func(c *cilk.Ctx) { upd(c, "x0") })
+		upd(c, "m2")
+		c.Sync()
+		upd(c, "m3")
+	}
+}
+
+// TestTheorem6UpdateCoverage: the breadth-first by-P-depth family elicits
+// every (site, observed view) pair that any steal subset under any reduce
+// order can produce.
+func TestTheorem6UpdateCoverage(t *testing.T) {
+	collect := func(spec cilk.StealSpec) map[string]bool {
+		out := make(map[string]bool)
+		cilk.Run(nestedProg(func(site string, view []string) {
+			out[site+" sees <"+strings.Join(view, " ")+">"] = true
+		}), cilk.Config{Spec: spec})
+		return out
+	}
+
+	prof := Measure(nestedProg(nil))
+	family := make(map[string]bool)
+	for _, spec := range UpdateSpecs(prof) {
+		for s := range collect(spec) {
+			family[s] = true
+		}
+	}
+
+	// Brute force over all subsets of the program's continuations.
+	res := cilk.Run(nestedProg(nil), cilk.Config{Spec: cilk.StealAll{}})
+	nConts := len(res.Steals)
+	if nConts == 0 || nConts > 12 {
+		t.Fatalf("unexpected continuation count %d", nConts)
+	}
+	brute := make(map[string]bool)
+	for mask := 0; mask < 1<<nConts; mask++ {
+		set := make(map[int]bool)
+		for b := 0; b < nConts; b++ {
+			if mask&(1<<b) != 0 {
+				set[b+1] = true
+			}
+		}
+		for _, order := range allOrders {
+			for s := range collect(seqSubset{set: set, order: order}) {
+				brute[s] = true
+			}
+		}
+	}
+	var missing []string
+	for s := range brute {
+		if !family[s] {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		t.Fatalf("update strands missed by the Theorem 6 family:\n%s", strings.Join(missing, "\n"))
+	}
+	for s := range family {
+		if !brute[s] {
+			t.Errorf("family elicited %q outside the brute-force universe", s)
+		}
+	}
+}
+
+// TestSharedIndicesAcrossSyncBlocks checks §8's optimization claim: "We
+// can steal the same continuations for every sync block, and the
+// completeness guarantee still stands." A program with TWO sync blocks is
+// swept with the single shared family; every possible reduce operation of
+// each block must still be elicited.
+func TestSharedIndicesAcrossSyncBlocks(t *testing.T) {
+	const k = 4
+	prog := func(onReduce func(l, r []string)) func(*cilk.Ctx) {
+		return func(c *cilk.Ctx) {
+			r := c.NewReducerQuiet("h", tagMonoid(onReduce), []string(nil))
+			upd := func(cc *cilk.Ctx, tag string) {
+				cc.Update(r, func(_ *cilk.Ctx, v any) any { return append(v.([]string), tag) })
+			}
+			for block := 0; block < 2; block++ {
+				upd(c, fmt.Sprintf("b%d-s0", block))
+				for i := 1; i <= k; i++ {
+					tag := fmt.Sprintf("b%d-c%d", block, i)
+					c.Spawn("child", func(cc *cilk.Ctx) { upd(cc, tag) })
+					upd(c, fmt.Sprintf("b%d-s%d", block, i))
+				}
+				c.Sync()
+			}
+		}
+	}
+	collect := func(spec cilk.StealSpec) map[string]bool {
+		out := make(map[string]bool)
+		cilk.Run(prog(func(l, r []string) { out[sig(l, r)] = true }), cilk.Config{Spec: spec})
+		return out
+	}
+	family := make(map[string]bool)
+	p := Measure(prog(nil))
+	if p.MaxSyncBlock != k {
+		t.Fatalf("K = %d, want %d", p.MaxSyncBlock, k)
+	}
+	for _, spec := range ReduceSpecs(p) {
+		for s := range collect(spec) {
+			family[s] = true
+		}
+	}
+	// Each block contributes DistinctReduceOps(k) distinct operations
+	// (signatures carry the block tag, so they never collide).
+	want := 2 * DistinctReduceOps(k)
+	if len(family) != want {
+		t.Fatalf("shared-index family elicited %d reduce ops across two blocks, want %d",
+			len(family), want)
+	}
+}
+
+// TestTheorem7LowerBoundShape: the paper's explicit sum is Ω(n³); check
+// the cubic growth numerically.
+func TestTheorem7LowerBoundShape(t *testing.T) {
+	for _, n := range []int{12, 24, 48, 96} {
+		lo := TheoremSevenLowerBound(n)
+		hi := TheoremSevenLowerBound(2 * n)
+		if lo <= 0 {
+			t.Fatalf("bound(%d) = %d, want positive", n, lo)
+		}
+		ratio := float64(hi) / float64(lo)
+		if ratio < 6 || ratio > 10 { // cubic doubling ≈ 8
+			t.Fatalf("bound(%d)=%d bound(%d)=%d ratio %.2f, want ≈8", n, lo, 2*n, hi, ratio)
+		}
+	}
+	// And the bound never exceeds the trivial upper bound C(n+1,3).
+	for n := 6; n <= 60; n += 6 {
+		if TheoremSevenLowerBound(n) > Binomial3(n+1) {
+			t.Fatalf("lower bound exceeds the number of distinct reduce ops at n=%d", n)
+		}
+	}
+}
+
+// TestAllFamilySize: |All| = Θ(M + K³).
+func TestAllFamilySize(t *testing.T) {
+	p := Profile{MaxPDepth: 7, MaxSyncBlock: 6}
+	want := (7 + 1) + DistinctReduceOps(6) // 8 + 36 + 20
+	if got := len(All(p)); got != want {
+		t.Fatalf("family size %d, want %d", got, want)
+	}
+}
+
+var _ = sched.Triple{} // keep the import for the family types

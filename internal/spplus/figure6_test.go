@@ -1,0 +1,191 @@
+package spplus
+
+import (
+	"testing"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/progs"
+)
+
+// These tests pin down the fine print of Figure 6's access rules: the
+// shadow-space update conditions and the view-ID comparisons for each of
+// the four access kinds.
+
+func TestCreateIdentityIsViewAware(t *testing.T) {
+	// An access inside Create-Identity is view-aware: against a parallel
+	// access with a different view it races; with the same view it does
+	// not.
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	m := cilk.MonoidFuncs(
+		func(cc *cilk.Ctx) any {
+			cc.Store(x.At(0)) // instrumented identity constructor
+			return 0
+		},
+		func(_ *cilk.Ctx, l, r any) any { return l.(int) + r.(int) },
+	)
+	prog := func(c *cilk.Ctx) {
+		r := c.NewReducer("h", m, 0)
+		c.Spawn("g", func(cc *cilk.Ctx) { cc.Load(x.At(0)) })
+		// Stolen continuation: first Update triggers Create-Identity,
+		// whose store races with g's load (parallel views).
+		c.Update(r, func(_ *cilk.Ctx, v any) any { return v.(int) + 1 })
+		c.Sync()
+	}
+	if rep := run(prog, cilk.StealAll{}); rep.Empty() {
+		t.Fatal("Create-Identity store on a parallel view must race")
+	}
+	if rep := run(prog, nil); !rep.Empty() {
+		t.Fatalf("same view (no steal): no race, got %s", rep.Summary())
+	}
+}
+
+func TestAwareReadVsAwareWriteSameView(t *testing.T) {
+	// Updates of the same reducer in the same view context are
+	// serialized; their accesses never race regardless of frames.
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	prog := func(c *cilk.Ctx) {
+		r := c.NewReducer("h", progs.SumMonoid, 0)
+		touch := func(cc *cilk.Ctx) {
+			cc.Update(r, func(ccc *cilk.Ctx, v any) any {
+				ccc.Load(x.At(0))
+				ccc.Store(x.At(0))
+				return v.(int) + 1
+			})
+		}
+		c.Spawn("g1", func(cc *cilk.Ctx) { touch(cc) })
+		c.Spawn("g2", func(cc *cilk.Ctx) { touch(cc) })
+		c.Sync()
+	}
+	// No steals: both updates hit the leftmost view — same view, no race.
+	if rep := run(prog, nil); !rep.Empty() {
+		t.Fatalf("same-view updates must not race: %s", rep.Summary())
+	}
+	// With steals, g2 runs in a fresh view context: parallel views, race.
+	if rep := run(prog, cilk.StealAll{}); rep.Empty() {
+		t.Fatal("updates on parallel views touching one location must race")
+	}
+}
+
+func TestObliviousWriteThenAwareReadSameView(t *testing.T) {
+	// e1 oblivious write in the spawned child, e2 view-aware read in the
+	// unstolen continuation: same view → not a race in this schedule.
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	prog := func(c *cilk.Ctx) {
+		r := c.NewReducer("h", progs.SumMonoid, 0)
+		c.Spawn("g", func(cc *cilk.Ctx) { cc.Store(x.At(0)) })
+		c.Update(r, func(cc *cilk.Ctx, v any) any {
+			cc.Load(x.At(0))
+			return v
+		})
+		c.Sync()
+	}
+	if rep := run(prog, nil); !rep.Empty() {
+		t.Fatalf("unstolen: same view, no race; got %s", rep.Summary())
+	}
+	if rep := run(prog, cilk.StealAll{}); rep.Empty() {
+		t.Fatal("stolen: parallel views, race")
+	}
+}
+
+func TestWriterShadowNotClobberedByAwareSameViewWrite(t *testing.T) {
+	// Figure 6's write rule: a view-aware write updates writer(ℓ) only if
+	// the previous writer is in an S bag (or the same-view reduce case).
+	// Here the parallel oblivious writer must survive an intervening
+	// same-view aware write, so the later oblivious reader still races.
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	prog := func(c *cilk.Ctx) {
+		r := c.NewReducer("h", progs.SumMonoid, 0)
+		c.Spawn("w", func(cc *cilk.Ctx) { cc.Store(x.At(0)) }) // parallel writer
+		c.Update(r, func(cc *cilk.Ctx, v any) any {
+			cc.Store(x.At(0)) // aware write, same view as w's context
+			return v
+		})
+		c.Load(x.At(0)) // oblivious read: races with w
+		c.Sync()
+	}
+	rep := run(prog, nil)
+	if rep.Empty() {
+		t.Fatal("oblivious read must race with the parallel oblivious write")
+	}
+}
+
+func TestReduceStrandUpdatesShadowSameView(t *testing.T) {
+	// "F is an invocation of Reduce and FindBag(writer).vid == Top.vid →
+	// writer = F": the reduce strand takes over the shadow from a
+	// same-view predecessor, and a later serial read is then clean.
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	m := cilk.MonoidFuncs(
+		func(*cilk.Ctx) any { return 0 },
+		func(cc *cilk.Ctx, l, r any) any {
+			cc.Store(x.At(0))
+			return l.(int) + r.(int)
+		},
+	)
+	prog := func(c *cilk.Ctx) {
+		h := c.NewReducer("h", m, 0)
+		for i := 0; i < 3; i++ {
+			c.Spawn("g", func(cc *cilk.Ctx) {
+				cc.Update(h, func(_ *cilk.Ctx, v any) any { return v.(int) + 1 })
+			})
+		}
+		c.Sync()        // reduces write x
+		c.Load(x.At(0)) // in series with all reduces
+		c.Store(x.At(0))
+	}
+	if rep := run(prog, cilk.StealAll{}); !rep.Empty() {
+		t.Fatalf("post-sync accesses are serial with the reduces: %s", rep.Summary())
+	}
+}
+
+func TestDistinctAddressesIndependent(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 2)
+	prog := func(c *cilk.Ctx) {
+		c.Spawn("w", func(cc *cilk.Ctx) { cc.Store(x.At(0)) })
+		c.Store(x.At(1)) // different address: no race
+		c.Sync()
+	}
+	if rep := run(prog, cilk.StealAll{}); !rep.Empty() {
+		t.Fatalf("distinct addresses must not race: %s", rep.Summary())
+	}
+}
+
+func TestRaceReportCarriesViewInfo(t *testing.T) {
+	al := mem.NewAllocator()
+	x := al.Alloc("x", 1)
+	prog := func(c *cilk.Ctx) {
+		r := c.NewReducer("h", progs.SumMonoid, 0)
+		c.Spawn("g", func(cc *cilk.Ctx) { cc.Load(x.At(0)) })
+		c.Update(r, func(cc *cilk.Ctx, v any) any {
+			cc.Store(x.At(0))
+			return v
+		})
+		c.Sync()
+	}
+	rep := run(prog, cilk.StealAll{})
+	if rep.Empty() {
+		t.Fatal("race expected")
+	}
+	race := rep.Races()[0]
+	if !race.Second.ViewAware {
+		t.Fatal("second access must be marked view-aware")
+	}
+	if race.Second.ViewOp != cilk.OpUpdate {
+		t.Fatalf("view op = %v, want Update", race.Second.ViewOp)
+	}
+	if race.Second.VID == 0 {
+		t.Fatal("the update ran in a stolen context; VID must be nonzero")
+	}
+}
+
+func TestDetectorName(t *testing.T) {
+	if New().Name() != "sp+" {
+		t.Fatal("name")
+	}
+}

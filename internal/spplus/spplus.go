@@ -1,0 +1,399 @@
+// Package spplus implements the SP+ algorithm (§5–§6 of the paper), which
+// detects determinacy races in Cilk computations that use reducer
+// hyperobjects. SP+ extends SP-bags in two ways:
+//
+//  1. Each function's single P bag becomes a *stack* of P bags, one per
+//     unreduced parallel view of the function's current sync block. Each P
+//     bag carries the view ID minted when the corresponding continuation
+//     was stolen (per the steal specification); the P bags partition the
+//     function's parallel completed descendants by the view their initial
+//     strands share.
+//  2. Memory-access checks distinguish view-oblivious from view-aware
+//     strands. For a view-oblivious access, logical parallelism alone is a
+//     race, exactly as in SP-bags. For a view-aware access (inside Update,
+//     Create-Identity or Reduce), a race additionally requires the two
+//     strands to operate on *parallel views* — their view IDs must differ —
+//     because two strands sharing a view are necessarily executed by one
+//     worker between steals and thus serialized in this schedule (§5).
+//
+// Executing a stolen continuation pushes a fresh P bag with a new view ID;
+// executing a Reduce pops the dominated view's P bag and unions it into the
+// dominating one *before* the user Reduce code runs, so the reduce strand's
+// accesses are in series with the descendants in both bags and carry the
+// surviving view ID (§6). At a sync all parallel views have been reduced
+// and a single P bag remains, restoring the SP-bags invariant.
+//
+// Given the steal specification, SP+ reports a determinacy race iff the
+// fixed execution contains one (§6), in time O((T + Mτ)·α(v,v)) for a
+// program with running time T, M specified steals and worst-case reduce
+// cost τ (Theorem 5).
+package spplus
+
+import (
+	"fmt"
+
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/mem"
+)
+
+type bagKind int8
+
+const (
+	kindS bagKind = iota
+	kindP
+)
+
+// bag is a disjoint set with a kind and a view ID. A P bag's view ID is set
+// at creation and preserved across unions into it, mirroring Figure 6's
+// MakeBag note.
+type bag struct {
+	kind bagKind
+	vid  cilk.ViewID
+	root dsu.Elem
+}
+
+type frameRec struct {
+	id     cilk.FrameID
+	label  string
+	elem   dsu.Elem
+	s      *bag
+	pstack []*bag
+}
+
+func (r *frameRec) topP() *bag { return r.pstack[len(r.pstack)-1] }
+
+// Detector runs SP+ over the cilk event stream of one run.
+type Detector struct {
+	forest *dsu.Forest
+	stack  []*frameRec
+	reader *mem.Shadow
+	writer *mem.Shadow
+	lin    core.Lineage
+	report core.Report
+
+	current *frameRec
+	// view-aware section state
+	vaDepth   int
+	vaOp      cilk.ViewOp
+	vaReducer *cilk.Reducer
+	// inReduce marks that the executing strand is a runtime Reduce
+	// invocation; reduceVID is the surviving view ID of that reduction,
+	// which is the strand's view context (Top(F.P).vid in Figure 6's
+	// top-pair case, generalized for non-top adjacent reductions).
+	// reduceElem is the reduce invocation's own ID: the paper treats each
+	// Reduce as a function instantiation of its own, and its ID must live
+	// in the merged P bag — the reduce strand is in series with the
+	// descendants it joins but parallel to the frame's newer view
+	// contexts, so parking it in the frame's S bag would wrongly
+	// serialize it with everything that follows.
+	inReduce   bool
+	reduceVID  cilk.ViewID
+	reduceElem dsu.Elem
+}
+
+// New returns a fresh SP+ detector.
+func New() *Detector {
+	return &Detector{
+		forest: dsu.NewForest(256),
+		reader: mem.NewShadow(int32(dsu.None)),
+		writer: mem.NewShadow(int32(dsu.None)),
+	}
+}
+
+// Name implements core.Detector.
+func (d *Detector) Name() string { return "sp+" }
+
+// Report implements core.Detector.
+func (d *Detector) Report() *core.Report { return &d.report }
+
+func (d *Detector) addToBag(b *bag, e dsu.Elem) {
+	if b.root == dsu.None {
+		b.root = e
+		d.forest.SetPayload(e, b)
+		return
+	}
+	b.root = d.forest.Union(b.root, e)
+}
+
+func (d *Detector) unionInto(dst, src *bag) {
+	if src.root == dsu.None {
+		return
+	}
+	if dst.root == dsu.None {
+		dst.root = src.root
+		d.forest.SetPayload(src.root, dst)
+	} else {
+		dst.root = d.forest.Union(dst.root, src.root)
+	}
+	src.root = dsu.None
+}
+
+func (d *Detector) top() *frameRec { return d.stack[len(d.stack)-1] }
+
+func (d *Detector) bagOf(e dsu.Elem) *bag { return d.forest.Payload(e).(*bag) }
+
+// ProgramStart implements cilk.Hooks.
+func (d *Detector) ProgramStart(*cilk.Frame) {}
+
+// ProgramEnd implements cilk.Hooks.
+func (d *Detector) ProgramEnd(*cilk.Frame) {}
+
+// FrameEnter implements Figure 6's "F spawns or calls G": G's S bag
+// contains G and inherits the parent's current view ID; G's P stack starts
+// with one empty bag of the same view ID.
+func (d *Detector) FrameEnter(f *cilk.Frame) {
+	var inherit cilk.ViewID
+	if len(d.stack) > 0 {
+		inherit = d.top().topP().vid
+	}
+	rec := &frameRec{id: f.ID, label: f.Label}
+	rec.s = &bag{kind: kindS, vid: inherit, root: dsu.None}
+	rec.pstack = []*bag{{kind: kindP, vid: inherit, root: dsu.None}}
+	rec.elem = d.forest.MakeSet(nil)
+	d.addToBag(rec.s, rec.elem)
+	parent := core.NoParent
+	if len(d.stack) > 0 {
+		parent = int32(d.top().elem)
+	}
+	d.lin.Add(int32(rec.elem), f.ID, f.Label, parent)
+	d.stack = append(d.stack, rec)
+	d.current = rec
+}
+
+// FrameReturn implements "spawned G returns" (Top(F.P) ∪= G.S) and
+// "called G returns" (F.S ∪= G.S).
+func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	grec := d.top()
+	if grec.id != g.ID {
+		panic(fmt.Sprintf("spplus: event order violation: return %d, top %d", g.ID, grec.id))
+	}
+	if len(grec.pstack) != 1 {
+		panic(fmt.Sprintf("spplus: %v returned with %d P bags", g, len(grec.pstack)))
+	}
+	d.stack = d.stack[:len(d.stack)-1]
+	frec := d.top()
+	if g.Spawned {
+		d.unionInto(frec.topP(), grec.s)
+	} else {
+		d.unionInto(frec.s, grec.s)
+	}
+	d.current = frec
+}
+
+// Sync implements "F syncs": the single remaining P bag's contents move
+// into F.S, and a fresh P bag with F.S's view ID replaces it.
+func (d *Detector) Sync(f *cilk.Frame) {
+	rec := d.top()
+	if len(rec.pstack) != 1 {
+		panic(fmt.Sprintf("spplus: sync with %d P bags; reduces must precede sync", len(rec.pstack)))
+	}
+	d.unionInto(rec.s, rec.pstack[0])
+	rec.pstack[0] = &bag{kind: kindP, vid: rec.s.vid, root: dsu.None}
+}
+
+// ContinuationStolen implements "F executes a stolen continuation": push a
+// fresh P bag carrying the new view ID.
+func (d *Detector) ContinuationStolen(f *cilk.Frame, newVID cilk.ViewID) {
+	rec := d.top()
+	rec.pstack = append(rec.pstack, &bag{kind: kindP, vid: newVID, root: dsu.None})
+}
+
+// ReduceStart implements "F executes Reduce": the dominated view's P bag is
+// popped and unioned into the dominating view's bag, whose view ID is
+// preserved. This happens before the user Reduce code runs, so the reduce
+// strand is in series with the descendants in both bags. The executor may
+// reduce a non-top adjacent pair (ReduceMiddleFirst); the bags are located
+// by their view IDs.
+func (d *Detector) ReduceStart(f *cilk.Frame, keepVID, dieVID cilk.ViewID) {
+	rec := d.top()
+	idx := -1
+	for i := len(rec.pstack) - 1; i > 0; i-- {
+		if rec.pstack[i].vid == dieVID && rec.pstack[i-1].vid == keepVID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("spplus: reduce of unknown view pair (%d,%d)", keepVID, dieVID))
+	}
+	d.unionInto(rec.pstack[idx-1], rec.pstack[idx])
+	rec.pstack = append(rec.pstack[:idx], rec.pstack[idx+1:]...)
+	d.inReduce = true
+	d.reduceVID = keepVID
+	// The reduce invocation's own ID joins the merged bag: in series with
+	// everything the reduction joins, parallel to the frame's other views.
+	d.reduceElem = d.forest.MakeSet(nil)
+	d.addToBag(rec.pstack[idx-1], d.reduceElem)
+	d.lin.Add(int32(d.reduceElem), f.ID, f.Label+"/reduce", int32(rec.elem))
+}
+
+// ReduceEnd implements cilk.Hooks.
+func (d *Detector) ReduceEnd(f *cilk.Frame) {
+	d.inReduce = false
+	d.reduceElem = dsu.None
+}
+
+// ViewAwareBegin implements cilk.Hooks: accesses until ViewAwareEnd come
+// from a view-aware strand.
+func (d *Detector) ViewAwareBegin(f *cilk.Frame, op cilk.ViewOp, r *cilk.Reducer) {
+	d.vaDepth++
+	d.vaOp = op
+	d.vaReducer = r
+}
+
+// ViewAwareEnd implements cilk.Hooks.
+func (d *Detector) ViewAwareEnd(f *cilk.Frame, op cilk.ViewOp, r *cilk.Reducer) {
+	d.vaDepth--
+}
+
+// ReducerCreate implements cilk.Hooks; reducer-reads are the Peer-Set
+// algorithm's concern, not SP+'s.
+func (d *Detector) ReducerCreate(*cilk.Frame, *cilk.Reducer) {}
+
+// ReducerRead implements cilk.Hooks.
+func (d *Detector) ReducerRead(*cilk.Frame, *cilk.Reducer) {}
+
+// currentVID is the view ID of the executing strand's view context: the
+// surviving view for a reduce strand, the top P bag's view otherwise.
+func (d *Detector) currentVID() cilk.ViewID {
+	if d.inReduce {
+		return d.reduceVID
+	}
+	return d.current.topP().vid
+}
+
+// curElem is the ID recorded in the shadow spaces for the executing
+// strand: the reduce invocation's own ID inside a Reduce, the enclosing
+// function's otherwise.
+func (d *Detector) curElem() dsu.Elem {
+	if d.inReduce {
+		return d.reduceElem
+	}
+	return d.current.elem
+}
+
+func (d *Detector) access(op core.AccessOp) core.Access {
+	e := int32(d.curElem())
+	return core.Access{
+		Frame: d.lin.Frame(e), Label: d.lin.Label(e), Path: d.lin.Path(e), Op: op,
+		ViewAware: d.vaDepth > 0, ViewOp: d.vaOp, VID: d.currentVID(),
+	}
+}
+
+func (d *Detector) prior(e dsu.Elem, op core.AccessOp) core.Access {
+	return core.Access{
+		Frame: d.lin.Frame(int32(e)), Label: d.lin.Label(int32(e)),
+		Path: d.lin.Path(int32(e)), Op: op,
+	}
+}
+
+// Load implements the two read rules of Figure 6.
+func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
+	if d.vaDepth == 0 {
+		d.loadOblivious(a)
+	} else {
+		d.loadAware(a)
+	}
+}
+
+// Store implements the two write rules of Figure 6.
+func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
+	if d.vaDepth == 0 {
+		d.storeOblivious(a)
+	} else {
+		d.storeAware(a)
+	}
+}
+
+func (d *Detector) loadOblivious(a mem.Addr) {
+	if w := dsu.Elem(d.writer.Get(a)); w != dsu.None && d.bagOf(w).kind == kindP {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  d.prior(w, core.OpWrite),
+			Second: d.access(core.OpRead),
+		})
+	}
+	if r := dsu.Elem(d.reader.Get(a)); r == dsu.None || d.bagOf(r).kind == kindS {
+		d.reader.Set(a, int32(d.curElem()))
+	}
+}
+
+func (d *Detector) storeOblivious(a mem.Addr) {
+	if r := dsu.Elem(d.reader.Get(a)); r != dsu.None && d.bagOf(r).kind == kindP {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  d.prior(r, core.OpRead),
+			Second: d.access(core.OpWrite),
+		})
+	}
+	w := dsu.Elem(d.writer.Get(a))
+	if w != dsu.None && d.bagOf(w).kind == kindP {
+		d.report.Add(core.Race{
+			Kind: core.Determinacy, Addr: a,
+			First:  d.prior(w, core.OpWrite),
+			Second: d.access(core.OpWrite),
+		})
+	}
+	if w == dsu.None || d.bagOf(w).kind == kindS {
+		d.writer.Set(a, int32(d.curElem()))
+	}
+}
+
+func (d *Detector) loadAware(a mem.Addr) {
+	vid := d.currentVID()
+	if w := dsu.Elem(d.writer.Get(a)); w != dsu.None {
+		if b := d.bagOf(w); b.kind == kindP && b.vid != vid {
+			d.report.Add(core.Race{
+				Kind: core.Determinacy, Addr: a,
+				First:  d.prior(w, core.OpWrite),
+				Second: d.access(core.OpRead),
+			})
+		}
+	}
+	r := dsu.Elem(d.reader.Get(a))
+	if r == dsu.None || d.bagOf(r).kind == kindS ||
+		(d.inReduce && d.bagOf(r).vid == vid) {
+		d.reader.Set(a, int32(d.curElem()))
+	}
+}
+
+func (d *Detector) storeAware(a mem.Addr) {
+	vid := d.currentVID()
+	if r := dsu.Elem(d.reader.Get(a)); r != dsu.None {
+		if b := d.bagOf(r); b.kind == kindP && b.vid != vid {
+			d.report.Add(core.Race{
+				Kind: core.Determinacy, Addr: a,
+				First:  d.prior(r, core.OpRead),
+				Second: d.access(core.OpWrite),
+			})
+		}
+	}
+	w := dsu.Elem(d.writer.Get(a))
+	if w != dsu.None {
+		if b := d.bagOf(w); b.kind == kindP && b.vid != vid {
+			d.report.Add(core.Race{
+				Kind: core.Determinacy, Addr: a,
+				First:  d.prior(w, core.OpWrite),
+				Second: d.access(core.OpWrite),
+			})
+		}
+	}
+	if w == dsu.None || d.bagOf(w).kind == kindS ||
+		(d.inReduce && d.bagOf(w).vid == vid) {
+		d.writer.Set(a, int32(d.curElem()))
+	}
+}
+
+var (
+	_ core.Detector = (*Detector)(nil)
+	_ cilk.Hooks    = (*Detector)(nil)
+)
+
+// Stats implements core.StatsProvider: the disjoint-set accounting behind
+// the O((T+Mτ)·α(v,v)) bound of Theorem 5.
+func (d *Detector) Stats() core.Stats {
+	finds, unions := d.forest.Stats()
+	return core.Stats{Elems: d.forest.Len(), Finds: finds, Unions: unions}
+}

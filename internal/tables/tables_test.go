@@ -1,0 +1,121 @@
+package tables
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestGenerateTestScale(t *testing.T) {
+	fig7, fig8, err := Generate(Options{Scale: apps.Test, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7.Rows) != 6 || len(fig8.Rows) != 6 {
+		t.Fatalf("rows = %d/%d, want 6", len(fig7.Rows), len(fig8.Rows))
+	}
+	for _, r := range fig7.Rows {
+		for col := 0; col < numCols; col++ {
+			if math.IsNaN(r.Overhead[col]) || r.Overhead[col] <= 0 {
+				t.Fatalf("%s col %d: overhead %v", r.Benchmark, col, r.Overhead[col])
+			}
+		}
+	}
+	for col := 0; col < numCols; col++ {
+		if fig7.GeoMean[col] <= 0 {
+			t.Fatalf("geomean col %d not computed", col)
+		}
+	}
+	// Both tables share the instrumented timings; only baselines differ.
+	for i := range fig7.Rows {
+		for col := 0; col < numCols; col++ {
+			if fig7.Rows[i].Times[col] != fig8.Rows[i].Times[col] {
+				t.Fatalf("%s col %d: tables measured different runs", fig7.Rows[i].Benchmark, col)
+			}
+		}
+	}
+	// (At Test scale runs take microseconds, so the fig7-vs-fig8 ratio
+	// relationship is noise; bench_test.go exercises the real scale.)
+}
+
+func TestGenerateSubset(t *testing.T) {
+	fig7, _, err := Generate(Options{Scale: apps.Test, Trials: 1, Apps: []string{"fib"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7.Rows) != 1 || fig7.Rows[0].Benchmark != "fib" {
+		t.Fatal("subset selection broken")
+	}
+	if _, _, err := Generate(Options{Apps: []string{"nope"}}); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}
+
+func TestRender(t *testing.T) {
+	fig7, _, err := Generate(Options{Scale: apps.Test, Trials: 1, Apps: []string{"ferret"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fig7.Render(PaperFigure7)
+	for _, want := range []string{"ferret", "geomean", "(paper)", "No steals"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperConstantsComplete(t *testing.T) {
+	for _, app := range apps.All() {
+		if _, ok := PaperFigure7[app.Name]; !ok {
+			t.Errorf("PaperFigure7 missing %s", app.Name)
+		}
+		if _, ok := PaperFigure8[app.Name]; !ok {
+			t.Errorf("PaperFigure8 missing %s", app.Name)
+		}
+	}
+	// The paper's headline geometric means recompute from its own table
+	// entries only when ferret is excluded (see Headline).
+	recompute := func(fig map[string][numCols]float64) (float64, float64) {
+		tbl := &Table{}
+		for name, v := range fig {
+			tbl.Rows = append(tbl.Rows, Row{Benchmark: name, Overhead: v})
+		}
+		return tbl.Headline(true)
+	}
+	ps7, sp7 := recompute(PaperFigure7)
+	if math.Abs(ps7-PaperHeadline7[0]) > 0.01 {
+		t.Errorf("Figure 7 Peer-Set headline recomputes to %.3f, paper says %.2f", ps7, PaperHeadline7[0])
+	}
+	if math.Abs(sp7-PaperHeadline7[1]) > 0.01 {
+		t.Errorf("Figure 7 SP+ headline recomputes to %.3f, paper says %.2f", sp7, PaperHeadline7[1])
+	}
+	ps8, sp8 := recompute(PaperFigure8)
+	if math.Abs(ps8-PaperHeadline8[0]) > 0.02 {
+		t.Errorf("Figure 8 Peer-Set headline recomputes to %.3f, paper says %.2f", ps8, PaperHeadline8[0])
+	}
+	if math.Abs(sp8-PaperHeadline8[1]) > 0.03 {
+		t.Errorf("Figure 8 SP+ headline recomputes to %.3f, paper says %.2f", sp8, PaperHeadline8[1])
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	fig7, _, err := Generate(Options{Scale: apps.Test, Trials: 1, Apps: []string{"fib"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := fig7.RenderCSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want header + 1 row:\n%s", len(lines), csv)
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("header has %d fields, row %d", len(header), len(row))
+	}
+	if header[0] != "benchmark" || row[0] != "fib" {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+}

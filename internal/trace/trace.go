@@ -1,0 +1,428 @@
+// Package trace records the cilk instrumentation event stream to a
+// compact binary format and replays it into any cilk.Hooks consumer —
+// decoupling program execution from race analysis. A program (plus steal
+// specification) is executed once under a trace Writer; the resulting
+// trace can then be replayed into Peer-Set, SP-bags, SP+, the dag
+// recorder, or all of them, without re-running the program. Replay
+// produces bit-identical detector behaviour because the detectors consume
+// nothing but this event stream.
+//
+// Format: the magic header "CILKTRACE1\n", then one record per event — a
+// kind byte followed by kind-specific unsigned varints (frame IDs, view
+// IDs, addresses, reducer indices) and, for frame-enter events, a
+// length-prefixed label. Typical traces run 2–4 bytes per memory access.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+)
+
+// Magic identifies a trace stream.
+const Magic = "CILKTRACE1\n"
+
+// kind encodes the event type.
+type kind byte
+
+const (
+	evProgramStart kind = iota + 1
+	evProgramEnd
+	evFrameEnterSpawn
+	evFrameEnterCall
+	evFrameReturn
+	evSync
+	evStolen
+	evReduceStart
+	evReduceEnd
+	evVABegin
+	evVAEnd
+	evReducerCreate
+	evReducerRead
+	evLoad
+	evStore
+	evMax
+)
+
+// Writer implements cilk.Hooks and streams events to an io.Writer.
+// Check Err (or use Close) after the run: hook signatures cannot return
+// errors, so write failures are latched.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	buf [2 * binary.MaxVarintLen64]byte
+	n   int64 // events written
+}
+
+// NewWriter starts a trace on w, emitting the magic header.
+func NewWriter(w io.Writer) *Writer {
+	tw := &Writer{w: bufio.NewWriter(w)}
+	_, tw.err = tw.w.WriteString(Magic)
+	return tw
+}
+
+// Err returns the first write error, if any.
+func (t *Writer) Err() error { return t.err }
+
+// Events reports how many events were recorded.
+func (t *Writer) Events() int64 { return t.n }
+
+// Close flushes the stream and returns any latched error.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+func (t *Writer) emit(k kind, args ...uint64) {
+	if t.err != nil {
+		return
+	}
+	t.n++
+	if t.err = t.w.WriteByte(byte(k)); t.err != nil {
+		return
+	}
+	for _, a := range args {
+		n := binary.PutUvarint(t.buf[:], a)
+		if _, t.err = t.w.Write(t.buf[:n]); t.err != nil {
+			return
+		}
+	}
+}
+
+func (t *Writer) emitString(s string) {
+	if t.err != nil {
+		return
+	}
+	n := binary.PutUvarint(t.buf[:], uint64(len(s)))
+	if _, t.err = t.w.Write(t.buf[:n]); t.err != nil {
+		return
+	}
+	_, t.err = t.w.WriteString(s)
+}
+
+// ProgramStart implements cilk.Hooks.
+func (t *Writer) ProgramStart(f *cilk.Frame) { t.emit(evProgramStart) }
+
+// ProgramEnd implements cilk.Hooks.
+func (t *Writer) ProgramEnd(f *cilk.Frame) { t.emit(evProgramEnd) }
+
+// FrameEnter implements cilk.Hooks.
+func (t *Writer) FrameEnter(f *cilk.Frame) {
+	k := evFrameEnterCall
+	if f.Spawned {
+		k = evFrameEnterSpawn
+	}
+	t.emit(k, uint64(f.ID))
+	t.emitString(f.Label)
+}
+
+// FrameReturn implements cilk.Hooks.
+func (t *Writer) FrameReturn(g, f *cilk.Frame) { t.emit(evFrameReturn, uint64(g.ID), uint64(f.ID)) }
+
+// Sync implements cilk.Hooks.
+func (t *Writer) Sync(f *cilk.Frame) { t.emit(evSync, uint64(f.ID)) }
+
+// ContinuationStolen implements cilk.Hooks.
+func (t *Writer) ContinuationStolen(f *cilk.Frame, vid cilk.ViewID) {
+	t.emit(evStolen, uint64(f.ID), uint64(vid))
+}
+
+// ReduceStart implements cilk.Hooks.
+func (t *Writer) ReduceStart(f *cilk.Frame, keep, die cilk.ViewID) {
+	t.emit(evReduceStart, uint64(f.ID), uint64(keep), uint64(die))
+}
+
+// ReduceEnd implements cilk.Hooks.
+func (t *Writer) ReduceEnd(f *cilk.Frame) { t.emit(evReduceEnd, uint64(f.ID)) }
+
+// ViewAwareBegin implements cilk.Hooks.
+func (t *Writer) ViewAwareBegin(f *cilk.Frame, op cilk.ViewOp, r *cilk.Reducer) {
+	t.emit(evVABegin, uint64(f.ID), uint64(op), uint64(r.Index()))
+}
+
+// ViewAwareEnd implements cilk.Hooks.
+func (t *Writer) ViewAwareEnd(f *cilk.Frame, op cilk.ViewOp, r *cilk.Reducer) {
+	t.emit(evVAEnd, uint64(f.ID), uint64(op), uint64(r.Index()))
+}
+
+// ReducerCreate implements cilk.Hooks.
+func (t *Writer) ReducerCreate(f *cilk.Frame, r *cilk.Reducer) {
+	t.emit(evReducerCreate, uint64(f.ID), uint64(r.Index()))
+	t.emitString(r.Name)
+}
+
+// ReducerRead implements cilk.Hooks.
+func (t *Writer) ReducerRead(f *cilk.Frame, r *cilk.Reducer) {
+	t.emit(evReducerRead, uint64(f.ID), uint64(r.Index()))
+}
+
+// Load implements cilk.Hooks.
+func (t *Writer) Load(f *cilk.Frame, a mem.Addr) { t.emit(evLoad, uint64(f.ID), uint64(a)) }
+
+// Store implements cilk.Hooks.
+func (t *Writer) Store(f *cilk.Frame, a mem.Addr) { t.emit(evStore, uint64(f.ID), uint64(a)) }
+
+var _ cilk.Hooks = (*Writer)(nil)
+
+// Replay reads a trace from r and drives hooks with the reconstructed
+// event stream. Frame and reducer objects are synthesized: frames carry
+// ID, label, spawn flag, parent and depth; reducers carry name and index.
+// A reducer declared quietly (cilk.NewReducerQuiet) has no creation event
+// in the stream, so it replays under the synthetic name "reducer#<idx>";
+// detector verdicts are unaffected because reducers are identified by
+// object, not name. It returns the number of events replayed.
+func Replay(r io.Reader, hooks cilk.Hooks) (events int64, err error) {
+	// Detectors validate the executor's event contract with panics (a
+	// live run can never violate it). A corrupt or adversarial trace can,
+	// so convert contract violations into errors here.
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("trace: invalid event sequence at event %d: %v", events, p)
+		}
+	}()
+	br := bufio.NewReader(r)
+	head := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != Magic {
+		return 0, errors.New("trace: bad magic header")
+	}
+
+	frames := make(map[cilk.FrameID]*cilk.Frame)
+	reducers := make(map[int]*cilk.Reducer)
+	var stack []*cilk.Frame
+
+	u := func() (uint64, error) { return binary.ReadUvarint(br) }
+	str := func() (string, error) {
+		n, err := u()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("trace: label of %d bytes", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	frameOf := func(id uint64) (*cilk.Frame, error) {
+		f, ok := frames[cilk.FrameID(id)]
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown frame %d", id)
+		}
+		return f, nil
+	}
+	reducerOf := func(idx uint64) *cilk.Reducer {
+		r, ok := reducers[int(idx)]
+		if !ok {
+			r = cilk.SyntheticReducer(fmt.Sprintf("reducer#%d", idx), int(idx))
+			reducers[int(idx)] = r
+		}
+		return r
+	}
+
+	for {
+		kb, err := br.ReadByte()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, err
+		}
+		k := kind(kb)
+		if k == 0 || k >= evMax {
+			return events, fmt.Errorf("trace: bad event kind %d at event %d", kb, events)
+		}
+		events++
+		switch k {
+		case evProgramStart:
+			// The root frame arrives with the first FrameEnter; the
+			// executor emits ProgramStart immediately before it.
+		case evProgramEnd:
+			if len(stack) > 0 {
+				hooks.ProgramEnd(stack[0])
+			}
+		case evFrameEnterSpawn, evFrameEnterCall:
+			id, err := u()
+			if err != nil {
+				return events, err
+			}
+			label, err := str()
+			if err != nil {
+				return events, err
+			}
+			f := &cilk.Frame{ID: cilk.FrameID(id), Label: label, Spawned: k == evFrameEnterSpawn}
+			if len(stack) > 0 {
+				f.Parent = stack[len(stack)-1]
+				f.Depth = f.Parent.Depth + 1
+			}
+			frames[f.ID] = f
+			stack = append(stack, f)
+			if len(stack) == 1 {
+				hooks.ProgramStart(f)
+			}
+			hooks.FrameEnter(f)
+		case evFrameReturn:
+			gid, err := u()
+			if err != nil {
+				return events, err
+			}
+			fid, err := u()
+			if err != nil {
+				return events, err
+			}
+			g, err := frameOf(gid)
+			if err != nil {
+				return events, err
+			}
+			f, err := frameOf(fid)
+			if err != nil {
+				return events, err
+			}
+			if len(stack) == 0 || stack[len(stack)-1] != g {
+				return events, fmt.Errorf("trace: return of %d does not match frame stack", gid)
+			}
+			stack = stack[:len(stack)-1]
+			hooks.FrameReturn(g, f)
+		case evSync:
+			id, err := u()
+			if err != nil {
+				return events, err
+			}
+			f, err := frameOf(id)
+			if err != nil {
+				return events, err
+			}
+			hooks.Sync(f)
+		case evStolen:
+			id, err := u()
+			if err != nil {
+				return events, err
+			}
+			vid, err := u()
+			if err != nil {
+				return events, err
+			}
+			f, err := frameOf(id)
+			if err != nil {
+				return events, err
+			}
+			hooks.ContinuationStolen(f, cilk.ViewID(vid))
+		case evReduceStart:
+			id, err := u()
+			if err != nil {
+				return events, err
+			}
+			keep, err := u()
+			if err != nil {
+				return events, err
+			}
+			die, err := u()
+			if err != nil {
+				return events, err
+			}
+			f, err := frameOf(id)
+			if err != nil {
+				return events, err
+			}
+			hooks.ReduceStart(f, cilk.ViewID(keep), cilk.ViewID(die))
+		case evReduceEnd:
+			id, err := u()
+			if err != nil {
+				return events, err
+			}
+			f, err := frameOf(id)
+			if err != nil {
+				return events, err
+			}
+			hooks.ReduceEnd(f)
+		case evVABegin, evVAEnd:
+			id, err := u()
+			if err != nil {
+				return events, err
+			}
+			op, err := u()
+			if err != nil {
+				return events, err
+			}
+			ridx, err := u()
+			if err != nil {
+				return events, err
+			}
+			f, err := frameOf(id)
+			if err != nil {
+				return events, err
+			}
+			if op > uint64(cilk.OpReduce) {
+				return events, fmt.Errorf("trace: bad view op %d", op)
+			}
+			if k == evVABegin {
+				hooks.ViewAwareBegin(f, cilk.ViewOp(op), reducerOf(ridx))
+			} else {
+				hooks.ViewAwareEnd(f, cilk.ViewOp(op), reducerOf(ridx))
+			}
+		case evReducerCreate:
+			id, err := u()
+			if err != nil {
+				return events, err
+			}
+			ridx, err := u()
+			if err != nil {
+				return events, err
+			}
+			name, err := str()
+			if err != nil {
+				return events, err
+			}
+			f, err := frameOf(id)
+			if err != nil {
+				return events, err
+			}
+			r := cilk.SyntheticReducer(name, int(ridx))
+			reducers[int(ridx)] = r
+			hooks.ReducerCreate(f, r)
+		case evReducerRead:
+			id, err := u()
+			if err != nil {
+				return events, err
+			}
+			ridx, err := u()
+			if err != nil {
+				return events, err
+			}
+			f, err := frameOf(id)
+			if err != nil {
+				return events, err
+			}
+			hooks.ReducerRead(f, reducerOf(ridx))
+		case evLoad, evStore:
+			id, err := u()
+			if err != nil {
+				return events, err
+			}
+			a, err := u()
+			if err != nil {
+				return events, err
+			}
+			f, err := frameOf(id)
+			if err != nil {
+				return events, err
+			}
+			if k == evLoad {
+				hooks.Load(f, mem.Addr(a))
+			} else {
+				hooks.Store(f, mem.Addr(a))
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/peerset"
+	"repro/internal/progs"
+	"repro/internal/spplus"
+)
+
+func TestReplayReproducesSPPlus(t *testing.T) {
+	al := mem.NewAllocator()
+	prog := progs.Fig1(al, progs.Fig1Options{})
+
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	live := spplus.New()
+	cilk.Run(prog, cilk.Config{Spec: cilk.StealAll{}, Hooks: cilk.Multi{tw, live}})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := spplus.New()
+	n, err := Replay(bytes.NewReader(buf.Bytes()), replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != tw.Events() {
+		t.Fatalf("replayed %d events, recorded %d", n, tw.Events())
+	}
+	if live.Report().Summary() != replayed.Report().Summary() {
+		t.Fatalf("reports differ:\nlive:    %s\nreplay:  %s",
+			live.Report().Summary(), replayed.Report().Summary())
+	}
+	if replayed.Report().Empty() {
+		t.Fatal("the Fig 1 race must survive the round trip")
+	}
+}
+
+func TestReplayReproducesPeerSet(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	live := peerset.New()
+	cilk.Run(progs.Fig2Reads(1, 9), cilk.Config{Hooks: cilk.Multi{tw, live}})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := peerset.New()
+	if _, err := Replay(bytes.NewReader(buf.Bytes()), replayed); err != nil {
+		t.Fatal(err)
+	}
+	// The fixture's reducer is quiet-declared, so it replays under a
+	// synthetic name; verdicts and participants must still match exactly.
+	lr, rr := live.Report(), replayed.Report()
+	if lr.Distinct() != rr.Distinct() || lr.Total() != rr.Total() || rr.Empty() {
+		t.Fatalf("verdicts differ: live %d/%d, replay %d/%d",
+			lr.Distinct(), lr.Total(), rr.Distinct(), rr.Total())
+	}
+	if lr.Races()[0].First.Frame != rr.Races()[0].First.Frame ||
+		lr.Races()[0].Second.Frame != rr.Races()[0].Second.Frame {
+		t.Fatal("race participants differ across replay")
+	}
+}
+
+func TestQuickReplayIdenticalOnRandomPrograms(t *testing.T) {
+	check := func(seed int64, p8 uint8) bool {
+		p := float64(p8%4) / 4
+		al := mem.NewAllocator()
+		prog := progs.Random(al, progs.RandomOpts{Seed: seed, MonoidStores: true, Reads: true})
+		spec := progs.RandomSpec{Seed: seed + 9, P: p, Reduce: cilk.ReduceOrder(seed % 3)}
+
+		var buf bytes.Buffer
+		tw := NewWriter(&buf)
+		live := spplus.New()
+		cilk.Run(prog, cilk.Config{Spec: spec, Hooks: cilk.Multi{tw, live}})
+		if tw.Close() != nil {
+			return false
+		}
+		replayed := spplus.New()
+		if _, err := Replay(bytes.NewReader(buf.Bytes()), replayed); err != nil {
+			t.Logf("seed %d: replay error: %v", seed, err)
+			return false
+		}
+		return live.Report().Summary() == replayed.Report().Summary()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	al := mem.NewAllocator()
+	prog := progs.Fig1(al, progs.Fig1Options{N: 16})
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	cilk.Run(prog, cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(buf.Len()) / float64(tw.Events())
+	if perEvent > 8 {
+		t.Fatalf("%.1f bytes/event — format not compact", perEvent)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOTATRACE!!\n"),
+		"bad kind":    append([]byte(Magic), 0xEE),
+		"truncated":   append([]byte(Magic), byte(evLoad)),
+		"unknown frm": append([]byte(Magic), byte(evSync), 42),
+	}
+	for name, data := range cases {
+		if _, err := Replay(bytes.NewReader(data), cilk.Empty{}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReplayFrameMetadata(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	cilk.Run(func(c *cilk.Ctx) {
+		c.Spawn("child", func(cc *cilk.Ctx) {
+			cc.Call("leaf", func(*cilk.Ctx) {})
+		})
+		c.Sync()
+	}, cilk.Config{Hooks: tw})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	spy := frameSpy{on: func(f *cilk.Frame) {
+		seen = append(seen, f.String())
+		if f.Label == "leaf" {
+			if f.Depth != 2 || f.Spawned || f.Parent == nil || f.Parent.Label != "child" {
+				t.Errorf("leaf metadata wrong: %+v", f)
+			}
+		}
+	}}
+	if _, err := Replay(bytes.NewReader(buf.Bytes()), spy); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(seen, " ") != "main#0 child#1 leaf#2" {
+		t.Fatalf("frames = %v", seen)
+	}
+}
+
+type frameSpy struct {
+	cilk.Empty
+	on func(*cilk.Frame)
+}
+
+func (s frameSpy) FrameEnter(f *cilk.Frame) { s.on(f) }
+
+// FuzzReplay: arbitrary bytes must never panic the replayer.
+func FuzzReplay(f *testing.F) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	cilk.Run(progs.Fig2Reads(1, 9), cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
+	tw.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := spplus.New()
+		_, _ = Replay(bytes.NewReader(data), d)
+	})
+}
+
+// failWriter fails after n bytes, for the latched-error path.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errShort
+	}
+	take := len(p)
+	if take > w.n {
+		take = w.n
+		w.n = 0
+		return take, errShort
+	}
+	w.n -= take
+	return take, nil
+}
+
+var errShort = bytes.ErrTooLarge
+
+func TestWriterLatchesErrors(t *testing.T) {
+	// The writer buffers, so small failures surface at Close (and large
+	// streams latch mid-run once the buffer first flushes); either way
+	// Close must report the failure and nothing may panic.
+	tw := NewWriter(&failWriter{n: 4}) // fails at the first flush
+	cilk.Run(progs.Fig2Reads(1), cilk.Config{Hooks: tw})
+	if tw.Close() == nil {
+		t.Fatal("write failure must surface at Close")
+	}
+	// A long run overflows the buffer mid-stream; the error latches and
+	// subsequent emits are no-ops.
+	tw2 := NewWriter(&failWriter{n: 64})
+	al := mem.NewAllocator()
+	cilk.Run(progs.Fig1(al, progs.Fig1Options{N: 512}), cilk.Config{Spec: cilk.StealAll{}, Hooks: tw2})
+	if tw2.Err() == nil {
+		t.Fatal("mid-stream failure must latch during the run")
+	}
+	if tw2.Close() == nil {
+		t.Fatal("Close must report the latched failure")
+	}
+}
+
+// TestReplayEveryTruncation replays a valid trace truncated at every byte
+// position: each prefix must either replay cleanly (event boundary) or
+// return an error — never panic, never misbehave.
+func TestReplayEveryTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	al := mem.NewAllocator()
+	cilk.Run(progs.Fig1(al, progs.Fig1Options{}), cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	clean := 0
+	for n := 0; n <= len(data); n++ {
+		d := spplus.New()
+		if _, err := Replay(bytes.NewReader(data[:n]), d); err == nil {
+			clean++
+		}
+	}
+	// The full trace and every exact event boundary replay cleanly;
+	// mid-event prefixes error out. There must be plenty of both.
+	if clean < 10 || clean >= len(data) {
+		t.Fatalf("clean prefixes = %d of %d — truncation handling suspicious", clean, len(data))
+	}
+}
+
+// BenchmarkTraceWriteReplay measures the trace pipeline's throughput:
+// recording overhead per event and replay-into-SP+ cost.
+func BenchmarkTraceWriteReplay(b *testing.B) {
+	al := mem.NewAllocator()
+	prog := progs.Fig1(al, progs.Fig1Options{N: 64})
+	b.Run("record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			tw := NewWriter(&buf)
+			cilk.Run(prog, cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
+			if err := tw.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	cilk.Run(prog, cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
+	if err := tw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("replay-sp+", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			d := spplus.New()
+			if _, err := Replay(bytes.NewReader(data), d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

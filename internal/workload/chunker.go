@@ -1,0 +1,73 @@
+package workload
+
+import "math/rand"
+
+// Content-defined chunking in the style of PARSEC dedup's Rabin
+// fingerprinting stage: a rolling hash over a sliding window declares a
+// chunk boundary wherever its low bits hit a magic value, so chunk
+// boundaries depend on content rather than position. Editing one region of
+// the stream therefore disturbs only nearby boundaries — the locality
+// property that makes deduplication robust to insertions — which
+// TestChunkerLocality checks directly.
+
+// chunkWindow is the rolling-hash window size in bytes.
+const chunkWindow = 16
+
+// buzTable is the random byte-to-hash mapping of the buzhash; fixed seed
+// keeps chunking deterministic across runs.
+var buzTable = func() [256]uint64 {
+	rng := rand.New(rand.NewSource(0x5eed))
+	var t [256]uint64
+	for i := range t {
+		t[i] = rng.Uint64()
+	}
+	return t
+}()
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// ChunkBoundaries splits data into content-defined chunks with sizes in
+// [minSize, maxSize] and expected size avgSize (a power of two). The
+// return value lists chunk end offsets; the last entry is len(data).
+func ChunkBoundaries(data []byte, minSize, avgSize, maxSize int) []int {
+	if minSize < chunkWindow {
+		minSize = chunkWindow
+	}
+	if avgSize < minSize {
+		avgSize = minSize * 2
+	}
+	if maxSize < avgSize {
+		maxSize = avgSize * 4
+	}
+	mask := uint64(avgSize - 1) // avgSize a power of two → ~1/avgSize hit rate
+	var ends []int
+	start := 0
+	var h uint64
+	for i := 0; i < len(data); i++ {
+		h = rotl(h, 1) ^ buzTable[data[i]]
+		if i-start+1 >= chunkWindow+1 {
+			h ^= rotl(buzTable[data[i-chunkWindow]], chunkWindow)
+		}
+		size := i - start + 1
+		if (size >= minSize && h&mask == mask) || size >= maxSize {
+			ends = append(ends, i+1)
+			start = i + 1
+			h = 0
+		}
+	}
+	if start < len(data) || len(data) == 0 {
+		ends = append(ends, len(data))
+	}
+	return ends
+}
+
+// Chunks materializes the byte slices delimited by ChunkBoundaries.
+func Chunks(data []byte, ends []int) [][]byte {
+	out := make([][]byte, 0, len(ends))
+	start := 0
+	for _, e := range ends {
+		out = append(out, data[start:e])
+		start = e
+	}
+	return out
+}

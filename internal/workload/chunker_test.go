@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkBoundariesCoverAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 64*1024)
+	rng.Read(data)
+	const minS, avgS, maxS = 64, 256, 1024
+	ends := ChunkBoundaries(data, minS, avgS, maxS)
+	if ends[len(ends)-1] != len(data) {
+		t.Fatal("chunks must cover the stream")
+	}
+	prev := 0
+	for i, e := range ends {
+		size := e - prev
+		if size <= 0 {
+			t.Fatalf("chunk %d has size %d", i, size)
+		}
+		if size > maxS {
+			t.Fatalf("chunk %d exceeds max: %d", i, size)
+		}
+		if i < len(ends)-1 && size < minS {
+			t.Fatalf("non-final chunk %d below min: %d", i, size)
+		}
+		prev = e
+	}
+	// Average size in the right ballpark (within 3x either way).
+	avg := len(data) / len(ends)
+	if avg < avgS/3 || avg > avgS*3 {
+		t.Fatalf("average chunk size %d, expected near %d", avg, avgS)
+	}
+}
+
+func TestChunkBoundariesDeterministic(t *testing.T) {
+	data := bytes.Repeat([]byte("the quick brown fox "), 500)
+	a := ChunkBoundaries(data, 32, 128, 512)
+	b := ChunkBoundaries(data, 32, 128, 512)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic chunking")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic chunking")
+		}
+	}
+}
+
+// TestChunkerLocality is the defining CDC property: inserting bytes near
+// the front of the stream must leave the vast majority of chunk content
+// intact (boundaries resynchronize), unlike fixed-size chunking where
+// every later chunk shifts.
+func TestChunkerLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 32*1024)
+	rng.Read(data)
+	edited := append(append([]byte("INSERTED BYTES!!"), data[:100]...), data[100:]...)
+
+	hashes := func(d []byte) map[uint64]bool {
+		out := map[uint64]bool{}
+		for _, c := range Chunks(d, ChunkBoundaries(d, 64, 256, 1024)) {
+			out[fnvHash(c)] = true
+		}
+		return out
+	}
+	orig := hashes(data)
+	ed := hashes(edited)
+	shared := 0
+	for h := range ed {
+		if orig[h] {
+			shared++
+		}
+	}
+	if frac := float64(shared) / float64(len(ed)); frac < 0.9 {
+		t.Fatalf("only %.0f%% of chunks survive a front insertion; CDC locality broken", frac*100)
+	}
+}
+
+func fnvHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func TestChunkBoundariesEdgeCases(t *testing.T) {
+	if ends := ChunkBoundaries(nil, 16, 32, 64); len(ends) != 1 || ends[0] != 0 {
+		t.Fatalf("empty stream: %v", ends)
+	}
+	if ends := ChunkBoundaries([]byte("x"), 16, 32, 64); len(ends) != 1 || ends[0] != 1 {
+		t.Fatalf("tiny stream: %v", ends)
+	}
+	// Degenerate parameters are repaired.
+	ends := ChunkBoundaries(bytes.Repeat([]byte{1}, 4096), 0, 0, 0)
+	if ends[len(ends)-1] != 4096 {
+		t.Fatal("repaired parameters must still cover")
+	}
+}
+
+func TestChunksMaterialization(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, rng.Intn(8192))
+		rng.Read(data)
+		ends := ChunkBoundaries(data, 32, 64, 256)
+		var rejoined []byte
+		for _, c := range Chunks(data, ends) {
+			rejoined = append(rejoined, c...)
+		}
+		return bytes.Equal(rejoined, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

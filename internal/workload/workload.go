@@ -1,0 +1,223 @@
+// Package workload generates the deterministic synthetic inputs that stand
+// in for the paper's benchmark data sets (PARSEC's dedup "medium" and
+// ferret "large" inputs, the pbfs graph, the collision body set, Frigo's
+// knapsack instance). Every generator is a pure function of its seed and
+// size parameters, so runs are reproducible and the uninstrumented
+// baseline, the empty tool and the detectors all see byte-identical work.
+package workload
+
+import "math/rand"
+
+// Graph is an undirected graph in compressed sparse row form.
+type Graph struct {
+	N      int
+	Adj    []int32 // concatenated adjacency lists
+	Offset []int32 // Offset[v]..Offset[v+1] indexes Adj; len N+1
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return int(g.Offset[v+1] - g.Offset[v]) }
+
+// Neighbors returns v's adjacency slice.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.Adj[g.Offset[v]:g.Offset[v+1]]
+}
+
+// Edges returns the number of directed edge slots (2x undirected edges).
+func (g *Graph) Edges() int { return len(g.Adj) }
+
+// RandomGraph builds a connected seeded random graph with n vertices and
+// roughly m undirected edges: a random spanning tree for connectivity plus
+// m−n+1 random extra edges.
+func RandomGraph(seed int64, n, m int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 0, m)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u, v := int32(perm[i]), int32(perm[rng.Intn(i)])
+		edges = append(edges, edge{u, v})
+	}
+	for len(edges) < m {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v {
+			edges = append(edges, edge{u, v})
+		}
+	}
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	g := &Graph{N: n, Offset: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		g.Offset[v+1] = g.Offset[v] + deg[v]
+	}
+	g.Adj = make([]int32, g.Offset[n])
+	fill := make([]int32, n)
+	copy(fill, g.Offset[:n])
+	for _, e := range edges {
+		g.Adj[fill[e.u]] = e.v
+		fill[e.u]++
+		g.Adj[fill[e.v]] = e.u
+		fill[e.v]++
+	}
+	return g
+}
+
+// Corpus is a byte stream with controlled chunk-level duplication, the
+// dedup benchmark's input.
+type Corpus struct {
+	Data      []byte
+	ChunkSize int
+}
+
+// RandomCorpus builds nChunks chunks of chunkSize bytes where dupRate (in
+// [0,1]) of the chunks repeat earlier ones.
+func RandomCorpus(seed int64, nChunks, chunkSize int, dupRate float64) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	var uniques [][]byte
+	data := make([]byte, 0, nChunks*chunkSize)
+	for i := 0; i < nChunks; i++ {
+		if len(uniques) > 0 && rng.Float64() < dupRate {
+			data = append(data, uniques[rng.Intn(len(uniques))]...)
+			continue
+		}
+		chunk := make([]byte, chunkSize)
+		for j := range chunk {
+			chunk[j] = byte(rng.Intn(256))
+		}
+		uniques = append(uniques, chunk)
+		data = append(data, chunk...)
+	}
+	return &Corpus{Data: data, ChunkSize: chunkSize}
+}
+
+// ImageDB is a database of feature vectors plus query vectors, the ferret
+// benchmark's input (image similarity search over precomputed features).
+type ImageDB struct {
+	Dim     int
+	Vectors [][]float32
+	Queries [][]float32
+}
+
+// RandomImageDB builds n database vectors and q queries of dimension dim.
+// Queries are perturbed copies of database vectors so nearest-neighbour
+// results are nontrivial.
+func RandomImageDB(seed int64, n, q, dim int) *ImageDB {
+	rng := rand.New(rand.NewSource(seed))
+	db := &ImageDB{Dim: dim}
+	mk := func() []float32 {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = rng.Float32()
+		}
+		return v
+	}
+	for i := 0; i < n; i++ {
+		db.Vectors = append(db.Vectors, mk())
+	}
+	for i := 0; i < q; i++ {
+		base := db.Vectors[rng.Intn(n)]
+		qv := make([]float32, dim)
+		for j := range qv {
+			qv[j] = base[j] + 0.05*(rng.Float32()-0.5)
+		}
+		db.Queries = append(db.Queries, qv)
+	}
+	return db
+}
+
+// Body is one sphere for the collision benchmark.
+type Body struct {
+	X, Y, Z float64
+	R       float64
+}
+
+// RandomBodies scatters n spheres in the unit cube with radii chosen so a
+// modest fraction of pairs collide.
+func RandomBodies(seed int64, n int) []Body {
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([]Body, n)
+	for i := range bodies {
+		bodies[i] = Body{
+			X: rng.Float64(),
+			Y: rng.Float64(),
+			Z: rng.Float64(),
+			R: 0.01 + 0.04*rng.Float64(),
+		}
+	}
+	return bodies
+}
+
+// Collides reports whether two spheres intersect.
+func Collides(a, b Body) bool {
+	dx, dy, dz := a.X-b.X, a.Y-b.Y, a.Z-b.Z
+	rr := a.R + b.R
+	return dx*dx+dy*dy+dz*dz <= rr*rr
+}
+
+// KnapsackItem is one item of the knapsack instance.
+type KnapsackItem struct {
+	Weight int
+	Value  int
+}
+
+// KnapsackInstance is Frigo's knapsack-challenge style input.
+type KnapsackInstance struct {
+	Items    []KnapsackItem
+	Capacity int
+}
+
+// RandomKnapsack builds n items with correlated weights and values and a
+// capacity near half the total weight, the regime where branch and bound
+// does real work.
+func RandomKnapsack(seed int64, n int) *KnapsackInstance {
+	rng := rand.New(rand.NewSource(seed))
+	inst := &KnapsackInstance{}
+	total := 0
+	for i := 0; i < n; i++ {
+		w := 1 + rng.Intn(100)
+		v := w + rng.Intn(50) // loosely correlated
+		inst.Items = append(inst.Items, KnapsackItem{Weight: w, Value: v})
+		total += w
+	}
+	inst.Capacity = total / 2
+	return inst
+}
+
+// SolveKnapsackDP computes the exact optimum by dynamic programming, the
+// verifier for the branch-and-bound benchmark.
+func SolveKnapsackDP(inst *KnapsackInstance) int {
+	best := make([]int, inst.Capacity+1)
+	for _, it := range inst.Items {
+		for w := inst.Capacity; w >= it.Weight; w-- {
+			if v := best[w-it.Weight] + it.Value; v > best[w] {
+				best[w] = v
+			}
+		}
+	}
+	return best[inst.Capacity]
+}
+
+// BFSLevels computes BFS distances serially, the pbfs verifier. Returns -1
+// for unreachable vertices.
+func BFSLevels(g *Graph, src int) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}

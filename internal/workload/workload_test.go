@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomGraphConnectedAndSized(t *testing.T) {
+	g := RandomGraph(1, 500, 2000)
+	if g.N != 500 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.Edges() != 2*2000 {
+		t.Fatalf("edge slots = %d, want %d", g.Edges(), 2*2000)
+	}
+	dist := BFSLevels(g, 0)
+	for v, d := range dist {
+		if d < 0 {
+			t.Fatalf("vertex %d unreachable: spanning tree broken", v)
+		}
+	}
+}
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	a := RandomGraph(7, 100, 300)
+	b := RandomGraph(7, 100, 300)
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			t.Fatal("graph not deterministic")
+		}
+	}
+}
+
+func TestCSRConsistency(t *testing.T) {
+	check := func(seed int64) bool {
+		g := RandomGraph(seed, 50, 120)
+		// Every directed edge u->v has a mirror v->u.
+		count := make(map[[2]int32]int)
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.Neighbors(u) {
+				count[[2]int32{int32(u), v}]++
+			}
+		}
+		for k, c := range count {
+			if count[[2]int32{k[1], k[0]}] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomCorpusDuplication(t *testing.T) {
+	c := RandomCorpus(3, 200, 64, 0.5)
+	if len(c.Data) != 200*64 {
+		t.Fatalf("corpus size %d", len(c.Data))
+	}
+	seen := make(map[string]bool)
+	dups := 0
+	for i := 0; i < 200; i++ {
+		chunk := string(c.Data[i*64 : (i+1)*64])
+		if seen[chunk] {
+			dups++
+		}
+		seen[chunk] = true
+	}
+	if dups < 50 || dups > 150 {
+		t.Fatalf("dups = %d, want around 100", dups)
+	}
+}
+
+func TestRandomImageDB(t *testing.T) {
+	db := RandomImageDB(5, 100, 10, 16)
+	if len(db.Vectors) != 100 || len(db.Queries) != 10 || db.Dim != 16 {
+		t.Fatal("sizes wrong")
+	}
+	for _, v := range db.Vectors {
+		if len(v) != 16 {
+			t.Fatal("vector dim wrong")
+		}
+	}
+}
+
+func TestBodiesAndCollision(t *testing.T) {
+	bodies := RandomBodies(2, 100)
+	if len(bodies) != 100 {
+		t.Fatal("count")
+	}
+	a := Body{X: 0, Y: 0, Z: 0, R: 1}
+	b := Body{X: 1.5, Y: 0, Z: 0, R: 1}
+	if !Collides(a, b) {
+		t.Fatal("overlapping spheres must collide")
+	}
+	c := Body{X: 3, Y: 0, Z: 0, R: 1}
+	if Collides(a, c) {
+		t.Fatal("distant spheres must not collide")
+	}
+}
+
+func TestKnapsackDP(t *testing.T) {
+	inst := &KnapsackInstance{
+		Items:    []KnapsackItem{{Weight: 3, Value: 4}, {Weight: 4, Value: 5}, {Weight: 2, Value: 3}},
+		Capacity: 6,
+	}
+	if got := SolveKnapsackDP(inst); got != 8 {
+		t.Fatalf("dp = %d, want 8 (items 1 and 3... weight 5, value 8)", got)
+	}
+	r := RandomKnapsack(4, 20)
+	if len(r.Items) != 20 || r.Capacity <= 0 {
+		t.Fatal("random instance malformed")
+	}
+	if SolveKnapsackDP(r) <= 0 {
+		t.Fatal("dp result must be positive")
+	}
+}
+
+func TestBFSLevelsSmall(t *testing.T) {
+	// Path graph 0-1-2-3 built by hand through RandomGraph semantics is
+	// fiddly; construct CSR directly.
+	g := &Graph{
+		N:      4,
+		Adj:    []int32{1, 0, 2, 1, 3, 2},
+		Offset: []int32{0, 1, 3, 5, 6},
+	}
+	d := BFSLevels(g, 0)
+	for v, want := range []int32{0, 1, 2, 3} {
+		if d[v] != want {
+			t.Fatalf("dist[%d] = %d, want %d", v, d[v], want)
+		}
+	}
+}

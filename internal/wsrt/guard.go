@@ -1,0 +1,77 @@
+package wsrt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The paper's conclusion (§10) floats an "always-on view-read race
+// detection tool" as the payoff of a parallel Peer-Set — noting that the
+// serial algorithm's last-reader shadow has no parallel counterpart. This
+// guard is a deliberately simple realization of the always-on idea for
+// the child-stealing runtime: it exploits a structural fact of wsrt's
+// view management instead of tracking peers. A task's current view segment
+// reflects exactly the updates made by this task since its last Spawn or
+// Sync — nothing from outstanding children, nothing from sealed segments.
+// Reading or resetting a reducer while the task has unjoined work is
+// therefore reading a value that depends on where the runtime happened to
+// cut the segments: the view-read races of §3, caught at runtime with an
+// O(1) check per reducer-read and zero cost on updates.
+//
+// The check is sound for wsrt's semantics (every flagged read really can
+// observe a segment-dependent value) and complete for reads within one
+// task (a read with no unjoined work sees the full fold of everything the
+// task synced). Cross-task protocol errors — reading in a spawned child a
+// reducer the parent still updates — surface in the child itself, whose
+// private view is empty until it updates, making such reads flag-worthy
+// wherever they could differ from the serial value.
+
+// ViewReadWarning records one flagged reducer-read.
+type ViewReadWarning struct {
+	Reducer string
+	Op      string // "get" or "set"
+	// Pending is the number of unjoined items (children and sealed
+	// segments) at the read.
+	Pending int
+}
+
+// String implements fmt.Stringer.
+func (w ViewReadWarning) String() string {
+	return fmt.Sprintf("view-read warning: %s of reducer %q with %d unjoined item(s) in scope",
+		w.Op, w.Reducer, w.Pending)
+}
+
+// guard collects warnings across workers.
+type guard struct {
+	mu   sync.Mutex
+	warn []ViewReadWarning
+}
+
+// EnableViewReadGuard turns on the always-on view-read checks for
+// subsequent Runs on this runtime.
+func (rt *Runtime) EnableViewReadGuard() *Runtime {
+	rt.guard = &guard{}
+	return rt
+}
+
+// ViewReadWarnings returns the warnings accumulated since the guard was
+// enabled.
+func (rt *Runtime) ViewReadWarnings() []ViewReadWarning {
+	if rt.guard == nil {
+		return nil
+	}
+	rt.guard.mu.Lock()
+	defer rt.guard.mu.Unlock()
+	out := make([]ViewReadWarning, len(rt.guard.warn))
+	copy(out, rt.guard.warn)
+	return out
+}
+
+func (rt *Runtime) flagViewRead(r *Reducer, op string, pending int) {
+	if rt.guard == nil || pending == 0 {
+		return
+	}
+	rt.guard.mu.Lock()
+	rt.guard.warn = append(rt.guard.warn, ViewReadWarning{Reducer: r.name, Op: op, Pending: pending})
+	rt.guard.mu.Unlock()
+}

@@ -1,0 +1,74 @@
+package wsrt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestViewReadGuardFlagsEarlyRead(t *testing.T) {
+	rt := New(2).EnableViewReadGuard()
+	rt.Run(func(c *Ctx) {
+		r := c.NewReducer("sum", sumMonoid, 0)
+		c.Spawn(func(cc *Ctx) {
+			cc.Update(r, func(v any) any { return v.(int) + 1 })
+		})
+		_ = c.Value(r) // BUG: child outstanding
+		c.Sync()
+	})
+	warns := rt.ViewReadWarnings()
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %d, want 1: %v", len(warns), warns)
+	}
+	if warns[0].Reducer != "sum" || warns[0].Op != "get" || warns[0].Pending == 0 {
+		t.Fatalf("warning malformed: %+v", warns[0])
+	}
+	if !strings.Contains(warns[0].String(), "view-read warning") {
+		t.Fatal("stringer")
+	}
+}
+
+func TestViewReadGuardSilentOnCorrectUse(t *testing.T) {
+	rt := New(2).EnableViewReadGuard()
+	var got int
+	rt.Run(func(c *Ctx) {
+		r := c.NewReducer("sum", sumMonoid, 0)
+		c.SetValue(r, 5) // before any spawn: fine
+		c.ParFor(100, 4, func(cc *Ctx, i int) {
+			cc.Update(r, func(v any) any { return v.(int) + 1 })
+		})
+		got = c.Value(r).(int) // after the sync: fine
+	})
+	if got != 105 {
+		t.Fatalf("sum = %d", got)
+	}
+	if warns := rt.ViewReadWarnings(); len(warns) != 0 {
+		t.Fatalf("correct use must not warn: %v", warns)
+	}
+}
+
+func TestViewReadGuardSetAfterSpawn(t *testing.T) {
+	rt := New(1).EnableViewReadGuard()
+	rt.Run(func(c *Ctx) {
+		r := c.NewReducer("sum", sumMonoid, 0)
+		c.Spawn(func(cc *Ctx) {})
+		c.SetValue(r, 9) // the §3 set_value-after-spawn pattern
+		c.Sync()
+	})
+	warns := rt.ViewReadWarnings()
+	if len(warns) != 1 || warns[0].Op != "set" {
+		t.Fatalf("warnings = %v", warns)
+	}
+}
+
+func TestViewReadGuardDisabledByDefault(t *testing.T) {
+	rt := New(1)
+	rt.Run(func(c *Ctx) {
+		r := c.NewReducer("sum", sumMonoid, 0)
+		c.Spawn(func(cc *Ctx) {})
+		_ = c.Value(r)
+		c.Sync()
+	})
+	if rt.ViewReadWarnings() != nil {
+		t.Fatal("guard off by default")
+	}
+}
