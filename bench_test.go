@@ -68,7 +68,7 @@ func BenchmarkFigure7(b *testing.B) {
 			b.Run(app.Name+"/"+cfg.name, func(b *testing.B) {
 				spec := cfg.spec(prof.MaxSyncBlock)
 				for i := 0; i < b.N; i++ {
-					rader.Run(ins.Prog, rader.Config{Detector: cfg.det, Spec: spec})
+					rader.MustRun(ins.Prog, rader.Config{Detector: cfg.det, Spec: spec})
 				}
 				b.StopTimer()
 				if err := ins.Verify(); err != nil {
@@ -218,7 +218,7 @@ func BenchmarkAblationLabeling(b *testing.B) {
 		det := det
 		b.Run(string(det), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rader.Run(prog, rader.Config{Detector: det})
+				rader.MustRun(prog, rader.Config{Detector: det})
 			}
 		})
 	}

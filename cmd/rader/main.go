@@ -13,15 +13,20 @@
 // §2 linked-list program), fig1-early (get_value before sync), fig1-late
 // (set_value after spawn), fig1-fixed (deep copy), fig2 (§3's dag, reads
 // at -reads strands).
+//
+// Exit status: 0 when the run is clean, 1 when races were detected, 2 on
+// usage errors, internal errors, or an incomplete sweep.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cilk"
@@ -36,123 +41,163 @@ import (
 	"repro/internal/trace"
 )
 
+// Exit codes.
+const (
+	exitClean = 0
+	exitRaces = 1
+	exitError = 2
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, returning the exit code so
+// tests can drive the tool end to end without forking a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rader", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		progName = flag.String("prog", "fib", "program: benchmark name or fig1[-early|-late|-fixed], fig2")
-		detector = flag.String("detector", "sp+", "detector: none, empty, peer-set, sp-bags, sp+")
-		specStr  = flag.String("spec", "none", "steal specification (none, all, all-eager, depth:D, single:A, pair:A,B, triple:I,J,K, random:SEED,K, labels:...)")
-		scale    = flag.String("scale", "small", "benchmark scale: test, small, bench")
-		reads    = flag.String("reads", "1,9", "fig2 only: comma-separated strands that read the reducer")
-		coverage = flag.Bool("coverage", false, "run the full §7 specification sweep with SP+ and Peer-Set")
-		verbose  = flag.Bool("v", false, "print run statistics")
-		dot      = flag.Bool("dot", false, "emit the run's performance dag in Graphviz dot format and exit")
-		jsonOut  = flag.Bool("json", false, "print the race report as JSON (for CI)")
-		record   = flag.String("record", "", "record the run's event stream to this trace file")
-		replay   = flag.String("replay", "", "skip execution; replay a recorded trace file into the detector")
+		progName = fs.String("prog", "fib", "program: benchmark name or fig1[-early|-late|-fixed], fig2")
+		detector = fs.String("detector", "sp+", "detector: none, empty, peer-set, sp-bags, sp+")
+		specStr  = fs.String("spec", "none", "steal specification (none, all, all-eager, depth:D, single:A, pair:A,B, triple:I,J,K, random:SEED,K, labels:...)")
+		scale    = fs.String("scale", "small", "benchmark scale: test, small, bench")
+		reads    = fs.String("reads", "1,9", "fig2 only: comma-separated strands that read the reducer")
+		coverage = fs.Bool("coverage", false, "run the full §7 specification sweep with SP+ and Peer-Set")
+		timeout  = fs.Duration("timeout", 0, "abort the run or sweep after this long (0 = no limit)")
+		verbose  = fs.Bool("v", false, "print run statistics")
+		dot      = fs.Bool("dot", false, "emit the run's performance dag in Graphviz dot format and exit")
+		jsonOut  = fs.Bool("json", false, "print the race report as JSON (for CI)")
+		record   = fs.String("record", "", "record the run's event stream to this trace file")
+		replay   = fs.String("replay", "", "skip execution; replay a recorded trace file into the detector")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "rader:", err)
+		return exitError
+	}
+
+	var deadline time.Time
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
 
 	if *replay != "" {
 		det, err := rader.ParseDetector(*detector)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		if err := replayTrace(*replay, det); err != nil {
-			fatal(err)
+		code, err := replayTrace(stdout, *replay, det)
+		if err != nil {
+			return fatal(err)
 		}
-		return
+		return code
 	}
 
 	prog, verify, desc, err := buildProgram(*progName, *scale, *reads)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	fmt.Printf("program: %s (%s)\n", *progName, desc)
+	fmt.Fprintf(stdout, "program: %s (%s)\n", *progName, desc)
 
 	if *coverage {
-		runCoverage(prog)
-		return
+		return runCoverage(stdout, prog, *timeout)
 	}
 
 	det, err := rader.ParseDetector(*detector)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	spec, err := sched.Parse(*specStr)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if *dot {
 		rec := dag.NewRecorder()
 		cilk.Run(prog, cilk.Config{Spec: spec, Hooks: rec})
-		fmt.Print(rec.D.Dot(*progName))
-		return
+		fmt.Fprint(stdout, rec.D.Dot(*progName))
+		return exitClean
 	}
 	if *record != "" {
 		if err := recordTrace(*record, prog, spec); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		fmt.Printf("trace recorded to %s\n", *record)
-		return
+		fmt.Fprintf(stdout, "trace recorded to %s\n", *record)
+		return exitClean
 	}
-	out := rader.Run(prog, rader.Config{Detector: det, Spec: spec})
-	fmt.Printf("detector: %s   spec: %s   time: %v\n", det, sched.Format(spec), out.Duration)
+	out, err := rader.Run(prog, rader.Config{Detector: det, Spec: spec, Deadline: deadline})
+	if err != nil {
+		return fatal(err)
+	}
+	fmt.Fprintf(stdout, "detector: %s   spec: %s   time: %v\n", det, sched.Format(spec), out.Duration)
 	if *verbose {
 		r := out.Result
-		fmt.Printf("frames=%d spawns=%d syncs=%d steals=%d views=%d reduces=%d loads=%d stores=%d reducer-reads=%d updates=%d\n",
+		fmt.Fprintf(stdout, "frames=%d spawns=%d syncs=%d steals=%d views=%d reduces=%d loads=%d stores=%d reducer-reads=%d updates=%d\n",
 			r.Frames, r.Spawns, r.Syncs, len(r.Steals), r.Views, r.Reduces, r.Loads, r.Stores, r.Reads, r.Updates)
 		if out.Stats.Elems > 0 {
-			fmt.Printf("disjoint-set: %d elements, %d finds, %d unions (each amortized O(α))\n",
+			fmt.Fprintf(stdout, "disjoint-set: %d elements, %d finds, %d unions (each amortized O(α))\n",
 				out.Stats.Elems, out.Stats.Finds, out.Stats.Unions)
 		}
 	}
 	if verify != nil {
 		if err := verify(); err != nil {
-			fmt.Printf("VERIFY FAILED: %v\n", err)
+			fmt.Fprintf(stdout, "VERIFY FAILED: %v\n", err)
 		} else {
-			fmt.Println("verify: ok")
+			fmt.Fprintln(stdout, "verify: ok")
 		}
 	}
 	if out.Report == nil {
-		fmt.Println("(no detector attached)")
-		return
+		fmt.Fprintln(stdout, "(no detector attached)")
+		return exitClean
 	}
 	if *jsonOut {
 		b, err := json.Marshal(out.Report)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		fmt.Println(string(b))
+		fmt.Fprintln(stdout, string(b))
 		if !out.Report.Empty() {
-			os.Exit(1)
+			return exitRaces
 		}
-		return
+		return exitClean
 	}
-	fmt.Println(out.Report.Summary())
+	fmt.Fprintln(stdout, out.Report.Summary())
 	if !out.Report.Empty() && len(out.Result.Steals) > 0 {
-		fmt.Printf("replay with: -spec '%s'\n", out.Replay)
+		fmt.Fprintf(stdout, "replay with: -spec '%s'\n", out.Replay)
 	}
 	if !out.Report.Empty() {
-		os.Exit(1)
+		return exitRaces
 	}
+	return exitClean
 }
 
-func runCoverage(prog func(*cilk.Ctx)) {
-	cr := rader.Coverage(prog)
-	fmt.Printf("profile: max P-depth %d, max sync block %d, Cilk depth %d\n",
+func runCoverage(stdout io.Writer, prog func(*cilk.Ctx), timeout time.Duration) int {
+	cr := rader.Sweep(func() func(*cilk.Ctx) { return prog },
+		rader.SweepOptions{Timeout: timeout})
+	fmt.Fprintf(stdout, "profile: max P-depth %d, max sync block %d, Cilk depth %d\n",
 		cr.Profile.MaxPDepth, cr.Profile.MaxSyncBlock, cr.Profile.CilkDepth)
-	fmt.Printf("specifications run: %d (SP+), plus one Peer-Set pass\n", cr.SpecsRun)
-	fmt.Printf("view-read: %s\n", cr.ViewReads.Summary())
+	fmt.Fprintf(stdout, "specifications run: %d (SP+), plus one Peer-Set pass\n", cr.SpecsRun)
+	fmt.Fprintf(stdout, "view-read: %s\n", cr.ViewReads.Summary())
 	if len(cr.Races) == 0 {
-		fmt.Println("determinacy: no races under any specification")
+		fmt.Fprintln(stdout, "determinacy: no races under any specification")
 	} else {
-		fmt.Printf("determinacy: %d distinct race(s):\n", len(cr.Races))
+		fmt.Fprintf(stdout, "determinacy: %d distinct race(s):\n", len(cr.Races))
 		for _, f := range cr.Races {
-			fmt.Printf("  [%s] %v\n", f.Spec, f.Race)
+			fmt.Fprintf(stdout, "  [%s] %v\n", f.Spec, f.Race)
 		}
 	}
-	if !cr.Clean() {
-		os.Exit(1)
+	for _, sf := range cr.Failures {
+		fmt.Fprintf(stdout, "sweep failure: %v\n", sf)
+	}
+	switch {
+	case !cr.Clean():
+		return exitRaces
+	case !cr.Complete():
+		return exitError
+	default:
+		return exitClean
 	}
 }
 
@@ -212,15 +257,14 @@ func recordTrace(path string, prog func(*cilk.Ctx), spec cilk.StealSpec) error {
 	return f.Close()
 }
 
-func replayTrace(path string, det rader.DetectorName) error {
+func replayTrace(stdout io.Writer, path string, det rader.DetectorName) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	defer f.Close()
 	var hooks cilk.Hooks
 	var report func() string
-	exit := 0
 	switch det {
 	case rader.PeerSet:
 		d := peerset.New()
@@ -232,23 +276,17 @@ func replayTrace(path string, det rader.DetectorName) error {
 		d := spplus.New()
 		hooks, report = d, func() string { return d.Report().Summary() }
 	default:
-		return fmt.Errorf("replay needs peer-set, sp-bags or sp+ (got %s)", det)
+		return exitError, fmt.Errorf("replay needs peer-set, sp-bags or sp+ (got %s)", det)
 	}
 	n, err := trace.Replay(f, hooks)
 	if err != nil {
-		return err
+		return exitError, err
 	}
-	fmt.Printf("replayed %d events from %s under %s\n", n, path, det)
+	fmt.Fprintf(stdout, "replayed %d events from %s under %s\n", n, path, det)
 	summary := report()
-	fmt.Println(summary)
+	fmt.Fprintln(stdout, summary)
 	if summary != "no races detected" {
-		exit = 1
+		return exitRaces, nil
 	}
-	os.Exit(exit)
-	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rader:", err)
-	os.Exit(2)
+	return exitClean, nil
 }

@@ -32,7 +32,7 @@ func main() {
 
 	// A schedule with steals: the scan of the shared nodes races with the
 	// view-aware writes of the list reducer.
-	out := rader.Run(prog, rader.Config{Detector: rader.SPPlus, Spec: cilk.StealAll{}})
+	out := rader.MustRun(prog, rader.Config{Detector: rader.SPPlus, Spec: cilk.StealAll{}})
 	fmt.Printf("sp+ under steal-all:             %s\n", out.Report.Summary())
 	fmt.Printf("replayable via steal spec:       %s\n", out.Replay)
 
@@ -41,7 +41,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	again := rader.Run(prog, rader.Config{Detector: rader.SPPlus, Spec: spec})
+	again := rader.MustRun(prog, rader.Config{Detector: rader.SPPlus, Spec: spec})
 	fmt.Printf("replayed:                        %s\n", again.Report.Summary())
 
 	// Peer-Set stays silent — this bug is not a view-read race.

@@ -1,9 +1,8 @@
 package cilk
 
 import (
-	"fmt"
-
 	"repro/internal/mem"
+	"repro/internal/streamerr"
 )
 
 // Config selects the schedule and instrumentation for one run.
@@ -105,7 +104,8 @@ func (ex *Executor) exitFrame(f *Frame) {
 		ex.syncFrame(f)
 	}
 	if len(f.slots) != 1 {
-		panic(fmt.Sprintf("cilk: frame %v returning with %d unreduced views", f, len(f.slots)-1))
+		panic(streamerr.Errorf("cilk", streamerr.KindState,
+			"frame %v returning with %d unreduced views", f, len(f.slots)-1).WithFrame(int64(f.ID)))
 	}
 	if f.Parent != nil && ex.hasHooks {
 		ex.hooks.FrameReturn(f, f.Parent)
@@ -117,7 +117,8 @@ func (ex *Executor) exitFrame(f *Frame) {
 // and opens the next sync block.
 func (ex *Executor) syncFrame(f *Frame) {
 	if ex.viewAware > 0 {
-		panic("cilk: sync inside a view-aware operation")
+		panic(streamerr.Errorf("cilk", streamerr.KindState,
+			"sync inside a view-aware operation").WithFrame(int64(f.ID)))
 	}
 	if ex.order == ReduceMiddleFirst && len(f.slots) >= 3 {
 		ex.reducePairAt(f, 1)
@@ -193,7 +194,8 @@ func (c *Ctx) Frame() *Frame { return c.frame }
 func (c *Ctx) Spawn(label string, body func(*Ctx)) {
 	ex := c.ex
 	if ex.viewAware > 0 {
-		panic("cilk: spawn inside a view-aware operation")
+		panic(streamerr.Errorf("cilk", streamerr.KindState,
+			"spawn inside a view-aware operation").WithFrame(int64(c.frame.ID)))
 	}
 	f := c.frame
 	f.LocalSpawns++
@@ -258,7 +260,8 @@ func (c *Ctx) Spawn(label string, body func(*Ctx)) {
 func (c *Ctx) Call(label string, body func(*Ctx)) {
 	ex := c.ex
 	if ex.viewAware > 0 {
-		panic("cilk: call inside a view-aware operation")
+		panic(streamerr.Errorf("cilk", streamerr.KindState,
+			"call inside a view-aware operation").WithFrame(int64(c.frame.ID)))
 	}
 	child := ex.newFrame(c.frame, label, false)
 	if ex.hasHooks {

@@ -19,7 +19,7 @@ func TestCorpusMatrix(t *testing.T) {
 
 			// Peer-Set (schedule-independent; check two schedules anyway).
 			for _, spec := range []cilk.StealSpec{nil, cilk.StealAll{}} {
-				out := rader.Run(prog, rader.Config{Detector: rader.PeerSet, Spec: spec})
+				out := rader.MustRun(prog, rader.Config{Detector: rader.PeerSet, Spec: spec})
 				if got := !out.Report.Empty(); got != e.ViewRead {
 					t.Errorf("peer-set (spec %v): race=%v, want %v\n%s",
 						spec, got, e.ViewRead, out.Report.Summary())
@@ -27,11 +27,11 @@ func TestCorpusMatrix(t *testing.T) {
 			}
 
 			// SP+ under the two canonical schedules.
-			serial := rader.Run(prog, rader.Config{Detector: rader.SPPlus})
+			serial := rader.MustRun(prog, rader.Config{Detector: rader.SPPlus})
 			if got := !serial.Report.Empty(); got != e.DetSerial {
 				t.Errorf("sp+ serial: race=%v, want %v\n%s", got, e.DetSerial, serial.Report.Summary())
 			}
-			all := rader.Run(prog, rader.Config{Detector: rader.SPPlus, Spec: cilk.StealAll{}})
+			all := rader.MustRun(prog, rader.Config{Detector: rader.SPPlus, Spec: cilk.StealAll{}})
 			if got := !all.Report.Empty(); got != e.DetStealAll {
 				t.Errorf("sp+ steal-all: race=%v, want %v\n%s", got, e.DetStealAll, all.Report.Summary())
 			}
@@ -47,7 +47,7 @@ func TestCorpusMatrix(t *testing.T) {
 
 			// A finding implies a replayable schedule that reproduces it.
 			if e.DetStealAll {
-				replayed := rader.Run(prog, rader.Config{Detector: rader.SPPlus, Spec: cilk.StealAll{}})
+				replayed := rader.MustRun(prog, rader.Config{Detector: rader.SPPlus, Spec: cilk.StealAll{}})
 				if replayed.Report.Empty() {
 					t.Error("steal-all verdict not reproducible")
 				}
@@ -56,7 +56,7 @@ func TestCorpusMatrix(t *testing.T) {
 			// Reducer-oblivious baselines agree with SP+ on pure programs.
 			if e.Oblivious {
 				for _, det := range []rader.DetectorName{rader.SPBags, rader.OffsetSpan, rader.EnglishHebrew} {
-					out := rader.Run(prog, rader.Config{Detector: det})
+					out := rader.MustRun(prog, rader.Config{Detector: det})
 					if got := !out.Report.Empty(); got != e.DetSerial {
 						t.Errorf("%s: race=%v, want %v", det, got, e.DetSerial)
 					}
@@ -113,7 +113,7 @@ func TestCilkScreenStyleMiss(t *testing.T) {
 
 	// The Cilk-Screen stand-ins: classic detectors on the serial schedule.
 	for _, det := range []rader.DetectorName{rader.SPBags, rader.OffsetSpan, rader.EnglishHebrew} {
-		if out := rader.Run(prog, rader.Config{Detector: det}); !out.Report.Empty() {
+		if out := rader.MustRun(prog, rader.Config{Detector: det}); !out.Report.Empty() {
 			t.Fatalf("%s on the serial schedule: the racy write never executes, yet:\n%s",
 				det, out.Report.Summary())
 		}

@@ -1,10 +1,9 @@
 package dag
 
 import (
-	"fmt"
-
 	"repro/internal/cilk"
 	"repro/internal/mem"
+	"repro/internal/streamerr"
 )
 
 // Recorder implements cilk.Hooks and builds the performance dag of the run
@@ -124,9 +123,14 @@ func (r *Recorder) FrameEnter(f *cilk.Frame) {
 // (following the spawn strand, which endCur already recorded) and the
 // child's last strand joins the current view context's endpoints.
 func (r *Recorder) FrameReturn(g, f *cilk.Frame) {
+	if len(r.stack) < 2 {
+		panic(streamerr.Errorf("dag", streamerr.KindOrder,
+			"return of frame %d with %d frames on the stack", g.ID, len(r.stack)).WithFrame(int64(g.ID)))
+	}
 	grec := r.top()
 	if grec.id != g.ID {
-		panic(fmt.Sprintf("dag: event order violation: return %d, top %d", g.ID, grec.id))
+		panic(streamerr.Errorf("dag", streamerr.KindOrder,
+			"event order violation: return %d, top %d", g.ID, grec.id).WithFrame(int64(g.ID)))
 	}
 	last := r.ensure(grec)
 	r.stack = r.stack[:len(r.stack)-1]
@@ -144,6 +148,10 @@ func (r *Recorder) FrameReturn(g, f *cilk.Frame) {
 // frame into the fresh view context; the stolen continuation's strand will
 // depend only on its program-order predecessor, not on any reduction.
 func (r *Recorder) ContinuationStolen(f *cilk.Frame, newVID cilk.ViewID) {
+	if len(r.stack) == 0 {
+		panic(streamerr.Errorf("dag", streamerr.KindOrder,
+			"stolen continuation before any frame entered").WithFrame(int64(f.ID)))
+	}
 	rec := r.top()
 	r.endCur(rec)
 	rec.vids = append(rec.vids, newVID)
@@ -153,6 +161,10 @@ func (r *Recorder) ContinuationStolen(f *cilk.Frame, newVID cilk.ViewID) {
 // views being reduced; it carries the surviving view ID and becomes the
 // merged context's sole endpoint and latest producer.
 func (r *Recorder) ReduceStart(f *cilk.Frame, keepVID, dieVID cilk.ViewID) {
+	if len(r.stack) == 0 {
+		panic(streamerr.Errorf("dag", streamerr.KindOrder,
+			"reduce before any frame entered").WithFrame(int64(f.ID)))
+	}
 	rec := r.top()
 	if rec.topVID() == dieVID {
 		// The frame's current strand (materializing it now if it ran no
@@ -169,7 +181,8 @@ func (r *Recorder) ReduceStart(f *cilk.Frame, keepVID, dieVID cilk.ViewID) {
 		}
 	}
 	if idx < 0 {
-		panic(fmt.Sprintf("dag: reduce of unknown pair (%d,%d)", keepVID, dieVID))
+		panic(streamerr.Errorf("dag", streamerr.KindState,
+			"reduce of unknown pair (%d,%d)", keepVID, dieVID).WithFrame(int64(f.ID)))
 	}
 	rec.vids = append(rec.vids[:idx], rec.vids[idx+1:]...)
 
@@ -208,6 +221,10 @@ func (r *Recorder) ReduceEnd(f *cilk.Frame) {
 // every remaining endpoint of the (single, by view invariant 3) surviving
 // context, including the root of the reduce tree.
 func (r *Recorder) Sync(f *cilk.Frame) {
+	if len(r.stack) == 0 {
+		panic(streamerr.Errorf("dag", streamerr.KindOrder,
+			"sync before any frame entered").WithFrame(int64(f.ID)))
+	}
 	rec := r.top()
 	// Materialize the strand preceding the sync even if it ran no code —
 	// the dag model's continuation strands exist regardless (e.g. strand 8
@@ -277,6 +294,10 @@ func (r *Recorder) Store(f *cilk.Frame, a mem.Addr) {
 func (r *Recorder) curStrand() int {
 	if r.reduceStrand >= 0 {
 		return r.reduceStrand
+	}
+	if len(r.stack) == 0 {
+		panic(streamerr.Errorf("dag", streamerr.KindOrder,
+			"memory access before any frame entered"))
 	}
 	return r.ensure(r.top())
 }

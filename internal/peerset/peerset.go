@@ -28,8 +28,6 @@
 package peerset
 
 import (
-	"fmt"
-
 	"repro/internal/cilk"
 	"repro/internal/core"
 	"repro/internal/dsu"
@@ -152,14 +150,20 @@ func (d *Detector) FrameEnter(f *cilk.Frame) {
 
 // FrameReturn implements the "G returns to F" case of Figure 3.
 func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	if len(d.stack) < 2 {
+		panic(core.Violatef("peerset", core.StreamOrder, g.ID,
+			"return of frame %d with %d frames on the stack", g.ID, len(d.stack)))
+	}
 	grec := d.top()
 	if grec.id != g.ID {
-		panic(fmt.Sprintf("peerset: event order violation: returning %v, top is %v", g.ID, grec.id))
+		panic(core.Violatef("peerset", core.StreamOrder, g.ID,
+			"event order violation: returning %v, top is %v", g.ID, grec.id))
 	}
 	d.stack = d.stack[:len(d.stack)-1]
 	frec := d.top()
 	if frec.id != f.ID {
-		panic("peerset: parent mismatch on return")
+		panic(core.Violatef("peerset", core.StreamOrder, f.ID,
+			"parent mismatch on return: returning to %v, below top is %v", f.ID, frec.id))
 	}
 	d.unionInto(frec.p, grec.p)
 	switch {
@@ -182,9 +186,13 @@ func (d *Detector) FrameReturn(g, f *cilk.Frame) {
 
 // Sync implements the "F syncs" case of Figure 3.
 func (d *Detector) Sync(f *cilk.Frame) {
+	if len(d.stack) == 0 {
+		panic(core.Violatef("peerset", core.StreamOrder, f.ID, "sync before any frame entered"))
+	}
 	rec := d.top()
 	if rec.id != f.ID {
-		panic("peerset: sync frame mismatch")
+		panic(core.Violatef("peerset", core.StreamOrder, f.ID,
+			"sync frame mismatch: syncing %v, top is %v", f.ID, rec.id))
 	}
 	rec.ls = 0
 	d.unionInto(rec.p, rec.sp)
@@ -203,9 +211,13 @@ func (d *Detector) ReducerRead(f *cilk.Frame, r *cilk.Reducer) {
 
 // readReducer implements the "F reads reducer h" case of Figure 3.
 func (d *Detector) readReducer(f *cilk.Frame, r *cilk.Reducer) {
+	if len(d.stack) == 0 {
+		panic(core.Violatef("peerset", core.StreamOrder, f.ID, "reducer-read before any frame entered"))
+	}
 	rec := d.top()
 	if rec.id != f.ID {
-		panic("peerset: read frame mismatch")
+		panic(core.Violatef("peerset", core.StreamOrder, f.ID,
+			"read frame mismatch: reading in %v, top is %v", f.ID, rec.id))
 	}
 	s := rec.as + rec.ls
 	if prev, ok := d.reader[r]; ok {

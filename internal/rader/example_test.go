@@ -25,10 +25,10 @@ func Example() {
 		c.Sync()
 	}
 
-	serial := rader.Run(prog, rader.Config{Detector: rader.SPPlus})
+	serial := rader.MustRun(prog, rader.Config{Detector: rader.SPPlus})
 	fmt.Println("serial:", serial.Report.Summary())
 
-	stolen := rader.Run(prog, rader.Config{Detector: rader.SPPlus, Spec: cilk.StealAll{}})
+	stolen := rader.MustRun(prog, rader.Config{Detector: rader.SPPlus, Spec: cilk.StealAll{}})
 	fmt.Println("stolen:", stolen.Report.Distinct(), "distinct race(s)")
 
 	// Output:

@@ -1,0 +1,99 @@
+package rader
+
+import (
+	"time"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/streamerr"
+)
+
+// guard is a cilk.Hooks middleware enforcing a per-run event budget and a
+// deadline. Hook signatures cannot return errors, so exceeding either
+// limit panics with a *streamerr.Error, which Run's recovery translates
+// into the typed error the caller sees. The deadline is polled every
+// deadlineStride events to keep the hot path free of clock reads.
+type guard struct {
+	h        cilk.Hooks
+	budget   int64 // 0 = unlimited
+	deadline time.Time
+	n        int64
+}
+
+const deadlineStride = 1024
+
+func newGuard(h cilk.Hooks, budget int64, deadline time.Time) *guard {
+	if h == nil {
+		h = cilk.Empty{}
+	}
+	return &guard{h: h, budget: budget, deadline: deadline}
+}
+
+func (g *guard) tick() {
+	n := g.n
+	g.n++
+	if g.budget > 0 && g.n > g.budget {
+		panic(streamerr.Errorf("rader", streamerr.KindBudget,
+			"event budget %d exceeded", g.budget).WithEvent(n))
+	}
+	if !g.deadline.IsZero() && n%deadlineStride == 0 && time.Now().After(g.deadline) {
+		panic(streamerr.Errorf("rader", streamerr.KindDeadline,
+			"run deadline exceeded").WithEvent(n))
+	}
+}
+
+// ProgramStart implements cilk.Hooks.
+func (g *guard) ProgramStart(f *cilk.Frame) { g.tick(); g.h.ProgramStart(f) }
+
+// ProgramEnd implements cilk.Hooks.
+func (g *guard) ProgramEnd(f *cilk.Frame) { g.tick(); g.h.ProgramEnd(f) }
+
+// FrameEnter implements cilk.Hooks.
+func (g *guard) FrameEnter(f *cilk.Frame) { g.tick(); g.h.FrameEnter(f) }
+
+// FrameReturn implements cilk.Hooks.
+func (g *guard) FrameReturn(f, p *cilk.Frame) { g.tick(); g.h.FrameReturn(f, p) }
+
+// Sync implements cilk.Hooks.
+func (g *guard) Sync(f *cilk.Frame) { g.tick(); g.h.Sync(f) }
+
+// ContinuationStolen implements cilk.Hooks.
+func (g *guard) ContinuationStolen(f *cilk.Frame, vid cilk.ViewID) {
+	g.tick()
+	g.h.ContinuationStolen(f, vid)
+}
+
+// ReduceStart implements cilk.Hooks.
+func (g *guard) ReduceStart(f *cilk.Frame, keep, die cilk.ViewID) {
+	g.tick()
+	g.h.ReduceStart(f, keep, die)
+}
+
+// ReduceEnd implements cilk.Hooks.
+func (g *guard) ReduceEnd(f *cilk.Frame) { g.tick(); g.h.ReduceEnd(f) }
+
+// ViewAwareBegin implements cilk.Hooks.
+func (g *guard) ViewAwareBegin(f *cilk.Frame, op cilk.ViewOp, r *cilk.Reducer) {
+	g.tick()
+	g.h.ViewAwareBegin(f, op, r)
+}
+
+// ViewAwareEnd implements cilk.Hooks.
+func (g *guard) ViewAwareEnd(f *cilk.Frame, op cilk.ViewOp, r *cilk.Reducer) {
+	g.tick()
+	g.h.ViewAwareEnd(f, op, r)
+}
+
+// ReducerCreate implements cilk.Hooks.
+func (g *guard) ReducerCreate(f *cilk.Frame, r *cilk.Reducer) { g.tick(); g.h.ReducerCreate(f, r) }
+
+// ReducerRead implements cilk.Hooks.
+func (g *guard) ReducerRead(f *cilk.Frame, r *cilk.Reducer) { g.tick(); g.h.ReducerRead(f, r) }
+
+// Load implements cilk.Hooks.
+func (g *guard) Load(f *cilk.Frame, a mem.Addr) { g.tick(); g.h.Load(f, a) }
+
+// Store implements cilk.Hooks.
+func (g *guard) Store(f *cilk.Frame, a mem.Addr) { g.tick(); g.h.Store(f, a) }
+
+var _ cilk.Hooks = (*guard)(nil)

@@ -5,6 +5,12 @@
 // replay the schedule, and drives the §7 coverage sweep that checks every
 // execution of an ostensibly deterministic program by running SP+ once per
 // generated specification.
+//
+// The layer is hardened: Run recovers panics out of the program or the
+// analysis into typed *streamerr.Error values, enforces an optional
+// per-run event budget and deadline, and the sweep isolates each
+// specification so one poisoned run degrades into a CoverageResult.Failures
+// entry instead of killing the whole multi-hundred-execution sweep.
 package rader
 
 import (
@@ -21,6 +27,7 @@ import (
 	"repro/internal/spbags"
 	"repro/internal/specgen"
 	"repro/internal/spplus"
+	"repro/internal/streamerr"
 )
 
 // DetectorName selects the analysis run alongside the program.
@@ -53,10 +60,21 @@ func ParseDetector(s string) (DetectorName, error) {
 	}
 }
 
-// Config selects the analysis and schedule for one run.
+// Config selects the analysis, schedule and resource limits for one run.
 type Config struct {
 	Detector DetectorName
 	Spec     cilk.StealSpec
+	// EventBudget aborts the run with a StreamBudget error once the
+	// instrumentation stream exceeds this many events (0 = unlimited).
+	EventBudget int64
+	// Deadline aborts the run with a StreamDeadline error once the clock
+	// passes it (zero time = no deadline). The check is amortized over
+	// events, so a run with no instrumentation is not interrupted.
+	Deadline time.Time
+	// Wrap, when set, wraps the assembled hook chain (detector plus any
+	// guard) before the run — the seam the fault-injection harness uses
+	// to perturb the stream a detector sees.
+	Wrap func(cilk.Hooks) cilk.Hooks
 }
 
 // Outcome reports one analysed run.
@@ -72,8 +90,10 @@ type Outcome struct {
 	Replay string
 }
 
-// Run executes prog once under cfg.
-func Run(prog func(*cilk.Ctx), cfg Config) *Outcome {
+// Run executes prog once under cfg. A panic out of the program, the
+// detector, or the budget/deadline guard is recovered and returned as a
+// *streamerr.Error; the process never dies on a misbehaving run.
+func Run(prog func(*cilk.Ctx), cfg Config) (out *Outcome, err error) {
 	var det core.Detector
 	var hooks cilk.Hooks
 	switch cfg.Detector {
@@ -97,12 +117,24 @@ func Run(prog func(*cilk.Ctx), cfg Config) *Outcome {
 		det = ehlabel.New()
 		hooks = det
 	default:
-		panic(fmt.Sprintf("rader: bad detector %q", cfg.Detector))
+		return nil, fmt.Errorf("rader: bad detector %q", cfg.Detector)
 	}
+	if cfg.EventBudget > 0 || !cfg.Deadline.IsZero() {
+		hooks = newGuard(hooks, cfg.EventBudget, cfg.Deadline)
+	}
+	if cfg.Wrap != nil {
+		hooks = cfg.Wrap(hooks)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			out = nil
+			err = streamerr.FromPanic("rader", p)
+		}
+	}()
 	start := time.Now()
 	res := cilk.Run(prog, cilk.Config{Spec: cfg.Spec, Hooks: hooks})
 	dur := time.Since(start)
-	out := &Outcome{
+	out = &Outcome{
 		Detector: cfg.Detector,
 		Result:   res,
 		Duration: dur,
@@ -113,6 +145,16 @@ func Run(prog func(*cilk.Ctx), cfg Config) *Outcome {
 		if sp, ok := det.(core.StatsProvider); ok {
 			out.Stats = sp.Stats()
 		}
+	}
+	return out, nil
+}
+
+// MustRun is Run for callers that know the run cannot fail (a live
+// program under no budget or injection): it panics on error.
+func MustRun(prog func(*cilk.Ctx), cfg Config) *Outcome {
+	out, err := Run(prog, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
@@ -130,6 +172,17 @@ type CoverageFinding struct {
 	Race core.Race
 }
 
+// SpecFailure records one sweep unit that failed instead of producing a
+// verdict: the specification (or pseudo-stage "profile" / "peer-set") and
+// the typed error explaining why.
+type SpecFailure struct {
+	Spec string
+	Err  error
+}
+
+// String implements fmt.Stringer.
+func (sf SpecFailure) String() string { return fmt.Sprintf("[%s] %v", sf.Spec, sf.Err) }
+
 // CoverageResult summarizes a §7 sweep.
 type CoverageResult struct {
 	Profile   specgen.Profile
@@ -138,16 +191,42 @@ type CoverageResult struct {
 	// Races holds one representative finding per distinct determinacy
 	// race, with the specification that elicited it.
 	Races []CoverageFinding
-	total int
+	// Failures lists sweep units that produced an error instead of a
+	// verdict: a poisoned specification, a budget or deadline abort, a
+	// panicking program. The remaining specifications' results are still
+	// reported — a sweep degrades, it does not die.
+	Failures []SpecFailure
+	total    int
 }
 
-// Clean reports whether the sweep found nothing.
+// Clean reports whether the sweep found no race. A sweep with Failures
+// can still be Clean; use Complete to check that every unit ran.
 func (cr *CoverageResult) Clean() bool {
 	return cr.ViewReads.Empty() && len(cr.Races) == 0
 }
 
+// Complete reports whether every sweep unit produced a verdict.
+func (cr *CoverageResult) Complete() bool { return len(cr.Failures) == 0 }
+
 // TotalReports counts raw race reports across the sweep.
 func (cr *CoverageResult) TotalReports() int { return cr.total }
+
+// SweepOptions configures a hardened §7 sweep.
+type SweepOptions struct {
+	// Workers is the number of goroutines running per-specification SP+
+	// analyses (<1 means 1).
+	Workers int
+	// EventBudget bounds each run's event stream (0 = unlimited).
+	EventBudget int64
+	// Timeout bounds the whole sweep. Specifications not finished (or not
+	// started) by the deadline are reported in Failures as
+	// deadline-exceeded; completed specifications keep their results.
+	Timeout time.Duration
+	// Wrap, when set, wraps the hook chain of the run for each
+	// specification index — the fault-injection seam. Index -1 is the
+	// Peer-Set pass.
+	Wrap func(index int, spec cilk.StealSpec, hooks cilk.Hooks) cilk.Hooks
+}
 
 // Coverage performs the paper's full §7 check of an ostensibly
 // deterministic program: one Peer-Set run for view-read races (the
@@ -155,7 +234,7 @@ func (cr *CoverageResult) TotalReports() int { return cr.total }
 // the Θ(M + K³) family, checking every execution for determinacy races
 // that involve a view-oblivious strand. prog must be rerunnable.
 func Coverage(prog func(*cilk.Ctx)) *CoverageResult {
-	return sweep(func() func(*cilk.Ctx) { return prog }, 1)
+	return Sweep(func() func(*cilk.Ctx) { return prog }, SweepOptions{})
 }
 
 // CoverageParallel is Coverage with the per-specification SP+ runs spread
@@ -166,24 +245,57 @@ func Coverage(prog func(*cilk.Ctx)) *CoverageResult {
 // allocate identical address layouts (e.g. a fresh mem.Allocator each) so
 // findings from different runs describe the same locations.
 func CoverageParallel(factory func() func(*cilk.Ctx), workers int) *CoverageResult {
+	return Sweep(factory, SweepOptions{Workers: workers})
+}
+
+// Sweep is the hardened §7 coverage sweep: CoverageParallel plus per-run
+// panic isolation, an event budget, and an overall deadline. Each failing
+// unit is reported in CoverageResult.Failures with its typed error while
+// every other specification still contributes its verdict.
+func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
+	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	return sweep(factory, workers)
-}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	wrapFor := func(i int, spec cilk.StealSpec) func(cilk.Hooks) cilk.Hooks {
+		if opts.Wrap == nil {
+			return nil
+		}
+		return func(h cilk.Hooks) cilk.Hooks { return opts.Wrap(i, spec, h) }
+	}
 
-func sweep(factory func() func(*cilk.Ctx), workers int) *CoverageResult {
-	cr := &CoverageResult{}
-	cr.Profile = specgen.Measure(factory())
+	cr := &CoverageResult{ViewReads: &core.Report{}}
 
-	ps := Run(factory(), Config{Detector: PeerSet})
-	cr.ViewReads = ps.Report
+	profile, err := measure(factory)
+	if err != nil {
+		// Without a profile there is no specification family to sweep;
+		// report the single failure and return an empty (but non-nil)
+		// result rather than crashing.
+		cr.Failures = append(cr.Failures, SpecFailure{Spec: "profile", Err: err})
+		return cr
+	}
+	cr.Profile = profile
+
+	ps, err := Run(factory(), Config{
+		Detector: PeerSet, EventBudget: opts.EventBudget, Deadline: deadline,
+		Wrap: wrapFor(-1, nil),
+	})
+	if err != nil {
+		cr.Failures = append(cr.Failures, SpecFailure{Spec: "peer-set", Err: err})
+	} else {
+		cr.ViewReads = ps.Report
+	}
 
 	specs := specgen.All(cr.Profile)
 	type specResult struct {
 		spec  string
 		races []core.Race
 		total int
+		err   error
 	}
 	results := make([]specResult, len(specs))
 	var wg sync.WaitGroup
@@ -193,9 +305,24 @@ func sweep(factory func() func(*cilk.Ctx), workers int) *CoverageResult {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out := Run(factory(), Config{Detector: SPPlus, Spec: specs[i]})
+				name := sched.Format(specs[i])
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					results[i] = specResult{spec: name, err: streamerr.Errorf(
+						"rader", streamerr.KindDeadline,
+						"sweep deadline exceeded before specification ran")}
+					continue
+				}
+				out, err := Run(factory(), Config{
+					Detector: SPPlus, Spec: specs[i],
+					EventBudget: opts.EventBudget, Deadline: deadline,
+					Wrap: wrapFor(i, specs[i]),
+				})
+				if err != nil {
+					results[i] = specResult{spec: name, err: err}
+					continue
+				}
 				results[i] = specResult{
-					spec:  sched.Format(specs[i]),
+					spec:  name,
 					races: out.Report.Races(),
 					total: out.Report.Total(),
 				}
@@ -210,6 +337,10 @@ func sweep(factory func() func(*cilk.Ctx), workers int) *CoverageResult {
 
 	seen := make(map[string]bool)
 	for _, res := range results {
+		if res.err != nil {
+			cr.Failures = append(cr.Failures, SpecFailure{Spec: res.spec, Err: res.err})
+			continue
+		}
 		cr.SpecsRun++
 		cr.total += res.total
 		for _, race := range res.races {
@@ -221,4 +352,15 @@ func sweep(factory func() func(*cilk.Ctx), workers int) *CoverageResult {
 		}
 	}
 	return cr
+}
+
+// measure profiles one program instance, containing any panic the program
+// (or the profiler driving it) raises.
+func measure(factory func() func(*cilk.Ctx)) (p specgen.Profile, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = streamerr.FromPanic("rader", r)
+		}
+	}()
+	return specgen.Measure(factory()), nil
 }

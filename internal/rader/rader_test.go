@@ -27,7 +27,7 @@ func TestRunAllDetectorsOnApp(t *testing.T) {
 	al := mem.NewAllocator()
 	ins := apps.Fib().Build(al, apps.Test)
 	for _, d := range []DetectorName{None, EmptyTool, PeerSet, SPBags, SPPlus} {
-		out := Run(ins.Prog, Config{Detector: d, Spec: cilk.StealAll{}})
+		out := MustRun(ins.Prog, Config{Detector: d, Spec: cilk.StealAll{}})
 		if err := ins.Verify(); err != nil {
 			t.Fatalf("%s: %v", d, err)
 		}
@@ -45,7 +45,7 @@ func TestReplayLabelReproducesRace(t *testing.T) {
 	// reported labels alone.
 	al := mem.NewAllocator()
 	prog := progs.Fig1(al, progs.Fig1Options{})
-	out := Run(prog, Config{Detector: SPPlus, Spec: cilk.StealAll{}})
+	out := MustRun(prog, Config{Detector: SPPlus, Spec: cilk.StealAll{}})
 	if out.Report.Empty() {
 		t.Fatal("expected the Figure 1 race under steal-all")
 	}
@@ -53,7 +53,7 @@ func TestReplayLabelReproducesRace(t *testing.T) {
 	if err != nil {
 		t.Fatalf("replay label unparsable: %v", err)
 	}
-	again := Run(prog, Config{Detector: SPPlus, Spec: spec})
+	again := MustRun(prog, Config{Detector: SPPlus, Spec: spec})
 	if again.Report.Empty() {
 		t.Fatal("replayed schedule must reproduce the race")
 	}
@@ -109,7 +109,7 @@ func TestCoverageViewRead(t *testing.T) {
 func TestNoStealReplayIsNone(t *testing.T) {
 	al := mem.NewAllocator()
 	ins := apps.Ferret().Build(al, apps.Test)
-	out := Run(ins.Prog, Config{Detector: SPPlus})
+	out := MustRun(ins.Prog, Config{Detector: SPPlus})
 	if !strings.HasPrefix(out.Replay, "labels:") && out.Replay != "labels:" {
 		t.Fatalf("replay = %q", out.Replay)
 	}

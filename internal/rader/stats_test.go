@@ -19,7 +19,7 @@ func TestDSUWorkLinearInEvents(t *testing.T) {
 		for i, scale := range []apps.Scale{apps.Test, apps.Small} {
 			al := mem.NewAllocator()
 			ins := apps.Fib().Build(al, scale)
-			out := Run(ins.Prog, Config{Detector: det, Spec: cilk.StealAll{}})
+			out := MustRun(ins.Prog, Config{Detector: det, Spec: cilk.StealAll{}})
 			events := float64(out.Result.Loads + out.Result.Stores + out.Result.Reads +
 				uint64(out.Result.Frames) + uint64(out.Result.Syncs) + uint64(out.Result.Reduces))
 			opsPerEvent := float64(out.Stats.Finds+out.Stats.Unions) / events

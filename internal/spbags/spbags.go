@@ -117,7 +117,15 @@ func (d *Detector) FrameEnter(f *cilk.Frame) {
 // bag becomes parallel work (into P_F); a called child's S bag stays serial
 // (into S_F). The child synced before returning, so its P bag is empty.
 func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	if len(d.stack) < 2 {
+		panic(core.Violatef("sp-bags", core.StreamOrder, g.ID,
+			"return of frame %d with %d frames on the stack", g.ID, len(d.stack)))
+	}
 	grec := d.top()
+	if grec.id != g.ID {
+		panic(core.Violatef("sp-bags", core.StreamOrder, g.ID,
+			"event order violation: return %d, top %d", g.ID, grec.id))
+	}
 	d.stack = d.stack[:len(d.stack)-1]
 	frec := d.top()
 	if g.Spawned {
@@ -131,6 +139,9 @@ func (d *Detector) FrameReturn(g, f *cilk.Frame) {
 
 // Sync moves everything parallel into series: S_F ∪= P_F.
 func (d *Detector) Sync(f *cilk.Frame) {
+	if len(d.stack) == 0 {
+		panic(core.Violatef("sp-bags", core.StreamOrder, f.ID, "sync before any frame entered"))
+	}
 	rec := d.top()
 	d.unionInto(rec.s, rec.p)
 }
@@ -156,6 +167,9 @@ func (d *Detector) prior(e dsu.Elem, op core.AccessOp) core.Access {
 // an S bag (pseudotransitivity of ‖ makes one reader sufficient).
 func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
 	rec := d.current
+	if rec == nil {
+		panic(core.Violatef("sp-bags", core.StreamOrder, f.ID, "memory access before any frame entered"))
+	}
 	if w := dsu.Elem(d.writer.Get(a)); w != dsu.None {
 		if d.bagOf(w).kind == kindP {
 			d.report.Add(core.Race{
@@ -174,6 +188,9 @@ func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
 // last writer is in a P bag.
 func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
 	rec := d.current
+	if rec == nil {
+		panic(core.Violatef("sp-bags", core.StreamOrder, f.ID, "memory access before any frame entered"))
+	}
 	if r := dsu.Elem(d.reader.Get(a)); r != dsu.None && d.bagOf(r).kind == kindP {
 		d.report.Add(core.Race{
 			Kind: core.Determinacy, Addr: a,

@@ -30,8 +30,6 @@
 package spplus
 
 import (
-	"fmt"
-
 	"repro/internal/cilk"
 	"repro/internal/core"
 	"repro/internal/dsu"
@@ -165,12 +163,18 @@ func (d *Detector) FrameEnter(f *cilk.Frame) {
 // FrameReturn implements "spawned G returns" (Top(F.P) ∪= G.S) and
 // "called G returns" (F.S ∪= G.S).
 func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	if len(d.stack) < 2 {
+		panic(core.Violatef("spplus", core.StreamOrder, g.ID,
+			"return of frame %d with %d frames on the stack", g.ID, len(d.stack)))
+	}
 	grec := d.top()
 	if grec.id != g.ID {
-		panic(fmt.Sprintf("spplus: event order violation: return %d, top %d", g.ID, grec.id))
+		panic(core.Violatef("spplus", core.StreamOrder, g.ID,
+			"event order violation: return %d, top %d", g.ID, grec.id))
 	}
 	if len(grec.pstack) != 1 {
-		panic(fmt.Sprintf("spplus: %v returned with %d P bags", g, len(grec.pstack)))
+		panic(core.Violatef("spplus", core.StreamState, g.ID,
+			"%v returned with %d P bags", g, len(grec.pstack)))
 	}
 	d.stack = d.stack[:len(d.stack)-1]
 	frec := d.top()
@@ -185,9 +189,13 @@ func (d *Detector) FrameReturn(g, f *cilk.Frame) {
 // Sync implements "F syncs": the single remaining P bag's contents move
 // into F.S, and a fresh P bag with F.S's view ID replaces it.
 func (d *Detector) Sync(f *cilk.Frame) {
+	if len(d.stack) == 0 {
+		panic(core.Violatef("spplus", core.StreamOrder, f.ID, "sync before any frame entered"))
+	}
 	rec := d.top()
 	if len(rec.pstack) != 1 {
-		panic(fmt.Sprintf("spplus: sync with %d P bags; reduces must precede sync", len(rec.pstack)))
+		panic(core.Violatef("spplus", core.StreamState, f.ID,
+			"sync with %d P bags; reduces must precede sync", len(rec.pstack)))
 	}
 	d.unionInto(rec.s, rec.pstack[0])
 	rec.pstack[0] = &bag{kind: kindP, vid: rec.s.vid, root: dsu.None}
@@ -196,6 +204,9 @@ func (d *Detector) Sync(f *cilk.Frame) {
 // ContinuationStolen implements "F executes a stolen continuation": push a
 // fresh P bag carrying the new view ID.
 func (d *Detector) ContinuationStolen(f *cilk.Frame, newVID cilk.ViewID) {
+	if len(d.stack) == 0 {
+		panic(core.Violatef("spplus", core.StreamOrder, f.ID, "stolen continuation before any frame entered"))
+	}
 	rec := d.top()
 	rec.pstack = append(rec.pstack, &bag{kind: kindP, vid: newVID, root: dsu.None})
 }
@@ -207,6 +218,9 @@ func (d *Detector) ContinuationStolen(f *cilk.Frame, newVID cilk.ViewID) {
 // reduce a non-top adjacent pair (ReduceMiddleFirst); the bags are located
 // by their view IDs.
 func (d *Detector) ReduceStart(f *cilk.Frame, keepVID, dieVID cilk.ViewID) {
+	if len(d.stack) == 0 {
+		panic(core.Violatef("spplus", core.StreamOrder, f.ID, "reduce before any frame entered"))
+	}
 	rec := d.top()
 	idx := -1
 	for i := len(rec.pstack) - 1; i > 0; i-- {
@@ -216,7 +230,8 @@ func (d *Detector) ReduceStart(f *cilk.Frame, keepVID, dieVID cilk.ViewID) {
 		}
 	}
 	if idx < 0 {
-		panic(fmt.Sprintf("spplus: reduce of unknown view pair (%d,%d)", keepVID, dieVID))
+		panic(core.Violatef("spplus", core.StreamState, f.ID,
+			"reduce of unknown view pair (%d,%d)", keepVID, dieVID))
 	}
 	d.unionInto(rec.pstack[idx-1], rec.pstack[idx])
 	rec.pstack = append(rec.pstack[:idx], rec.pstack[idx+1:]...)
@@ -291,6 +306,9 @@ func (d *Detector) prior(e dsu.Elem, op core.AccessOp) core.Access {
 
 // Load implements the two read rules of Figure 6.
 func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
+	if d.current == nil {
+		panic(core.Violatef("spplus", core.StreamOrder, f.ID, "memory access before any frame entered"))
+	}
 	if d.vaDepth == 0 {
 		d.loadOblivious(a)
 	} else {
@@ -300,6 +318,9 @@ func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
 
 // Store implements the two write rules of Figure 6.
 func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
+	if d.current == nil {
+		panic(core.Violatef("spplus", core.StreamOrder, f.ID, "memory access before any frame entered"))
+	}
 	if d.vaDepth == 0 {
 		d.storeOblivious(a)
 	} else {

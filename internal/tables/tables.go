@@ -179,7 +179,7 @@ func ratio(a, b time.Duration) float64 {
 func timeRun(prog func(*cilk.Ctx), det rader.DetectorName, spec cilk.StealSpec, trials int) time.Duration {
 	times := make([]time.Duration, 0, trials)
 	for i := 0; i < trials; i++ {
-		out := rader.Run(prog, rader.Config{Detector: det, Spec: spec})
+		out := rader.MustRun(prog, rader.Config{Detector: det, Spec: spec})
 		times = append(times, out.Duration)
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })

@@ -7,10 +7,22 @@
 // produces bit-identical detector behaviour because the detectors consume
 // nothing but this event stream.
 //
-// Format: the magic header "CILKTRACE1\n", then one record per event — a
-// kind byte followed by kind-specific unsigned varints (frame IDs, view
-// IDs, addresses, reducer indices) and, for frame-enter events, a
-// length-prefixed label. Typical traces run 2–4 bytes per memory access.
+// Format (version 2): the magic header "CILKTRACE2\n", then one record per
+// event — a kind byte followed by kind-specific unsigned varints (frame
+// IDs, view IDs, addresses, reducer indices) and, for frame-enter events,
+// a length-prefixed label — and finally a 13-byte footer written by Close:
+// the footer kind byte, the CRC32C (Castagnoli) of all event bytes, and
+// the event count, both little-endian. Typical traces run 2–4 bytes per
+// memory access. The footer lets Replay distinguish a clean end of stream
+// from a truncation ("ended at event N") and from corruption ("CRC
+// mismatch at byte offset B"). Version 1 traces ("CILKTRACE1\n", no
+// footer) still replay; for them any EOF at a record boundary is a clean
+// end, exactly as before.
+//
+// Every Replay failure — bad header, undecodable record, truncation,
+// integrity failure, a detector contract violation, or a panicking
+// consumer — surfaces as a *streamerr.Error carrying the event index,
+// byte offset and (for contract violations) the offending frame.
 package trace
 
 import (
@@ -18,14 +30,21 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/cilk"
 	"repro/internal/mem"
+	"repro/internal/streamerr"
 )
 
-// Magic identifies a trace stream.
-const Magic = "CILKTRACE1\n"
+// Magic identifies a current-version (v2, footered) trace stream.
+const Magic = "CILKTRACE2\n"
+
+// MagicV1 identifies a legacy v1 stream: no integrity footer, any EOF at
+// a record boundary is a clean end. Replay accepts both; the Writer only
+// produces v2.
+const MagicV1 = "CILKTRACE1\n"
 
 // kind encodes the event type.
 type kind byte
@@ -49,14 +68,28 @@ const (
 	evMax
 )
 
+// footerKind marks the v2 integrity footer; it sits far outside the event
+// kind space so a v1 reader (or a corrupted kind byte) cannot mistake it
+// for an event.
+const footerKind byte = 0x7E
+
+// footerLen is the footer's full size: kind byte + uint32 CRC32C of all
+// event bytes + uint64 event count, both little-endian.
+const footerLen = 1 + 4 + 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // Writer implements cilk.Hooks and streams events to an io.Writer.
 // Check Err (or use Close) after the run: hook signatures cannot return
-// errors, so write failures are latched.
+// errors, so write failures are latched. Close appends the v2 integrity
+// footer; a stream that was never Closed replays as truncated.
 type Writer struct {
-	w   *bufio.Writer
-	err error
-	buf [2 * binary.MaxVarintLen64]byte
-	n   int64 // events written
+	w      *bufio.Writer
+	err    error
+	buf    [4 * binary.MaxVarintLen64]byte
+	n      int64 // events written
+	crc    uint32
+	closed bool
 }
 
 // NewWriter starts a trace on w, emitting the magic header.
@@ -72,12 +105,32 @@ func (t *Writer) Err() error { return t.err }
 // Events reports how many events were recorded.
 func (t *Writer) Events() int64 { return t.n }
 
-// Close flushes the stream and returns any latched error.
+// Close writes the integrity footer, flushes the stream and returns any
+// latched error. Only the first Close writes the footer.
 func (t *Writer) Close() error {
 	if t.err != nil {
 		return t.err
 	}
+	if !t.closed {
+		t.closed = true
+		var foot [footerLen]byte
+		foot[0] = footerKind
+		binary.LittleEndian.PutUint32(foot[1:5], t.crc)
+		binary.LittleEndian.PutUint64(foot[5:13], uint64(t.n))
+		if _, t.err = t.w.Write(foot[:]); t.err != nil {
+			return t.err
+		}
+	}
 	return t.w.Flush()
+}
+
+// write sends event bytes downstream, folding them into the running CRC.
+func (t *Writer) write(p []byte) {
+	if t.err != nil {
+		return
+	}
+	t.crc = crc32.Update(t.crc, castagnoli, p)
+	_, t.err = t.w.Write(p)
 }
 
 func (t *Writer) emit(k kind, args ...uint64) {
@@ -85,15 +138,12 @@ func (t *Writer) emit(k kind, args ...uint64) {
 		return
 	}
 	t.n++
-	if t.err = t.w.WriteByte(byte(k)); t.err != nil {
-		return
-	}
+	t.buf[0] = byte(k)
+	n := 1
 	for _, a := range args {
-		n := binary.PutUvarint(t.buf[:], a)
-		if _, t.err = t.w.Write(t.buf[:n]); t.err != nil {
-			return
-		}
+		n += binary.PutUvarint(t.buf[n:], a)
 	}
+	t.write(t.buf[:n])
 }
 
 func (t *Writer) emitString(s string) {
@@ -101,9 +151,11 @@ func (t *Writer) emitString(s string) {
 		return
 	}
 	n := binary.PutUvarint(t.buf[:], uint64(len(s)))
-	if _, t.err = t.w.Write(t.buf[:n]); t.err != nil {
+	t.write(t.buf[:n])
+	if t.err != nil {
 		return
 	}
+	t.crc = crc32.Update(t.crc, castagnoli, []byte(s))
 	_, t.err = t.w.WriteString(s)
 }
 
@@ -171,6 +223,37 @@ func (t *Writer) Store(f *cilk.Frame, a mem.Addr) { t.emit(evStore, uint64(f.ID)
 
 var _ cilk.Hooks = (*Writer)(nil)
 
+// replayReader tracks the byte offset and running CRC of everything the
+// decoder consumes, so failures can name the exact stream position and the
+// v2 footer can be verified.
+type replayReader struct {
+	br  *bufio.Reader
+	off int64
+	crc uint32
+	one [1]byte
+}
+
+// ReadByte implements io.ByteReader (binary.ReadUvarint reads through it).
+func (r *replayReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	r.off++
+	r.one[0] = b
+	r.crc = crc32.Update(r.crc, castagnoli, r.one[:])
+	return b, nil
+}
+
+func (r *replayReader) full(b []byte) error {
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		return err
+	}
+	r.off += int64(len(b))
+	r.crc = crc32.Update(r.crc, castagnoli, b)
+	return nil
+}
+
 // Replay reads a trace from r and drives hooks with the reconstructed
 // event stream. Frame and reducer objects are synthesized: frames carry
 // ID, label, spawn flag, parent and depth; reducers carry name and index.
@@ -178,47 +261,87 @@ var _ cilk.Hooks = (*Writer)(nil)
 // in the stream, so it replays under the synthetic name "reducer#<idx>";
 // detector verdicts are unaffected because reducers are identified by
 // object, not name. It returns the number of events replayed.
+//
+// On failure the returned error is a *streamerr.Error: a truncated v2
+// stream reports KindTruncated with the event reached, an integrity
+// failure reports KindCorrupt with the byte offset, an undecodable record
+// reports KindMalformed, a detector contract violation keeps the
+// detector's own error (kind, layer and frame) with the event index
+// filled in, and any other consumer panic is wrapped as KindConsumer.
 func Replay(r io.Reader, hooks cilk.Hooks) (events int64, err error) {
-	// Detectors validate the executor's event contract with panics (a
-	// live run can never violate it). A corrupt or adversarial trace can,
-	// so convert contract violations into errors here.
+	rd := &replayReader{br: bufio.NewReader(r)}
+	// Detectors validate the event contract with *streamerr.Error panics
+	// (a live run can never violate it). A corrupt or adversarial trace
+	// can, so convert contract violations — and any other panic a
+	// consumer raises — into structured errors here, preserving the
+	// original layer, kind and frame.
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("trace: invalid event sequence at event %d: %v", events, p)
+			se := streamerr.FromPanic("trace", p)
+			if se.Event < 0 {
+				se.Event = events
+			}
+			if se.Offset < 0 {
+				se.Offset = rd.off
+			}
+			err = se
 		}
 	}()
-	br := bufio.NewReader(r)
 	head := make([]byte, len(Magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return 0, fmt.Errorf("trace: reading header: %w", err)
+	if _, err := io.ReadFull(rd.br, head); err != nil {
+		return 0, streamerr.Errorf("trace", streamerr.KindTruncated,
+			"reading header: %v", err)
 	}
-	if string(head) != Magic {
-		return 0, errors.New("trace: bad magic header")
+	var v2 bool
+	switch string(head) {
+	case Magic:
+		v2 = true
+	case MagicV1:
+		v2 = false
+	default:
+		return 0, streamerr.New("trace", streamerr.KindMalformed, "bad magic header")
 	}
 
 	frames := make(map[cilk.FrameID]*cilk.Frame)
 	reducers := make(map[int]*cilk.Reducer)
 	var stack []*cilk.Frame
 
-	u := func() (uint64, error) { return binary.ReadUvarint(br) }
+	// truncated classifies a mid-record decode failure: an EOF is a
+	// truncation at the current event; anything else passes through.
+	truncated := func(e error) error {
+		if errors.Is(e, io.EOF) || errors.Is(e, io.ErrUnexpectedEOF) {
+			return streamerr.Errorf("trace", streamerr.KindTruncated,
+				"stream truncated mid-event").WithEvent(events).WithOffset(rd.off)
+		}
+		return e
+	}
+	u := func() (uint64, error) {
+		v, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return 0, truncated(err)
+		}
+		return v, nil
+	}
 	str := func() (string, error) {
 		n, err := u()
 		if err != nil {
 			return "", err
 		}
 		if n > 1<<20 {
-			return "", fmt.Errorf("trace: label of %d bytes", n)
+			return "", streamerr.Errorf("trace", streamerr.KindMalformed,
+				"label of %d bytes", n).WithEvent(events).WithOffset(rd.off)
 		}
 		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return "", err
+		if err := rd.full(b); err != nil {
+			return "", truncated(err)
 		}
 		return string(b), nil
 	}
 	frameOf := func(id uint64) (*cilk.Frame, error) {
 		f, ok := frames[cilk.FrameID(id)]
 		if !ok {
-			return nil, fmt.Errorf("trace: unknown frame %d", id)
+			return nil, streamerr.Errorf("trace", streamerr.KindOrder,
+				"unknown frame %d", id).WithEvent(events).WithFrame(int64(id)).WithOffset(rd.off)
 		}
 		return f, nil
 	}
@@ -232,16 +355,47 @@ func Replay(r io.Reader, hooks cilk.Hooks) (events int64, err error) {
 	}
 
 	for {
-		kb, err := br.ReadByte()
+		crcAtRecord := rd.crc
+		offAtRecord := rd.off
+		kb, err := rd.ReadByte()
 		if err == io.EOF {
+			if v2 {
+				return events, streamerr.Errorf("trace", streamerr.KindTruncated,
+					"stream ended without footer").WithEvent(events).WithOffset(rd.off)
+			}
 			return events, nil
 		}
 		if err != nil {
 			return events, err
 		}
+		if v2 && kb == footerKind {
+			var foot [footerLen - 1]byte
+			if _, err := io.ReadFull(rd.br, foot[:]); err != nil {
+				return events, streamerr.Errorf("trace", streamerr.KindTruncated,
+					"stream ended inside footer").WithEvent(events).WithOffset(offAtRecord)
+			}
+			wantCRC := binary.LittleEndian.Uint32(foot[0:4])
+			wantN := binary.LittleEndian.Uint64(foot[4:12])
+			if wantCRC != crcAtRecord {
+				return events, streamerr.Errorf("trace", streamerr.KindCorrupt,
+					"CRC mismatch: footer %08x, stream %08x", wantCRC, crcAtRecord).
+					WithEvent(events).WithOffset(offAtRecord)
+			}
+			if wantN != uint64(events) {
+				return events, streamerr.Errorf("trace", streamerr.KindCorrupt,
+					"footer records %d events, stream replayed %d", wantN, events).
+					WithEvent(events).WithOffset(offAtRecord)
+			}
+			if _, err := rd.br.ReadByte(); err != io.EOF {
+				return events, streamerr.New("trace", streamerr.KindCorrupt,
+					"trailing data after footer").WithEvent(events).WithOffset(offAtRecord + footerLen)
+			}
+			return events, nil
+		}
 		k := kind(kb)
 		if k == 0 || k >= evMax {
-			return events, fmt.Errorf("trace: bad event kind %d at event %d", kb, events)
+			return events, streamerr.Errorf("trace", streamerr.KindMalformed,
+				"bad event kind %d", kb).WithEvent(events).WithOffset(offAtRecord)
 		}
 		events++
 		switch k {
@@ -290,7 +444,9 @@ func Replay(r io.Reader, hooks cilk.Hooks) (events int64, err error) {
 				return events, err
 			}
 			if len(stack) == 0 || stack[len(stack)-1] != g {
-				return events, fmt.Errorf("trace: return of %d does not match frame stack", gid)
+				return events, streamerr.Errorf("trace", streamerr.KindOrder,
+					"return of %d does not match frame stack", gid).
+					WithEvent(events).WithFrame(int64(gid)).WithOffset(offAtRecord)
 			}
 			stack = stack[:len(stack)-1]
 			hooks.FrameReturn(g, f)
@@ -364,7 +520,8 @@ func Replay(r io.Reader, hooks cilk.Hooks) (events int64, err error) {
 				return events, err
 			}
 			if op > uint64(cilk.OpReduce) {
-				return events, fmt.Errorf("trace: bad view op %d", op)
+				return events, streamerr.Errorf("trace", streamerr.KindMalformed,
+					"bad view op %d", op).WithEvent(events).WithOffset(offAtRecord)
 			}
 			if k == evVABegin {
 				hooks.ViewAwareBegin(f, cilk.ViewOp(op), reducerOf(ridx))

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/peerset"
 	"repro/internal/progs"
 	"repro/internal/spplus"
+	"repro/internal/streamerr"
 )
 
 func TestReplayReproducesSPPlus(t *testing.T) {
@@ -109,17 +112,141 @@ func TestTraceCompactness(t *testing.T) {
 }
 
 func TestReplayErrors(t *testing.T) {
-	cases := map[string][]byte{
-		"empty":       {},
-		"bad magic":   []byte("NOTATRACE!!\n"),
-		"bad kind":    append([]byte(Magic), 0xEE),
-		"truncated":   append([]byte(Magic), byte(evLoad)),
-		"unknown frm": append([]byte(Magic), byte(evSync), 42),
+	cases := []struct {
+		name string
+		data []byte
+		kind streamerr.Kind
+	}{
+		{"empty", []byte{}, streamerr.KindTruncated},
+		{"bad magic", []byte("NOTATRACE!!\n"), streamerr.KindMalformed},
+		{"bad kind", append([]byte(Magic), 0xEE), streamerr.KindMalformed},
+		{"truncated", append([]byte(Magic), byte(evLoad)), streamerr.KindTruncated},
+		{"unknown frm", append([]byte(Magic), byte(evSync), 42), streamerr.KindOrder},
+		{"no footer", []byte(Magic), streamerr.KindTruncated},
 	}
-	for name, data := range cases {
-		if _, err := Replay(bytes.NewReader(data), cilk.Empty{}); err == nil {
-			t.Errorf("%s: expected error", name)
+	for _, tc := range cases {
+		_, err := Replay(bytes.NewReader(tc.data), cilk.Empty{})
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
 		}
+		var se *streamerr.Error
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error %v is not a *streamerr.Error", tc.name, err)
+			continue
+		}
+		if se.Kind != tc.kind {
+			t.Errorf("%s: kind = %v, want %v (err: %v)", tc.name, se.Kind, tc.kind, se)
+		}
+	}
+}
+
+// traceOf records prog under spec and returns the complete v2 trace bytes.
+func traceOf(t *testing.T, prog func(*cilk.Ctx), spec cilk.StealSpec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	cilk.Run(prog, cilk.Config{Spec: spec, Hooks: tw})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// toV1 converts a v2 trace to the legacy v1 format: swap the magic and
+// strip the 13-byte footer.
+func toV1(t *testing.T, data []byte) []byte {
+	t.Helper()
+	if len(data) < len(Magic)+footerLen || data[len(data)-footerLen] != footerKind {
+		t.Fatal("not a complete v2 trace")
+	}
+	v1 := append([]byte(MagicV1), data[len(Magic):len(data)-footerLen]...)
+	return v1
+}
+
+func TestReplayV1Compat(t *testing.T) {
+	al := mem.NewAllocator()
+	data := traceOf(t, progs.Fig1(al, progs.Fig1Options{}), cilk.StealAll{})
+
+	live := spplus.New()
+	if _, err := Replay(bytes.NewReader(data), live); err != nil {
+		t.Fatal(err)
+	}
+	v1 := spplus.New()
+	n, err := Replay(bytes.NewReader(toV1(t, data)), v1)
+	if err != nil {
+		t.Fatalf("v1 replay: %v", err)
+	}
+	if n == 0 || live.Report().Summary() != v1.Report().Summary() {
+		t.Fatalf("v1 replay diverged (%d events): v2 %q, v1 %q",
+			n, live.Report().Summary(), v1.Report().Summary())
+	}
+}
+
+func TestReplayDetectsCorruption(t *testing.T) {
+	al := mem.NewAllocator()
+	data := traceOf(t, progs.Fig1(al, progs.Fig1Options{}), cilk.StealAll{})
+
+	// Flip one bit inside the root frame's label ("main", starting right
+	// after magic + ProgramStart + kind + id varint + length varint). The
+	// stream stays structurally decodable — only the CRC footer can tell.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(Magic)+4] ^= 0x01
+	_, err := Replay(bytes.NewReader(corrupt), cilk.Empty{})
+	var se *streamerr.Error
+	if !errors.As(err, &se) || se.Kind != streamerr.KindCorrupt {
+		t.Fatalf("label corruption: got %v, want KindCorrupt", err)
+	}
+	if se.Offset < 0 {
+		t.Fatalf("corruption error carries no byte offset: %v", se)
+	}
+
+	// A doctored event count with a matching CRC is impossible to fake by
+	// flipping footer bytes (the CRC covers only events), so corrupting the
+	// count field alone must also be caught.
+	badCount := append([]byte(nil), data...)
+	badCount[len(badCount)-1] ^= 0x40
+	_, err = Replay(bytes.NewReader(badCount), cilk.Empty{})
+	if !errors.As(err, &se) || se.Kind != streamerr.KindCorrupt {
+		t.Fatalf("count corruption: got %v, want KindCorrupt", err)
+	}
+
+	// Trailing garbage after the footer is corruption, not silently ignored.
+	trailing := append(append([]byte(nil), data...), 0x00)
+	_, err = Replay(bytes.NewReader(trailing), cilk.Empty{})
+	if !errors.As(err, &se) || se.Kind != streamerr.KindCorrupt {
+		t.Fatalf("trailing data: got %v, want KindCorrupt", err)
+	}
+}
+
+func TestReplayTruncationReportsEvent(t *testing.T) {
+	data := traceOf(t, progs.Fig2Reads(1, 9), cilk.StealAll{})
+	// Cut the stream in half, mid-events.
+	cut := data[:len(Magic)+(len(data)-len(Magic))/2]
+	n, err := Replay(bytes.NewReader(cut), cilk.Empty{})
+	var se *streamerr.Error
+	if !errors.As(err, &se) || se.Kind != streamerr.KindTruncated {
+		t.Fatalf("got %v, want KindTruncated", err)
+	}
+	if se.Event != n || n == 0 {
+		t.Fatalf("truncation at event %d but error names event %d", n, se.Event)
+	}
+	if se.Offset < 0 {
+		t.Fatalf("truncation error carries no byte offset: %v", se)
+	}
+}
+
+// TestTruncatedTestdata pins the committed fixture CI replays: it must be
+// a deterministically truncated v2 trace yielding a well-formed error.
+func TestTruncatedTestdata(t *testing.T) {
+	data, err := os.ReadFile("testdata/truncated.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := Replay(bytes.NewReader(data), spplus.New())
+	var se *streamerr.Error
+	if !errors.As(rerr, &se) || se.Kind != streamerr.KindTruncated {
+		t.Fatalf("fixture replay: got %v, want KindTruncated", rerr)
 	}
 }
 
@@ -216,28 +343,40 @@ func TestWriterLatchesErrors(t *testing.T) {
 }
 
 // TestReplayEveryTruncation replays a valid trace truncated at every byte
-// position: each prefix must either replay cleanly (event boundary) or
-// return an error — never panic, never misbehave.
+// position. Under v2 the footer makes truncation detectable: ONLY the
+// complete trace replays cleanly; every proper prefix must return a typed
+// error — never panic, never pass. The same bytes downgraded to v1 (no
+// footer) keep the legacy behaviour: prefixes ending on an event boundary
+// replay cleanly.
 func TestReplayEveryTruncation(t *testing.T) {
-	var buf bytes.Buffer
-	tw := NewWriter(&buf)
 	al := mem.NewAllocator()
-	cilk.Run(progs.Fig1(al, progs.Fig1Options{}), cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
-	if err := tw.Close(); err != nil {
-		t.Fatal(err)
+	data := traceOf(t, progs.Fig1(al, progs.Fig1Options{}), cilk.StealAll{})
+
+	for n := 0; n < len(data); n++ {
+		_, err := Replay(bytes.NewReader(data[:n]), spplus.New())
+		if err == nil {
+			t.Fatalf("v2 prefix of %d/%d bytes replayed cleanly", n, len(data))
+		}
+		var se *streamerr.Error
+		if !errors.As(err, &se) {
+			t.Fatalf("v2 prefix of %d bytes: untyped error %v", n, err)
+		}
 	}
-	data := buf.Bytes()
+	if _, err := Replay(bytes.NewReader(data), spplus.New()); err != nil {
+		t.Fatalf("full v2 trace must replay cleanly, got %v", err)
+	}
+
+	v1 := toV1(t, data)
 	clean := 0
-	for n := 0; n <= len(data); n++ {
-		d := spplus.New()
-		if _, err := Replay(bytes.NewReader(data[:n]), d); err == nil {
+	for n := 0; n <= len(v1); n++ {
+		if _, err := Replay(bytes.NewReader(v1[:n]), spplus.New()); err == nil {
 			clean++
 		}
 	}
-	// The full trace and every exact event boundary replay cleanly;
-	// mid-event prefixes error out. There must be plenty of both.
-	if clean < 10 || clean >= len(data) {
-		t.Fatalf("clean prefixes = %d of %d — truncation handling suspicious", clean, len(data))
+	// Every exact event boundary replays cleanly on v1; mid-event
+	// prefixes error out. There must be plenty of both.
+	if clean < 10 || clean >= len(v1) {
+		t.Fatalf("v1 clean prefixes = %d of %d — truncation handling suspicious", clean, len(v1))
 	}
 }
 
