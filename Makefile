@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench tables coverage-demo clean
+.PHONY: all build test race vet fuzz bench tables coverage-demo serve clean
 
 all: build test
 
@@ -38,6 +38,10 @@ tables:
 # The §7 coverage sweep finding the Figure 1 race.
 coverage-demo:
 	$(GO) run ./cmd/rader -prog fig1 -coverage || true
+
+# Run the analysis daemon in the foreground (docs/SERVICE.md).
+serve:
+	$(GO) run ./cmd/raderd
 
 clean:
 	$(GO) clean ./...

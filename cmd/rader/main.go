@@ -8,6 +8,16 @@
 //	rader -prog fig1 -coverage            # full §7 sweep
 //	rader -prog fig1-early -detector peer-set
 //
+// With -remote <url> the analysis happens on a raderd daemon instead of
+// in-process: a recorded trace (-replay) is uploaded to /analyze, a named
+// program (-prog) is analyzed server-side, and -coverage submits an async
+// sweep job and polls it. Verdicts print under the same internal/report
+// JSON schema either way, so local and remote output for one trace are
+// byte-for-byte identical.
+//
+//	rader -record t.trace -prog fig1 -spec all     # record locally
+//	rader -remote http://localhost:8735 -replay t.trace -json
+//
 // Programs: the six benchmarks (collision, dedup, ferret, fib, knapsack,
 // pbfs) at -scale test|small|bench, plus the paper's figures: fig1 (the
 // §2 linked-list program), fig1-early (get_value before sync), fig1-late
@@ -19,7 +29,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,12 +41,10 @@ import (
 	"repro/internal/cilk"
 	"repro/internal/dag"
 	"repro/internal/mem"
-	"repro/internal/peerset"
 	"repro/internal/progs"
 	"repro/internal/rader"
+	"repro/internal/report"
 	"repro/internal/sched"
-	"repro/internal/spbags"
-	"repro/internal/spplus"
 	"repro/internal/trace"
 )
 
@@ -70,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "print the race report as JSON (for CI)")
 		record   = fs.String("record", "", "record the run's event stream to this trace file")
 		replay   = fs.String("replay", "", "skip execution; replay a recorded trace file into the detector")
+		remote   = fs.String("remote", "", "raderd base URL; analyze on the daemon instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitError
@@ -84,12 +92,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		deadline = time.Now().Add(*timeout)
 	}
 
+	if *remote != "" {
+		cl := &remoteClient{base: strings.TrimRight(*remote, "/"), stdout: stdout}
+		code, err := cl.run(remoteRequest{
+			replayPath: *replay,
+			prog:       *progName,
+			scale:      *scale,
+			detector:   *detector,
+			spec:       *specStr,
+			coverage:   *coverage,
+			jsonOut:    *jsonOut,
+		})
+		if err != nil {
+			return fatal(err)
+		}
+		return code
+	}
+
 	if *replay != "" {
 		det, err := rader.ParseDetector(*detector)
 		if err != nil {
 			return fatal(err)
 		}
-		code, err := replayTrace(stdout, *replay, det)
+		code, err := replayTrace(stdout, *replay, det, *jsonOut)
 		if err != nil {
 			return fatal(err)
 		}
@@ -100,10 +125,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fatal(err)
 	}
-	fmt.Fprintf(stdout, "program: %s (%s)\n", *progName, desc)
+	if !*jsonOut {
+		// JSON modes keep stdout to exactly one document so output is
+		// machine-diffable against a remote verdict.
+		fmt.Fprintf(stdout, "program: %s (%s)\n", *progName, desc)
+	}
 
 	if *coverage {
-		return runCoverage(stdout, prog, *timeout)
+		return runCoverage(stdout, prog, *timeout, *jsonOut)
 	}
 
 	det, err := rader.ParseDetector(*detector)
@@ -121,17 +150,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitClean
 	}
 	if *record != "" {
-		if err := recordTrace(*record, prog, spec); err != nil {
+		digest, err := recordTrace(*record, prog, spec)
+		if err != nil {
 			return fatal(err)
 		}
-		fmt.Fprintf(stdout, "trace recorded to %s\n", *record)
+		fmt.Fprintf(stdout, "trace recorded to %s (sha256 %s)\n", *record, digest)
 		return exitClean
 	}
 	out, err := rader.Run(prog, rader.Config{Detector: det, Spec: spec, Deadline: deadline})
 	if err != nil {
 		return fatal(err)
 	}
-	fmt.Fprintf(stdout, "detector: %s   spec: %s   time: %v\n", det, sched.Format(spec), out.Duration)
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "detector: %s   spec: %s   time: %v\n", det, sched.Format(spec), out.Duration)
+	}
 	if *verbose {
 		r := out.Result
 		fmt.Fprintf(stdout, "frames=%d spawns=%d syncs=%d steals=%d views=%d reduces=%d loads=%d stores=%d reducer-reads=%d updates=%d\n",
@@ -141,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				out.Stats.Elems, out.Stats.Finds, out.Stats.Unions)
 		}
 	}
-	if verify != nil {
+	if verify != nil && !*jsonOut {
 		if err := verify(); err != nil {
 			fmt.Fprintf(stdout, "VERIFY FAILED: %v\n", err)
 		} else {
@@ -149,11 +181,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if out.Report == nil {
-		fmt.Fprintln(stdout, "(no detector attached)")
+		if *jsonOut {
+			b, err := report.FromOutcome(out, sched.Format(spec)).Marshal()
+			if err != nil {
+				return fatal(err)
+			}
+			fmt.Fprintln(stdout, string(b))
+		} else {
+			fmt.Fprintln(stdout, "(no detector attached)")
+		}
 		return exitClean
 	}
 	if *jsonOut {
-		b, err := json.Marshal(out.Report)
+		b, err := report.FromOutcome(out, sched.Format(spec)).Marshal()
 		if err != nil {
 			return fatal(err)
 		}
@@ -173,9 +213,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exitClean
 }
 
-func runCoverage(stdout io.Writer, prog func(*cilk.Ctx), timeout time.Duration) int {
+func runCoverage(stdout io.Writer, prog func(*cilk.Ctx), timeout time.Duration, jsonOut bool) int {
 	cr := rader.Sweep(func() func(*cilk.Ctx) { return prog },
 		rader.SweepOptions{Timeout: timeout})
+	if jsonOut {
+		b, err := report.FromCoverage(cr).Marshal()
+		if err != nil {
+			fmt.Fprintln(stdout, err)
+			return exitError
+		}
+		fmt.Fprintln(stdout, string(b))
+		switch {
+		case !cr.Clean():
+			return exitRaces
+		case !cr.Complete():
+			return exitError
+		default:
+			return exitClean
+		}
+	}
 	fmt.Fprintf(stdout, "profile: max P-depth %d, max sync block %d, Cilk depth %d\n",
 		cr.Profile.MaxPDepth, cr.Profile.MaxSyncBlock, cr.Profile.CilkDepth)
 	fmt.Fprintf(stdout, "specifications run: %d (SP+), plus one Peer-Set pass\n", cr.SpecsRun)
@@ -243,49 +299,49 @@ func buildProgram(name, scaleStr, reads string) (func(*cilk.Ctx), func() error, 
 	return ins.Prog, ins.Verify, fmt.Sprintf("%s, input %s", app.Desc, ins.InputDesc), nil
 }
 
-func recordTrace(path string, prog func(*cilk.Ctx), spec cilk.StealSpec) error {
+func recordTrace(path string, prog func(*cilk.Ctx), spec cilk.StealSpec) (trace.Digest, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return trace.Digest{}, err
 	}
 	tw := trace.NewWriter(f)
 	cilk.Run(prog, cilk.Config{Spec: spec, Hooks: tw})
 	if err := tw.Close(); err != nil {
 		f.Close()
-		return err
+		return trace.Digest{}, err
 	}
-	return f.Close()
+	return tw.Digest(), f.Close()
 }
 
-func replayTrace(stdout io.Writer, path string, det rader.DetectorName) (int, error) {
+func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, jsonOut bool) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return exitError, err
 	}
 	defer f.Close()
-	var hooks cilk.Hooks
-	var report func() string
-	switch det {
-	case rader.PeerSet:
-		d := peerset.New()
-		hooks, report = d, func() string { return d.Report().Summary() }
-	case rader.SPBags:
-		d := spbags.New()
-		hooks, report = d, func() string { return d.Report().Summary() }
-	case rader.SPPlus:
-		d := spplus.New()
-		hooks, report = d, func() string { return d.Report().Summary() }
-	default:
-		return exitError, fmt.Errorf("replay needs peer-set, sp-bags or sp+ (got %s)", det)
+	det, hooks, err := rader.NewDetector(detName)
+	if err != nil {
+		return exitError, err
+	}
+	if det == nil {
+		return exitError, fmt.Errorf("replay needs an analysing detector (got %s)", detName)
 	}
 	n, err := trace.Replay(f, hooks)
 	if err != nil {
 		return exitError, err
 	}
-	fmt.Fprintf(stdout, "replayed %d events from %s under %s\n", n, path, det)
-	summary := report()
-	fmt.Fprintln(stdout, summary)
-	if summary != "no races detected" {
+	rp := det.Report()
+	if jsonOut {
+		b, err := report.FromCore(string(detName), "", n, rp).Marshal()
+		if err != nil {
+			return exitError, err
+		}
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		fmt.Fprintf(stdout, "replayed %d events from %s under %s\n", n, path, detName)
+		fmt.Fprintln(stdout, rp.Summary())
+	}
+	if !rp.Empty() {
 		return exitRaces, nil
 	}
 	return exitClean, nil

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/service"
+)
+
+// remoteRequest is one -remote invocation's worth of intent: exactly one
+// of replayPath (upload a recorded trace), coverage (async §7 sweep of a
+// named program), or the default named-program analysis.
+type remoteRequest struct {
+	replayPath string
+	prog       string
+	scale      string
+	detector   string
+	spec       string
+	coverage   bool
+	jsonOut    bool
+}
+
+// remoteClient drives a raderd daemon — the analyze-remotely half of the
+// record-once/analyze-many workflow.
+type remoteClient struct {
+	base   string
+	stdout io.Writer
+	// client overrides http.DefaultClient in tests.
+	client *http.Client
+}
+
+func (c *remoteClient) http() *http.Client {
+	if c.client != nil {
+		return c.client
+	}
+	return http.DefaultClient
+}
+
+func (c *remoteClient) run(req remoteRequest) (int, error) {
+	if req.coverage {
+		return c.sweep(req)
+	}
+	return c.analyze(req)
+}
+
+// analyze submits one synchronous analysis: the trace file when
+// -replay was given, the named program otherwise.
+func (c *remoteClient) analyze(req remoteRequest) (int, error) {
+	q := url.Values{}
+	q.Set("detector", req.detector)
+	var body io.Reader
+	if req.replayPath != "" {
+		data, err := os.ReadFile(req.replayPath)
+		if err != nil {
+			return exitError, err
+		}
+		body = bytes.NewReader(data)
+	} else {
+		q.Set("prog", req.prog)
+		q.Set("scale", req.scale)
+		q.Set("spec", req.spec)
+	}
+	resp, raw, err := c.post("/analyze?"+q.Encode(), body)
+	if err != nil {
+		return exitError, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return exitError, remoteErr(resp, raw)
+	}
+	var ar service.AnalyzeResponse
+	if err := json.Unmarshal(raw, &ar); err != nil {
+		return exitError, fmt.Errorf("decoding daemon response: %v", err)
+	}
+	if req.jsonOut {
+		// Emit the verdict document exactly as the daemon encoded it —
+		// byte-for-byte what a local -json run prints for the same trace.
+		fmt.Fprintln(c.stdout, string(ar.Report))
+	} else {
+		c.printAnalyze(ar)
+	}
+	if ar.Clean {
+		return exitClean, nil
+	}
+	return exitRaces, nil
+}
+
+func (c *remoteClient) printAnalyze(ar service.AnalyzeResponse) {
+	served := "analyzed"
+	if ar.Cached {
+		served = "served from cache"
+	}
+	fmt.Fprintf(c.stdout, "remote: %s under %s (digest %s, %s)\n",
+		c.base, ar.Detector, short(ar.Digest), served)
+	var rep report.Report
+	if err := json.Unmarshal(ar.Report, &rep); err != nil {
+		fmt.Fprintf(c.stdout, "unreadable verdict: %v\n", err)
+		return
+	}
+	if rep.Clean {
+		fmt.Fprintln(c.stdout, "no races detected")
+		return
+	}
+	fmt.Fprintf(c.stdout, "%d distinct race(s), %d report(s) total:\n", rep.Distinct, rep.Total)
+	for _, r := range rep.Races {
+		fmt.Fprintf(c.stdout, "  %s\n", r)
+	}
+}
+
+// sweep submits the §7 coverage sweep as an async job and polls until it
+// resolves.
+func (c *remoteClient) sweep(req remoteRequest) (int, error) {
+	q := url.Values{}
+	q.Set("prog", req.prog)
+	q.Set("scale", req.scale)
+	resp, raw, err := c.post("/sweep?"+q.Encode(), nil)
+	if err != nil {
+		return exitError, err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return exitError, remoteErr(resp, raw)
+	}
+	var sr service.SweepResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		return exitError, fmt.Errorf("decoding daemon response: %v", err)
+	}
+	for sr.State == "queued" || sr.State == "running" {
+		time.Sleep(100 * time.Millisecond)
+		resp, raw, err := c.get("/sweep/" + sr.ID)
+		if err != nil {
+			return exitError, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return exitError, remoteErr(resp, raw)
+		}
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			return exitError, fmt.Errorf("decoding poll response: %v", err)
+		}
+	}
+	if sr.State == "failed" {
+		return exitError, fmt.Errorf("remote sweep failed: %s", sr.Error)
+	}
+	var sweep report.Sweep
+	if err := json.Unmarshal(sr.Sweep, &sweep); err != nil {
+		return exitError, fmt.Errorf("decoding sweep verdict: %v", err)
+	}
+	if req.jsonOut {
+		fmt.Fprintln(c.stdout, string(sr.Sweep))
+	} else {
+		c.printSweep(sweep)
+	}
+	switch {
+	case !sweep.Clean:
+		return exitRaces, nil
+	case !sweep.Complete:
+		return exitError, nil
+	default:
+		return exitClean, nil
+	}
+}
+
+func (c *remoteClient) printSweep(s report.Sweep) {
+	fmt.Fprintf(c.stdout, "remote sweep: %d specifications (SP+), plus one Peer-Set pass\n", s.SpecsRun)
+	if len(s.ViewReads) == 0 {
+		fmt.Fprintln(c.stdout, "view-read: no races detected")
+	} else {
+		fmt.Fprintf(c.stdout, "view-read: %d race(s):\n", len(s.ViewReads))
+		for _, r := range s.ViewReads {
+			fmt.Fprintf(c.stdout, "  %s\n", r)
+		}
+	}
+	if len(s.Races) == 0 {
+		fmt.Fprintln(c.stdout, "determinacy: no races under any specification")
+	} else {
+		fmt.Fprintf(c.stdout, "determinacy: %d distinct race(s):\n", len(s.Races))
+		for _, f := range s.Races {
+			fmt.Fprintf(c.stdout, "  [%s] %s\n", f.Spec, f.Race)
+		}
+	}
+	for _, f := range s.Failures {
+		fmt.Fprintf(c.stdout, "sweep failure: [%s] %s\n", f.Spec, f.Error)
+	}
+}
+
+func (c *remoteClient) post(path string, body io.Reader) (*http.Response, []byte, error) {
+	resp, err := c.http().Post(c.base+path, "application/octet-stream", body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reaching raderd at %s: %v", c.base, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp, raw, err
+}
+
+func (c *remoteClient) get(path string) (*http.Response, []byte, error) {
+	resp, err := c.http().Get(c.base + path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reaching raderd at %s: %v", c.base, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp, raw, err
+}
+
+// remoteErr folds a non-2xx response into one readable error, surfacing
+// the daemon's JSON error detail and the load-shedding case specially.
+func remoteErr(resp *http.Response, raw []byte) error {
+	var er service.ErrorResponse
+	detail := string(bytes.TrimSpace(raw))
+	if err := json.Unmarshal(raw, &er); err == nil && er.Error != "" {
+		detail = er.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return fmt.Errorf("daemon saturated (429): %s (retry after %s)", detail, resp.Header.Get("Retry-After"))
+	}
+	return fmt.Errorf("daemon returned %s: %s", resp.Status, detail)
+}
+
+func short(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	return digest
+}

@@ -1,0 +1,101 @@
+// Command raderd serves race analysis over HTTP — the daemon face of the
+// paper's record-once/analyze-many workflow (§8). Traces recorded with
+// rader -record are uploaded to /analyze and replayed under any detector
+// server-side; named built-in programs analyze and sweep without an
+// upload. Verdicts are memoized in an LRU cache addressed by the trace's
+// SHA-256 content digest, so resubmitting a trace costs one cache lookup.
+//
+// Usage:
+//
+//	raderd -addr :8735 -workers 8 -queue 16
+//	rader -remote http://localhost:8735 -replay t.trace
+//
+// Endpoints: POST /analyze, POST /sweep, GET /sweep/{id}, GET /healthz,
+// GET /metrics (Prometheus text). Capacity, cache and per-job limits are
+// flags; see docs/SERVICE.md for the full API and failure-mode table.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Exit codes: 0 clean shutdown, 2 configuration or listen failure.
+const (
+	exitOK    = 0
+	exitError = 2
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sig))
+}
+
+// run is main with its dependencies injected: tests drive it with their
+// own listener address and shutdown channel.
+func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int {
+	fs := flag.NewFlagSet("raderd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8735", "listen address")
+		workers     = fs.Int("workers", 4, "max concurrent analyses")
+		queue       = fs.Int("queue", 0, "max queued requests beyond the workers (0 = 2x workers); overflow is shed with 429")
+		cacheSize   = fs.Int("cache", 256, "result-cache capacity in entries")
+		eventBudget = fs.Int64("event-budget", 50_000_000, "per-job event budget (-1 = unlimited)")
+		jobTimeout  = fs.Duration("job-timeout", 60*time.Second, "per-job wall-time bound")
+		sweepWkrs   = fs.Int("sweep-workers", 0, "per-sweep parallelism (0 = workers)")
+		maxUpload   = fs.Int64("max-upload", 64<<20, "max uploaded trace bytes")
+		keepJobs    = fs.Int("keep-jobs", 64, "finished sweep jobs retained for polling")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		EventBudget:    *eventBudget,
+		JobTimeout:     *jobTimeout,
+		SweepWorkers:   *sweepWkrs,
+		MaxUploadBytes: *maxUpload,
+		KeepJobs:       *keepJobs,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "raderd:", err)
+		return exitError
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "raderd listening on %s (workers=%d queue=%d cache=%d)\n",
+		ln.Addr(), *workers, *queue, *cacheSize)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "raderd:", err)
+		return exitError
+	case <-shutdown:
+		fmt.Fprintln(stdout, "raderd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, "raderd: shutdown:", err)
+			return exitError
+		}
+		return exitOK
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read stdout while the daemon goroutine writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`listening on (\S+)`)
+
+// Boot the daemon on an ephemeral port, analyze a built-in through it,
+// then shut it down gracefully and check the exit code.
+func TestDaemonEndToEnd(t *testing.T) {
+	var stdout, stderr syncBuffer
+	shutdown := make(chan os.Signal, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &stdout, &stderr, shutdown)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(stdout.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address: %q / %q", stdout.String(), stderr.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	ar, err := http.Post(base+"/analyze?prog=fig1&spec=all&detector=sp%2B", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(ar.Body)
+	ar.Body.Close()
+	if ar.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d %s", ar.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"clean":false`) {
+		t.Fatalf("fig1 under steal-all must race: %s", body)
+	}
+
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(mbody), `raderd_jobs_total{state="done"} 1`) {
+		t.Fatalf("metrics must count the analysis:\n%s", mbody)
+	}
+
+	shutdown <- os.Interrupt
+	select {
+	case code := <-done:
+		if code != exitOK {
+			t.Fatalf("exit code %d, want %d (stderr: %s)", code, exitOK, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(stdout.String(), "shutting down") {
+		t.Fatalf("missing shutdown banner: %q", stdout.String())
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr, nil); code != exitError {
+		t.Fatalf("bad flag exit = %d, want %d", code, exitError)
+	}
+	if code := run([]string{"-addr", "256.256.256.256:99999"}, &stdout, &stderr, nil); code != exitError {
+		t.Fatalf("bad addr exit = %d, want %d", code, exitError)
+	}
+}

@@ -15,6 +15,7 @@ package rader
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -90,34 +91,43 @@ type Outcome struct {
 	Replay string
 }
 
+// NewDetector constructs a fresh instance of the named detector. The two
+// baselines have no analysis: None yields (nil, nil, nil) and EmptyTool
+// yields no-op hooks with a nil detector. Every other name yields a
+// detector that doubles as the hook chain to attach.
+func NewDetector(name DetectorName) (core.Detector, cilk.Hooks, error) {
+	switch name {
+	case None, "":
+		return nil, nil, nil
+	case EmptyTool:
+		return nil, cilk.Empty{}, nil
+	case PeerSet:
+		d := peerset.New()
+		return d, d, nil
+	case SPBags:
+		d := spbags.New()
+		return d, d, nil
+	case SPPlus:
+		d := spplus.New()
+		return d, d, nil
+	case OffsetSpan:
+		d := offsetspan.New()
+		return d, d, nil
+	case EnglishHebrew:
+		d := ehlabel.New()
+		return d, d, nil
+	default:
+		return nil, nil, fmt.Errorf("rader: bad detector %q", name)
+	}
+}
+
 // Run executes prog once under cfg. A panic out of the program, the
 // detector, or the budget/deadline guard is recovered and returned as a
 // *streamerr.Error; the process never dies on a misbehaving run.
 func Run(prog func(*cilk.Ctx), cfg Config) (out *Outcome, err error) {
-	var det core.Detector
-	var hooks cilk.Hooks
-	switch cfg.Detector {
-	case None, "":
-		hooks = nil
-	case EmptyTool:
-		hooks = cilk.Empty{}
-	case PeerSet:
-		det = peerset.New()
-		hooks = det
-	case SPBags:
-		det = spbags.New()
-		hooks = det
-	case SPPlus:
-		det = spplus.New()
-		hooks = det
-	case OffsetSpan:
-		det = offsetspan.New()
-		hooks = det
-	case EnglishHebrew:
-		det = ehlabel.New()
-		hooks = det
-	default:
-		return nil, fmt.Errorf("rader: bad detector %q", cfg.Detector)
+	det, hooks, err := NewDetector(cfg.Detector)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.EventBudget > 0 || !cfg.Deadline.IsZero() {
 		hooks = newGuard(hooks, cfg.EventBudget, cfg.Deadline)
@@ -351,7 +361,26 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 			}
 		}
 	}
+	cr.sortCanonical()
 	return cr
+}
+
+// sortCanonical puts findings and failures into spec order (ties broken by
+// the race or error text) so a sweep's result — and any JSON rendering of
+// it — is byte-identical regardless of worker count or completion order.
+func (cr *CoverageResult) sortCanonical() {
+	sort.SliceStable(cr.Races, func(i, j int) bool {
+		if cr.Races[i].Spec != cr.Races[j].Spec {
+			return cr.Races[i].Spec < cr.Races[j].Spec
+		}
+		return cr.Races[i].Race.String() < cr.Races[j].Race.String()
+	})
+	sort.SliceStable(cr.Failures, func(i, j int) bool {
+		if cr.Failures[i].Spec != cr.Failures[j].Spec {
+			return cr.Failures[i].Spec < cr.Failures[j].Spec
+		}
+		return fmt.Sprint(cr.Failures[i].Err) < fmt.Sprint(cr.Failures[j].Err)
+	})
 }
 
 // measure profiles one program instance, containing any panic the program

@@ -1,0 +1,68 @@
+package rader
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cilk"
+	"repro/internal/corpus"
+	"repro/internal/mem"
+)
+
+// sweepOf runs the §7 sweep for one corpus entry at the given parallelism.
+// Each run gets a fresh allocator so address layouts are identical across
+// instances and findings are comparable.
+func sweepOf(t *testing.T, name string, workers int) *CoverageResult {
+	t.Helper()
+	for _, e := range corpus.All() {
+		if e.Name != name {
+			continue
+		}
+		return Sweep(func() func(*cilk.Ctx) {
+			return e.Build(mem.NewAllocator())
+		}, SweepOptions{Workers: workers})
+	}
+	t.Fatalf("corpus entry %q not found", name)
+	return nil
+}
+
+// A sweep's result must not depend on how many workers ran it: serial and
+// 8-way sweeps of the same program must agree field for field, including
+// the order of Races and Failures.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	for _, name := range []string{
+		"figure1-shallow-copy",           // multi-race program
+		"oblivious-write-write-siblings", // races on every spec
+		"clean-reducer-sum",              // clean program
+	} {
+		t.Run(name, func(t *testing.T) {
+			serial := sweepOf(t, name, 1)
+			parallel := sweepOf(t, name, 8)
+			if !reflect.DeepEqual(serial.Races, parallel.Races) {
+				t.Errorf("Races differ across worker counts:\nserial:   %v\nparallel: %v",
+					serial.Races, parallel.Races)
+			}
+			if !reflect.DeepEqual(serial.Failures, parallel.Failures) {
+				t.Errorf("Failures differ across worker counts:\nserial:   %v\nparallel: %v",
+					serial.Failures, parallel.Failures)
+			}
+			if serial.SpecsRun != parallel.SpecsRun || serial.TotalReports() != parallel.TotalReports() {
+				t.Errorf("counters differ: serial ran %d specs / %d reports, parallel %d / %d",
+					serial.SpecsRun, serial.TotalReports(), parallel.SpecsRun, parallel.TotalReports())
+			}
+			if serial.Profile != parallel.Profile {
+				t.Errorf("profiles differ: %+v vs %+v", serial.Profile, parallel.Profile)
+			}
+		})
+	}
+}
+
+// Repeated parallel sweeps must also agree with each other — the property
+// the -json CLI path and the service cache both rely on.
+func TestSweepRepeatable(t *testing.T) {
+	a := sweepOf(t, "figure1-shallow-copy", 4)
+	b := sweepOf(t, "figure1-shallow-copy", 4)
+	if !reflect.DeepEqual(a.Races, b.Races) {
+		t.Fatalf("two 4-way sweeps disagree:\n%v\nvs\n%v", a.Races, b.Races)
+	}
+}

@@ -1,0 +1,202 @@
+// Package report defines the machine-readable form of a race-analysis
+// verdict — the one JSON schema shared by the rader CLI's -json output and
+// the raderd service's responses. Keeping the encoding in one place means
+// a verdict computed locally and one computed remotely for the same trace
+// are byte-for-byte identical, which is what the end-to-end tests (and any
+// CI pipeline diffing verdicts) rely on.
+//
+// The schema is versioned: Schema names the current version and every
+// document carries it. Changing any field name, type, ordering, or
+// omission rule is a schema change — bump Schema and regenerate the golden
+// files in testdata/, which exist precisely to make accidental drift a
+// test failure.
+//
+// Encoding is deterministic by construction: the types contain only
+// structs and slices (no maps), so encoding/json renders equal values to
+// equal bytes.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rader"
+)
+
+// Schema is the current schema version, carried by every document.
+const Schema = 1
+
+// Access is one side of a race.
+type Access struct {
+	Frame     int64  `json:"frame"`
+	Label     string `json:"label"`
+	Path      string `json:"path,omitempty"`
+	Op        string `json:"op"`
+	ViewAware bool   `json:"viewAware,omitempty"`
+	ViewOp    string `json:"viewOp,omitempty"`
+	VID       int64  `json:"vid,omitempty"`
+}
+
+// Race is one detected race.
+type Race struct {
+	Kind    string `json:"kind"`
+	Addr    uint64 `json:"addr,omitempty"`
+	Reducer string `json:"reducer,omitempty"`
+	First   Access `json:"first"`
+	Second  Access `json:"second"`
+}
+
+// String renders a one-line human summary, used by the remote client's
+// plain-text output.
+func (r Race) String() string {
+	if r.Reducer != "" {
+		return fmt.Sprintf("%s on reducer %q: %s#%d vs %s#%d",
+			r.Kind, r.Reducer, r.First.Label, r.First.Frame, r.Second.Label, r.Second.Frame)
+	}
+	return fmt.Sprintf("%s at %#x: %s#%d vs %s#%d",
+		r.Kind, r.Addr, r.First.Label, r.First.Frame, r.Second.Label, r.Second.Frame)
+}
+
+// Report is the verdict document for one analysed run or replay.
+type Report struct {
+	Schema   int    `json:"schema"`
+	Detector string `json:"detector"`
+	// Spec is the steal specification of a live run; empty for a trace
+	// replay, where the schedule is baked into the stream.
+	Spec string `json:"spec,omitempty"`
+	// Events is the number of events replayed; zero for live runs.
+	Events   int64  `json:"events,omitempty"`
+	Races    []Race `json:"races"`
+	Distinct int    `json:"distinct"`
+	Total    int    `json:"total"`
+	Clean    bool   `json:"clean"`
+}
+
+// Marshal renders the document. Encoding equal values always yields equal
+// bytes, so verdicts are diffable across machines.
+func (r *Report) Marshal() ([]byte, error) { return json.Marshal(r) }
+
+func fromAccess(a core.Access) Access {
+	out := Access{
+		Frame: int64(a.Frame), Label: a.Label, Path: a.Path,
+		Op: a.Op.String(), ViewAware: a.ViewAware,
+	}
+	if a.ViewAware {
+		out.ViewOp = a.ViewOp.String()
+		out.VID = int64(a.VID)
+	}
+	return out
+}
+
+func fromRace(r core.Race) Race {
+	out := Race{
+		Kind:    r.Kind.String(),
+		Reducer: r.Reducer,
+		First:   fromAccess(r.First),
+		Second:  fromAccess(r.Second),
+	}
+	if r.Kind == core.Determinacy {
+		out.Addr = uint64(r.Addr)
+	}
+	return out
+}
+
+// FromCore builds a Report from a raw detector report. detector and spec
+// label the configuration; events is the replayed-event count (0 for live
+// runs). A nil rp (detector "none"/"empty") yields an empty clean report.
+func FromCore(detector, spec string, events int64, rp *core.Report) *Report {
+	out := &Report{
+		Schema:   Schema,
+		Detector: detector,
+		Spec:     spec,
+		Events:   events,
+		Races:    []Race{},
+		Clean:    true,
+	}
+	if rp == nil {
+		return out
+	}
+	for _, r := range rp.Races() {
+		out.Races = append(out.Races, fromRace(r))
+	}
+	out.Distinct = rp.Distinct()
+	out.Total = rp.Total()
+	out.Clean = rp.Empty()
+	return out
+}
+
+// FromOutcome builds a Report from one rader.Run outcome.
+func FromOutcome(out *rader.Outcome, spec string) *Report {
+	return FromCore(string(out.Detector), spec, 0, out.Report)
+}
+
+// Profile mirrors the sweep's measured program profile.
+type Profile struct {
+	MaxPDepth    int `json:"maxPDepth"`
+	MaxSyncBlock int `json:"maxSyncBlock"`
+	CilkDepth    int `json:"cilkDepth"`
+}
+
+// SweepFinding is one distinct determinacy race with the specification
+// that elicited it.
+type SweepFinding struct {
+	Spec string `json:"spec"`
+	Race Race   `json:"race"`
+}
+
+// SweepFailure is one sweep unit that produced an error instead of a
+// verdict.
+type SweepFailure struct {
+	Spec  string `json:"spec"`
+	Error string `json:"error"`
+}
+
+// Sweep is the verdict document for a §7 coverage sweep.
+type Sweep struct {
+	Schema       int            `json:"schema"`
+	Profile      Profile        `json:"profile"`
+	SpecsRun     int            `json:"specsRun"`
+	ViewReads    []Race         `json:"viewReads"`
+	Races        []SweepFinding `json:"races"`
+	Failures     []SweepFailure `json:"failures"`
+	TotalReports int            `json:"totalReports"`
+	Clean        bool           `json:"clean"`
+	Complete     bool           `json:"complete"`
+}
+
+// Marshal renders the document deterministically.
+func (s *Sweep) Marshal() ([]byte, error) { return json.Marshal(s) }
+
+// FromCoverage builds a Sweep from a CoverageResult. The result's Races
+// and Failures are already in canonical spec order (rader.Sweep sorts
+// them), so the document is identical across worker counts.
+func FromCoverage(cr *rader.CoverageResult) *Sweep {
+	out := &Sweep{
+		Schema: Schema,
+		Profile: Profile{
+			MaxPDepth:    cr.Profile.MaxPDepth,
+			MaxSyncBlock: cr.Profile.MaxSyncBlock,
+			CilkDepth:    cr.Profile.CilkDepth,
+		},
+		SpecsRun:     cr.SpecsRun,
+		ViewReads:    []Race{},
+		Races:        []SweepFinding{},
+		Failures:     []SweepFailure{},
+		TotalReports: cr.TotalReports(),
+		Clean:        cr.Clean(),
+		Complete:     cr.Complete(),
+	}
+	if cr.ViewReads != nil {
+		for _, r := range cr.ViewReads.Races() {
+			out.ViewReads = append(out.ViewReads, fromRace(r))
+		}
+	}
+	for _, f := range cr.Races {
+		out.Races = append(out.Races, SweepFinding{Spec: f.Spec, Race: fromRace(f.Race)})
+	}
+	for _, f := range cr.Failures {
+		out.Failures = append(out.Failures, SweepFailure{Spec: f.Spec, Error: fmt.Sprint(f.Err)})
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/mem"
+	"repro/internal/rader"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/name, rewriting under -update.
+// These files pin the wire schema: a diff here means the JSON contract
+// with remote clients changed and Schema must be bumped.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(got, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimRight(want, "\n"), got) {
+		t.Errorf("schema drift against %s:\ngot:  %s\nwant: %s", path, got, want)
+	}
+}
+
+// fixedReport builds a report with one race of each kind, fully populated,
+// so the golden file exercises every field and omission rule.
+func fixedReport() *core.Report {
+	rp := &core.Report{}
+	rp.Add(core.Race{
+		Kind:    core.ViewRead,
+		Reducer: "sum",
+		First:   core.Access{Frame: 3, Label: "u", Path: "main>u", Op: core.OpReducerRead},
+		Second:  core.Access{Frame: 1, Label: "main", Path: "main", Op: core.OpReducerRead},
+	})
+	rp.Add(core.Race{
+		Kind:   core.Determinacy,
+		Addr:   0x2a,
+		First:  core.Access{Frame: 4, Label: "w", Op: core.OpWrite},
+		Second: core.Access{Frame: 1, Label: "main", Op: core.OpRead, ViewAware: true, ViewOp: cilk.OpUpdate, VID: 7},
+	})
+	// A duplicate report of the first race bumps Total past Distinct.
+	rp.Add(core.Race{
+		Kind:    core.ViewRead,
+		Reducer: "sum",
+		First:   core.Access{Frame: 3, Label: "u", Path: "main>u", Op: core.OpReducerRead},
+		Second:  core.Access{Frame: 1, Label: "main", Path: "main", Op: core.OpReducerRead},
+	})
+	return rp
+}
+
+func TestRunReportGolden(t *testing.T) {
+	doc := FromCore("sp+", "all", 123, fixedReport())
+	b, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "run_report.golden", b)
+}
+
+func TestEmptyReportGolden(t *testing.T) {
+	doc := FromCore("none", "", 0, nil)
+	b, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "empty_report.golden", b)
+}
+
+// The sweep document is pinned against a real corpus sweep so it also
+// locks in the canonical ordering rader.Sweep guarantees.
+func TestSweepReportGolden(t *testing.T) {
+	var entry corpus.Entry
+	for _, e := range corpus.All() {
+		if e.Name == "figure1-shallow-copy" {
+			entry = e
+			break
+		}
+	}
+	cr := rader.Sweep(func() func(*cilk.Ctx) {
+		return entry.Build(mem.NewAllocator())
+	}, rader.SweepOptions{Workers: 4})
+	b, err := FromCoverage(cr).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "sweep_report.golden", b)
+}
+
+// Marshaling the same value twice must be byte-identical — the property
+// the digest-addressed cache and the remote/local diff test rely on.
+func TestMarshalDeterministic(t *testing.T) {
+	doc := FromCore("sp+", "all", 99, fixedReport())
+	a, _ := doc.Marshal()
+	b, _ := doc.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatal("marshaling is not deterministic")
+	}
+}

@@ -1,0 +1,39 @@
+package service
+
+import "encoding/json"
+
+// AnalyzeResponse is the envelope of POST /analyze. Report is the shared
+// internal/report verdict document, kept as raw bytes so a client can
+// re-emit it byte-for-byte identical to a local rader -json run.
+type AnalyzeResponse struct {
+	// Digest is the SHA-256 content identity the result is cached under
+	// (trace bytes for uploads, program identity for named programs).
+	Digest string `json:"digest"`
+	// Detector and Spec echo the analysed configuration.
+	Detector string `json:"detector"`
+	Spec     string `json:"spec,omitempty"`
+	// Cached reports whether this verdict was served from the cache.
+	Cached bool `json:"cached"`
+	// DurationMS is the server-side analysis wall time; 0 for cache hits.
+	DurationMS float64 `json:"durationMs"`
+	// Clean mirrors report.clean for quick exit-code decisions.
+	Clean bool `json:"clean"`
+	// Report is the verdict document (report.Report).
+	Report json.RawMessage `json:"report"`
+}
+
+// SweepResponse is the envelope of POST /sweep and GET /sweep/{id}.
+type SweepResponse struct {
+	ID      string `json:"id"`
+	Program string `json:"program"`
+	// State is queued, running, done, or failed.
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Sweep is the verdict document (report.Sweep) once State is done.
+	Sweep json.RawMessage `json:"sweep,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// cached is one memoized verdict: the encoded report document plus the
+// metadata the response envelope repeats. Entries are immutable once
+// stored, so concurrent readers share them without copying.
+type cached struct {
+	digest string
+	report json.RawMessage
+	clean  bool
+}
+
+// resultCache is a plain LRU keyed by digest × detector × spec. The
+// digest is a SHA-256 of the trace content (or a synthetic program
+// identity), so a hit is a proof the same analysis already ran — the whole
+// point of the paper's record-once/analyze-many workflow served hot.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	val *cached
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key and refreshes its recency.
+func (c *resultCache) get(key string) (*cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// put stores the entry, evicting the least-recently-used beyond capacity.
+func (c *resultCache) put(key string, val *cached) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheItem{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// len reports the resident entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job states for async sweep jobs.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// sweepJob is one asynchronous §7 coverage sweep. The submit handler
+// returns its ID immediately; clients poll GET /sweep/{id} until the state
+// is done or failed.
+type sweepJob struct {
+	mu       sync.Mutex
+	id       string
+	prog     string
+	state    string
+	err      string
+	sweep    json.RawMessage // verdict document once done
+	created  time.Time
+	finished time.Time
+}
+
+func (j *sweepJob) set(state string) {
+	j.mu.Lock()
+	j.state = state
+	j.mu.Unlock()
+}
+
+func (j *sweepJob) finish(sweep json.RawMessage, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = stateFailed
+		j.err = err.Error()
+		return
+	}
+	j.state = stateDone
+	j.sweep = sweep
+}
+
+// view renders the job's poll response under its lock.
+func (j *sweepJob) view() SweepResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return SweepResponse{ID: j.id, Program: j.prog, State: j.state, Error: j.err, Sweep: j.sweep}
+}
+
+// jobTable tracks sweep jobs, bounding retention: once more than keep jobs
+// are finished, the oldest finished jobs are dropped (pollers of a dropped
+// ID get 404, the standard at-most-N retention contract).
+type jobTable struct {
+	mu   sync.Mutex
+	seq  int
+	keep int
+	jobs map[string]*sweepJob
+}
+
+func newJobTable(keep int) *jobTable {
+	if keep < 1 {
+		keep = 64
+	}
+	return &jobTable{keep: keep, jobs: make(map[string]*sweepJob)}
+}
+
+func (t *jobTable) add(prog string) *sweepJob {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	j := &sweepJob{id: fmt.Sprintf("sweep-%d", t.seq), prog: prog, state: stateQueued, created: time.Now()}
+	t.jobs[j.id] = j
+	t.evictLocked()
+	return j
+}
+
+func (t *jobTable) get(id string) (*sweepJob, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+// states counts jobs by state for /metrics.
+func (t *jobTable) states() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int, 4)
+	for _, j := range t.jobs {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound.
+// Requires t.mu.
+func (t *jobTable) evictLocked() {
+	var finished []*sweepJob
+	for _, j := range t.jobs {
+		j.mu.Lock()
+		if j.state == stateDone || j.state == stateFailed {
+			finished = append(finished, j)
+		}
+		j.mu.Unlock()
+	}
+	if len(finished) <= t.keep {
+		return
+	}
+	// Oldest finished first.
+	for i := range finished {
+		for k := i + 1; k < len(finished); k++ {
+			if finished[k].finished.Before(finished[i].finished) {
+				finished[i], finished[k] = finished[k], finished[i]
+			}
+		}
+	}
+	for _, j := range finished[:len(finished)-t.keep] {
+		delete(t.jobs, j.id)
+	}
+}

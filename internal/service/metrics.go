@@ -1,0 +1,157 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond corpus replays through multi-second bench sweeps.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// hist is a fixed-bucket latency histogram in the Prometheus cumulative
+// style. Guarded by the owning metrics mutex.
+type hist struct {
+	counts []uint64 // one per bucket plus +Inf
+	sum    float64
+	n      uint64
+}
+
+func newHist() *hist { return &hist{counts: make([]uint64, len(latencyBuckets)+1)} }
+
+func (h *hist) observe(seconds float64) {
+	h.sum += seconds
+	h.n++
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.counts[len(latencyBuckets)]++
+}
+
+// metrics is the daemon's instrumentation: job counters, cache traffic,
+// event throughput, and per-detector latency histograms, rendered in
+// Prometheus text exposition format by write.
+type metrics struct {
+	mu          sync.Mutex
+	jobsDone    uint64
+	jobsFailed  uint64
+	jobsShed    uint64 // rejected with 429 at admission
+	cacheHits   uint64
+	cacheMisses uint64
+	events      uint64 // total events replayed/analyzed
+	lastEPS     float64
+	perDetector map[string]*hist
+}
+
+func newMetrics() *metrics {
+	return &metrics{perDetector: make(map[string]*hist)}
+}
+
+func (m *metrics) hit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *metrics) miss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+func (m *metrics) shed() { m.mu.Lock(); m.jobsShed++; m.mu.Unlock() }
+func (m *metrics) fail() { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
+
+// done records one completed analysis: its detector, wall time and event
+// count (0 when the run was live and uncounted).
+func (m *metrics) done(detector string, d time.Duration, events int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsDone++
+	m.events += uint64(events)
+	if s := d.Seconds(); s > 0 && events > 0 {
+		m.lastEPS = float64(events) / s
+	}
+	h, ok := m.perDetector[detector]
+	if !ok {
+		h = newHist()
+		m.perDetector[detector] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// snapshotHits returns the current cache-hit count (tests poll it).
+func (m *metrics) snapshotHits() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits
+}
+
+// write renders the exposition document. Gauges that live outside this
+// struct (queue depth, worker occupancy, cache residency, sweep-job
+// states) are passed in by the handler so metrics stays free of back
+// references.
+func (m *metrics) write(w io.Writer, queueDepth, busy, workers, cacheLen int, sweepStates map[string]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP raderd_jobs_total Analysis requests by final disposition.")
+	fmt.Fprintln(w, "# TYPE raderd_jobs_total counter")
+	fmt.Fprintf(w, "raderd_jobs_total{state=\"done\"} %d\n", m.jobsDone)
+	fmt.Fprintf(w, "raderd_jobs_total{state=\"failed\"} %d\n", m.jobsFailed)
+	fmt.Fprintf(w, "raderd_jobs_total{state=\"rejected\"} %d\n", m.jobsShed)
+
+	fmt.Fprintln(w, "# HELP raderd_queue_depth Requests admitted but waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE raderd_queue_depth gauge")
+	fmt.Fprintf(w, "raderd_queue_depth %d\n", queueDepth)
+	fmt.Fprintln(w, "# HELP raderd_workers_busy Analyses executing now.")
+	fmt.Fprintln(w, "# TYPE raderd_workers_busy gauge")
+	fmt.Fprintf(w, "raderd_workers_busy %d\n", busy)
+	fmt.Fprintln(w, "# HELP raderd_workers Configured worker-pool size.")
+	fmt.Fprintln(w, "# TYPE raderd_workers gauge")
+	fmt.Fprintf(w, "raderd_workers %d\n", workers)
+
+	fmt.Fprintln(w, "# HELP raderd_cache_hits_total Analyses served from the digest-addressed cache.")
+	fmt.Fprintln(w, "# TYPE raderd_cache_hits_total counter")
+	fmt.Fprintf(w, "raderd_cache_hits_total %d\n", m.cacheHits)
+	fmt.Fprintln(w, "# HELP raderd_cache_misses_total Analyses that had to run.")
+	fmt.Fprintln(w, "# TYPE raderd_cache_misses_total counter")
+	fmt.Fprintf(w, "raderd_cache_misses_total %d\n", m.cacheMisses)
+	fmt.Fprintln(w, "# HELP raderd_cache_hit_ratio Hits over lookups since start.")
+	fmt.Fprintln(w, "# TYPE raderd_cache_hit_ratio gauge")
+	ratio := 0.0
+	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
+		ratio = float64(m.cacheHits) / float64(lookups)
+	}
+	fmt.Fprintf(w, "raderd_cache_hit_ratio %g\n", ratio)
+	fmt.Fprintln(w, "# HELP raderd_cache_entries Resident cache entries.")
+	fmt.Fprintln(w, "# TYPE raderd_cache_entries gauge")
+	fmt.Fprintf(w, "raderd_cache_entries %d\n", cacheLen)
+
+	fmt.Fprintln(w, "# HELP raderd_events_total Trace events consumed by completed analyses.")
+	fmt.Fprintln(w, "# TYPE raderd_events_total counter")
+	fmt.Fprintf(w, "raderd_events_total %d\n", m.events)
+	fmt.Fprintln(w, "# HELP raderd_events_per_second Throughput of the most recent event-counted analysis.")
+	fmt.Fprintln(w, "# TYPE raderd_events_per_second gauge")
+	fmt.Fprintf(w, "raderd_events_per_second %g\n", m.lastEPS)
+
+	fmt.Fprintln(w, "# HELP raderd_sweep_jobs Coverage-sweep jobs by state.")
+	fmt.Fprintln(w, "# TYPE raderd_sweep_jobs gauge")
+	for _, st := range []string{"queued", "running", "done", "failed"} {
+		fmt.Fprintf(w, "raderd_sweep_jobs{state=%q} %d\n", st, sweepStates[st])
+	}
+
+	fmt.Fprintln(w, "# HELP raderd_analyze_latency_seconds Wall time of completed analyses by detector.")
+	fmt.Fprintln(w, "# TYPE raderd_analyze_latency_seconds histogram")
+	dets := make([]string, 0, len(m.perDetector))
+	for d := range m.perDetector {
+		dets = append(dets, d)
+	}
+	sort.Strings(dets)
+	for _, d := range dets {
+		h := m.perDetector[d]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "raderd_analyze_latency_seconds_bucket{detector=%q,le=%q} %d\n", d, trimFloat(ub), h.counts[i])
+		}
+		fmt.Fprintf(w, "raderd_analyze_latency_seconds_bucket{detector=%q,le=\"+Inf\"} %d\n", d, h.counts[len(latencyBuckets)])
+		fmt.Fprintf(w, "raderd_analyze_latency_seconds_sum{detector=%q} %g\n", d, h.sum)
+		fmt.Fprintf(w, "raderd_analyze_latency_seconds_count{detector=%q} %d\n", d, h.n)
+	}
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

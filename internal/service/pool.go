@@ -1,0 +1,65 @@
+package service
+
+import "context"
+
+// pool is the admission-controlled worker pool. Two counting semaphores
+// bound the system: admit caps the total work accepted (running plus
+// queued — overflow is shed with 429 at the door), run caps the analyses
+// executing at once. A request first claims an admission token without
+// blocking; holders then queue for a run slot. The daemon therefore never
+// has more than workers analyses running nor more than queueDepth requests
+// waiting, no matter the request rate.
+type pool struct {
+	admit chan struct{}
+	run   chan struct{}
+}
+
+func newPool(workers, queueDepth int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &pool{
+		admit: make(chan struct{}, workers+queueDepth),
+		run:   make(chan struct{}, workers),
+	}
+}
+
+// tryAdmit claims an admission token, reporting false when the system is
+// saturated (the caller responds 429).
+func (p *pool) tryAdmit() bool {
+	select {
+	case p.admit <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// unadmit returns an admission token (pair with tryAdmit).
+func (p *pool) unadmit() { <-p.admit }
+
+// acquire blocks for a run slot, or gives up when ctx is cancelled (the
+// client hung up while queued).
+func (p *pool) acquire(ctx context.Context) error {
+	select {
+	case p.run <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a run slot (pair with acquire).
+func (p *pool) release() { <-p.run }
+
+// running reports the analyses executing now.
+func (p *pool) running() int { return len(p.run) }
+
+// admitted reports the total work in the system (running + queued).
+func (p *pool) admitted() int { return len(p.admit) }
+
+// workers reports the run capacity.
+func (p *pool) workers() int { return cap(p.run) }

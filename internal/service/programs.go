@@ -1,0 +1,112 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/cilk"
+	"repro/internal/corpus"
+	"repro/internal/mem"
+	"repro/internal/progs"
+)
+
+// Program is one named built-in the service can analyze without an
+// uploaded trace. Factory must return a fresh rerunnable instance per call
+// (sweeps run it hundreds of times), with identical address layouts across
+// instances so findings are comparable.
+type Program struct {
+	Desc    string
+	Factory func() func(*cilk.Ctx)
+}
+
+// registry resolves program names for /analyze?prog= and /sweep?prog=.
+// Built-ins are the paper's figures, the corpus catalogue, and the six
+// Figure 7 benchmarks (the latter parameterized by scale).
+type registry struct {
+	extra map[string]Program
+}
+
+// resolve returns the program and its stable identity string. The identity
+// feeds the cache digest, so it must name everything that changes the
+// program's behaviour — for benchmarks that includes the scale.
+func (rg *registry) resolve(name, scaleStr string) (Program, string, error) {
+	if p, ok := rg.extra[name]; ok {
+		return p, "program\x00" + name, nil
+	}
+	switch name {
+	case "fig1":
+		return figure("Figure 1: shallow-copy list race", progs.Fig1Options{}), "program\x00fig1", nil
+	case "fig1-early":
+		return figure("Figure 1 with get_value before sync", progs.Fig1Options{EarlyGetValue: true}), "program\x00fig1-early", nil
+	case "fig1-late":
+		return figure("Figure 1 with set_value after spawn", progs.Fig1Options{SetValueAfterSpawn: true}), "program\x00fig1-late", nil
+	case "fig1-fixed":
+		return figure("Figure 1 with a deep copy (race-free)", progs.Fig1Options{DeepCopy: true}), "program\x00fig1-fixed", nil
+	case "fig2":
+		return Program{
+			Desc:    "Figure 2 dag with reducer reads at strands 1 and 9",
+			Factory: func() func(*cilk.Ctx) { return progs.Fig2Reads(1, 9) },
+		}, "program\x00fig2", nil
+	}
+	for _, e := range corpus.All() {
+		if e.Name == name {
+			e := e
+			return Program{
+				Desc:    e.Desc,
+				Factory: func() func(*cilk.Ctx) { return e.Build(mem.NewAllocator()) },
+			}, "program\x00corpus\x00" + name, nil
+		}
+	}
+	if app, err := apps.ByName(name); err == nil {
+		sc, err := parseScale(scaleStr)
+		if err != nil {
+			return Program{}, "", err
+		}
+		return Program{
+			Desc: app.Desc,
+			Factory: func() func(*cilk.Ctx) {
+				return app.Build(mem.NewAllocator(), sc).Prog
+			},
+		}, fmt.Sprintf("program\x00app\x00%s\x00%s", name, sc), nil
+	}
+	return Program{}, "", fmt.Errorf("unknown program %q (figures, corpus entries, or benchmarks %v)", name, appNames())
+}
+
+func figure(desc string, opts progs.Fig1Options) Program {
+	return Program{
+		Desc:    desc,
+		Factory: func() func(*cilk.Ctx) { return progs.Fig1(mem.NewAllocator(), opts) },
+	}
+}
+
+func parseScale(s string) (apps.Scale, error) {
+	switch s {
+	case "", "test":
+		return apps.Test, nil
+	case "small":
+		return apps.Small, nil
+	case "bench":
+		return apps.Bench, nil
+	default:
+		return 0, fmt.Errorf("bad scale %q (test, small, bench)", s)
+	}
+}
+
+func appNames() []string {
+	var names []string
+	for _, a := range apps.All() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// programDigest converts a program identity into the same hex-digest shape
+// uploaded traces get, so the cache has one key scheme.
+func programDigest(identity string) string {
+	sum := sha256.Sum256([]byte(identity))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,413 @@
+// Package service is the analysis daemon behind cmd/raderd: an HTTP
+// front-end that accepts recorded CILKTRACE streams (or names a built-in
+// program), runs any detector configuration server-side on a bounded
+// worker pool, and memoizes verdicts in an LRU cache addressed by a strong
+// content digest. It is the serving half of the paper's §8
+// record-once/analyze-many workflow: instrumented runs happen wherever the
+// program lives, while detection — the expensive, repeatable half — is
+// centralized, cached, and admission-controlled.
+//
+// Endpoints:
+//
+//	POST /analyze     trace bytes in the body, or ?prog=<name>[&scale=][&spec=];
+//	                  ?detector= selects the analysis (default sp+).
+//	                  Synchronous; sheds load with 429 when saturated.
+//	POST /sweep       ?prog=<name>[&scale=] — the §7 coverage sweep as an
+//	                  asynchronous job; returns an ID to poll.
+//	GET  /sweep/{id}  job state, then the sweep verdict document.
+//	GET  /healthz     liveness.
+//	GET  /metrics     Prometheus text exposition.
+//
+// Capacity model: at most Workers analyses run concurrently and at most
+// QueueDepth more wait; everything beyond that is rejected at admission
+// with 429 before any work is done. Each job runs under the rader event
+// budget and deadline guards, so one pathological trace cannot wedge a
+// worker forever. Cache keys are digest × detector × spec: two uploads
+// with the same bytes, or two requests for the same program
+// configuration, pay for one analysis.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cilk"
+	"repro/internal/rader"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Config sizes the daemon. Zero values get serviceable defaults.
+type Config struct {
+	// Workers caps concurrent analyses (default 4).
+	Workers int
+	// QueueDepth caps admitted-but-waiting requests (default 2×Workers).
+	// Admission beyond Workers+QueueDepth is shed with 429.
+	QueueDepth int
+	// CacheEntries caps the result cache (default 256 entries).
+	CacheEntries int
+	// EventBudget bounds each job's event stream (default 50M; <0 means
+	// unlimited).
+	EventBudget int64
+	// JobTimeout bounds each job's wall time (default 60s).
+	JobTimeout time.Duration
+	// MaxUploadBytes bounds an uploaded trace (default 64 MiB).
+	MaxUploadBytes int64
+	// SweepWorkers is the per-sweep parallelism (default Workers).
+	SweepWorkers int
+	// KeepJobs bounds retained finished sweep jobs (default 64).
+	KeepJobs int
+	// Programs adds (or overrides) named programs on top of the built-in
+	// figures, corpus entries and benchmarks. Tests use this seam.
+	Programs map[string]Program
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 256
+	}
+	if c.EventBudget == 0 {
+		c.EventBudget = 50_000_000
+	}
+	if c.EventBudget < 0 {
+		c.EventBudget = 0
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.SweepWorkers < 1 {
+		c.SweepWorkers = c.Workers
+	}
+	return c
+}
+
+// Server is the analysis service. Create with New, mount Handler.
+type Server struct {
+	cfg      Config
+	pool     *pool
+	cache    *resultCache
+	metrics  *metrics
+	jobs     *jobTable
+	programs *registry
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		pool:     newPool(cfg.Workers, cfg.QueueDepth),
+		cache:    newResultCache(cfg.CacheEntries),
+		metrics:  newMetrics(),
+		jobs:     newJobTable(cfg.KeepJobs),
+		programs: &registry{extra: cfg.Programs},
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/sweep", s.handleSweepSubmit)
+	mux.HandleFunc("/sweep/", s.handleSweepPoll)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// CacheHits exposes the hit counter for tests and ops tooling.
+func (s *Server) CacheHits() uint64 { return s.metrics.snapshotHits() }
+
+// Admitted reports requests currently in the system (running + queued).
+func (s *Server) Admitted() int { return s.pool.admitted() }
+
+// Running reports analyses executing right now.
+func (s *Server) Running() int { return s.pool.running() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, a ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, a...)})
+}
+
+// analyzeUnit is one fully-resolved analysis request: either an uploaded
+// trace replay or a live run of a named program.
+type analyzeUnit struct {
+	digest   string
+	detector rader.DetectorName
+	specStr  string // "" for replays
+	run      func() (*report.Report, int64, error)
+}
+
+func (u *analyzeUnit) key() string {
+	return u.digest + "|" + string(u.detector) + "|" + u.specStr
+}
+
+// resolveAnalyze parses an /analyze request into a unit without running
+// anything. Returns a non-nil unit or writes the error response itself.
+func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyzeUnit {
+	q := r.URL.Query()
+	detStr := q.Get("detector")
+	if detStr == "" {
+		detStr = string(rader.SPPlus)
+	}
+	det, err := rader.ParseDetector(detStr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return nil
+	}
+	deadline := time.Now().Add(s.cfg.JobTimeout)
+
+	if name := q.Get("prog"); name != "" {
+		prog, identity, err := s.programs.resolve(name, q.Get("scale"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return nil
+		}
+		specStr := q.Get("spec")
+		if specStr == "" {
+			specStr = "none"
+		}
+		spec, err := sched.Parse(specStr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return nil
+		}
+		canon := sched.Format(spec)
+		return &analyzeUnit{
+			digest:   programDigest(identity),
+			detector: det,
+			specStr:  canon,
+			run: func() (*report.Report, int64, error) {
+				out, err := rader.Run(prog.Factory(), rader.Config{
+					Detector:    det,
+					Spec:        spec,
+					EventBudget: s.cfg.EventBudget,
+					Deadline:    deadline,
+				})
+				if err != nil {
+					return nil, 0, err
+				}
+				return report.FromOutcome(out, canon), 0, nil
+			},
+		}
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"reading upload (limit %d bytes): %v", s.cfg.MaxUploadBytes, err)
+		return nil
+	}
+	if len(data) == 0 {
+		writeErr(w, http.StatusBadRequest,
+			"empty request: upload a CILKTRACE stream or name a built-in with ?prog=")
+		return nil
+	}
+	digest, _ := trace.DigestOf(bytes.NewReader(data)) // in-memory: cannot fail
+	return &analyzeUnit{
+		digest:   digest.String(),
+		detector: det,
+		run: func() (*report.Report, int64, error) {
+			d, hooks, err := rader.NewDetector(det)
+			if err != nil {
+				return nil, 0, err
+			}
+			if hooks == nil {
+				// Replaying into no detector still validates the stream.
+				hooks = cilk.Empty{}
+			}
+			events, err := trace.Replay(bytes.NewReader(data), hooks)
+			if err != nil {
+				return nil, events, err
+			}
+			var rep *report.Report
+			if d != nil {
+				rep = report.FromCore(string(det), "", events, d.Report())
+			} else {
+				rep = report.FromCore(string(det), "", events, nil)
+			}
+			return rep, events, nil
+		},
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /analyze")
+		return
+	}
+	unit := s.resolveAnalyze(w, r)
+	if unit == nil {
+		return
+	}
+	if hit, ok := s.cache.get(unit.key()); ok {
+		s.metrics.hit()
+		writeJSON(w, http.StatusOK, AnalyzeResponse{
+			Digest:   hit.digest,
+			Detector: string(unit.detector),
+			Spec:     unit.specStr,
+			Cached:   true,
+			Clean:    hit.clean,
+			Report:   hit.report,
+		})
+		return
+	}
+	s.metrics.miss()
+
+	if !s.pool.tryAdmit() {
+		s.metrics.shed()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			"saturated: %d analyses running, %d queued; retry later",
+			s.pool.running(), s.pool.admitted()-s.pool.running())
+		return
+	}
+	defer s.pool.unadmit()
+	if err := s.pool.acquire(r.Context()); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "cancelled while queued: %v", err)
+		return
+	}
+	defer s.pool.release()
+
+	start := time.Now()
+	rep, events, err := unit.run()
+	dur := time.Since(start)
+	if err != nil {
+		s.metrics.fail()
+		// The trace or program was accepted but analysis failed — a
+		// client-side artifact problem (truncated upload, budget blowout),
+		// not a server fault.
+		writeErr(w, http.StatusUnprocessableEntity, "analysis failed: %v", err)
+		return
+	}
+	raw, err := rep.Marshal()
+	if err != nil {
+		s.metrics.fail()
+		writeErr(w, http.StatusInternalServerError, "encoding report: %v", err)
+		return
+	}
+	s.metrics.done(string(unit.detector), dur, events)
+	entry := &cached{digest: unit.digest, report: raw, clean: rep.Clean}
+	s.cache.put(unit.key(), entry)
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Digest:     entry.digest,
+		Detector:   string(unit.detector),
+		Spec:       unit.specStr,
+		Cached:     false,
+		DurationMS: float64(dur) / float64(time.Millisecond),
+		Clean:      entry.clean,
+		Report:     entry.report,
+	})
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /sweep, poll GET /sweep/{id}")
+		return
+	}
+	name := r.URL.Query().Get("prog")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, "sweep needs ?prog= (sweeps rerun the program; traces cannot be swept)")
+		return
+	}
+	prog, identity, err := s.programs.resolve(name, r.URL.Query().Get("scale"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	key := programDigest(identity) + "|sweep"
+	if hit, ok := s.cache.get(key); ok {
+		s.metrics.hit()
+		job := s.jobs.add(name)
+		job.finish(hit.report, nil)
+		writeJSON(w, http.StatusOK, job.view())
+		return
+	}
+	s.metrics.miss()
+	if !s.pool.tryAdmit() {
+		s.metrics.shed()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "saturated; retry later")
+		return
+	}
+	job := s.jobs.add(name)
+	go func() {
+		defer s.pool.unadmit()
+		// The job outlives the submitting request on purpose — clients
+		// poll for it — so it waits on the background context, not r's.
+		if err := s.pool.acquire(context.Background()); err != nil {
+			job.finish(nil, fmt.Errorf("cancelled while queued: %w", err))
+			return
+		}
+		defer s.pool.release()
+		job.set(stateRunning)
+		start := time.Now()
+		cr := rader.Sweep(prog.Factory, rader.SweepOptions{
+			Workers:     s.cfg.SweepWorkers,
+			EventBudget: s.cfg.EventBudget,
+			Timeout:     s.cfg.JobTimeout,
+		})
+		raw, err := report.FromCoverage(cr).Marshal()
+		if err != nil {
+			s.metrics.fail()
+			job.finish(nil, err)
+			return
+		}
+		s.metrics.done("sweep", time.Since(start), 0)
+		s.cache.put(key, &cached{digest: programDigest(identity), report: raw, clean: cr.Clean()})
+		job.finish(raw, nil)
+	}()
+	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+func (s *Server) handleSweepPoll(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET /sweep/{id}")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/sweep/")
+	job, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such sweep job %q (finished jobs are retained up to a bound)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	queued := s.pool.admitted() - s.pool.running()
+	if queued < 0 {
+		queued = 0
+	}
+	s.metrics.write(w, queued, s.pool.running(), s.pool.workers(), s.cache.len(), s.jobs.states())
+}

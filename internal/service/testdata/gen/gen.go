@@ -1,0 +1,53 @@
+// Command gen regenerates the committed trace fixtures used by the
+// service tests:
+//
+//	go run ./internal/service/testdata/gen
+//
+// fig1_v2.trace is a current-format recording of the paper's Figure 1
+// program under steal-all; fig1_v1.trace is the same event stream in the
+// legacy CILKTRACE1 framing (v1 header, no integrity footer), which the
+// service must keep accepting — recorded traces outlive daemon upgrades.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+func main() {
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	al := mem.NewAllocator()
+	cilk.Run(progs.Fig1(al, progs.Fig1Options{}), cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
+	if err := tw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	v2 := buf.Bytes()
+
+	// v1 framing: swap the magic, drop the 13-byte footer.
+	if !bytes.HasPrefix(v2, []byte(trace.Magic)) {
+		log.Fatal("unexpected v2 header")
+	}
+	body := v2[len(trace.Magic) : len(v2)-13]
+	v1 := append([]byte(trace.MagicV1), body...)
+
+	dir := filepath.Join("internal", "service", "testdata")
+	for name, data := range map[string][]byte{
+		"fig1_v2.trace": v2,
+		"fig1_v1.trace": v1,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", name, len(data))
+	}
+	fmt.Printf("v2 digest: %s\n", tw.Digest())
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/progs"
+	"repro/internal/spplus"
+)
+
+// The writer's incremental digest must equal DigestOf over the encoded
+// stream — that equivalence is what lets a recording client and the
+// analysis service agree on a cache key without a second pass.
+func TestWriterDigestMatchesDigestOf(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	al := mem.NewAllocator()
+	cilk.Run(progs.Fig1(al, progs.Fig1Options{}), cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := tw.Digest()
+	want, err := DigestOf(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("writer digest %s != DigestOf %s", got, want)
+	}
+	if len(got.String()) != 64 {
+		t.Fatalf("digest hex should be 64 chars, got %q", got)
+	}
+}
+
+// Identical runs produce identical digests; a different schedule produces a
+// different stream and therefore a different digest.
+func TestDigestDistinguishesContent(t *testing.T) {
+	record := func(spec cilk.StealSpec) Digest {
+		var buf bytes.Buffer
+		tw := NewWriter(&buf)
+		al := mem.NewAllocator()
+		cilk.Run(progs.Fig1(al, progs.Fig1Options{}), cilk.Config{Spec: spec, Hooks: tw})
+		if err := tw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return tw.Digest()
+	}
+	a, b := record(nil), record(nil)
+	if a != b {
+		t.Fatalf("identical runs must digest identically: %s vs %s", a, b)
+	}
+	c := record(cilk.StealAll{})
+	if a == c {
+		t.Fatal("different schedules must not collide on the digest")
+	}
+}
+
+// Equal digests must mean equal replay verdicts: replay the same bytes
+// twice and compare detector summaries.
+func TestDigestImpliesReplayEquivalence(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	al := mem.NewAllocator()
+	cilk.Run(progs.Fig1(al, progs.Fig1Options{}), cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		d := spplus.New()
+		if _, err := Replay(bytes.NewReader(buf.Bytes()), d); err != nil {
+			t.Fatal(err)
+		}
+		return d.Report().Summary()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same digest, different verdicts:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// A second Close must return the same latched error as the first, not nil
+// — the service's upload handler defer-closes unconditionally and must not
+// see a failure vanish.
+func TestCloseIdempotentError(t *testing.T) {
+	tw := NewWriter(&failWriter{n: 4})
+	cilk.Run(progs.Fig2Reads(1), cilk.Config{Hooks: tw})
+	first := tw.Close()
+	if first == nil {
+		t.Fatal("write failure must surface at first Close")
+	}
+	second := tw.Close()
+	if second != first {
+		t.Fatalf("second Close returned %v, want the latched %v", second, first)
+	}
+	if third := tw.Close(); third != first {
+		t.Fatalf("third Close returned %v, want the latched %v", third, first)
+	}
+}
+
+// A clean double Close stays clean and writes the footer exactly once.
+func TestCloseIdempotentClean(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	cilk.Run(progs.Fig2Reads(1), cilk.Config{Hooks: tw})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	size := buf.Len()
+	if err := tw.Close(); err != nil {
+		t.Fatalf("second Close on a healthy stream: %v", err)
+	}
+	if buf.Len() != size {
+		t.Fatalf("second Close grew the stream from %d to %d bytes", size, buf.Len())
+	}
+	if _, err := Replay(bytes.NewReader(buf.Bytes()), spplus.New()); err != nil {
+		t.Fatal(err)
+	}
+}

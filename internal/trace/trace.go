@@ -27,9 +27,12 @@ package trace
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 
@@ -79,6 +82,31 @@ const footerLen = 1 + 4 + 8
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Digest is the strong content identity of a trace: the SHA-256 of every
+// byte of the encoded stream, header and footer included. Two streams with
+// equal digests replay identically under every detector, which is what
+// makes the digest usable as a result-cache key (the CRC32C footer guards
+// against accidental corruption; the digest addresses content). The Writer
+// computes it incrementally alongside the CRC; DigestOf computes it for an
+// already-encoded stream and produces the same value.
+type Digest [sha256.Size]byte
+
+// String renders the digest as lowercase hex, the form used in cache keys
+// and service responses.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// DigestOf consumes r to EOF and returns the digest of its bytes. It does
+// not validate the stream; pair it with Replay when integrity matters.
+func DigestOf(r io.Reader) (Digest, error) {
+	h := sha256.New()
+	if _, err := io.Copy(h, r); err != nil {
+		return Digest{}, err
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d, nil
+}
+
 // Writer implements cilk.Hooks and streams events to an io.Writer.
 // Check Err (or use Close) after the run: hook signatures cannot return
 // errors, so write failures are latched. Close appends the v2 integrity
@@ -89,12 +117,14 @@ type Writer struct {
 	buf    [4 * binary.MaxVarintLen64]byte
 	n      int64 // events written
 	crc    uint32
+	sha    hash.Hash
 	closed bool
 }
 
 // NewWriter starts a trace on w, emitting the magic header.
 func NewWriter(w io.Writer) *Writer {
-	tw := &Writer{w: bufio.NewWriter(w)}
+	tw := &Writer{w: bufio.NewWriter(w), sha: sha256.New()}
+	tw.sha.Write([]byte(Magic))
 	_, tw.err = tw.w.WriteString(Magic)
 	return tw
 }
@@ -105,31 +135,49 @@ func (t *Writer) Err() error { return t.err }
 // Events reports how many events were recorded.
 func (t *Writer) Events() int64 { return t.n }
 
+// Digest returns the SHA-256 content digest of the stream written so far.
+// Call it after Close: only then does the digest cover the footer and
+// therefore equal DigestOf over the encoded file.
+func (t *Writer) Digest() Digest {
+	var d Digest
+	t.sha.Sum(d[:0])
+	return d
+}
+
 // Close writes the integrity footer, flushes the stream and returns any
-// latched error. Only the first Close writes the footer.
+// latched error. Only the first Close writes the footer, and the error
+// result is idempotent: a failed Close (or a write failure during the run)
+// latches its error, and every subsequent Close returns that same error
+// rather than nil — so deferred double-closes in upload/record paths can
+// never mask a failure.
 func (t *Writer) Close() error {
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
 	if t.err != nil {
 		return t.err
 	}
-	if !t.closed {
-		t.closed = true
-		var foot [footerLen]byte
-		foot[0] = footerKind
-		binary.LittleEndian.PutUint32(foot[1:5], t.crc)
-		binary.LittleEndian.PutUint64(foot[5:13], uint64(t.n))
-		if _, t.err = t.w.Write(foot[:]); t.err != nil {
-			return t.err
-		}
+	var foot [footerLen]byte
+	foot[0] = footerKind
+	binary.LittleEndian.PutUint32(foot[1:5], t.crc)
+	binary.LittleEndian.PutUint64(foot[5:13], uint64(t.n))
+	t.sha.Write(foot[:])
+	if _, t.err = t.w.Write(foot[:]); t.err != nil {
+		return t.err
 	}
-	return t.w.Flush()
+	t.err = t.w.Flush()
+	return t.err
 }
 
-// write sends event bytes downstream, folding them into the running CRC.
+// write sends event bytes downstream, folding them into the running CRC
+// and content digest.
 func (t *Writer) write(p []byte) {
 	if t.err != nil {
 		return
 	}
 	t.crc = crc32.Update(t.crc, castagnoli, p)
+	t.sha.Write(p)
 	_, t.err = t.w.Write(p)
 }
 
@@ -156,6 +204,7 @@ func (t *Writer) emitString(s string) {
 		return
 	}
 	t.crc = crc32.Update(t.crc, castagnoli, []byte(s))
+	t.sha.Write([]byte(s))
 	_, t.err = t.w.WriteString(s)
 }
 
