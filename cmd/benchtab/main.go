@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,24 @@ import (
 	"repro/internal/apps"
 	"repro/internal/tables"
 )
+
+// benchDoc is the machine-readable benchmark artifact -json emits
+// (BENCH_PR3.json in the repo): the replay-throughput comparison behind
+// the single-pass engine plus the regenerated Figure 7/8 tables.
+type benchDoc struct {
+	Schema   int                 `json:"schema"`
+	Scale    string              `json:"scale"`
+	Trials   int                 `json:"trials"`
+	Replay   *tables.ReplayBench `json:"replay"`
+	Figure7  *tables.Table       `json:"figure7"`
+	Figure8  *tables.Table       `json:"figure8"`
+	Headline struct {
+		Fig7PeerSet float64 `json:"fig7PeerSet"`
+		Fig7SPPlus  float64 `json:"fig7SpPlus"`
+		Fig8PeerSet float64 `json:"fig8PeerSet"`
+		Fig8SPPlus  float64 `json:"fig8SpPlus"`
+	} `json:"headline"`
+}
 
 func main() {
 	var (
@@ -28,6 +47,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "seed for the check-reductions schedule")
 		quiet    = flag.Bool("q", false, "suppress per-cell progress")
 		csv      = flag.Bool("csv", false, "emit CSV instead of the rendered tables")
+		jsonPath = flag.String("json", "", "also write the machine-readable benchmark document (tables + replay throughput) to this path")
 	)
 	flag.Parse()
 
@@ -54,6 +74,30 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "measuring replay throughput...")
+		}
+		rb, err := tables.MeasureReplay(*trials)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		doc := benchDoc{Schema: 1, Scale: *scaleStr, Trials: *trials, Replay: rb, Figure7: fig7, Figure8: fig8}
+		doc.Headline.Fig7PeerSet, doc.Headline.Fig7SPPlus = fig7.Headline(true)
+		doc.Headline.Fig8PeerSet, doc.Headline.Fig8SPPlus = fig8.Headline(true)
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (replay speedup %.2fx, decode loop %.4f allocs/event)\n",
+			*jsonPath, rb.Speedup, rb.DecodeLoop.AllocsPerEvent)
 	}
 	if *csv {
 		if *table == "7" || *table == "both" {

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// The all-detectors golden path: one recorded trace, analyzed with
+// -detector all locally and via a raderd daemon, must produce
+// byte-identical JSON — the merged internal/report document is the one
+// wire format for both.
+func TestAllDetectorsLocalRemoteParity(t *testing.T) {
+	srv, base := startDaemon(t, service.Config{Workers: 2})
+	path := filepath.Join(t.TempDir(), "run.trace")
+
+	code, out, errOut := exec(t, "-prog", "fig1", "-spec", "all", "-record", path)
+	if code != exitClean {
+		t.Fatalf("record: exit %d\n%s%s", code, out, errOut)
+	}
+
+	code, localJSON, errOut := exec(t, "-replay", path, "-detector", "all", "-json")
+	if code != exitRaces {
+		t.Fatalf("local all replay: exit %d\n%s%s", code, localJSON, errOut)
+	}
+	if !strings.HasPrefix(localJSON, `{"schema":`) || !strings.Contains(localJSON, `"detector":"all"`) {
+		t.Fatalf("local all verdict is not the merged document:\n%s", localJSON)
+	}
+
+	code, remoteJSON, errOut := exec(t, "-remote", base, "-replay", path, "-detector", "all", "-json")
+	if code != exitRaces {
+		t.Fatalf("remote all replay: exit %d\n%s%s", code, remoteJSON, errOut)
+	}
+	if remoteJSON != localJSON {
+		t.Fatalf("remote and local all-detectors verdicts must match byte-for-byte:\nremote: %s\nlocal:  %s",
+			remoteJSON, localJSON)
+	}
+
+	// The daemon's single pass seeded per-detector entries: asking for
+	// one detector now is a cache hit whose document matches a local
+	// single-detector replay byte-for-byte.
+	code, localSP, _ := exec(t, "-replay", path, "-detector", "sp+", "-json")
+	if code != exitRaces {
+		t.Fatalf("local sp+ replay: exit %d", code)
+	}
+	code, remoteSP, errOut := exec(t, "-remote", base, "-replay", path, "-detector", "sp+", "-json")
+	if code != exitRaces {
+		t.Fatalf("remote sp+ replay: exit %d\n%s", code, errOut)
+	}
+	if remoteSP != localSP {
+		t.Fatalf("seeded sp+ verdict diverges from local replay:\nremote: %s\nlocal:  %s",
+			remoteSP, localSP)
+	}
+	if srv.CacheHits() == 0 {
+		t.Fatal("single-detector request after an all-pass must hit the seeded cache")
+	}
+
+	// Human-readable remote output lists one verdict line per detector.
+	code, out, _ = exec(t, "-remote", base, "-replay", path, "-detector", "all")
+	if code != exitRaces {
+		t.Fatalf("plain remote all: exit %d", code)
+	}
+	for _, det := range []string{"peer-set", "sp-bags", "sp+"} {
+		if !strings.Contains(out, det) {
+			t.Fatalf("plain output missing %s verdict:\n%s", det, out)
+		}
+	}
+}
+
+// A live run under -detector all fans one execution out to the three
+// detectors, and exits by the merged verdict.
+func TestAllDetectorsLiveRun(t *testing.T) {
+	code, out, _ := exec(t, "-prog", "fig1", "-spec", "all", "-detector", "all")
+	if code != exitRaces {
+		t.Fatalf("racy all run: exit %d\n%s", code, out)
+	}
+	for _, det := range []string{"peer-set", "sp-bags", "sp+"} {
+		if !strings.Contains(out, det+":") {
+			t.Fatalf("per-detector summary for %s missing:\n%s", det, out)
+		}
+	}
+	code, jsonOut, _ := exec(t, "-prog", "fig1", "-spec", "all", "-detector", "all", "-json")
+	if code != exitRaces || !strings.HasPrefix(jsonOut, `{"schema":`) {
+		t.Fatalf("all -json run: exit %d\n%s", code, jsonOut)
+	}
+	code, out, _ = exec(t, "-prog", "fig1-fixed", "-spec", "all", "-detector", "all")
+	if code != exitClean {
+		t.Fatalf("clean all run: exit %d\n%s", code, out)
+	}
+}

@@ -66,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		progName = fs.String("prog", "fib", "program: benchmark name or fig1[-early|-late|-fixed], fig2")
-		detector = fs.String("detector", "sp+", "detector: none, empty, peer-set, sp-bags, sp+")
+		detector = fs.String("detector", "sp+", "detector: none, empty, peer-set, sp-bags, sp+, offset-span, english-hebrew, or all (single-pass Peer-Set+SP-bags+SP+)")
 		specStr  = fs.String("spec", "none", "steal specification (none, all, all-eager, depth:D, single:A, pair:A,B, triple:I,J,K, random:SEED,K, labels:...)")
 		scale    = fs.String("scale", "small", "benchmark scale: test, small, bench")
 		reads    = fs.String("reads", "1,9", "fig2 only: comma-separated strands that read the reducer")
@@ -179,6 +179,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintln(stdout, "verify: ok")
 		}
+	}
+	if det == rader.All {
+		raced := false
+		for _, do := range out.All {
+			raced = raced || !do.Report.Empty()
+		}
+		if *jsonOut {
+			b, err := report.FromAllOutcome(out, sched.Format(spec)).Marshal()
+			if err != nil {
+				return fatal(err)
+			}
+			fmt.Fprintln(stdout, string(b))
+		} else {
+			for _, do := range out.All {
+				fmt.Fprintf(stdout, "%s: %s\n", do.Detector, do.Report.Summary())
+			}
+			if raced && len(out.Result.Steals) > 0 {
+				fmt.Fprintf(stdout, "replay with: -spec '%s'\n", out.Replay)
+			}
+		}
+		if raced {
+			return exitRaces
+		}
+		return exitClean
 	}
 	if out.Report == nil {
 		if *jsonOut {
@@ -310,7 +334,12 @@ func recordTrace(path string, prog func(*cilk.Ctx), spec cilk.StealSpec) (trace.
 		f.Close()
 		return trace.Digest{}, err
 	}
-	return tw.Digest(), f.Close()
+	digest, err := tw.Digest()
+	if err != nil {
+		f.Close()
+		return trace.Digest{}, err
+	}
+	return digest, f.Close()
 }
 
 func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, jsonOut bool) (int, error) {
@@ -319,6 +348,35 @@ func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, json
 		return exitError, err
 	}
 	defer f.Close()
+	if detName == rader.All {
+		dets := rader.NewAllDetectors()
+		hooks := make([]cilk.Hooks, len(dets))
+		for i, d := range dets {
+			hooks[i] = d
+		}
+		n, err := trace.ReplayAll(f, hooks...)
+		if err != nil {
+			return exitError, err
+		}
+		m := report.FromDetectors("", n, dets)
+		if jsonOut {
+			b, err := m.Marshal()
+			if err != nil {
+				return exitError, err
+			}
+			fmt.Fprintln(stdout, string(b))
+		} else {
+			fmt.Fprintf(stdout, "replayed %d events from %s in one pass under %d detectors\n",
+				n, path, len(dets))
+			for _, d := range dets {
+				fmt.Fprintf(stdout, "%s: %s\n", d.Name(), d.Report().Summary())
+			}
+		}
+		if !m.Clean {
+			return exitRaces, nil
+		}
+		return exitClean, nil
+	}
 	det, hooks, err := rader.NewDetector(detName)
 	if err != nil {
 		return exitError, err

@@ -98,6 +98,25 @@ func (c *remoteClient) printAnalyze(ar service.AnalyzeResponse) {
 	}
 	fmt.Fprintf(c.stdout, "remote: %s under %s (digest %s, %s)\n",
 		c.base, ar.Detector, short(ar.Digest), served)
+	if ar.Detector == "all" {
+		var m report.Multi
+		if err := json.Unmarshal(ar.Report, &m); err != nil {
+			fmt.Fprintf(c.stdout, "unreadable verdict: %v\n", err)
+			return
+		}
+		for _, rep := range m.Reports {
+			if rep.Clean {
+				fmt.Fprintf(c.stdout, "%s: no races detected\n", rep.Detector)
+				continue
+			}
+			fmt.Fprintf(c.stdout, "%s: %d distinct race(s), %d report(s) total:\n",
+				rep.Detector, rep.Distinct, rep.Total)
+			for _, r := range rep.Races {
+				fmt.Fprintf(c.stdout, "  %s\n", r)
+			}
+		}
+		return
+	}
 	var rep report.Report
 	if err := json.Unmarshal(ar.Report, &rep); err != nil {
 		fmt.Fprintf(c.stdout, "unreadable verdict: %v\n", err)

@@ -101,6 +101,38 @@ func (Empty) Store(*Frame, mem.Addr) {}
 // trace recorder can observe the same run.
 type Multi []Hooks
 
+// MultiHooks builds the cheapest demultiplexer for the given consumers:
+// nil entries are dropped, a single survivor is returned unwrapped (no
+// fan-out indirection on the hot path), and zero survivors collapse to
+// Empty. It is the hook-chain constructor behind the single-pass replay
+// engine and the all-detectors run mode: one decoded event stream feeding
+// every registered consumer.
+func MultiHooks(hs ...Hooks) Hooks {
+	// Count first so the 0- and 1-consumer cases allocate nothing: the
+	// replay engine's zero-allocation decode loop calls this per replay.
+	n := 0
+	var single Hooks
+	for _, h := range hs {
+		if h != nil {
+			n++
+			single = h
+		}
+	}
+	switch n {
+	case 0:
+		return Empty{}
+	case 1:
+		return single
+	}
+	out := make(Multi, 0, n)
+	for _, h := range hs {
+		if h != nil {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
 // ProgramStart implements Hooks.
 func (m Multi) ProgramStart(f *Frame) {
 	for _, h := range m {

@@ -103,19 +103,24 @@ const (
 type Shadow struct {
 	pages    map[uint64][]int32
 	sentinel int32
-	// one-entry cache: hot loops touch consecutive addresses
+	// one-entry cache: hot loops touch consecutive addresses. Validity is
+	// carried by lastBuf != nil, never by a magic lastPage value: with
+	// 12-bit pages the key ^uint64(0) happens to be unreachable (a 64-bit
+	// address shifts down to at most 2^52-1), but indexing correctness
+	// must not hinge on that arithmetic accident surviving a pageBits
+	// change.
 	lastPage uint64
 	lastBuf  []int32
 }
 
 // NewShadow returns a shadow space whose unwritten entries read as sentinel.
 func NewShadow(sentinel int32) *Shadow {
-	return &Shadow{pages: make(map[uint64][]int32), sentinel: sentinel, lastPage: ^uint64(0)}
+	return &Shadow{pages: make(map[uint64][]int32), sentinel: sentinel}
 }
 
 func (s *Shadow) page(a Addr, create bool) []int32 {
 	pn := uint64(a) >> pageBits
-	if pn == s.lastPage {
+	if pn == s.lastPage && s.lastBuf != nil {
 		return s.lastBuf
 	}
 	buf, ok := s.pages[pn]

@@ -49,15 +49,24 @@ const (
 	// EnglishHebrew is the Nudler-Rudolph labeling detector, the earliest
 	// scheme §9 surveys.
 	EnglishHebrew DetectorName = "english-hebrew"
+	// All runs the paper's three detectors — Peer-Set, SP-bags and SP+ —
+	// over a single execution (or a single trace decode) in one pass,
+	// producing a merged Outcome with one report per detector.
+	All DetectorName = "all"
 )
+
+// AllDetectors is the canonical detector order of an All run; every
+// merged outcome, report document and cache layout lists detectors in
+// this order.
+var AllDetectors = []DetectorName{PeerSet, SPBags, SPPlus}
 
 // ParseDetector validates a detector name.
 func ParseDetector(s string) (DetectorName, error) {
 	switch DetectorName(s) {
-	case None, EmptyTool, PeerSet, SPBags, SPPlus, OffsetSpan, EnglishHebrew:
+	case None, EmptyTool, PeerSet, SPBags, SPPlus, OffsetSpan, EnglishHebrew, All:
 		return DetectorName(s), nil
 	default:
-		return "", fmt.Errorf("rader: unknown detector %q (have none, empty, peer-set, sp-bags, sp+, offset-span, english-hebrew)", s)
+		return "", fmt.Errorf("rader: unknown detector %q (have none, empty, peer-set, sp-bags, sp+, offset-span, english-hebrew, all)", s)
 	}
 }
 
@@ -89,6 +98,17 @@ type Outcome struct {
 	// Replay is the textual steal specification reproducing this
 	// schedule, reported alongside races for regression testing (§8).
 	Replay string
+	// All holds the per-detector outcomes of an All run, in AllDetectors
+	// order. Report and Stats mirror the first entry so callers that only
+	// look at the merged Outcome still see a verdict.
+	All []DetectorOutcome
+}
+
+// DetectorOutcome is one detector's verdict within a merged All run.
+type DetectorOutcome struct {
+	Detector DetectorName
+	Report   *core.Report
+	Stats    core.Stats
 }
 
 // NewDetector constructs a fresh instance of the named detector. The two
@@ -121,10 +141,28 @@ func NewDetector(name DetectorName) (core.Detector, cilk.Hooks, error) {
 	}
 }
 
+// NewAllDetectors constructs fresh instances of the paper's three
+// detectors in AllDetectors order, for callers that drive a trace replay
+// themselves (each detector doubles as its cilk.Hooks chain).
+func NewAllDetectors() []core.Detector {
+	dets := make([]core.Detector, len(AllDetectors))
+	for i, name := range AllDetectors {
+		d, _, err := NewDetector(name)
+		if err != nil || d == nil {
+			panic(fmt.Sprintf("rader: AllDetectors contains non-detector %q", name))
+		}
+		dets[i] = d
+	}
+	return dets
+}
+
 // Run executes prog once under cfg. A panic out of the program, the
 // detector, or the budget/deadline guard is recovered and returned as a
 // *streamerr.Error; the process never dies on a misbehaving run.
 func Run(prog func(*cilk.Ctx), cfg Config) (out *Outcome, err error) {
+	if cfg.Detector == All {
+		return RunDetectors(prog, AllDetectors, cfg)
+	}
 	det, hooks, err := NewDetector(cfg.Detector)
 	if err != nil {
 		return nil, err
@@ -155,6 +193,64 @@ func Run(prog func(*cilk.Ctx), cfg Config) (out *Outcome, err error) {
 		if sp, ok := det.(core.StatsProvider); ok {
 			out.Stats = sp.Stats()
 		}
+	}
+	return out, nil
+}
+
+// RunDetectors executes prog once with every named detector attached to
+// the same hook stream via cilk.MultiHooks — the live-run counterpart of
+// trace.ReplayAll. The budget/deadline guard and cfg.Wrap enclose the
+// whole fan-out, so a guard abort or injected fault is observed (or not)
+// by all detectors identically. The merged Outcome carries Detector ==
+// All when names is the canonical set, per-detector verdicts in All, and
+// the first detector's Report/Stats as its headline verdict.
+func RunDetectors(prog func(*cilk.Ctx), names []DetectorName, cfg Config) (out *Outcome, err error) {
+	dets := make([]core.Detector, 0, len(names))
+	chains := make([]cilk.Hooks, 0, len(names))
+	for _, name := range names {
+		det, hooks, err := NewDetector(name)
+		if err != nil {
+			return nil, err
+		}
+		if det == nil {
+			return nil, fmt.Errorf("rader: detector %q has no analysis to fan out", name)
+		}
+		dets = append(dets, det)
+		chains = append(chains, hooks)
+	}
+	hooks := cilk.MultiHooks(chains...)
+	if cfg.EventBudget > 0 || !cfg.Deadline.IsZero() {
+		hooks = newGuard(hooks, cfg.EventBudget, cfg.Deadline)
+	}
+	if cfg.Wrap != nil {
+		hooks = cfg.Wrap(hooks)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			out = nil
+			err = streamerr.FromPanic("rader", p)
+		}
+	}()
+	start := time.Now()
+	res := cilk.Run(prog, cilk.Config{Spec: cfg.Spec, Hooks: hooks})
+	dur := time.Since(start)
+	out = &Outcome{
+		Detector: All,
+		Result:   res,
+		Duration: dur,
+		Replay:   sched.Format(sched.FromSteals(res.Steals, orderOf(cfg.Spec))),
+		All:      make([]DetectorOutcome, len(dets)),
+	}
+	for i, det := range dets {
+		do := DetectorOutcome{Detector: names[i], Report: det.Report()}
+		if sp, ok := det.(core.StatsProvider); ok {
+			do.Stats = sp.Stats()
+		}
+		out.All[i] = do
+	}
+	if len(out.All) > 0 {
+		out.Report = out.All[0].Report
+		out.Stats = out.All[0].Stats
 	}
 	return out, nil
 }
@@ -290,22 +386,34 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 	}
 	cr.Profile = profile
 
-	ps, err := Run(factory(), Config{
-		Detector: PeerSet, EventBudget: opts.EventBudget, Deadline: deadline,
-		Wrap: wrapFor(-1, nil),
-	})
-	if err != nil {
-		cr.Failures = append(cr.Failures, SpecFailure{Spec: "peer-set", Err: err})
-	} else {
-		cr.ViewReads = ps.Report
+	specs := specgen.All(cr.Profile)
+
+	// Peer-Set is schedule-independent, so its verdict can ride along any
+	// one execution. When nothing injects per-pass faults (opts.Wrap is the
+	// seam addressing the standalone pass as index -1) and there is at
+	// least one specification to run anyway, fold the Peer-Set analysis
+	// into the first specification's SP+ run via RunDetectors — one
+	// execution feeding both detectors instead of two executions. The
+	// standalone pass remains for wrapped sweeps and spec-less programs.
+	piggyback := opts.Wrap == nil && len(specs) > 0
+	if !piggyback {
+		ps, err := Run(factory(), Config{
+			Detector: PeerSet, EventBudget: opts.EventBudget, Deadline: deadline,
+			Wrap: wrapFor(-1, nil),
+		})
+		if err != nil {
+			cr.Failures = append(cr.Failures, SpecFailure{Spec: "peer-set", Err: err})
+		} else {
+			cr.ViewReads = ps.Report
+		}
 	}
 
-	specs := specgen.All(cr.Profile)
 	type specResult struct {
-		spec  string
-		races []core.Race
-		total int
-		err   error
+		spec      string
+		races     []core.Race
+		total     int
+		err       error
+		viewReads *core.Report // piggybacked Peer-Set verdict, first spec only
 	}
 	results := make([]specResult, len(specs))
 	var wg sync.WaitGroup
@@ -320,6 +428,23 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 					results[i] = specResult{spec: name, err: streamerr.Errorf(
 						"rader", streamerr.KindDeadline,
 						"sweep deadline exceeded before specification ran")}
+					continue
+				}
+				if piggyback && i == 0 {
+					out, err := RunDetectors(factory(), []DetectorName{PeerSet, SPPlus}, Config{
+						Spec:        specs[i],
+						EventBudget: opts.EventBudget, Deadline: deadline,
+					})
+					if err != nil {
+						results[i] = specResult{spec: name, err: err}
+						continue
+					}
+					results[i] = specResult{
+						spec:      name,
+						races:     out.All[1].Report.Races(),
+						total:     out.All[1].Report.Total(),
+						viewReads: out.All[0].Report,
+					}
 					continue
 				}
 				out, err := Run(factory(), Config{
@@ -346,10 +471,18 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 	wg.Wait()
 
 	seen := make(map[string]bool)
-	for _, res := range results {
+	for i, res := range results {
 		if res.err != nil {
+			if piggyback && i == 0 {
+				// The combined run carried the Peer-Set pass too; its loss
+				// must be visible under both names.
+				cr.Failures = append(cr.Failures, SpecFailure{Spec: "peer-set", Err: res.err})
+			}
 			cr.Failures = append(cr.Failures, SpecFailure{Spec: res.spec, Err: res.err})
 			continue
+		}
+		if res.viewReads != nil {
+			cr.ViewReads = res.viewReads
 		}
 		cr.SpecsRun++
 		cr.total += res.total

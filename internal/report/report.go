@@ -131,6 +131,60 @@ func FromOutcome(out *rader.Outcome, spec string) *Report {
 	return FromCore(string(out.Detector), spec, 0, out.Report)
 }
 
+// Multi is the verdict document for a single-pass all-detectors run or
+// replay: one sub-Report per detector, in rader.AllDetectors order. Each
+// sub-report is built by FromCore exactly as a standalone run of that
+// detector would build it, so a per-detector document extracted from a
+// Multi is byte-identical to the document a single-detector request
+// produces — the property the service's fan-out cache relies on.
+type Multi struct {
+	Schema   int       `json:"schema"`
+	Detector string    `json:"detector"` // always "all"
+	Spec     string    `json:"spec,omitempty"`
+	Events   int64     `json:"events,omitempty"`
+	Reports  []*Report `json:"reports"`
+	Clean    bool      `json:"clean"`
+}
+
+// Marshal renders the document deterministically.
+func (m *Multi) Marshal() ([]byte, error) { return json.Marshal(m) }
+
+// FromDetectors builds a Multi from detectors that consumed one replayed
+// (or live) event stream, e.g. via trace.ReplayAll. spec and events label
+// the configuration as in FromCore.
+func FromDetectors(spec string, events int64, dets []core.Detector) *Multi {
+	out := &Multi{
+		Schema:   Schema,
+		Detector: string(rader.All),
+		Spec:     spec,
+		Events:   events,
+		Reports:  make([]*Report, len(dets)),
+		Clean:    true,
+	}
+	for i, det := range dets {
+		out.Reports[i] = FromCore(det.Name(), spec, events, det.Report())
+		out.Clean = out.Clean && out.Reports[i].Clean
+	}
+	return out
+}
+
+// FromAllOutcome builds a Multi from a merged rader.Run / RunDetectors
+// outcome of a live run.
+func FromAllOutcome(out *rader.Outcome, spec string) *Multi {
+	m := &Multi{
+		Schema:   Schema,
+		Detector: string(rader.All),
+		Spec:     spec,
+		Reports:  make([]*Report, len(out.All)),
+		Clean:    true,
+	}
+	for i, do := range out.All {
+		m.Reports[i] = FromCore(string(do.Detector), spec, 0, do.Report)
+		m.Clean = m.Clean && m.Reports[i].Clean
+	}
+	return m
+}
+
 // Profile mirrors the sweep's measured program profile.
 type Profile struct {
 	MaxPDepth    int `json:"maxPDepth"`

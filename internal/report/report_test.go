@@ -104,6 +104,24 @@ func TestSweepReportGolden(t *testing.T) {
 	golden(t, "sweep_report.golden", b)
 }
 
+// The all-detectors document nests one fully-populated sub-report per
+// detector; the golden file pins its field order and omission rules.
+func TestAllReportGolden(t *testing.T) {
+	out := &rader.Outcome{
+		Detector: rader.All,
+		All: []rader.DetectorOutcome{
+			{Detector: rader.PeerSet, Report: fixedReport()},
+			{Detector: rader.SPBags, Report: &core.Report{}},
+			{Detector: rader.SPPlus, Report: fixedReport()},
+		},
+	}
+	b, err := FromAllOutcome(out, "all").Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "all_report.golden", b)
+}
+
 // Marshaling the same value twice must be byte-identical — the property
 // the digest-addressed cache and the remote/local diff test rely on.
 func TestMarshalDeterministic(t *testing.T) {

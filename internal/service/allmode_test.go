@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// One all-detectors upload must decode the trace once and leave FOUR
+// cache entries behind: the merged document plus one per detector, each
+// byte-identical to what a standalone single-detector request computes.
+func TestAnalyzeAllDetectorsSeedsCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	raw := fixture(t, "fig1_v2.trace")
+
+	resp, body := postAnalyze(t, ts.URL+"/analyze?detector=all", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("all-detectors analyze: %d %s", resp.StatusCode, body)
+	}
+	ar := decodeAnalyze(t, body)
+	if ar.Cached || ar.Detector != "all" {
+		t.Fatalf("first all-pass: cached=%v detector=%q", ar.Cached, ar.Detector)
+	}
+	if ar.Clean {
+		t.Fatal("fig1 under steal-all must race")
+	}
+	var m report.Multi
+	if err := json.Unmarshal(ar.Report, &m); err != nil {
+		t.Fatalf("decoding merged document: %v", err)
+	}
+	if len(m.Reports) != 3 || m.Detector != "all" {
+		t.Fatalf("merged document malformed: %s", ar.Report)
+	}
+
+	// Every per-detector request is now a cache hit, served with the
+	// exact bytes of the matching sub-report.
+	for i, det := range []string{"peer-set", "sp-bags", "sp%2B"} {
+		resp, body := postAnalyze(t, ts.URL+"/analyze?detector="+det, raw)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s after all-pass: %d %s", det, resp.StatusCode, body)
+		}
+		sub := decodeAnalyze(t, body)
+		if !sub.Cached {
+			t.Fatalf("%s must be served from the seeded cache", det)
+		}
+		want, err := m.Reports[i].Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sub.Report, want) {
+			t.Fatalf("%s seeded entry differs from sub-report:\ncache: %s\nsub:   %s",
+				det, sub.Report, want)
+		}
+	}
+	if s.CacheHits() != 3 {
+		t.Fatalf("cache hits = %d, want 3", s.CacheHits())
+	}
+
+	// The seeded entries must also be byte-identical to what a fresh
+	// server computes for a standalone single-detector upload.
+	_, ts2 := newTestServer(t, Config{Workers: 2})
+	resp, body = postAnalyze(t, ts2.URL+"/analyze?detector=sp%2B", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh sp+ analyze: %d %s", resp.StatusCode, body)
+	}
+	fresh := decodeAnalyze(t, body)
+	want, err := m.Reports[2].Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh.Report, want) {
+		t.Fatalf("all-pass sub-report != standalone verdict:\nsub:        %s\nstandalone: %s",
+			want, fresh.Report)
+	}
+
+	// A repeated all-detectors upload hits the merged entry.
+	resp, body = postAnalyze(t, ts.URL+"/analyze?detector=all", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second all-pass: %d %s", resp.StatusCode, body)
+	}
+	if again := decodeAnalyze(t, body); !again.Cached || !bytes.Equal(again.Report, ar.Report) {
+		t.Fatalf("merged verdict not served from cache: cached=%v", again.Cached)
+	}
+}
+
+// An upload that fails Replay validation must never leave a cache entry:
+// resubmitting the same corrupt bytes re-validates them instead of
+// serving a verdict (or the failure) from the LRU.
+func TestAnalyzeFailedValidationNotCached(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	valid := fixture(t, "fig1_v2.trace")
+	truncated := valid[:len(valid)/2]
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(trace.Magic)+4] ^= 0x01
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+		det  string
+	}{
+		{"truncated-sp+", truncated, "sp%2B"},
+		{"truncated-all", truncated, "all"},
+		{"corrupt-all", corrupt, "all"},
+	} {
+		for attempt := 0; attempt < 2; attempt++ {
+			resp, body := postAnalyze(t, ts.URL+"/analyze?detector="+tc.det, tc.data)
+			if resp.StatusCode != http.StatusUnprocessableEntity {
+				t.Fatalf("%s attempt %d: %d %s — bad upload must 422 every time",
+					tc.name, attempt, resp.StatusCode, body)
+			}
+		}
+	}
+	if s.CacheHits() != 0 {
+		t.Fatalf("failed validations produced %d cache hits, want 0", s.CacheHits())
+	}
+
+	// A failed all-pass must not have seeded per-detector entries either.
+	resp, body := postAnalyze(t, ts.URL+"/analyze?detector=sp%2B", corrupt)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt single-detector: %d %s", resp.StatusCode, body)
+	}
+	if s.CacheHits() != 0 {
+		t.Fatalf("corrupt upload hit a seeded entry: hits=%d", s.CacheHits())
+	}
+
+	// The digest space is shared with valid traces: after all the
+	// failures, the genuine bytes still analyze fresh and correctly.
+	resp, body = postAnalyze(t, ts.URL+"/analyze?detector=all", valid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid trace after failures: %d %s", resp.StatusCode, body)
+	}
+	if ar := decodeAnalyze(t, body); ar.Cached || ar.Clean {
+		t.Fatalf("valid trace verdict wrong: cached=%v clean=%v", ar.Cached, ar.Clean)
+	}
+}

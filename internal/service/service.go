@@ -159,11 +159,40 @@ type analyzeUnit struct {
 	digest   string
 	detector rader.DetectorName
 	specStr  string // "" for replays
-	run      func() (*report.Report, int64, error)
+	run      func() (*analysisResult, error)
 }
 
 func (u *analyzeUnit) key() string {
 	return u.digest + "|" + string(u.detector) + "|" + u.specStr
+}
+
+// analysisResult is one successful analysis: the document to return and,
+// for an all-detectors pass, the per-detector sub-documents to seed into
+// the cache under their own digest|detector|spec keys.
+type analysisResult struct {
+	doc    interface{ Marshal() ([]byte, error) }
+	clean  bool
+	events int64
+	subs   []subResult
+}
+
+// subResult is one detector's verdict extracted from an all-mode pass.
+// The document is built by report.FromCore exactly as a standalone
+// request for that detector would build it, so the seeded cache entry is
+// byte-identical to what the single-detector path computes.
+type subResult struct {
+	detector rader.DetectorName
+	doc      *report.Report
+}
+
+// subsFromMulti pairs each sub-report of a Multi document with its
+// detector name for cache seeding.
+func subsFromMulti(m *report.Multi) []subResult {
+	subs := make([]subResult, len(m.Reports))
+	for i, rep := range m.Reports {
+		subs[i] = subResult{detector: rader.DetectorName(rep.Detector), doc: rep}
+	}
+	return subs
 }
 
 // resolveAnalyze parses an /analyze request into a unit without running
@@ -201,7 +230,7 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 			digest:   programDigest(identity),
 			detector: det,
 			specStr:  canon,
-			run: func() (*report.Report, int64, error) {
+			run: func() (*analysisResult, error) {
 				out, err := rader.Run(prog.Factory(), rader.Config{
 					Detector:    det,
 					Spec:        spec,
@@ -209,9 +238,14 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 					Deadline:    deadline,
 				})
 				if err != nil {
-					return nil, 0, err
+					return nil, err
 				}
-				return report.FromOutcome(out, canon), 0, nil
+				if det == rader.All {
+					m := report.FromAllOutcome(out, canon)
+					return &analysisResult{doc: m, clean: m.Clean, subs: subsFromMulti(m)}, nil
+				}
+				rep := report.FromOutcome(out, canon)
+				return &analysisResult{doc: rep, clean: rep.Clean}, nil
 			},
 		}
 	}
@@ -232,18 +266,31 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 	return &analyzeUnit{
 		digest:   digest.String(),
 		detector: det,
-		run: func() (*report.Report, int64, error) {
+		run: func() (*analysisResult, error) {
+			if det == rader.All {
+				dets := rader.NewAllDetectors()
+				hooks := make([]cilk.Hooks, len(dets))
+				for i, d := range dets {
+					hooks[i] = d
+				}
+				events, err := trace.ReplayAllBytes(data, hooks...)
+				if err != nil {
+					return nil, err
+				}
+				m := report.FromDetectors("", events, dets)
+				return &analysisResult{doc: m, clean: m.Clean, events: events, subs: subsFromMulti(m)}, nil
+			}
 			d, hooks, err := rader.NewDetector(det)
 			if err != nil {
-				return nil, 0, err
+				return nil, err
 			}
 			if hooks == nil {
 				// Replaying into no detector still validates the stream.
 				hooks = cilk.Empty{}
 			}
-			events, err := trace.Replay(bytes.NewReader(data), hooks)
+			events, err := trace.ReplayAllBytes(data, hooks)
 			if err != nil {
-				return nil, events, err
+				return nil, err
 			}
 			var rep *report.Report
 			if d != nil {
@@ -251,7 +298,7 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 			} else {
 				rep = report.FromCore(string(det), "", events, nil)
 			}
-			return rep, events, nil
+			return &analysisResult{doc: rep, clean: rep.Clean, events: events}, nil
 		},
 	}
 }
@@ -295,25 +342,37 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defer s.pool.release()
 
 	start := time.Now()
-	rep, events, err := unit.run()
+	res, err := unit.run()
 	dur := time.Since(start)
 	if err != nil {
 		s.metrics.fail()
 		// The trace or program was accepted but analysis failed — a
 		// client-side artifact problem (truncated upload, budget blowout),
-		// not a server fault.
+		// not a server fault. Nothing is cached: a failed validation must
+		// be re-validated on the next upload, never served from the LRU.
 		writeErr(w, http.StatusUnprocessableEntity, "analysis failed: %v", err)
 		return
 	}
-	raw, err := rep.Marshal()
+	raw, err := res.doc.Marshal()
 	if err != nil {
 		s.metrics.fail()
 		writeErr(w, http.StatusInternalServerError, "encoding report: %v", err)
 		return
 	}
-	s.metrics.done(string(unit.detector), dur, events)
-	entry := &cached{digest: unit.digest, report: raw, clean: rep.Clean}
+	s.metrics.done(string(unit.detector), dur, res.events)
+	entry := &cached{digest: unit.digest, report: raw, clean: res.clean}
 	s.cache.put(unit.key(), entry)
+	// An all-detectors pass also seeds one cache entry per detector, so a
+	// later single-detector request for the same digest and spec is a hit
+	// — one upload, one decode, four cache entries.
+	for _, sub := range res.subs {
+		sraw, err := sub.doc.Marshal()
+		if err != nil {
+			continue
+		}
+		skey := unit.digest + "|" + string(sub.detector) + "|" + unit.specStr
+		s.cache.put(skey, &cached{digest: unit.digest, report: sraw, clean: sub.doc.Clean})
+	}
 	writeJSON(w, http.StatusOK, AnalyzeResponse{
 		Digest:     entry.digest,
 		Detector:   string(unit.detector),
@@ -379,7 +438,14 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.metrics.done("sweep", time.Since(start), 0)
-		s.cache.put(key, &cached{digest: programDigest(identity), report: raw, clean: cr.Clean()})
+		// Only complete sweeps are cacheable: a sweep degraded by a
+		// deadline or budget abort reports Failures instead of verdicts
+		// for some specifications, and serving that from the cache would
+		// freeze the degradation forever. Incomplete results still go to
+		// the submitting job; the next submission reruns the sweep.
+		if cr.Complete() {
+			s.cache.put(key, &cached{digest: programDigest(identity), report: raw, clean: cr.Clean()})
+		}
 		job.finish(raw, nil)
 	}()
 	writeJSON(w, http.StatusAccepted, job.view())

@@ -49,5 +49,9 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", name, len(data))
 	}
-	fmt.Printf("v2 digest: %s\n", tw.Digest())
+	digest, err := tw.Digest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v2 digest: %s\n", digest)
 }

@@ -21,7 +21,10 @@ func TestWriterDigestMatchesDigestOf(t *testing.T) {
 	if err := tw.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got := tw.Digest()
+	got, err := tw.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
 	want, err := DigestOf(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +48,11 @@ func TestDigestDistinguishesContent(t *testing.T) {
 		if err := tw.Close(); err != nil {
 			t.Fatal(err)
 		}
-		return tw.Digest()
+		d, err := tw.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
 	}
 	a, b := record(nil), record(nil)
 	if a != b {
@@ -54,6 +61,45 @@ func TestDigestDistinguishesContent(t *testing.T) {
 	c := record(cilk.StealAll{})
 	if a == c {
 		t.Fatal("different schedules must not collide on the digest")
+	}
+}
+
+// Digest before Close must refuse: the footer is not hashed yet, so the
+// value would never match DigestOf over the file — a service caching under
+// it would create entries no upload can ever hit (or worse, collide with a
+// differently-footered stream). After Close the digest latches; after a
+// failed Close the failure latches too.
+func TestDigestBeforeCloseRefuses(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	al := mem.NewAllocator()
+	cilk.Run(progs.Fig1(al, progs.Fig1Options{}), cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
+	if _, err := tw.Digest(); err != ErrDigestBeforeClose {
+		t.Fatalf("pre-Close Digest error = %v, want ErrDigestBeforeClose", err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := tw.Digest()
+	if err != nil {
+		t.Fatalf("post-Close Digest: %v", err)
+	}
+	want, err := DigestOf(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != want {
+		t.Fatalf("post-Close digest %s != DigestOf %s", d, want)
+	}
+
+	// A writer whose Close failed must refuse to produce a digest at all.
+	bad := NewWriter(&failWriter{n: 4})
+	cilk.Run(progs.Fig2Reads(1), cilk.Config{Hooks: bad})
+	if bad.Close() == nil {
+		t.Fatal("write failure must surface at Close")
+	}
+	if _, err := bad.Digest(); err == nil {
+		t.Fatal("Digest after a failed Close must carry the latched error")
 	}
 }
 

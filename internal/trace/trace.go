@@ -135,13 +135,28 @@ func (t *Writer) Err() error { return t.err }
 // Events reports how many events were recorded.
 func (t *Writer) Events() int64 { return t.n }
 
-// Digest returns the SHA-256 content digest of the stream written so far.
-// Call it after Close: only then does the digest cover the footer and
-// therefore equal DigestOf over the encoded file.
-func (t *Writer) Digest() Digest {
+// ErrDigestBeforeClose is returned by Digest when the stream has not been
+// Closed: before the footer is written (and hashed) the incremental digest
+// can never equal DigestOf over the encoded file, so handing it out would
+// let a caller cache results under a key no upload will ever match.
+var ErrDigestBeforeClose = errors.New("trace: Digest before Close: digest does not cover the footer")
+
+// Digest returns the SHA-256 content digest of the encoded stream —
+// header, events and footer. It errors until a successful Close: only
+// then does the digest cover the footer and therefore equal DigestOf over
+// the file, which is what makes it safe to use as a result-cache key. A
+// failed Close (or a latched write error) also surfaces here, so a
+// partially-written stream cannot be cached either.
+func (t *Writer) Digest() (Digest, error) {
+	if !t.closed {
+		return Digest{}, ErrDigestBeforeClose
+	}
+	if t.err != nil {
+		return Digest{}, t.err
+	}
 	var d Digest
 	t.sha.Sum(d[:0])
-	return d
+	return d, nil
 }
 
 // Close writes the integrity footer, flushes the stream and returns any

@@ -142,7 +142,7 @@ func TestReplayErrors(t *testing.T) {
 }
 
 // traceOf records prog under spec and returns the complete v2 trace bytes.
-func traceOf(t *testing.T, prog func(*cilk.Ctx), spec cilk.StealSpec) []byte {
+func traceOf(t testing.TB, prog func(*cilk.Ctx), spec cilk.StealSpec) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	tw := NewWriter(&buf)
