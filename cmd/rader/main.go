@@ -39,8 +39,10 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/cilk"
+	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/progs"
 	"repro/internal/rader"
 	"repro/internal/report"
@@ -78,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		record   = fs.String("record", "", "record the run's event stream to this trace file")
 		replay   = fs.String("replay", "", "skip execution; replay a recorded trace file into the detector")
 		remote   = fs.String("remote", "", "raderd base URL; analyze on the daemon instead of in-process")
+		profile  = fs.String("profile-out", "", "write a Chrome trace-event JSON profile of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitError
@@ -85,6 +88,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fatal := func(err error) int {
 		fmt.Fprintln(stderr, "rader:", err)
 		return exitError
+	}
+
+	// With -profile-out the whole pipeline records spans; nil keeps every
+	// instrumentation site on its zero-cost path.
+	var tr *obs.Trace
+	if *profile != "" {
+		tr = obs.NewTrace()
+		defer func() {
+			if err := writeProfile(tr, *profile); err != nil {
+				fmt.Fprintln(stderr, "rader: writing profile:", err)
+			} else if !*jsonOut {
+				fmt.Fprintf(stderr, "profile written to %s\n", *profile)
+			}
+		}()
 	}
 
 	var deadline time.Time
@@ -114,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fatal(err)
 		}
-		code, err := replayTrace(stdout, *replay, det, *jsonOut)
+		code, err := replayTrace(stdout, *replay, det, *jsonOut, tr)
 		if err != nil {
 			return fatal(err)
 		}
@@ -132,7 +149,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *coverage {
-		return runCoverage(stdout, prog, *timeout, *jsonOut)
+		return runCoverage(stdout, prog, *timeout, *jsonOut, tr)
 	}
 
 	det, err := rader.ParseDetector(*detector)
@@ -157,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "trace recorded to %s (sha256 %s)\n", *record, digest)
 		return exitClean
 	}
-	out, err := rader.Run(prog, rader.Config{Detector: det, Spec: spec, Deadline: deadline})
+	out, err := rader.Run(prog, rader.Config{Detector: det, Spec: spec, Deadline: deadline, Trace: tr})
 	if err != nil {
 		return fatal(err)
 	}
@@ -237,9 +254,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exitClean
 }
 
-func runCoverage(stdout io.Writer, prog func(*cilk.Ctx), timeout time.Duration, jsonOut bool) int {
+func runCoverage(stdout io.Writer, prog func(*cilk.Ctx), timeout time.Duration, jsonOut bool, tr *obs.Trace) int {
 	cr := rader.Sweep(func() func(*cilk.Ctx) { return prog },
-		rader.SweepOptions{Timeout: timeout})
+		rader.SweepOptions{Timeout: timeout, Trace: tr})
 	if jsonOut {
 		b, err := report.FromCoverage(cr).Marshal()
 		if err != nil {
@@ -342,7 +359,41 @@ func recordTrace(path string, prog func(*cilk.Ctx), spec cilk.StealSpec) (trace.
 	return digest, f.Close()
 }
 
-func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, jsonOut bool) (int, error) {
+// writeProfile renders collected spans as Chrome trace-event JSON.
+func writeProfile(tr *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// replaySpan closes a "replay" span annotated with the stream accounting,
+// and emits one "detector:<name>" span per detector carrying its event
+// counts and verdict, so a -profile-out of a replay shows both the decode
+// and the per-detector consumption.
+func replaySpan(span *obs.Span, tr *obs.Trace, stats *trace.ReplayStats, dets []core.Detector) {
+	span.Arg("events", stats.Events).Arg("bytes", stats.Bytes).
+		Arg("frames", stats.Frames).Arg("labels", stats.InternedLabels).End()
+	for _, d := range dets {
+		dspan := tr.Start("detector:" + d.Name())
+		if ec, ok := d.(core.EventCountsProvider); ok {
+			for _, a := range ec.EventCounts().Args() {
+				dspan.Arg(a.Key, a.Value)
+			}
+		}
+		if rp := d.Report(); rp != nil {
+			dspan.Arg("races", rp.Distinct())
+		}
+		dspan.End()
+	}
+}
+
+func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, jsonOut bool, tr *obs.Trace) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return exitError, err
@@ -354,10 +405,14 @@ func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, json
 		for i, d := range dets {
 			hooks[i] = d
 		}
-		n, err := trace.ReplayAll(f, hooks...)
+		var stats trace.ReplayStats
+		span := tr.Start("replay")
+		n, err := trace.ReplayAllStats(f, &stats, hooks...)
 		if err != nil {
+			span.Arg("error", err.Error()).End()
 			return exitError, err
 		}
+		replaySpan(span, tr, &stats, dets)
 		m := report.FromDetectors("", n, dets)
 		if jsonOut {
 			b, err := m.Marshal()
@@ -384,10 +439,14 @@ func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, json
 	if det == nil {
 		return exitError, fmt.Errorf("replay needs an analysing detector (got %s)", detName)
 	}
-	n, err := trace.Replay(f, hooks)
+	var stats trace.ReplayStats
+	span := tr.Start("replay")
+	n, err := trace.ReplayAllStats(f, &stats, hooks)
 	if err != nil {
+		span.Arg("error", err.Error()).End()
 		return exitError, err
 	}
+	replaySpan(span, tr, &stats, []core.Detector{det})
 	rp := det.Report()
 	if jsonOut {
 		b, err := report.FromCore(string(detName), "", n, rp).Marshal()

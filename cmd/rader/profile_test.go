@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// profileDoc mirrors the Chrome trace-event object format rader emits.
+type profileDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// readProfile parses a -profile-out file and returns the span names seen.
+func readProfile(t *testing.T, path string) (profileDoc, map[string]int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc profileDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("profile is not valid JSON: %v\n%s", err, b)
+	}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q has phase %q, want complete (X)", ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %q has negative timing ts=%g dur=%g", ev.Name, ev.TS, ev.Dur)
+		}
+		names[ev.Name]++
+	}
+	return doc, names
+}
+
+// A live run profile carries the run span with its event-count args.
+func TestProfileOutLiveRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	code, out, errOut := exec(t, "-prog", "fig1", "-detector", "sp+", "-spec", "all",
+		"-profile-out", path)
+	if code != exitRaces {
+		t.Fatalf("exit %d, want %d\n%s%s", code, exitRaces, out, errOut)
+	}
+	if !strings.Contains(errOut, "profile written to") {
+		t.Fatalf("no profile banner on stderr:\n%s", errOut)
+	}
+	_, names := readProfile(t, path)
+	if names["run:sp+"] != 1 {
+		t.Fatalf("profile missing run:sp+ span: %v", names)
+	}
+}
+
+// A replay profile covers the decode and every detector's consumption.
+func TestProfileOutReplayAllDetectors(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace")
+	if code, out, errOut := exec(t, "-prog", "fig1", "-spec", "all", "-record", tracePath); code != exitClean {
+		t.Fatalf("record: exit %d\n%s%s", code, out, errOut)
+	}
+	profPath := filepath.Join(dir, "replay.json")
+	code, out, _ := exec(t, "-replay", tracePath, "-detector", "all", "-json",
+		"-profile-out", profPath)
+	if code != exitRaces {
+		t.Fatalf("replay: exit %d, want %d\n%s", code, exitRaces, out)
+	}
+	// JSON mode keeps stdout to exactly one document even when profiling.
+	if !strings.HasPrefix(strings.TrimSpace(out), "{") || strings.Count(out, "\n") != 1 {
+		t.Fatalf("stdout is not a single JSON document:\n%s", out)
+	}
+	doc, names := readProfile(t, profPath)
+	if names["replay"] != 1 {
+		t.Fatalf("profile missing replay span: %v", names)
+	}
+	for _, det := range []string{"peer-set", "sp-bags", "sp+"} {
+		if names["detector:"+det] != 1 {
+			t.Fatalf("profile missing detector:%s span: %v", det, names)
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "replay" {
+			if ev.Args["events"] == nil || ev.Args["bytes"] == nil {
+				t.Fatalf("replay span lacks accounting args: %v", ev.Args)
+			}
+		}
+		if ev.Name == "detector:sp+" {
+			if ev.Args["races"] == nil || ev.Args["loads"] == nil {
+				t.Fatalf("detector span lacks count args: %v", ev.Args)
+			}
+		}
+	}
+}
+
+// A coverage profile shows the sweep's phases and per-spec units across
+// worker lanes.
+func TestProfileOutCoverageSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	code, out, errOut := exec(t, "-prog", "fig1", "-coverage", "-profile-out", path)
+	if code != exitRaces {
+		t.Fatalf("sweep: exit %d, want %d\n%s%s", code, exitRaces, out, errOut)
+	}
+	// The standalone peer-set pass is piggybacked onto the first spec run,
+	// so the phases a plain sweep shows are profile, per-spec units, collect.
+	_, names := readProfile(t, path)
+	for _, want := range []string{"profile", "collect"} {
+		if names[want] != 1 {
+			t.Fatalf("profile missing %q span: %v", want, names)
+		}
+	}
+	specs := 0
+	for n, c := range names {
+		if strings.HasPrefix(n, "spec:") {
+			specs += c
+		}
+	}
+	if specs == 0 {
+		t.Fatalf("profile has no per-spec spans: %v", names)
+	}
+}

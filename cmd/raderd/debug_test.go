@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bootDaemon starts run() on an ephemeral port and returns the base URL
+// plus the output buffers and shutdown plumbing.
+func bootDaemon(t *testing.T, args ...string) (string, *syncBuffer, *syncBuffer, chan os.Signal, chan int) {
+	t.Helper()
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	shutdown := make(chan os.Signal, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), stdout, stderr, shutdown)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(stdout.String()); m != nil {
+			return "http://" + m[1], stdout, stderr, shutdown, done
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address: %q / %q", stdout.String(), stderr.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func stopDaemon(t *testing.T, shutdown chan os.Signal, done chan int) {
+	t.Helper()
+	shutdown <- os.Interrupt
+	select {
+	case code := <-done:
+		if code != exitOK {
+			t.Fatalf("exit code %d, want %d", code, exitOK)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// The daemon exposes the Go debug surfaces next to the service API, and
+// /debug/vars mirrors the metric series as flat JSON.
+func TestDaemonDebugEndpoints(t *testing.T) {
+	base, _, stderr, shutdown, done := bootDaemon(t, "-workers", "2")
+
+	if status, body := get(t, base+"/debug/pprof/"); status != http.StatusOK {
+		t.Fatalf("pprof index: %d %s", status, body)
+	}
+	if status, body := get(t, base+"/debug/pprof/cmdline"); status != http.StatusOK {
+		t.Fatalf("pprof cmdline: %d %s", status, body)
+	}
+	if status, body := get(t, base+"/debug/pprof/heap?debug=1"); status != http.StatusOK {
+		t.Fatalf("pprof heap: %d %s", status, body)
+	}
+
+	// One analysis, so the exported series carry real values.
+	resp, err := http.Post(base+"/analyze?prog=fig1&spec=all&detector=sp%2B", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	status, body := get(t, base+"/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", status)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not a JSON object: %v\n%s", err, body)
+	}
+	if vars["memstats"] == nil {
+		t.Error("/debug/vars lacks expvar's standard memstats")
+	}
+	var series map[string]float64
+	if err := json.Unmarshal(vars["raderd"], &series); err != nil {
+		t.Fatalf("raderd var is not a flat series map: %v\n%s", err, vars["raderd"])
+	}
+	if series[`raderd_jobs_total{state="done"}`] != 1 {
+		t.Errorf("jobs_total done = %v, want 1 (map: %v)", series[`raderd_jobs_total{state="done"}`], series)
+	}
+	if series["raderd_workers"] != 2 {
+		t.Errorf("workers = %v, want 2", series["raderd_workers"])
+	}
+
+	stopDaemon(t, shutdown, done)
+
+	// Every request above produced one structured log line with an ID.
+	logs := stderr.String()
+	for _, want := range []string{"msg=request", "path=/analyze", "path=/debug/vars", "id="} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("request log missing %q:\n%s", want, logs)
+		}
+	}
+}
+
+// -quiet silences request logging.
+func TestDaemonQuiet(t *testing.T) {
+	base, _, stderr, shutdown, done := bootDaemon(t, "-quiet")
+	if status, _ := get(t, base+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz: %d", status)
+	}
+	stopDaemon(t, shutdown, done)
+	if logs := stderr.String(); strings.Contains(logs, "msg=request") {
+		t.Fatalf("-quiet still logged requests:\n%s", logs)
+	}
+}
+
+// A second daemon in the same process must not panic on expvar re-publish
+// and must export its own (fresh) counters.
+func TestDaemonDebugVarsRebind(t *testing.T) {
+	base, _, _, shutdown, done := bootDaemon(t, "-quiet", "-workers", "3")
+	status, body := get(t, base+"/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", status)
+	}
+	var vars struct {
+		Raderd map[string]float64 `json:"raderd"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Raderd["raderd_workers"] != 3 {
+		t.Errorf("second daemon exports stale vars: workers = %v, want 3", vars.Raderd["raderd_workers"])
+	}
+	stopDaemon(t, shutdown, done)
+}

@@ -11,19 +11,28 @@
 //	rader -remote http://localhost:8735 -replay t.trace
 //
 // Endpoints: POST /analyze, POST /sweep, GET /sweep/{id}, GET /healthz,
-// GET /metrics (Prometheus text). Capacity, cache and per-job limits are
-// flags; see docs/SERVICE.md for the full API and failure-mode table.
+// GET /metrics (Prometheus text). The usual Go debug surfaces ride along:
+// GET /debug/pprof/* (CPU, heap, goroutine profiles) and GET /debug/vars
+// (the metric series as flat JSON, plus expvar's standard memstats).
+// Requests are logged structured (log/slog) to stderr with a per-request
+// ID; -quiet silences them. Capacity, cache and per-job limits are flags;
+// see docs/SERVICE.md for the full API and failure-mode table.
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -57,10 +66,17 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 		sweepWkrs   = fs.Int("sweep-workers", 0, "per-sweep parallelism (0 = workers)")
 		maxUpload   = fs.Int64("max-upload", 64<<20, "max uploaded trace bytes")
 		keepJobs    = fs.Int("keep-jobs", 64, "finished sweep jobs retained for polling")
+		quiet       = fs.Bool("quiet", false, "suppress per-request structured logs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitError
 	}
+
+	logDst := io.Writer(stderr)
+	if *quiet {
+		logDst = io.Discard
+	}
+	logger := slog.New(slog.NewTextHandler(logDst, nil))
 
 	srv := service.New(service.Config{
 		Workers:        *workers,
@@ -71,14 +87,16 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 		SweepWorkers:   *sweepWkrs,
 		MaxUploadBytes: *maxUpload,
 		KeepJobs:       *keepJobs,
+		Logger:         logger,
 	})
+	publishDebugVars(srv)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "raderd:", err)
 		return exitError
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: logRequests(logger, debugMux(srv))}
 	fmt.Fprintf(stdout, "raderd listening on %s (workers=%d queue=%d cache=%d)\n",
 		ln.Addr(), *workers, *queue, *cacheSize)
 
@@ -98,4 +116,72 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 		}
 		return exitOK
 	}
+}
+
+// debugMux wraps the service routes with the standard Go debug surfaces:
+// net/http/pprof's profile handlers and expvar's /debug/vars. The pprof
+// handlers are registered explicitly because the service mounts its own
+// mux — the package's DefaultServeMux side effects never apply here.
+func debugMux(srv *service.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// The expvar registry is process-global and Publish panics on duplicates,
+// but run() is re-entered by tests — so the "raderd" var is published once
+// and reads through an atomic pointer to whichever server is current.
+var (
+	debugSrv    atomic.Pointer[service.Server]
+	publishOnce sync.Once
+)
+
+func publishDebugVars(srv *service.Server) {
+	debugSrv.Store(srv)
+	publishOnce.Do(func() {
+		expvar.Publish("raderd", expvar.Func(func() any {
+			if s := debugSrv.Load(); s != nil {
+				return s.MetricsSnapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// statusRecorder captures the status code and body size a handler wrote,
+// for the request log line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// logRequests logs one structured line per request with a per-request ID.
+func logRequests(log *slog.Logger, next http.Handler) http.Handler {
+	var id atomic.Uint64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		log.Info("request",
+			"id", id.Add(1), "method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "bytes", rec.bytes, "dur", time.Since(start))
+	})
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cilk"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Kind classifies a race (§1 identifies exactly these two kinds for
@@ -89,6 +90,25 @@ func (a Access) String() string {
 	return s
 }
 
+// Provenance explains *why* a detector reported a race: which SP relation
+// fired, and where in the event stream the two sides sat. Event ordinals
+// are detector-relative — the 1-based index among the events that
+// detector's algorithm consumes (Peer-Set, which ignores memory traffic,
+// numbers only control and reducer events) — so two detectors replaying
+// one trace may assign different ordinals to the same logical access.
+// FirstEvent is 0 when the detector's shadow state no longer pins the
+// earlier access's position.
+type Provenance struct {
+	// FirstEvent is the ordinal of the earlier access (0 = unknown).
+	FirstEvent int64
+	// SecondEvent is the ordinal of the access at which the race fired.
+	SecondEvent int64
+	// Relation names the SP relation (or label rule) that triggered the
+	// report: "reader in P-bag", "writer on parallel view",
+	// "spawn-count mismatch", "unordered labels", ...
+	Relation string
+}
+
 // Race is one detected race.
 type Race struct {
 	Kind    Kind
@@ -96,6 +116,7 @@ type Race struct {
 	Reducer string   // racing reducer (ViewRead only)
 	First   Access   // earlier access in serial order
 	Second  Access   // access at which the race was detected
+	Prov    Provenance
 }
 
 // String implements fmt.Stringer.
@@ -210,4 +231,11 @@ type Stats struct {
 // StatsProvider is implemented by detectors that expose their accounting.
 type StatsProvider interface {
 	Stats() Stats
+}
+
+// EventCountsProvider is implemented by detectors that account for the
+// event classes they consumed (obs.EventCounts), the measurement substrate
+// behind the Figure 7/8 per-class overhead breakdown.
+type EventCountsProvider interface {
+	EventCounts() obs.EventCounts
 }

@@ -11,11 +11,18 @@ type reportJSON struct {
 }
 
 type raceJSON struct {
-	Kind    string     `json:"kind"`
-	Addr    uint64     `json:"addr,omitempty"`
-	Reducer string     `json:"reducer,omitempty"`
-	First   accessJSON `json:"first"`
-	Second  accessJSON `json:"second"`
+	Kind       string     `json:"kind"`
+	Addr       uint64     `json:"addr,omitempty"`
+	Reducer    string     `json:"reducer,omitempty"`
+	First      accessJSON `json:"first"`
+	Second     accessJSON `json:"second"`
+	Provenance *provJSON  `json:"provenance,omitempty"`
+}
+
+type provJSON struct {
+	FirstEvent  int64  `json:"firstEvent,omitempty"`
+	SecondEvent int64  `json:"secondEvent,omitempty"`
+	Relation    string `json:"relation"`
 }
 
 type accessJSON struct {
@@ -53,6 +60,13 @@ func (rp *Report) MarshalJSON() ([]byte, error) {
 			Reducer: r.Reducer,
 			First:   toAccessJSON(r.First),
 			Second:  toAccessJSON(r.Second),
+		}
+		if r.Prov != (Provenance{}) {
+			rj.Provenance = &provJSON{
+				FirstEvent:  r.Prov.FirstEvent,
+				SecondEvent: r.Prov.SecondEvent,
+				Relation:    r.Prov.Relation,
+			}
 		}
 		if r.Kind == Determinacy {
 			rj.Addr = uint64(r.Addr)

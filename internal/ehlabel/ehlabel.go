@@ -24,6 +24,7 @@ import (
 	"repro/internal/cilk"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // label is an immutable component sequence; copied on extension. Labels
@@ -94,12 +95,16 @@ type Detector struct {
 	writer map[mem.Addr]shadowEntry
 	report core.Report
 	maxLen int
+
+	counts obs.EventCounts
+	events int64 // ordinal of the event being processed (1-based)
 }
 
 type shadowEntry struct {
 	e, h  label
 	frame cilk.FrameID
 	name  string
+	event int64 // detector-relative ordinal of the access, for provenance
 }
 
 // New returns a fresh detector.
@@ -131,6 +136,8 @@ func (d *Detector) top() *frameRec { return d.stack[len(d.stack)-1] }
 
 // FrameEnter implements cilk.Hooks.
 func (d *Detector) FrameEnter(f *cilk.Frame) {
+	d.events++
+	d.counts.FrameEnters++
 	rec := &frameRec{id: f.ID, label: f.Label}
 	if len(d.stack) == 0 {
 		rec.e = d.track(label{0})
@@ -152,6 +159,8 @@ func (d *Detector) FrameEnter(f *cilk.Frame) {
 
 // FrameReturn implements cilk.Hooks.
 func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	d.events++
+	d.counts.FrameReturns++
 	grec := d.top()
 	d.stack = d.stack[:len(d.stack)-1]
 	if !g.Spawned {
@@ -169,6 +178,8 @@ func (d *Detector) FrameReturn(g, f *cilk.Frame) {
 // compares greater in both — in series after the block — while any two
 // parallel strands still disagree at their fork component.
 func (d *Detector) Sync(f *cilk.Frame) {
+	d.events++
+	d.counts.Syncs++
 	rec := d.top()
 	c := syncComponent(rec.e, len(rec.baseE))
 	rec.e = d.track(rec.baseE.extend(c))
@@ -178,27 +189,35 @@ func (d *Detector) Sync(f *cilk.Frame) {
 
 // Load implements cilk.Hooks.
 func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
+	d.events++
+	d.counts.Loads++
+	d.counts.ShadowLookups += 2
 	rec := d.top()
 	if w, ok := d.writer[a]; ok && !ordered(w.e, w.h, rec.e, rec.h) {
 		d.report.Add(core.Race{
 			Kind: core.Determinacy, Addr: a,
 			First:  core.Access{Frame: w.frame, Label: w.name, Op: core.OpWrite},
 			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpRead},
+			Prov:   core.Provenance{FirstEvent: w.event, SecondEvent: d.events, Relation: "unordered labels"},
 		})
 	}
 	if r, ok := d.reader[a]; !ok || ordered(r.e, r.h, rec.e, rec.h) {
-		d.reader[a] = shadowEntry{e: rec.e, h: rec.h, frame: rec.id, name: rec.label}
+		d.reader[a] = shadowEntry{e: rec.e, h: rec.h, frame: rec.id, name: rec.label, event: d.events}
 	}
 }
 
 // Store implements cilk.Hooks.
 func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
+	d.events++
+	d.counts.Stores++
+	d.counts.ShadowLookups += 2
 	rec := d.top()
 	if r, ok := d.reader[a]; ok && !ordered(r.e, r.h, rec.e, rec.h) {
 		d.report.Add(core.Race{
 			Kind: core.Determinacy, Addr: a,
 			First:  core.Access{Frame: r.frame, Label: r.name, Op: core.OpRead},
 			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpWrite},
+			Prov:   core.Provenance{FirstEvent: r.event, SecondEvent: d.events, Relation: "unordered labels"},
 		})
 	}
 	w, ok := d.writer[a]
@@ -207,10 +226,11 @@ func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
 			Kind: core.Determinacy, Addr: a,
 			First:  core.Access{Frame: w.frame, Label: w.name, Op: core.OpWrite},
 			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpWrite},
+			Prov:   core.Provenance{FirstEvent: w.event, SecondEvent: d.events, Relation: "unordered labels"},
 		})
 	}
 	if !ok || ordered(w.e, w.h, rec.e, rec.h) {
-		d.writer[a] = shadowEntry{e: rec.e, h: rec.h, frame: rec.id, name: rec.label}
+		d.writer[a] = shadowEntry{e: rec.e, h: rec.h, frame: rec.id, name: rec.label, event: d.events}
 	}
 }
 
@@ -218,3 +238,6 @@ var (
 	_ core.Detector = (*Detector)(nil)
 	_ cilk.Hooks    = (*Detector)(nil)
 )
+
+// EventCounts implements core.EventCountsProvider.
+func (d *Detector) EventCounts() obs.EventCounts { return d.counts }

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event "complete" record ("ph":"X"):
+// a named interval with microsecond timestamp and duration, grouped by
+// process/thread IDs. chrome://tracing and Perfetto nest X events on one
+// tid by time containment, which matches SpanRecord's lane model.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object flavor of the trace-event format (the
+// array flavor is also accepted by viewers, but the object flavor lets us
+// name the time unit explicitly).
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders the trace's spans as Chrome trace-event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Spans are
+// emitted in the deterministic Spans() order; args become the event's
+// args panel.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X",
+			TS:  float64(s.Start.Nanoseconds()) / 1e3,
+			Dur: float64(s.Dur.Nanoseconds()) / 1e3,
+			PID: 1, TID: s.TID,
+		}
+		if len(s.Args) > 0 {
+			ev.Args = make(map[string]any, len(s.Args))
+			for _, a := range s.Args {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

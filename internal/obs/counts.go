@@ -1,0 +1,55 @@
+package obs
+
+// EventCounts is the per-event-class account a detector keeps while it
+// consumes the cilk hook stream — the concrete data behind the paper's
+// Figure 7/8 "where does instrumentation time go" breakdown. Fields are
+// plain integers, not atomics: a detector is driven by exactly one serial
+// event stream, so increments are single-threaded and cost one add on the
+// hot path. Classes a detector does not observe (Peer-Set ignores memory
+// traffic entirely) simply stay zero.
+type EventCounts struct {
+	FrameEnters    uint64 `json:"frameEnters,omitempty"`
+	FrameReturns   uint64 `json:"frameReturns,omitempty"`
+	Syncs          uint64 `json:"syncs,omitempty"`
+	Steals         uint64 `json:"steals,omitempty"`
+	Reduces        uint64 `json:"reduces,omitempty"`
+	ViewAwares     uint64 `json:"viewAwares,omitempty"`
+	ReducerCreates uint64 `json:"reducerCreates,omitempty"`
+	ReducerReads   uint64 `json:"reducerReads,omitempty"`
+	Loads          uint64 `json:"loads,omitempty"`
+	Stores         uint64 `json:"stores,omitempty"`
+
+	// ShadowLookups counts reads of the reader/writer shadow spaces (or
+	// the reducer→reader map for Peer-Set) — the per-access cost class.
+	ShadowLookups uint64 `json:"shadowLookups,omitempty"`
+	// BagOps counts disjoint-set bag insertions and unions — the
+	// amortized-α cost class of Theorems 1 and 5.
+	BagOps uint64 `json:"bagOps,omitempty"`
+}
+
+// Total sums the event classes (bookkeeping classes excluded).
+func (c EventCounts) Total() uint64 {
+	return c.FrameEnters + c.FrameReturns + c.Syncs + c.Steals + c.Reduces +
+		c.ViewAwares + c.ReducerCreates + c.ReducerReads + c.Loads + c.Stores
+}
+
+// Args renders the non-zero classes as span annotations.
+func (c EventCounts) Args() []Arg {
+	pairs := []struct {
+		k string
+		v uint64
+	}{
+		{"frameEnters", c.FrameEnters}, {"frameReturns", c.FrameReturns},
+		{"syncs", c.Syncs}, {"steals", c.Steals}, {"reduces", c.Reduces},
+		{"viewAwares", c.ViewAwares}, {"reducerCreates", c.ReducerCreates},
+		{"reducerReads", c.ReducerReads}, {"loads", c.Loads}, {"stores", c.Stores},
+		{"shadowLookups", c.ShadowLookups}, {"bagOps", c.BagOps},
+	}
+	out := make([]Arg, 0, len(pairs))
+	for _, p := range pairs {
+		if p.v != 0 {
+			out = append(out, Arg{Key: p.k, Value: p.v})
+		}
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+// Package obs is the pipeline's zero-dependency observability core:
+// lightweight spans with monotonic timing (span.go), atomic counters,
+// gauges and fixed-bucket histograms collected in a Registry that renders
+// Prometheus text exposition (this file), Chrome trace-event export of a
+// span tree (chrome.go), and the per-event-class accounting detectors
+// publish (counts.go).
+//
+// The package deliberately imports nothing beyond the standard library and
+// is shaped around two constraints of this codebase:
+//
+//   - The replay decode loop and detector hot paths must stay allocation-
+//     free and branch-cheap when nobody is watching. Everything here is
+//     therefore nil-safe: a nil *Trace hands out nil *Span handles whose
+//     methods are no-ops, so instrumented code calls Start/End
+//     unconditionally and pays two predicted branches when observability
+//     is off (TestNilTraceAllocs pins zero allocations).
+//   - The analysis service renders its /metrics exposition by hand (no
+//     Prometheus client dependency is available), so Registry reproduces
+//     the text format — # HELP, # TYPE, cumulative histogram buckets —
+//     deterministically: families in registration order, children in
+//     label order, equal states rendering to equal bytes.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency histogram upper bounds in seconds,
+// spanning sub-millisecond corpus replays through multi-second sweeps.
+// They match the service's historical bucket layout, so dashboards built
+// against the pre-obs exposition keep working.
+var DefBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic float64 gauge.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; gauges are low-frequency).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Counts are kept per bucket and
+// cumulated at render time, the Prometheus convention.
+type Histogram struct {
+	bounds []float64 // upper bounds; counts has one extra slot for +Inf
+	counts []atomic.Uint64
+	sum    Gauge
+	n      atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given upper bounds (which must
+// be sorted ascending; nil means DefBuckets). Prefer Registry.Histogram,
+// which also registers it for exposition.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Cumulative returns the cumulative bucket counts (one per bound, plus a
+// final +Inf entry equal to Count).
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		out[i] = run
+	}
+	return out
+}
+
+// metric kinds for exposition.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// child is one labeled instance of a family: exactly one of the value
+// fields is set.
+type child struct {
+	labels string // rendered label pairs, e.g. `state="done"`; "" for none
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// family is one metric family: a name, help text, kind, and its labeled
+// children.
+type family struct {
+	name, help, kind string
+	children         []*child
+	byLabel          map[string]*child
+}
+
+func (f *family) get(labels string) (*child, bool) {
+	ch, ok := f.byLabel[labels]
+	return ch, ok
+}
+
+func (f *family) add(ch *child) {
+	f.children = append(f.children, ch)
+	f.byLabel[ch.labels] = ch
+}
+
+// Registry collects metric families and renders them in Prometheus text
+// exposition format. Families render in registration order; children
+// within a family render in label order. Registering the same (name,
+// labels) twice returns the existing instrument, so callers can treat
+// registration as idempotent lookup; registering one name under two
+// different kinds panics (a programming error the exposition format
+// cannot express).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: make(map[string]*family)} }
+
+func (r *Registry) family(name, help, kind string) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byLabel: make(map[string]*child)}
+		r.families = append(r.families, f)
+		r.byName[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter registers (or returns) the counter name{labels}. labels is the
+// rendered label-pair list without braces (e.g. `state="done"`), empty for
+// an unlabeled metric.
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	if ch, ok := f.get(labels); ok {
+		return ch.c
+	}
+	ch := &child{labels: labels, c: &Counter{}}
+	f.add(ch)
+	return ch.c
+}
+
+// Gauge registers (or returns) the gauge name{labels}.
+func (r *Registry) Gauge(name, help, labels string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	if ch, ok := f.get(labels); ok {
+		return ch.g
+	}
+	ch := &child{labels: labels, g: &Gauge{}}
+	f.add(ch)
+	return ch.g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// queue depths, cache residency, and other state owned elsewhere.
+func (r *Registry) GaugeFunc(name, help, labels string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	if _, ok := f.get(labels); ok {
+		return
+	}
+	f.add(&child{labels: labels, gf: fn})
+}
+
+// Histogram registers (or returns) the histogram name{labels} over bounds
+// (nil = DefBuckets).
+func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindHistogram)
+	if ch, ok := f.get(labels); ok {
+		return ch.h
+	}
+	ch := &child{labels: labels, h: NewHistogram(bounds)}
+	f.add(ch)
+	return ch.h
+}
+
+// series renders one sample line: name, optional label pairs, value.
+func series(w io.Writer, name, labels, value string) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+	} else {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	}
+}
+
+// joinLabels appends extra to labels with a comma when both are present.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus renders every family in the text exposition format.
+// Equal registry states render to equal bytes.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		r.mu.Lock()
+		kids := make([]*child, len(f.children))
+		copy(kids, f.children)
+		r.mu.Unlock()
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].labels < kids[j].labels })
+		for _, ch := range kids {
+			switch {
+			case ch.c != nil:
+				series(w, f.name, ch.labels, fmt.Sprintf("%d", ch.c.Load()))
+			case ch.g != nil:
+				series(w, f.name, ch.labels, fmt.Sprintf("%g", ch.g.Load()))
+			case ch.gf != nil:
+				series(w, f.name, ch.labels, fmt.Sprintf("%g", ch.gf()))
+			case ch.h != nil:
+				cum := ch.h.Cumulative()
+				for i, ub := range ch.h.bounds {
+					le := fmt.Sprintf("le=%q", fmt.Sprintf("%g", ub))
+					series(w, f.name+"_bucket", joinLabels(ch.labels, le), fmt.Sprintf("%d", cum[i]))
+				}
+				series(w, f.name+"_bucket", joinLabels(ch.labels, `le="+Inf"`), fmt.Sprintf("%d", cum[len(cum)-1]))
+				series(w, f.name+"_sum", ch.labels, fmt.Sprintf("%g", ch.h.Sum()))
+				series(w, f.name+"_count", ch.labels, fmt.Sprintf("%d", ch.h.Count()))
+			}
+		}
+	}
+}
+
+// Snapshot returns a flat name{labels} → value map of every series, for
+// /debug/vars-style JSON export. Histograms export their count and sum.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	out := make(map[string]any)
+	key := func(name, labels string) string {
+		if labels == "" {
+			return name
+		}
+		return name + "{" + labels + "}"
+	}
+	for _, f := range fams {
+		r.mu.Lock()
+		kids := make([]*child, len(f.children))
+		copy(kids, f.children)
+		r.mu.Unlock()
+		for _, ch := range kids {
+			switch {
+			case ch.c != nil:
+				out[key(f.name, ch.labels)] = ch.c.Load()
+			case ch.g != nil:
+				out[key(f.name, ch.labels)] = ch.g.Load()
+			case ch.gf != nil:
+				out[key(f.name, ch.labels)] = ch.gf()
+			case ch.h != nil:
+				out[key(f.name+"_count", ch.labels)] = ch.h.Count()
+				out[key(f.name+"_sum", ch.labels)] = ch.h.Sum()
+			}
+		}
+	}
+	return out
+}

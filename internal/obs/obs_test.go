@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Load(); got != 1.0 {
+		t.Fatalf("gauge = %g, want 1", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.0, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	want := []uint64{2, 3, 4, 5} // ≤1: {0.5,1}; ≤2: +1.5; ≤5: +3; +Inf: +10
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d (all %v)", i, cum[i], want[i], cum)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 16 {
+		t.Fatalf("count=%d sum=%g, want 5, 16", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryIdempotentAndKindClash(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", `k="v"`)
+	b := r.Counter("x_total", "help", `k="v"`)
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "help", "")
+}
+
+// parseExposition checks the global format rules the service tests rely
+// on: every family has exactly one # HELP and one # TYPE line (no
+// duplicate families), every sample belongs to a declared family, and
+// histogram bucket series are monotonically non-decreasing in le order.
+func parseExposition(t *testing.T, text string) {
+	t.Helper()
+	type fam struct{ help, typ int }
+	fams := map[string]*fam{}
+	var order []string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	var bucketRuns map[string][]uint64 // series prefix -> counts in emission order
+	bucketRuns = map[string][]uint64{}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			name := parts[2]
+			f, ok := fams[name]
+			if !ok {
+				f = &fam{}
+				fams[name] = f
+				order = append(order, name)
+			}
+			if parts[1] == "HELP" {
+				f.help++
+			} else {
+				f.typ++
+			}
+			continue
+		}
+		// Sample line: name or name{labels}, value.
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series, value := line[:sp], line[sp+1:]
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				if f, ok := fams[strings.TrimSuffix(name, suffix)]; ok && f.typ > 0 {
+					base = strings.TrimSuffix(name, suffix)
+				}
+			}
+		}
+		if _, ok := fams[base]; !ok {
+			t.Errorf("sample %q has no declared family", line)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			// Strip the le label to group one bucket run.
+			prefix := series
+			if i := strings.Index(series, `le="`); i >= 0 {
+				j := strings.IndexByte(series[i+4:], '"')
+				prefix = series[:i] + series[i+4+j+1:]
+			}
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", value, err)
+			}
+			bucketRuns[prefix] = append(bucketRuns[prefix], n)
+		}
+	}
+	for name, f := range fams {
+		if f.help != 1 || f.typ != 1 {
+			t.Errorf("family %s has %d HELP and %d TYPE lines, want exactly 1 each", name, f.help, f.typ)
+		}
+	}
+	for prefix, run := range bucketRuns {
+		for i := 1; i < len(run); i++ {
+			if run[i] < run[i-1] {
+				t.Errorf("bucket run %s not monotone: %v", prefix, run)
+			}
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs by state.", `state="done"`).Add(3)
+	r.Counter("jobs_total", "Jobs by state.", `state="failed"`).Inc()
+	r.Gauge("depth", "Queue depth.", "").Set(2)
+	r.GaugeFunc("ratio", "A computed ratio.", "", func() float64 { return 0.5 })
+	h := r.Histogram("lat_seconds", "Latency.", `det="sp+"`, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs by state.",
+		"# TYPE jobs_total counter",
+		`jobs_total{state="done"} 3`,
+		`jobs_total{state="failed"} 1`,
+		"depth 2",
+		"ratio 0.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{det="sp+",le="0.1"} 1`,
+		`lat_seconds_bucket{det="sp+",le="1"} 1`,
+		`lat_seconds_bucket{det="sp+",le="+Inf"} 2`,
+		`lat_seconds_sum{det="sp+"} 5.05`,
+		`lat_seconds_count{det="sp+"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	parseExposition(t, text)
+
+	// Determinism: a second render of the same state is byte-identical.
+	var buf2 bytes.Buffer
+	r.WritePrometheus(&buf2)
+	if buf.String() != buf2.String() {
+		t.Error("two renders of one state differ")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "h", "").Add(7)
+	r.Histogram("b_seconds", "h", `x="y"`, []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if snap["a_total"] != uint64(7) {
+		t.Fatalf("snapshot a_total = %v", snap["a_total"])
+	}
+	if snap[`b_seconds_count{x="y"}`] != uint64(1) {
+		t.Fatalf("snapshot histogram count = %v", snap[`b_seconds_count{x="y"}`])
+	}
+}
+
+func TestEventCountsArgsAndTotal(t *testing.T) {
+	c := EventCounts{FrameEnters: 2, Loads: 5, BagOps: 9}
+	if c.Total() != 7 {
+		t.Fatalf("Total = %d, want 7 (bookkeeping classes excluded)", c.Total())
+	}
+	args := c.Args()
+	if len(args) != 3 {
+		t.Fatalf("Args = %v, want 3 non-zero entries", args)
+	}
+	if args[0].Key != "frameEnters" || fmt.Sprint(args[0].Value) != "2" {
+		t.Fatalf("Args[0] = %v", args[0])
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cilk"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // pair is one (offset, span) label component.
@@ -110,12 +111,16 @@ type Detector struct {
 	maxLen   int
 	labelSum int
 	labels   int
+
+	counts obs.EventCounts
+	events int64 // ordinal of the event being processed (1-based)
 }
 
 type shadowEntry struct {
 	l     label
 	frame cilk.FrameID
 	name  string
+	event int64 // detector-relative ordinal of the access, for provenance
 }
 
 // New returns a fresh offset-span detector.
@@ -159,6 +164,8 @@ func (d *Detector) top() *frameRec { return d.stack[len(d.stack)-1] }
 // spawned child — with the parent moving to the (1,2) continuation — and
 // the caller's own label for a called child.
 func (d *Detector) FrameEnter(f *cilk.Frame) {
+	d.events++
+	d.counts.FrameEnters++
 	rec := &frameRec{id: f.ID, label: f.Label}
 	if len(d.stack) == 0 {
 		rec.cur = d.track(label{{off: 0, span: 1}})
@@ -178,6 +185,8 @@ func (d *Detector) FrameEnter(f *cilk.Frame) {
 // FrameReturn pops the child; a called child's final label becomes the
 // caller's (series), a spawned child's dies with it.
 func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	d.events++
+	d.counts.FrameReturns++
 	grec := d.top()
 	d.stack = d.stack[:len(d.stack)-1]
 	if !g.Spawned {
@@ -194,6 +203,8 @@ func (d *Detector) FrameReturn(g, f *cilk.Frame) {
 // last offset grows monotonically through the block, so the bump is
 // ordered after every label the block issued.
 func (d *Detector) Sync(f *cilk.Frame) {
+	d.events++
+	d.counts.Syncs++
 	rec := d.top()
 	prefix := rec.cur[:len(rec.base)]
 	rec.cur = d.track(prefix.bump())
@@ -203,27 +214,35 @@ func (d *Detector) Sync(f *cilk.Frame) {
 // Load implements the read rule (single-reader shadow, as in the serial
 // SP-bags discipline).
 func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
+	d.events++
+	d.counts.Loads++
+	d.counts.ShadowLookups += 2
 	rec := d.top()
 	if w, ok := d.writer[a]; ok && !ordered(w.l, rec.cur) {
 		d.report.Add(core.Race{
 			Kind: core.Determinacy, Addr: a,
 			First:  core.Access{Frame: w.frame, Label: w.name, Op: core.OpWrite},
 			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpRead},
+			Prov:   core.Provenance{FirstEvent: w.event, SecondEvent: d.events, Relation: "unordered labels"},
 		})
 	}
 	if r, ok := d.reader[a]; !ok || ordered(r.l, rec.cur) {
-		d.reader[a] = shadowEntry{l: rec.cur, frame: rec.id, name: rec.label}
+		d.reader[a] = shadowEntry{l: rec.cur, frame: rec.id, name: rec.label, event: d.events}
 	}
 }
 
 // Store implements the write rule.
 func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
+	d.events++
+	d.counts.Stores++
+	d.counts.ShadowLookups += 2
 	rec := d.top()
 	if r, ok := d.reader[a]; ok && !ordered(r.l, rec.cur) {
 		d.report.Add(core.Race{
 			Kind: core.Determinacy, Addr: a,
 			First:  core.Access{Frame: r.frame, Label: r.name, Op: core.OpRead},
 			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpWrite},
+			Prov:   core.Provenance{FirstEvent: r.event, SecondEvent: d.events, Relation: "unordered labels"},
 		})
 	}
 	w, ok := d.writer[a]
@@ -232,10 +251,11 @@ func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
 			Kind: core.Determinacy, Addr: a,
 			First:  core.Access{Frame: w.frame, Label: w.name, Op: core.OpWrite},
 			Second: core.Access{Frame: rec.id, Label: rec.label, Op: core.OpWrite},
+			Prov:   core.Provenance{FirstEvent: w.event, SecondEvent: d.events, Relation: "unordered labels"},
 		})
 	}
 	if !ok || ordered(w.l, rec.cur) {
-		d.writer[a] = shadowEntry{l: rec.cur, frame: rec.id, name: rec.label}
+		d.writer[a] = shadowEntry{l: rec.cur, frame: rec.id, name: rec.label, event: d.events}
 	}
 }
 
@@ -243,3 +263,6 @@ var (
 	_ core.Detector = (*Detector)(nil)
 	_ cilk.Hooks    = (*Detector)(nil)
 )
+
+// EventCounts implements core.EventCountsProvider.
+func (d *Detector) EventCounts() obs.EventCounts { return d.counts }

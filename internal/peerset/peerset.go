@@ -31,6 +31,7 @@ import (
 	"repro/internal/cilk"
 	"repro/internal/core"
 	"repro/internal/dsu"
+	"repro/internal/obs"
 )
 
 type bagKind int8
@@ -64,7 +65,8 @@ type readerInfo struct {
 	elem  dsu.Elem
 	frame cilk.FrameID
 	label string
-	s     int // spawn count of the reader at the read
+	s     int   // spawn count of the reader at the read
+	event int64 // detector-relative ordinal of the read, for provenance
 }
 
 // Detector runs the Peer-Set algorithm over the cilk event stream. It must
@@ -77,6 +79,9 @@ type Detector struct {
 	reader map[*cilk.Reducer]readerInfo
 	lin    core.Lineage
 	report core.Report
+
+	counts obs.EventCounts
+	events int64 // ordinal of the event being processed (1-based)
 }
 
 // New returns a fresh Peer-Set detector.
@@ -97,6 +102,7 @@ func (d *Detector) newBag(k bagKind) *bag { return &bag{kind: k, root: dsu.None}
 
 // addToBag inserts a fresh forest element for rec into b.
 func (d *Detector) addToBag(b *bag, e dsu.Elem) {
+	d.counts.BagOps++
 	if b.root == dsu.None {
 		b.root = e
 		d.forest.SetPayload(e, b)
@@ -110,6 +116,7 @@ func (d *Detector) unionInto(dst, src *bag) {
 	if src.root == dsu.None {
 		return
 	}
+	d.counts.BagOps++
 	if dst.root == dsu.None {
 		dst.root = src.root
 		d.forest.SetPayload(src.root, dst)
@@ -123,6 +130,8 @@ func (d *Detector) top() *frameRec { return d.stack[len(d.stack)-1] }
 
 // FrameEnter implements the "F calls or spawns G" case of Figure 3.
 func (d *Detector) FrameEnter(f *cilk.Frame) {
+	d.events++
+	d.counts.FrameEnters++
 	rec := &frameRec{id: f.ID, label: f.Label}
 	if len(d.stack) > 0 {
 		parent := d.top()
@@ -150,6 +159,8 @@ func (d *Detector) FrameEnter(f *cilk.Frame) {
 
 // FrameReturn implements the "G returns to F" case of Figure 3.
 func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	d.events++
+	d.counts.FrameReturns++
 	if len(d.stack) < 2 {
 		panic(core.Violatef("peerset", core.StreamOrder, g.ID,
 			"return of frame %d with %d frames on the stack", g.ID, len(d.stack)))
@@ -186,6 +197,8 @@ func (d *Detector) FrameReturn(g, f *cilk.Frame) {
 
 // Sync implements the "F syncs" case of Figure 3.
 func (d *Detector) Sync(f *cilk.Frame) {
+	d.events++
+	d.counts.Syncs++
 	if len(d.stack) == 0 {
 		panic(core.Violatef("peerset", core.StreamOrder, f.ID, "sync before any frame entered"))
 	}
@@ -201,11 +214,15 @@ func (d *Detector) Sync(f *cilk.Frame) {
 // ReducerCreate treats reducer creation as a reducer-read (§3 defines
 // reducer-reads as creating, resetting, or querying the reducer).
 func (d *Detector) ReducerCreate(f *cilk.Frame, r *cilk.Reducer) {
+	d.events++
+	d.counts.ReducerCreates++
 	d.readReducer(f, r)
 }
 
 // ReducerRead handles set_value and get_value reducer-reads.
 func (d *Detector) ReducerRead(f *cilk.Frame, r *cilk.Reducer) {
+	d.events++
+	d.counts.ReducerReads++
 	d.readReducer(f, r)
 }
 
@@ -220,9 +237,17 @@ func (d *Detector) readReducer(f *cilk.Frame, r *cilk.Reducer) {
 			"read frame mismatch: reading in %v, top is %v", f.ID, rec.id))
 	}
 	s := rec.as + rec.ls
+	d.counts.ShadowLookups++
 	if prev, ok := d.reader[r]; ok {
 		b := d.forest.Payload(prev.elem).(*bag)
 		if b.kind == kindP || prev.s != s {
+			// Lemma 2 vs Lemma 3: the prior reader either fell into a P bag
+			// (some ancestor spawned past it) or sits in an SS/SP bag with a
+			// different spawn count; name whichever rule fired.
+			relation := "spawn-count mismatch"
+			if b.kind == kindP {
+				relation = "reader in P-bag"
+			}
 			d.report.Add(core.Race{
 				Kind:    core.ViewRead,
 				Reducer: r.Name,
@@ -234,10 +259,15 @@ func (d *Detector) readReducer(f *cilk.Frame, r *cilk.Reducer) {
 					Frame: rec.id, Label: rec.label,
 					Path: d.lin.Path(int32(rec.elem)), Op: core.OpReducerRead,
 				},
+				Prov: core.Provenance{
+					FirstEvent:  prev.event,
+					SecondEvent: d.events,
+					Relation:    relation,
+				},
 			})
 		}
 	}
-	d.reader[r] = readerInfo{elem: rec.elem, frame: rec.id, label: rec.label, s: s}
+	d.reader[r] = readerInfo{elem: rec.elem, frame: rec.id, label: rec.label, s: s, event: d.events}
 }
 
 // The algorithm is oblivious to raw memory traffic; the embedded cilk.Empty
@@ -253,3 +283,8 @@ func (d *Detector) Stats() core.Stats {
 	finds, unions := d.forest.Stats()
 	return core.Stats{Elems: d.forest.Len(), Finds: finds, Unions: unions}
 }
+
+// EventCounts implements core.EventCountsProvider. Peer-Set is oblivious
+// to memory traffic and view boundaries, so only the control and reducer
+// classes (and bag/shadow bookkeeping) accumulate.
+func (d *Detector) EventCounts() obs.EventCounts { return d.counts }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cilk"
 	"repro/internal/core"
 	"repro/internal/ehlabel"
+	"repro/internal/obs"
 	"repro/internal/offsetspan"
 	"repro/internal/peerset"
 	"repro/internal/sched"
@@ -85,6 +86,9 @@ type Config struct {
 	// guard) before the run — the seam the fault-injection harness uses
 	// to perturb the stream a detector sees.
 	Wrap func(cilk.Hooks) cilk.Hooks
+	// Trace, when set, collects a span per run phase (nil disables span
+	// collection at zero cost — the obs nil fast path).
+	Trace *obs.Trace
 }
 
 // Outcome reports one analysed run.
@@ -98,6 +102,8 @@ type Outcome struct {
 	// Replay is the textual steal specification reproducing this
 	// schedule, reported alongside races for regression testing (§8).
 	Replay string
+	// Counts is the detector's per-event-class accounting when available.
+	Counts obs.EventCounts
 	// All holds the per-detector outcomes of an All run, in AllDetectors
 	// order. Report and Stats mirror the first entry so callers that only
 	// look at the merged Outcome still see a verdict.
@@ -109,6 +115,7 @@ type DetectorOutcome struct {
 	Detector DetectorName
 	Report   *core.Report
 	Stats    core.Stats
+	Counts   obs.EventCounts
 }
 
 // NewDetector constructs a fresh instance of the named detector. The two
@@ -179,6 +186,7 @@ func Run(prog func(*cilk.Ctx), cfg Config) (out *Outcome, err error) {
 			err = streamerr.FromPanic("rader", p)
 		}
 	}()
+	span := cfg.Trace.Start("run:" + string(cfg.Detector))
 	start := time.Now()
 	res := cilk.Run(prog, cilk.Config{Spec: cfg.Spec, Hooks: hooks})
 	dur := time.Since(start)
@@ -188,12 +196,19 @@ func Run(prog func(*cilk.Ctx), cfg Config) (out *Outcome, err error) {
 		Duration: dur,
 		Replay:   sched.Format(sched.FromSteals(res.Steals, orderOf(cfg.Spec))),
 	}
+	span.Arg("frames", res.Frames).Arg("spawns", res.Spawns).
+		Arg("loads", res.Loads).Arg("stores", res.Stores)
 	if det != nil {
 		out.Report = det.Report()
 		if sp, ok := det.(core.StatsProvider); ok {
 			out.Stats = sp.Stats()
 		}
+		if ec, ok := det.(core.EventCountsProvider); ok {
+			out.Counts = ec.EventCounts()
+		}
+		span.Arg("races", out.Report.Distinct())
 	}
+	span.End()
 	return out, nil
 }
 
@@ -231,6 +246,7 @@ func RunDetectors(prog func(*cilk.Ctx), names []DetectorName, cfg Config) (out *
 			err = streamerr.FromPanic("rader", p)
 		}
 	}()
+	span := cfg.Trace.Start("run:all")
 	start := time.Now()
 	res := cilk.Run(prog, cilk.Config{Spec: cfg.Spec, Hooks: hooks})
 	dur := time.Since(start)
@@ -241,16 +257,30 @@ func RunDetectors(prog func(*cilk.Ctx), names []DetectorName, cfg Config) (out *
 		Replay:   sched.Format(sched.FromSteals(res.Steals, orderOf(cfg.Spec))),
 		All:      make([]DetectorOutcome, len(dets)),
 	}
+	span.Arg("frames", res.Frames).Arg("spawns", res.Spawns).
+		Arg("loads", res.Loads).Arg("stores", res.Stores).End()
 	for i, det := range dets {
+		// The fan-out shares one execution, so per-detector wall time is
+		// not separable; each detector still gets a zero-length span at the
+		// collection point carrying its verdict and event accounting.
+		dspan := cfg.Trace.Start("detector:" + det.Name())
 		do := DetectorOutcome{Detector: names[i], Report: det.Report()}
 		if sp, ok := det.(core.StatsProvider); ok {
 			do.Stats = sp.Stats()
 		}
+		if ec, ok := det.(core.EventCountsProvider); ok {
+			do.Counts = ec.EventCounts()
+			for _, a := range do.Counts.Args() {
+				dspan.Arg(a.Key, a.Value)
+			}
+		}
+		dspan.Arg("races", do.Report.Distinct()).End()
 		out.All[i] = do
 	}
 	if len(out.All) > 0 {
 		out.Report = out.All[0].Report
 		out.Stats = out.All[0].Stats
+		out.Counts = out.All[0].Counts
 	}
 	return out, nil
 }
@@ -332,6 +362,10 @@ type SweepOptions struct {
 	// specification index — the fault-injection seam. Index -1 is the
 	// Peer-Set pass.
 	Wrap func(index int, spec cilk.StealSpec, hooks cilk.Hooks) cilk.Hooks
+	// Trace, when set, collects per-phase spans: "profile", "peer-set",
+	// one "spec:<name>" per sweep unit (on the worker's lane), and
+	// "collect" for the merge. Nil disables collection at zero cost.
+	Trace *obs.Trace
 }
 
 // Coverage performs the paper's full §7 check of an ostensibly
@@ -376,7 +410,9 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 
 	cr := &CoverageResult{ViewReads: &core.Report{}}
 
+	pspan := opts.Trace.Start("profile")
 	profile, err := measure(factory)
+	pspan.End()
 	if err != nil {
 		// Without a profile there is no specification family to sweep;
 		// report the single failure and return an empty (but non-nil)
@@ -397,10 +433,12 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 	// standalone pass remains for wrapped sweeps and spec-less programs.
 	piggyback := opts.Wrap == nil && len(specs) > 0
 	if !piggyback {
+		psSpan := opts.Trace.Start("peer-set")
 		ps, err := Run(factory(), Config{
 			Detector: PeerSet, EventBudget: opts.EventBudget, Deadline: deadline,
 			Wrap: wrapFor(-1, nil),
 		})
+		psSpan.End()
 		if err != nil {
 			cr.Failures = append(cr.Failures, SpecFailure{Spec: "peer-set", Err: err})
 		} else {
@@ -420,14 +458,16 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for i := range next {
 				name := sched.Format(specs[i])
+				span := opts.Trace.StartTID(lane, "spec:"+name)
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					results[i] = specResult{spec: name, err: streamerr.Errorf(
 						"rader", streamerr.KindDeadline,
 						"sweep deadline exceeded before specification ran")}
+					span.Arg("skipped", "deadline").End()
 					continue
 				}
 				if piggyback && i == 0 {
@@ -437,6 +477,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 					})
 					if err != nil {
 						results[i] = specResult{spec: name, err: err}
+						span.Arg("error", err.Error()).End()
 						continue
 					}
 					results[i] = specResult{
@@ -445,6 +486,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 						total:     out.All[1].Report.Total(),
 						viewReads: out.All[0].Report,
 					}
+					span.Arg("races", out.All[1].Report.Distinct()).End()
 					continue
 				}
 				out, err := Run(factory(), Config{
@@ -454,6 +496,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 				})
 				if err != nil {
 					results[i] = specResult{spec: name, err: err}
+					span.Arg("error", err.Error()).End()
 					continue
 				}
 				results[i] = specResult{
@@ -461,8 +504,9 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 					races: out.Report.Races(),
 					total: out.Report.Total(),
 				}
+				span.Arg("races", out.Report.Distinct()).End()
 			}
-		}()
+		}(w + 1)
 	}
 	for i := range specs {
 		next <- i
@@ -470,6 +514,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 	close(next)
 	wg.Wait()
 
+	cspan := opts.Trace.Start("collect")
 	seen := make(map[string]bool)
 	for i, res := range results {
 		if res.err != nil {
@@ -495,6 +540,8 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 		}
 	}
 	cr.sortCanonical()
+	cspan.Arg("specs", cr.SpecsRun).Arg("races", len(cr.Races)).
+		Arg("failures", len(cr.Failures)).End()
 	return cr
 }
 

@@ -25,7 +25,8 @@ import (
 )
 
 // Schema is the current schema version, carried by every document.
-const Schema = 1
+// Version 2 added the per-race provenance section.
+const Schema = 2
 
 // Access is one side of a race.
 type Access struct {
@@ -38,13 +39,23 @@ type Access struct {
 	VID       int64  `json:"vid,omitempty"`
 }
 
+// Provenance explains why the detector reported the race: the SP relation
+// (or label rule) that fired and the detector-relative event ordinals of
+// the two sides (see core.Provenance for the ordinal contract).
+type Provenance struct {
+	FirstEvent  int64  `json:"firstEvent,omitempty"`
+	SecondEvent int64  `json:"secondEvent,omitempty"`
+	Relation    string `json:"relation"`
+}
+
 // Race is one detected race.
 type Race struct {
-	Kind    string `json:"kind"`
-	Addr    uint64 `json:"addr,omitempty"`
-	Reducer string `json:"reducer,omitempty"`
-	First   Access `json:"first"`
-	Second  Access `json:"second"`
+	Kind       string      `json:"kind"`
+	Addr       uint64      `json:"addr,omitempty"`
+	Reducer    string      `json:"reducer,omitempty"`
+	First      Access      `json:"first"`
+	Second     Access      `json:"second"`
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
 // String renders a one-line human summary, used by the remote client's
@@ -98,6 +109,13 @@ func fromRace(r core.Race) Race {
 	}
 	if r.Kind == core.Determinacy {
 		out.Addr = uint64(r.Addr)
+	}
+	if r.Prov != (core.Provenance{}) {
+		out.Provenance = &Provenance{
+			FirstEvent:  r.Prov.FirstEvent,
+			SecondEvent: r.Prov.SecondEvent,
+			Relation:    r.Prov.Relation,
+		}
 	}
 	return out
 }

@@ -49,12 +49,15 @@ func fixedReport() *core.Report {
 		Reducer: "sum",
 		First:   core.Access{Frame: 3, Label: "u", Path: "main>u", Op: core.OpReducerRead},
 		Second:  core.Access{Frame: 1, Label: "main", Path: "main", Op: core.OpReducerRead},
+		Prov:    core.Provenance{FirstEvent: 5, SecondEvent: 9, Relation: "reader in P-bag"},
 	})
 	rp.Add(core.Race{
 		Kind:   core.Determinacy,
 		Addr:   0x2a,
 		First:  core.Access{Frame: 4, Label: "w", Op: core.OpWrite},
 		Second: core.Access{Frame: 1, Label: "main", Op: core.OpRead, ViewAware: true, ViewOp: cilk.OpUpdate, VID: 7},
+		// FirstEvent omitted: the golden also pins the unknown-ordinal rule.
+		Prov: core.Provenance{SecondEvent: 12, Relation: "writer on parallel view"},
 	})
 	// A duplicate report of the first race bumps Total past Distinct.
 	rp.Add(core.Race{

@@ -3,155 +3,147 @@ package service
 import (
 	"fmt"
 	"io"
-	"sort"
-	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds, spanning
-// sub-millisecond corpus replays through multi-second bench sweeps.
-var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
-
-// hist is a fixed-bucket latency histogram in the Prometheus cumulative
-// style. Guarded by the owning metrics mutex.
-type hist struct {
-	counts []uint64 // one per bucket plus +Inf
-	sum    float64
-	n      uint64
+// knownDetectors is the closed label set for per-detector series. Detector
+// names reaching metrics.done are already validated by rader.ParseDetector
+// (plus the internal "sweep" pseudo-detector), but the exposition guards
+// its own cardinality anyway: a future call site forwarding raw client
+// input must not be able to mint unbounded label values.
+var knownDetectors = map[string]bool{
+	"none": true, "empty": true, "peer-set": true, "sp-bags": true,
+	"sp+": true, "offset-span": true, "english-hebrew": true, "all": true,
+	"sweep": true,
 }
 
-func newHist() *hist { return &hist{counts: make([]uint64, len(latencyBuckets)+1)} }
-
-func (h *hist) observe(seconds float64) {
-	h.sum += seconds
-	h.n++
-	for i, ub := range latencyBuckets {
-		if seconds <= ub {
-			h.counts[i]++
-		}
+// sanitizeDetector folds unknown detector names into "other".
+func sanitizeDetector(d string) string {
+	if knownDetectors[d] {
+		return d
 	}
-	h.counts[len(latencyBuckets)]++
+	return "other"
 }
 
-// metrics is the daemon's instrumentation: job counters, cache traffic,
-// event throughput, and per-detector latency histograms, rendered in
-// Prometheus text exposition format by write.
+// Request phases instrumented by raderd_phase_latency_seconds.
+const (
+	phaseQueue  = "queue"  // admission to worker-slot acquisition
+	phaseRun    = "run"    // the analysis itself
+	phaseEncode = "encode" // marshaling the verdict document
+)
+
+// metrics is the daemon's instrumentation, an obs.Registry rendering the
+// same Prometheus exposition the hand-rolled implementation produced
+// (family order, label shapes and value formats are pinned by
+// TestMetricsExpositionFormat). Scrape-time gauges — queue depth, worker
+// occupancy, cache residency, sweep-job states — are registered as
+// GaugeFuncs over state owned by the pool, cache and job table.
 type metrics struct {
-	mu          sync.Mutex
-	jobsDone    uint64
-	jobsFailed  uint64
-	jobsShed    uint64 // rejected with 429 at admission
-	cacheHits   uint64
-	cacheMisses uint64
-	events      uint64 // total events replayed/analyzed
-	lastEPS     float64
-	perDetector map[string]*hist
+	reg *obs.Registry
+
+	jobsDone    *obs.Counter
+	jobsFailed  *obs.Counter
+	jobsShed    *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	events      *obs.Counter
+	lastEPS     *obs.Gauge
+
+	phase map[string]*obs.Histogram
 }
 
-func newMetrics() *metrics {
-	return &metrics{perDetector: make(map[string]*hist)}
+// newMetrics builds the registry. The pool/cache/jobs closures feed the
+// scrape-time gauges; registration order fixes the exposition order.
+func newMetrics(pool *pool, cache *resultCache, jobs *jobTable) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+
+	m.jobsDone = reg.Counter("raderd_jobs_total",
+		"Analysis requests by final disposition.", `state="done"`)
+	m.jobsFailed = reg.Counter("raderd_jobs_total",
+		"Analysis requests by final disposition.", `state="failed"`)
+	m.jobsShed = reg.Counter("raderd_jobs_total",
+		"Analysis requests by final disposition.", `state="rejected"`)
+
+	reg.GaugeFunc("raderd_queue_depth",
+		"Requests admitted but waiting for a worker.", "", func() float64 {
+			if q := pool.admitted() - pool.running(); q > 0 {
+				return float64(q)
+			}
+			return 0
+		})
+	reg.GaugeFunc("raderd_workers_busy", "Analyses executing now.", "",
+		func() float64 { return float64(pool.running()) })
+	reg.GaugeFunc("raderd_workers", "Configured worker-pool size.", "",
+		func() float64 { return float64(pool.workers()) })
+
+	m.cacheHits = reg.Counter("raderd_cache_hits_total",
+		"Analyses served from the digest-addressed cache.", "")
+	m.cacheMisses = reg.Counter("raderd_cache_misses_total",
+		"Analyses that had to run.", "")
+	reg.GaugeFunc("raderd_cache_hit_ratio", "Hits over lookups since start.", "",
+		func() float64 {
+			hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+			if lookups := hits + misses; lookups > 0 {
+				return float64(hits) / float64(lookups)
+			}
+			return 0
+		})
+	reg.GaugeFunc("raderd_cache_entries", "Resident cache entries.", "",
+		func() float64 { return float64(cache.len()) })
+
+	m.events = reg.Counter("raderd_events_total",
+		"Trace events consumed by completed analyses.", "")
+	m.lastEPS = reg.Gauge("raderd_events_per_second",
+		"Throughput of the most recent event-counted analysis.", "")
+
+	for _, st := range []string{"queued", "running", "done", "failed"} {
+		st := st
+		reg.GaugeFunc("raderd_sweep_jobs", "Coverage-sweep jobs by state.",
+			fmt.Sprintf("state=%q", st),
+			func() float64 { return float64(jobs.states()[st]) })
+	}
+
+	m.phase = make(map[string]*obs.Histogram, 3)
+	for _, ph := range []string{phaseQueue, phaseRun, phaseEncode} {
+		m.phase[ph] = reg.Histogram("raderd_phase_latency_seconds",
+			"Wall time of analyze-request phases.",
+			fmt.Sprintf("phase=%q", ph), nil)
+	}
+	return m
 }
 
-func (m *metrics) hit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
-func (m *metrics) miss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
-func (m *metrics) shed() { m.mu.Lock(); m.jobsShed++; m.mu.Unlock() }
-func (m *metrics) fail() { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
+func (m *metrics) hit()  { m.cacheHits.Inc() }
+func (m *metrics) miss() { m.cacheMisses.Inc() }
+func (m *metrics) shed() { m.jobsShed.Inc() }
+func (m *metrics) fail() { m.jobsFailed.Inc() }
+
+// observePhase records one request phase's wall time.
+func (m *metrics) observePhase(phase string, d time.Duration) {
+	m.phase[phase].Observe(d.Seconds())
+}
 
 // done records one completed analysis: its detector, wall time and event
 // count (0 when the run was live and uncounted).
 func (m *metrics) done(detector string, d time.Duration, events int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.jobsDone++
-	m.events += uint64(events)
+	m.jobsDone.Inc()
+	m.events.Add(uint64(events))
 	if s := d.Seconds(); s > 0 && events > 0 {
-		m.lastEPS = float64(events) / s
+		m.lastEPS.Set(float64(events) / s)
 	}
-	h, ok := m.perDetector[detector]
-	if !ok {
-		h = newHist()
-		m.perDetector[detector] = h
-	}
-	h.observe(d.Seconds())
+	h := m.reg.Histogram("raderd_analyze_latency_seconds",
+		"Wall time of completed analyses by detector.",
+		fmt.Sprintf("detector=%q", sanitizeDetector(detector)), nil)
+	h.Observe(d.Seconds())
 }
 
 // snapshotHits returns the current cache-hit count (tests poll it).
-func (m *metrics) snapshotHits() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.cacheHits
-}
+func (m *metrics) snapshotHits() uint64 { return m.cacheHits.Load() }
 
-// write renders the exposition document. Gauges that live outside this
-// struct (queue depth, worker occupancy, cache residency, sweep-job
-// states) are passed in by the handler so metrics stays free of back
-// references.
-func (m *metrics) write(w io.Writer, queueDepth, busy, workers, cacheLen int, sweepStates map[string]int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// write renders the exposition document.
+func (m *metrics) write(w io.Writer) { m.reg.WritePrometheus(w) }
 
-	fmt.Fprintln(w, "# HELP raderd_jobs_total Analysis requests by final disposition.")
-	fmt.Fprintln(w, "# TYPE raderd_jobs_total counter")
-	fmt.Fprintf(w, "raderd_jobs_total{state=\"done\"} %d\n", m.jobsDone)
-	fmt.Fprintf(w, "raderd_jobs_total{state=\"failed\"} %d\n", m.jobsFailed)
-	fmt.Fprintf(w, "raderd_jobs_total{state=\"rejected\"} %d\n", m.jobsShed)
-
-	fmt.Fprintln(w, "# HELP raderd_queue_depth Requests admitted but waiting for a worker.")
-	fmt.Fprintln(w, "# TYPE raderd_queue_depth gauge")
-	fmt.Fprintf(w, "raderd_queue_depth %d\n", queueDepth)
-	fmt.Fprintln(w, "# HELP raderd_workers_busy Analyses executing now.")
-	fmt.Fprintln(w, "# TYPE raderd_workers_busy gauge")
-	fmt.Fprintf(w, "raderd_workers_busy %d\n", busy)
-	fmt.Fprintln(w, "# HELP raderd_workers Configured worker-pool size.")
-	fmt.Fprintln(w, "# TYPE raderd_workers gauge")
-	fmt.Fprintf(w, "raderd_workers %d\n", workers)
-
-	fmt.Fprintln(w, "# HELP raderd_cache_hits_total Analyses served from the digest-addressed cache.")
-	fmt.Fprintln(w, "# TYPE raderd_cache_hits_total counter")
-	fmt.Fprintf(w, "raderd_cache_hits_total %d\n", m.cacheHits)
-	fmt.Fprintln(w, "# HELP raderd_cache_misses_total Analyses that had to run.")
-	fmt.Fprintln(w, "# TYPE raderd_cache_misses_total counter")
-	fmt.Fprintf(w, "raderd_cache_misses_total %d\n", m.cacheMisses)
-	fmt.Fprintln(w, "# HELP raderd_cache_hit_ratio Hits over lookups since start.")
-	fmt.Fprintln(w, "# TYPE raderd_cache_hit_ratio gauge")
-	ratio := 0.0
-	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
-		ratio = float64(m.cacheHits) / float64(lookups)
-	}
-	fmt.Fprintf(w, "raderd_cache_hit_ratio %g\n", ratio)
-	fmt.Fprintln(w, "# HELP raderd_cache_entries Resident cache entries.")
-	fmt.Fprintln(w, "# TYPE raderd_cache_entries gauge")
-	fmt.Fprintf(w, "raderd_cache_entries %d\n", cacheLen)
-
-	fmt.Fprintln(w, "# HELP raderd_events_total Trace events consumed by completed analyses.")
-	fmt.Fprintln(w, "# TYPE raderd_events_total counter")
-	fmt.Fprintf(w, "raderd_events_total %d\n", m.events)
-	fmt.Fprintln(w, "# HELP raderd_events_per_second Throughput of the most recent event-counted analysis.")
-	fmt.Fprintln(w, "# TYPE raderd_events_per_second gauge")
-	fmt.Fprintf(w, "raderd_events_per_second %g\n", m.lastEPS)
-
-	fmt.Fprintln(w, "# HELP raderd_sweep_jobs Coverage-sweep jobs by state.")
-	fmt.Fprintln(w, "# TYPE raderd_sweep_jobs gauge")
-	for _, st := range []string{"queued", "running", "done", "failed"} {
-		fmt.Fprintf(w, "raderd_sweep_jobs{state=%q} %d\n", st, sweepStates[st])
-	}
-
-	fmt.Fprintln(w, "# HELP raderd_analyze_latency_seconds Wall time of completed analyses by detector.")
-	fmt.Fprintln(w, "# TYPE raderd_analyze_latency_seconds histogram")
-	dets := make([]string, 0, len(m.perDetector))
-	for d := range m.perDetector {
-		dets = append(dets, d)
-	}
-	sort.Strings(dets)
-	for _, d := range dets {
-		h := m.perDetector[d]
-		for i, ub := range latencyBuckets {
-			fmt.Fprintf(w, "raderd_analyze_latency_seconds_bucket{detector=%q,le=%q} %d\n", d, trimFloat(ub), h.counts[i])
-		}
-		fmt.Fprintf(w, "raderd_analyze_latency_seconds_bucket{detector=%q,le=\"+Inf\"} %d\n", d, h.counts[len(latencyBuckets)])
-		fmt.Fprintf(w, "raderd_analyze_latency_seconds_sum{detector=%q} %g\n", d, h.sum)
-		fmt.Fprintf(w, "raderd_analyze_latency_seconds_count{detector=%q} %d\n", d, h.n)
-	}
-}
-
-func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+// snapshot returns the flat series map for /debug/vars export.
+func (m *metrics) snapshot() map[string]any { return m.reg.Snapshot() }

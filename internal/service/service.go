@@ -33,8 +33,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cilk"
@@ -67,6 +70,9 @@ type Config struct {
 	// Programs adds (or overrides) named programs on top of the built-in
 	// figures, corpus entries and benchmarks. Tests use this seam.
 	Programs map[string]Program
+	// Logger receives structured request logs (one line per analyze or
+	// sweep request, tagged with a per-request ID). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.SweepWorkers < 1 {
 		c.SweepWorkers = c.Workers
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -108,19 +117,60 @@ type Server struct {
 	metrics  *metrics
 	jobs     *jobTable
 	programs *registry
+	log      *slog.Logger
+	reqID    atomic.Uint64
 }
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	pool := newPool(cfg.Workers, cfg.QueueDepth)
+	cache := newResultCache(cfg.CacheEntries)
+	jobs := newJobTable(cfg.KeepJobs)
 	return &Server{
 		cfg:      cfg,
-		pool:     newPool(cfg.Workers, cfg.QueueDepth),
-		cache:    newResultCache(cfg.CacheEntries),
-		metrics:  newMetrics(),
-		jobs:     newJobTable(cfg.KeepJobs),
+		pool:     pool,
+		cache:    cache,
+		metrics:  newMetrics(pool, cache, jobs),
+		jobs:     jobs,
 		programs: &registry{extra: cfg.Programs},
+		log:      cfg.Logger,
 	}
+}
+
+// nextReqID mints a per-request log tag, unique within this Server.
+func (s *Server) nextReqID(kind string) string {
+	return fmt.Sprintf("%s-%d", kind, s.reqID.Add(1))
+}
+
+// MetricsSnapshot returns the current metric series as a flat map, the
+// form cmd/raderd publishes on /debug/vars.
+func (s *Server) MetricsSnapshot() map[string]any { return s.metrics.snapshot() }
+
+// retryAfterHint estimates, in whole seconds, how long a shed client
+// should wait before retrying: roughly one "drain interval" per queued
+// request per worker, at least 1 and capped so a deep queue never tells
+// clients to go away for minutes.
+func retryAfterHint(queued, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	hint := (queued + workers) / workers // ceil(queued/workers), min 1
+	if hint < 1 {
+		hint = 1
+	}
+	if hint > 30 {
+		hint = 30
+	}
+	return hint
+}
+
+// shed rejects a request with 429 plus a computed Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, format string, a ...any) {
+	s.metrics.shed()
+	queued := s.pool.admitted() - s.pool.running()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterHint(queued, s.pool.workers())))
+	writeErr(w, http.StatusTooManyRequests, format, a...)
 }
 
 // Handler returns the service's HTTP routes.
@@ -312,8 +362,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if unit == nil {
 		return
 	}
+	id := s.nextReqID("analyze")
+	log := s.log.With("req", id, "detector", string(unit.detector), "digest", unit.digest)
 	if hit, ok := s.cache.get(unit.key()); ok {
 		s.metrics.hit()
+		log.Info("analyze served from cache", "clean", hit.clean)
 		writeJSON(w, http.StatusOK, AnalyzeResponse{
 			Digest:   hit.digest,
 			Detector: string(unit.detector),
@@ -327,25 +380,29 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.metrics.miss()
 
 	if !s.pool.tryAdmit() {
-		s.metrics.shed()
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests,
-			"saturated: %d analyses running, %d queued; retry later",
+		log.Warn("analyze shed", "running", s.pool.running(),
+			"queued", s.pool.admitted()-s.pool.running())
+		s.shed(w, "saturated: %d analyses running, %d queued; retry later",
 			s.pool.running(), s.pool.admitted()-s.pool.running())
 		return
 	}
 	defer s.pool.unadmit()
+	queueStart := time.Now()
 	if err := s.pool.acquire(r.Context()); err != nil {
+		log.Warn("analyze cancelled while queued", "err", err)
 		writeErr(w, http.StatusServiceUnavailable, "cancelled while queued: %v", err)
 		return
 	}
 	defer s.pool.release()
+	s.metrics.observePhase(phaseQueue, time.Since(queueStart))
 
 	start := time.Now()
 	res, err := unit.run()
 	dur := time.Since(start)
+	s.metrics.observePhase(phaseRun, dur)
 	if err != nil {
 		s.metrics.fail()
+		log.Error("analyze failed", "err", err, "dur", dur)
 		// The trace or program was accepted but analysis failed — a
 		// client-side artifact problem (truncated upload, budget blowout),
 		// not a server fault. Nothing is cached: a failed validation must
@@ -353,13 +410,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "analysis failed: %v", err)
 		return
 	}
+	encodeStart := time.Now()
 	raw, err := res.doc.Marshal()
+	s.metrics.observePhase(phaseEncode, time.Since(encodeStart))
 	if err != nil {
 		s.metrics.fail()
+		log.Error("analyze report encoding failed", "err", err)
 		writeErr(w, http.StatusInternalServerError, "encoding report: %v", err)
 		return
 	}
 	s.metrics.done(string(unit.detector), dur, res.events)
+	log.Info("analyze done", "dur", dur, "events", res.events, "clean", res.clean)
 	entry := &cached{digest: unit.digest, report: raw, clean: res.clean}
 	s.cache.put(unit.key(), entry)
 	// An all-detectors pass also seeds one cache entry per detector, so a
@@ -400,26 +461,29 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := programDigest(identity) + "|sweep"
+	log := s.log.With("req", s.nextReqID("sweep"), "prog", name)
 	if hit, ok := s.cache.get(key); ok {
 		s.metrics.hit()
 		job := s.jobs.add(name)
 		job.finish(hit.report, nil)
+		log.Info("sweep served from cache", "job", job.view().ID)
 		writeJSON(w, http.StatusOK, job.view())
 		return
 	}
 	s.metrics.miss()
 	if !s.pool.tryAdmit() {
-		s.metrics.shed()
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "saturated; retry later")
+		log.Warn("sweep shed")
+		s.shed(w, "saturated; retry later")
 		return
 	}
 	job := s.jobs.add(name)
+	log = log.With("job", job.view().ID)
 	go func() {
 		defer s.pool.unadmit()
 		// The job outlives the submitting request on purpose — clients
 		// poll for it — so it waits on the background context, not r's.
 		if err := s.pool.acquire(context.Background()); err != nil {
+			log.Warn("sweep cancelled while queued", "err", err)
 			job.finish(nil, fmt.Errorf("cancelled while queued: %w", err))
 			return
 		}
@@ -434,10 +498,13 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		raw, err := report.FromCoverage(cr).Marshal()
 		if err != nil {
 			s.metrics.fail()
+			log.Error("sweep report encoding failed", "err", err)
 			job.finish(nil, err)
 			return
 		}
 		s.metrics.done("sweep", time.Since(start), 0)
+		log.Info("sweep done", "dur", time.Since(start),
+			"specs", cr.SpecsRun, "clean", cr.Clean(), "complete", cr.Complete())
 		// Only complete sweeps are cacheable: a sweep degraded by a
 		// deadline or budget abort reports Failures instead of verdicts
 		// for some specifications, and serving that from the cache would
@@ -471,9 +538,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	queued := s.pool.admitted() - s.pool.running()
-	if queued < 0 {
-		queued = 0
-	}
-	s.metrics.write(w, queued, s.pool.running(), s.pool.workers(), s.cache.len(), s.jobs.states())
+	s.metrics.write(w)
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsu"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 type bagKind int8
@@ -54,14 +55,26 @@ type Detector struct {
 	lin     core.Lineage
 	report  core.Report
 	current *frameRec
+
+	// readerEv/writerEv shadow the same locations with the detector-relative
+	// event ordinal of the recorded access, so a race report can point back
+	// into the stream. Ordinals are truncated to int32 — adequate for any
+	// trace the shadow space itself can hold.
+	readerEv *mem.Shadow
+	writerEv *mem.Shadow
+
+	counts obs.EventCounts
+	events int64 // ordinal of the event being processed (1-based)
 }
 
 // New returns a fresh SP-bags detector.
 func New() *Detector {
 	return &Detector{
-		forest: dsu.NewForest(256),
-		reader: mem.NewShadow(int32(dsu.None)),
-		writer: mem.NewShadow(int32(dsu.None)),
+		forest:   dsu.NewForest(256),
+		reader:   mem.NewShadow(int32(dsu.None)),
+		writer:   mem.NewShadow(int32(dsu.None)),
+		readerEv: mem.NewShadow(0),
+		writerEv: mem.NewShadow(0),
 	}
 }
 
@@ -74,6 +87,7 @@ func (d *Detector) Report() *core.Report { return &d.report }
 func (d *Detector) newBag(k bagKind) *bag { return &bag{kind: k, root: dsu.None} }
 
 func (d *Detector) addToBag(b *bag, e dsu.Elem) {
+	d.counts.BagOps++
 	if b.root == dsu.None {
 		b.root = e
 		d.forest.SetPayload(e, b)
@@ -86,6 +100,7 @@ func (d *Detector) unionInto(dst, src *bag) {
 	if src.root == dsu.None {
 		return
 	}
+	d.counts.BagOps++
 	if dst.root == dsu.None {
 		dst.root = src.root
 		d.forest.SetPayload(src.root, dst)
@@ -99,6 +114,8 @@ func (d *Detector) top() *frameRec { return d.stack[len(d.stack)-1] }
 
 // FrameEnter pushes S_G = {G} and P_G = {} for the new function G.
 func (d *Detector) FrameEnter(f *cilk.Frame) {
+	d.events++
+	d.counts.FrameEnters++
 	rec := &frameRec{id: f.ID, label: f.Label}
 	rec.s = d.newBag(kindS)
 	rec.p = d.newBag(kindP)
@@ -117,6 +134,8 @@ func (d *Detector) FrameEnter(f *cilk.Frame) {
 // bag becomes parallel work (into P_F); a called child's S bag stays serial
 // (into S_F). The child synced before returning, so its P bag is empty.
 func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	d.events++
+	d.counts.FrameReturns++
 	if len(d.stack) < 2 {
 		panic(core.Violatef("sp-bags", core.StreamOrder, g.ID,
 			"return of frame %d with %d frames on the stack", g.ID, len(d.stack)))
@@ -139,6 +158,8 @@ func (d *Detector) FrameReturn(g, f *cilk.Frame) {
 
 // Sync moves everything parallel into series: S_F ∪= P_F.
 func (d *Detector) Sync(f *cilk.Frame) {
+	d.events++
+	d.counts.Syncs++
 	if len(d.stack) == 0 {
 		panic(core.Violatef("sp-bags", core.StreamOrder, f.ID, "sync before any frame entered"))
 	}
@@ -166,36 +187,45 @@ func (d *Detector) prior(e dsu.Elem, op core.AccessOp) core.Access {
 // a P bag; the reader shadow advances only when the previous reader is in
 // an S bag (pseudotransitivity of ‖ makes one reader sufficient).
 func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
+	d.events++
+	d.counts.Loads++
 	rec := d.current
 	if rec == nil {
 		panic(core.Violatef("sp-bags", core.StreamOrder, f.ID, "memory access before any frame entered"))
 	}
+	d.counts.ShadowLookups += 2
 	if w := dsu.Elem(d.writer.Get(a)); w != dsu.None {
 		if d.bagOf(w).kind == kindP {
 			d.report.Add(core.Race{
 				Kind: core.Determinacy, Addr: a,
 				First:  d.prior(w, core.OpWrite),
 				Second: d.access(core.OpRead),
+				Prov:   d.prov(d.writerEv.Get(a), "writer in P-bag"),
 			})
 		}
 	}
 	if r := dsu.Elem(d.reader.Get(a)); r == dsu.None || d.bagOf(r).kind == kindS {
 		d.reader.Set(a, int32(rec.elem))
+		d.readerEv.Set(a, int32(d.events))
 	}
 }
 
 // Store implements the SP-bags write rule: a race iff the last reader or
 // last writer is in a P bag.
 func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
+	d.events++
+	d.counts.Stores++
 	rec := d.current
 	if rec == nil {
 		panic(core.Violatef("sp-bags", core.StreamOrder, f.ID, "memory access before any frame entered"))
 	}
+	d.counts.ShadowLookups += 2
 	if r := dsu.Elem(d.reader.Get(a)); r != dsu.None && d.bagOf(r).kind == kindP {
 		d.report.Add(core.Race{
 			Kind: core.Determinacy, Addr: a,
 			First:  d.prior(r, core.OpRead),
 			Second: d.access(core.OpWrite),
+			Prov:   d.prov(d.readerEv.Get(a), "reader in P-bag"),
 		})
 	}
 	w := dsu.Elem(d.writer.Get(a))
@@ -204,10 +234,12 @@ func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
 			Kind: core.Determinacy, Addr: a,
 			First:  d.prior(w, core.OpWrite),
 			Second: d.access(core.OpWrite),
+			Prov:   d.prov(d.writerEv.Get(a), "writer in P-bag"),
 		})
 	}
 	if w == dsu.None || d.bagOf(w).kind == kindS {
 		d.writer.Set(a, int32(rec.elem))
+		d.writerEv.Set(a, int32(d.events))
 	}
 }
 
@@ -216,8 +248,17 @@ var (
 	_ cilk.Hooks    = (*Detector)(nil)
 )
 
+// prov assembles a Provenance for a race firing at the current event
+// against a prior access recorded in an ordinal shadow.
+func (d *Detector) prov(firstEv int32, relation string) core.Provenance {
+	return core.Provenance{FirstEvent: int64(firstEv), SecondEvent: d.events, Relation: relation}
+}
+
 // Stats implements core.StatsProvider.
 func (d *Detector) Stats() core.Stats {
 	finds, unions := d.forest.Stats()
 	return core.Stats{Elems: d.forest.Len(), Finds: finds, Unions: unions}
 }
+
+// EventCounts implements core.EventCountsProvider.
+func (d *Detector) EventCounts() obs.EventCounts { return d.counts }

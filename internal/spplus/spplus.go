@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsu"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 type bagKind int8
@@ -89,14 +90,26 @@ type Detector struct {
 	inReduce   bool
 	reduceVID  cilk.ViewID
 	reduceElem dsu.Elem
+
+	// readerEv/writerEv shadow the same locations with the detector-relative
+	// event ordinal of the recorded access, so a race report can point back
+	// into the stream. Ordinals are truncated to int32 — adequate for any
+	// trace the shadow space itself can hold.
+	readerEv *mem.Shadow
+	writerEv *mem.Shadow
+
+	counts obs.EventCounts
+	events int64 // ordinal of the event being processed (1-based)
 }
 
 // New returns a fresh SP+ detector.
 func New() *Detector {
 	return &Detector{
-		forest: dsu.NewForest(256),
-		reader: mem.NewShadow(int32(dsu.None)),
-		writer: mem.NewShadow(int32(dsu.None)),
+		forest:   dsu.NewForest(256),
+		reader:   mem.NewShadow(int32(dsu.None)),
+		writer:   mem.NewShadow(int32(dsu.None)),
+		readerEv: mem.NewShadow(0),
+		writerEv: mem.NewShadow(0),
 	}
 }
 
@@ -107,6 +120,7 @@ func (d *Detector) Name() string { return "sp+" }
 func (d *Detector) Report() *core.Report { return &d.report }
 
 func (d *Detector) addToBag(b *bag, e dsu.Elem) {
+	d.counts.BagOps++
 	if b.root == dsu.None {
 		b.root = e
 		d.forest.SetPayload(e, b)
@@ -119,6 +133,7 @@ func (d *Detector) unionInto(dst, src *bag) {
 	if src.root == dsu.None {
 		return
 	}
+	d.counts.BagOps++
 	if dst.root == dsu.None {
 		dst.root = src.root
 		d.forest.SetPayload(src.root, dst)
@@ -142,6 +157,8 @@ func (d *Detector) ProgramEnd(*cilk.Frame) {}
 // contains G and inherits the parent's current view ID; G's P stack starts
 // with one empty bag of the same view ID.
 func (d *Detector) FrameEnter(f *cilk.Frame) {
+	d.events++
+	d.counts.FrameEnters++
 	var inherit cilk.ViewID
 	if len(d.stack) > 0 {
 		inherit = d.top().topP().vid
@@ -163,6 +180,8 @@ func (d *Detector) FrameEnter(f *cilk.Frame) {
 // FrameReturn implements "spawned G returns" (Top(F.P) ∪= G.S) and
 // "called G returns" (F.S ∪= G.S).
 func (d *Detector) FrameReturn(g, f *cilk.Frame) {
+	d.events++
+	d.counts.FrameReturns++
 	if len(d.stack) < 2 {
 		panic(core.Violatef("spplus", core.StreamOrder, g.ID,
 			"return of frame %d with %d frames on the stack", g.ID, len(d.stack)))
@@ -189,6 +208,8 @@ func (d *Detector) FrameReturn(g, f *cilk.Frame) {
 // Sync implements "F syncs": the single remaining P bag's contents move
 // into F.S, and a fresh P bag with F.S's view ID replaces it.
 func (d *Detector) Sync(f *cilk.Frame) {
+	d.events++
+	d.counts.Syncs++
 	if len(d.stack) == 0 {
 		panic(core.Violatef("spplus", core.StreamOrder, f.ID, "sync before any frame entered"))
 	}
@@ -204,6 +225,8 @@ func (d *Detector) Sync(f *cilk.Frame) {
 // ContinuationStolen implements "F executes a stolen continuation": push a
 // fresh P bag carrying the new view ID.
 func (d *Detector) ContinuationStolen(f *cilk.Frame, newVID cilk.ViewID) {
+	d.events++
+	d.counts.Steals++
 	if len(d.stack) == 0 {
 		panic(core.Violatef("spplus", core.StreamOrder, f.ID, "stolen continuation before any frame entered"))
 	}
@@ -218,6 +241,8 @@ func (d *Detector) ContinuationStolen(f *cilk.Frame, newVID cilk.ViewID) {
 // reduce a non-top adjacent pair (ReduceMiddleFirst); the bags are located
 // by their view IDs.
 func (d *Detector) ReduceStart(f *cilk.Frame, keepVID, dieVID cilk.ViewID) {
+	d.events++
+	d.counts.Reduces++
 	if len(d.stack) == 0 {
 		panic(core.Violatef("spplus", core.StreamOrder, f.ID, "reduce before any frame entered"))
 	}
@@ -246,6 +271,7 @@ func (d *Detector) ReduceStart(f *cilk.Frame, keepVID, dieVID cilk.ViewID) {
 
 // ReduceEnd implements cilk.Hooks.
 func (d *Detector) ReduceEnd(f *cilk.Frame) {
+	d.events++
 	d.inReduce = false
 	d.reduceElem = dsu.None
 }
@@ -253,6 +279,8 @@ func (d *Detector) ReduceEnd(f *cilk.Frame) {
 // ViewAwareBegin implements cilk.Hooks: accesses until ViewAwareEnd come
 // from a view-aware strand.
 func (d *Detector) ViewAwareBegin(f *cilk.Frame, op cilk.ViewOp, r *cilk.Reducer) {
+	d.events++
+	d.counts.ViewAwares++
 	d.vaDepth++
 	d.vaOp = op
 	d.vaReducer = r
@@ -260,6 +288,7 @@ func (d *Detector) ViewAwareBegin(f *cilk.Frame, op cilk.ViewOp, r *cilk.Reducer
 
 // ViewAwareEnd implements cilk.Hooks.
 func (d *Detector) ViewAwareEnd(f *cilk.Frame, op cilk.ViewOp, r *cilk.Reducer) {
+	d.events++
 	d.vaDepth--
 }
 
@@ -306,9 +335,12 @@ func (d *Detector) prior(e dsu.Elem, op core.AccessOp) core.Access {
 
 // Load implements the two read rules of Figure 6.
 func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
+	d.events++
+	d.counts.Loads++
 	if d.current == nil {
 		panic(core.Violatef("spplus", core.StreamOrder, f.ID, "memory access before any frame entered"))
 	}
+	d.counts.ShadowLookups += 2
 	if d.vaDepth == 0 {
 		d.loadOblivious(a)
 	} else {
@@ -318,9 +350,12 @@ func (d *Detector) Load(f *cilk.Frame, a mem.Addr) {
 
 // Store implements the two write rules of Figure 6.
 func (d *Detector) Store(f *cilk.Frame, a mem.Addr) {
+	d.events++
+	d.counts.Stores++
 	if d.current == nil {
 		panic(core.Violatef("spplus", core.StreamOrder, f.ID, "memory access before any frame entered"))
 	}
+	d.counts.ShadowLookups += 2
 	if d.vaDepth == 0 {
 		d.storeOblivious(a)
 	} else {
@@ -334,10 +369,12 @@ func (d *Detector) loadOblivious(a mem.Addr) {
 			Kind: core.Determinacy, Addr: a,
 			First:  d.prior(w, core.OpWrite),
 			Second: d.access(core.OpRead),
+			Prov:   d.prov(d.writerEv.Get(a), "writer in P-bag"),
 		})
 	}
 	if r := dsu.Elem(d.reader.Get(a)); r == dsu.None || d.bagOf(r).kind == kindS {
 		d.reader.Set(a, int32(d.curElem()))
+		d.readerEv.Set(a, int32(d.events))
 	}
 }
 
@@ -347,6 +384,7 @@ func (d *Detector) storeOblivious(a mem.Addr) {
 			Kind: core.Determinacy, Addr: a,
 			First:  d.prior(r, core.OpRead),
 			Second: d.access(core.OpWrite),
+			Prov:   d.prov(d.readerEv.Get(a), "reader in P-bag"),
 		})
 	}
 	w := dsu.Elem(d.writer.Get(a))
@@ -355,10 +393,12 @@ func (d *Detector) storeOblivious(a mem.Addr) {
 			Kind: core.Determinacy, Addr: a,
 			First:  d.prior(w, core.OpWrite),
 			Second: d.access(core.OpWrite),
+			Prov:   d.prov(d.writerEv.Get(a), "writer in P-bag"),
 		})
 	}
 	if w == dsu.None || d.bagOf(w).kind == kindS {
 		d.writer.Set(a, int32(d.curElem()))
+		d.writerEv.Set(a, int32(d.events))
 	}
 }
 
@@ -370,6 +410,7 @@ func (d *Detector) loadAware(a mem.Addr) {
 				Kind: core.Determinacy, Addr: a,
 				First:  d.prior(w, core.OpWrite),
 				Second: d.access(core.OpRead),
+				Prov:   d.prov(d.writerEv.Get(a), "writer on parallel view"),
 			})
 		}
 	}
@@ -377,6 +418,7 @@ func (d *Detector) loadAware(a mem.Addr) {
 	if r == dsu.None || d.bagOf(r).kind == kindS ||
 		(d.inReduce && d.bagOf(r).vid == vid) {
 		d.reader.Set(a, int32(d.curElem()))
+		d.readerEv.Set(a, int32(d.events))
 	}
 }
 
@@ -388,6 +430,7 @@ func (d *Detector) storeAware(a mem.Addr) {
 				Kind: core.Determinacy, Addr: a,
 				First:  d.prior(r, core.OpRead),
 				Second: d.access(core.OpWrite),
+				Prov:   d.prov(d.readerEv.Get(a), "reader on parallel view"),
 			})
 		}
 	}
@@ -398,12 +441,14 @@ func (d *Detector) storeAware(a mem.Addr) {
 				Kind: core.Determinacy, Addr: a,
 				First:  d.prior(w, core.OpWrite),
 				Second: d.access(core.OpWrite),
+				Prov:   d.prov(d.writerEv.Get(a), "writer on parallel view"),
 			})
 		}
 	}
 	if w == dsu.None || d.bagOf(w).kind == kindS ||
 		(d.inReduce && d.bagOf(w).vid == vid) {
 		d.writer.Set(a, int32(d.curElem()))
+		d.writerEv.Set(a, int32(d.events))
 	}
 }
 
@@ -412,9 +457,18 @@ var (
 	_ cilk.Hooks    = (*Detector)(nil)
 )
 
+// prov assembles a Provenance for a race firing at the current event
+// against a prior access recorded in an ordinal shadow.
+func (d *Detector) prov(firstEv int32, relation string) core.Provenance {
+	return core.Provenance{FirstEvent: int64(firstEv), SecondEvent: d.events, Relation: relation}
+}
+
 // Stats implements core.StatsProvider: the disjoint-set accounting behind
 // the O((T+Mτ)·α(v,v)) bound of Theorem 5.
 func (d *Detector) Stats() core.Stats {
 	finds, unions := d.forest.Stats()
 	return core.Stats{Elems: d.forest.Len(), Finds: finds, Unions: unions}
 }
+
+// EventCounts implements core.EventCountsProvider.
+func (d *Detector) EventCounts() obs.EventCounts { return d.counts }

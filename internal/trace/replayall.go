@@ -73,6 +73,12 @@ type Replayer struct {
 	off    int
 	events int64
 	hooks  cilk.Hooks
+
+	// classes counts decoded events by kind byte. One unconditional
+	// array increment per event — no branch, no allocation — so the
+	// accounting is always on and the zero-alloc steady state holds
+	// whether or not anyone snapshots it (Stats).
+	classes [evMax]int64
 }
 
 // NewReplayer returns an empty engine. Engines amortize their arenas
@@ -125,6 +131,7 @@ func (rp *Replayer) reset() {
 	}
 	rp.off = 0
 	rp.events = 0
+	rp.classes = [evMax]int64{}
 }
 
 // newFrame hands out the next arena slot, growing by whole chunks so
@@ -313,6 +320,7 @@ func (rp *Replayer) Replay(data []byte, hooks ...cilk.Hooks) (events int64, err 
 				"bad event kind %d", kb).WithEvent(rp.events).WithOffset(int64(offAtRecord))
 		}
 		rp.events++
+		rp.classes[k]++
 		switch k {
 		case evProgramStart:
 			// The root frame arrives with the first FrameEnter.
