@@ -305,6 +305,37 @@ func BenchmarkCoverageSweepScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep times the §7 coverage sweep with and without prefix
+// sharing on the SweepStress workload (92 specifications, long serial
+// preamble shared by every unit) — the testing.B view of the
+// BENCH_PR5.json comparison. Workers is pinned to 1 so the ratio
+// measures work saved, not scheduling.
+func BenchmarkSweep(b *testing.B) {
+	factory := func() func(*cilk.Ctx) {
+		return progs.SweepStress(mem.NewAllocator(), 7, 2048, 64)
+	}
+	if specs := len(specgen.All(specgen.Measure(factory()))); specs < 50 {
+		b.Fatalf("benchmark family has %d specs, want >= 50", specs)
+	}
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"naive", true}, {"prefix", false}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var cr *rader.CoverageResult
+			for i := 0; i < b.N; i++ {
+				cr = rader.Sweep(factory, rader.SweepOptions{Workers: 1, Naive: mode.naive})
+			}
+			if !cr.Complete() || !cr.Clean() {
+				b.Fatalf("benchmark sweep misbehaved: failures=%v races=%v", cr.Failures, cr.Races)
+			}
+			b.ReportMetric(float64(cr.SpecsRun), "specs")
+			b.ReportMetric(float64(cr.Stats.Groups), "groups")
+		})
+	}
+}
+
 // BenchmarkWSRT measures the parallel runtime's spawn/join throughput by
 // worker count.
 func BenchmarkWSRT(b *testing.B) {

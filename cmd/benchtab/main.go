@@ -21,13 +21,16 @@ import (
 )
 
 // benchDoc is the machine-readable benchmark artifact -json emits
-// (BENCH_PR3.json in the repo): the replay-throughput comparison behind
-// the single-pass engine plus the regenerated Figure 7/8 tables.
+// (BENCH_PR3.json / BENCH_PR5.json in the repo): the replay-throughput
+// comparison behind the single-pass engine, the naive-vs-prefix sweep
+// comparison behind the steal-decision trie, plus the regenerated
+// Figure 7/8 tables. Schema 2 added the sweep section.
 type benchDoc struct {
 	Schema   int                 `json:"schema"`
 	Scale    string              `json:"scale"`
 	Trials   int                 `json:"trials"`
 	Replay   *tables.ReplayBench `json:"replay"`
+	Sweep    *tables.SweepBench  `json:"sweep"`
 	Figure7  *tables.Table       `json:"figure7"`
 	Figure8  *tables.Table       `json:"figure8"`
 	Headline struct {
@@ -40,7 +43,7 @@ type benchDoc struct {
 
 func main() {
 	var (
-		table    = flag.String("table", "both", "which table: 7, 8, both")
+		table    = flag.String("table", "both", "which table: 7, 8, both, sweep")
 		trials   = flag.Int("trials", 3, "timing repetitions per cell (median)")
 		scaleStr = flag.String("scale", "bench", "input scale: test, small, bench")
 		appsStr  = flag.String("apps", "", "comma-separated benchmark subset (default all)")
@@ -70,6 +73,26 @@ func main() {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 
+	// -table sweep on its own skips the (much slower) figure tables; the
+	// -json document always carries every section.
+	var sweep *tables.SweepBench
+	if *jsonPath != "" || *table == "sweep" {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "measuring sweep throughput...")
+		}
+		var err error
+		sweep, err = tables.MeasureSweep(*trials)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+	}
+	if *table == "sweep" && *jsonPath == "" {
+		fmt.Println("=== §7 coverage sweep: naive vs prefix-sharing ===")
+		fmt.Print(sweep.Render())
+		return
+	}
+
 	fig7, fig8, err := tables.Generate(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -84,7 +107,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
-		doc := benchDoc{Schema: 1, Scale: *scaleStr, Trials: *trials, Replay: rb, Figure7: fig7, Figure8: fig8}
+		doc := benchDoc{Schema: 2, Scale: *scaleStr, Trials: *trials, Replay: rb, Sweep: sweep, Figure7: fig7, Figure8: fig8}
 		doc.Headline.Fig7PeerSet, doc.Headline.Fig7SPPlus = fig7.Headline(true)
 		doc.Headline.Fig8PeerSet, doc.Headline.Fig8SPPlus = fig8.Headline(true)
 		b, err := json.MarshalIndent(doc, "", "  ")
@@ -96,8 +119,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (replay speedup %.2fx, decode loop %.4f allocs/event)\n",
-			*jsonPath, rb.Speedup, rb.DecodeLoop.AllocsPerEvent)
+		fmt.Fprintf(os.Stderr, "wrote %s (replay speedup %.2fx, sweep speedup %.2fx, decode loop %.4f allocs/event)\n",
+			*jsonPath, rb.Speedup, sweep.Speedup, rb.DecodeLoop.AllocsPerEvent)
+	}
+	if *table == "sweep" {
+		fmt.Println("=== §7 coverage sweep: naive vs prefix-sharing ===")
+		fmt.Print(sweep.Render())
+		return
 	}
 	if *csv {
 		if *table == "7" || *table == "both" {

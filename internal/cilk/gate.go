@@ -1,0 +1,228 @@
+package cilk
+
+import "repro/internal/mem"
+
+// Gate forwards the instrumentation event stream to an inner Hooks only
+// once activated, counting the events it suppresses. It is the mechanism
+// behind the prefix-sharing coverage sweep: two steal specifications that
+// agree on every steal decision up to continuation t produce bit-identical
+// event prefixes, so a sweep unit seeded from a detector snapshot taken at
+// t re-executes the program with the gate closed — paying only empty
+// dispatch for the shared prefix — and opens the gate at the divergence
+// point, when the live detector takes over.
+//
+// Activation is driven by a GatedSpec wrapping the unit's steal
+// specification: the ShouldSteal probe at the divergence continuation is
+// exactly the boundary between the shared prefix and the divergent suffix,
+// because every event before that probe is determined by the shared
+// decisions and every event after it may depend on the probe's answer.
+type Gate struct {
+	inner   Hooks
+	active  bool
+	skipped int64
+	probes  int64
+}
+
+// NewGate returns a gate in front of inner, open (forwarding) when active
+// is true and closed (suppressing) otherwise.
+func NewGate(inner Hooks, active bool) *Gate {
+	return &Gate{inner: inner, active: active}
+}
+
+// Activate opens the gate; subsequent events reach the inner hooks.
+func (g *Gate) Activate() { g.active = true }
+
+// Active reports whether the gate is open.
+func (g *Gate) Active() bool { return g.active }
+
+// Skipped reports how many events the gate suppressed while closed.
+func (g *Gate) Skipped() int64 { return g.skipped }
+
+// Probes reports how many continuation probes the gated specification has
+// observed (open or closed).
+func (g *Gate) Probes() int64 { return g.probes }
+
+// ProgramStart implements Hooks.
+func (g *Gate) ProgramStart(f *Frame) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.ProgramStart(f)
+}
+
+// ProgramEnd implements Hooks.
+func (g *Gate) ProgramEnd(f *Frame) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.ProgramEnd(f)
+}
+
+// FrameEnter implements Hooks.
+func (g *Gate) FrameEnter(f *Frame) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.FrameEnter(f)
+}
+
+// FrameReturn implements Hooks.
+func (g *Gate) FrameReturn(f, parent *Frame) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.FrameReturn(f, parent)
+}
+
+// Sync implements Hooks.
+func (g *Gate) Sync(f *Frame) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.Sync(f)
+}
+
+// ContinuationStolen implements Hooks.
+func (g *Gate) ContinuationStolen(f *Frame, vid ViewID) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.ContinuationStolen(f, vid)
+}
+
+// ReduceStart implements Hooks.
+func (g *Gate) ReduceStart(f *Frame, keep, die ViewID) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.ReduceStart(f, keep, die)
+}
+
+// ReduceEnd implements Hooks.
+func (g *Gate) ReduceEnd(f *Frame) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.ReduceEnd(f)
+}
+
+// ViewAwareBegin implements Hooks.
+func (g *Gate) ViewAwareBegin(f *Frame, op ViewOp, r *Reducer) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.ViewAwareBegin(f, op, r)
+}
+
+// ViewAwareEnd implements Hooks.
+func (g *Gate) ViewAwareEnd(f *Frame, op ViewOp, r *Reducer) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.ViewAwareEnd(f, op, r)
+}
+
+// ReducerCreate implements Hooks.
+func (g *Gate) ReducerCreate(f *Frame, r *Reducer) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.ReducerCreate(f, r)
+}
+
+// ReducerRead implements Hooks.
+func (g *Gate) ReducerRead(f *Frame, r *Reducer) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.ReducerRead(f, r)
+}
+
+// Load implements Hooks.
+func (g *Gate) Load(f *Frame, a mem.Addr) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.Load(f, a)
+}
+
+// Store implements Hooks.
+func (g *Gate) Store(f *Frame, a mem.Addr) {
+	if !g.active {
+		g.skipped++
+		return
+	}
+	g.inner.Store(f, a)
+}
+
+var _ Hooks = (*Gate)(nil)
+
+// gatedSpec wraps a StealSpec so that continuation probes drive the gate:
+// each ShouldSteal call is counted, reported to an optional observer, and
+// — once the activation sequence number is reached — opens the gate before
+// the wrapped specification answers. Decisions and reduce ordering are
+// delegated unchanged, so a run under the wrapper is event-for-event the
+// run under the wrapped spec.
+type gatedSpec struct {
+	spec       StealSpec
+	gate       *Gate
+	activateAt int
+	onProbe    func(ci ContInfo)
+}
+
+// ShouldSteal implements StealSpec.
+func (s *gatedSpec) ShouldSteal(ci ContInfo) bool {
+	s.gate.probes++
+	if s.onProbe != nil {
+		s.onProbe(ci)
+	}
+	if s.activateAt > 0 && ci.Seq >= s.activateAt {
+		s.gate.Activate()
+	}
+	return s.spec.ShouldSteal(ci)
+}
+
+// Order implements StealSpec.
+func (s *gatedSpec) Order() ReduceOrder { return s.spec.Order() }
+
+// gatedSpecRS additionally forwards ReduceScheduler, for wrapped specs
+// that dictate reduction timing. The plain wrapper must NOT implement
+// ReduceScheduler: the executor falls back to eager collapsing only when
+// the spec does not schedule reductions itself, and a vacuous forwarder
+// would suppress that fallback.
+type gatedSpecRS struct {
+	gatedSpec
+	rs ReduceScheduler
+}
+
+// ReducesAfterReturn implements ReduceScheduler.
+func (s *gatedSpecRS) ReducesAfterReturn(ci ContInfo) int {
+	return s.rs.ReducesAfterReturn(ci)
+}
+
+// NewGatedSpec wraps spec so its continuation probes drive gate:
+// activateAt is the 1-based probe sequence number at which the gate opens
+// (0 = never; pre-open the gate for a fully live run), and onProbe, when
+// non-nil, observes every probe before the decision — the seam the sweep
+// scheduler uses to verify the probe sequence and capture snapshots at
+// trie branch points.
+func NewGatedSpec(spec StealSpec, gate *Gate, activateAt int, onProbe func(ci ContInfo)) StealSpec {
+	gs := gatedSpec{spec: spec, gate: gate, activateAt: activateAt, onProbe: onProbe}
+	if rs, ok := spec.(ReduceScheduler); ok {
+		return &gatedSpecRS{gatedSpec: gs, rs: rs}
+	}
+	return &gs
+}

@@ -1,0 +1,131 @@
+package cilk
+
+import "testing"
+
+// countingHooks tallies every hook invocation, across all 14 event
+// classes, so its total is comparable with Gate.Skipped.
+type countingHooks struct {
+	Empty
+	n int64
+}
+
+func (c *countingHooks) FrameEnter(*Frame)                       { c.n++ }
+func (c *countingHooks) FrameReturn(*Frame, *Frame)              { c.n++ }
+func (c *countingHooks) Sync(*Frame)                             { c.n++ }
+func (c *countingHooks) ProgramStart(*Frame)                     { c.n++ }
+func (c *countingHooks) ProgramEnd(*Frame)                       { c.n++ }
+func (c *countingHooks) ContinuationStolen(*Frame, ViewID)       { c.n++ }
+func (c *countingHooks) ReduceStart(*Frame, ViewID, ViewID)      { c.n++ }
+func (c *countingHooks) ReduceEnd(*Frame)                        { c.n++ }
+func (c *countingHooks) ViewAwareBegin(*Frame, ViewOp, *Reducer) { c.n++ }
+func (c *countingHooks) ViewAwareEnd(*Frame, ViewOp, *Reducer)   { c.n++ }
+func (c *countingHooks) ReducerCreate(*Frame, *Reducer)          { c.n++ }
+func (c *countingHooks) ReducerRead(*Frame, *Reducer)            { c.n++ }
+
+func gateProg(c *Ctx) {
+	for i := 0; i < 4; i++ {
+		c.Spawn("w", func(*Ctx) {})
+	}
+	c.Sync()
+}
+
+// A closed gate suppresses every event and counts them; an open gate is
+// transparent. Skipped plus delivered must cover the whole stream.
+func TestGateSuppressesUntilActivated(t *testing.T) {
+	live := &countingHooks{}
+	Run(gateProg, Config{Spec: NoSteals{}, Hooks: live})
+	if live.n == 0 {
+		t.Fatal("no events in the reference run")
+	}
+
+	inner := &countingHooks{}
+	gate := NewGate(inner, false)
+	Run(gateProg, Config{Spec: NoSteals{}, Hooks: gate})
+	if inner.n != 0 {
+		t.Fatalf("closed gate delivered %d events", inner.n)
+	}
+	if gate.Skipped() == 0 {
+		t.Fatal("closed gate counted no suppressed events")
+	}
+
+	open := &countingHooks{}
+	ogate := NewGate(open, true)
+	Run(gateProg, Config{Spec: NoSteals{}, Hooks: ogate})
+	if open.n != live.n {
+		t.Fatalf("open gate delivered %d events, ungated run saw %d", open.n, live.n)
+	}
+	if ogate.Skipped() != 0 {
+		t.Fatalf("open gate suppressed %d events", ogate.Skipped())
+	}
+}
+
+// A gated spec opens the gate at its activation probe — before the steal
+// decision at that probe — so the delivered suffix starts exactly at the
+// divergence point, and the steal decisions themselves are unchanged.
+func TestGatedSpecActivatesAtProbe(t *testing.T) {
+	for activateAt := 1; activateAt <= 4; activateAt++ {
+		inner := &countingHooks{}
+		gate := NewGate(inner, false)
+		var probes []int
+		spec := NewGatedSpec(StealAll{}, gate, activateAt, func(ci ContInfo) {
+			probes = append(probes, ci.Seq)
+		})
+		res := Run(gateProg, Config{Spec: spec, Hooks: gate})
+		if !gate.Active() {
+			t.Fatalf("activateAt=%d: gate never opened", activateAt)
+		}
+		if inner.n == 0 || gate.Skipped() == 0 {
+			t.Fatalf("activateAt=%d: delivered=%d skipped=%d, want both nonzero",
+				activateAt, inner.n, gate.Skipped())
+		}
+		if len(res.Steals) != 4 {
+			t.Fatalf("activateAt=%d: wrapper changed decisions: %d steals", activateAt, len(res.Steals))
+		}
+		for i, seq := range probes {
+			if seq != i+1 {
+				t.Fatalf("probe order broken: %v", probes)
+			}
+		}
+		if gate.Probes() != 4 {
+			t.Fatalf("gate counted %d probes, want 4", gate.Probes())
+		}
+	}
+}
+
+// The delivered suffix must be identical to the suffix a live detector
+// would have seen: gate at probe k, then compare event counts with
+// (full stream − events before probe k), measured by a second gate
+// activated at the same probe in front of a counting sink.
+func TestGateSuffixMatchesLiveSuffix(t *testing.T) {
+	full := &countingHooks{}
+	Run(gateProg, Config{Spec: StealAll{}, Hooks: full})
+
+	for k := 1; k <= 4; k++ {
+		inner := &countingHooks{}
+		gate := NewGate(inner, false)
+		Run(gateProg, Config{Spec: NewGatedSpec(StealAll{}, gate, k, nil), Hooks: gate})
+		if inner.n+gate.Skipped() != full.n {
+			t.Fatalf("k=%d: delivered %d + skipped %d != full %d",
+				k, inner.n, gate.Skipped(), full.n)
+		}
+	}
+}
+
+// Wrapping must not change scheduler capability: a plain spec's wrapper
+// must NOT satisfy ReduceScheduler (that would suppress the executor's
+// eager-collapse fallback), while a scheduling spec's wrapper must.
+func TestGatedSpecPreservesReduceScheduler(t *testing.T) {
+	gate := NewGate(Empty{}, true)
+	plain := NewGatedSpec(StealAll{}, gate, 0, nil)
+	if _, ok := plain.(ReduceScheduler); ok {
+		t.Fatal("wrapper of a plain spec claims ReduceScheduler")
+	}
+	rs := NewGatedSpec(stealAllScheduler{}, gate, 0, nil)
+	if _, ok := rs.(ReduceScheduler); !ok {
+		t.Fatal("wrapper of a scheduling spec lost ReduceScheduler")
+	}
+}
+
+type stealAllScheduler struct{ StealAll }
+
+func (stealAllScheduler) ReducesAfterReturn(ContInfo) int { return 1 }

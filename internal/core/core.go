@@ -173,6 +173,46 @@ func (rp *Report) Add(r Race) {
 // Races returns the retained distinct races in detection order.
 func (rp *Report) Races() []Race { return rp.races }
 
+// Clone returns an independent copy of the report; adding to either side
+// afterward leaves the other unchanged.
+func (rp *Report) Clone() *Report {
+	out := &Report{Limit: rp.Limit, total: rp.total}
+	out.races = append(make([]Race, 0, len(rp.races)), rp.races...)
+	if rp.seen != nil {
+		out.seen = make(map[raceKey]int, len(rp.seen))
+		for k, v := range rp.seen {
+			out.seen[k] = v
+		}
+	}
+	return out
+}
+
+// CopyFrom makes rp an independent copy of src, reusing rp's allocations
+// where possible.
+func (rp *Report) CopyFrom(src *Report) {
+	rp.Limit = src.Limit
+	rp.total = src.total
+	rp.races = append(rp.races[:0], src.races...)
+	if rp.seen != nil {
+		clear(rp.seen)
+	}
+	if src.seen != nil {
+		if rp.seen == nil {
+			rp.seen = make(map[raceKey]int, len(src.seen))
+		}
+		for k, v := range src.seen {
+			rp.seen[k] = v
+		}
+	}
+}
+
+// Reset empties the report, keeping allocated capacity for reuse.
+func (rp *Report) Reset() {
+	rp.races = rp.races[:0]
+	clear(rp.seen)
+	rp.total = 0
+}
+
 // Total returns the total number of race reports, counting duplicates.
 func (rp *Report) Total() int { return rp.total }
 

@@ -24,6 +24,14 @@ type lineageEntry struct {
 // NoParent marks a root element.
 const NoParent int32 = -1
 
+// CopyFrom makes l an independent copy of src, reusing l's capacity.
+func (l *Lineage) CopyFrom(src *Lineage) {
+	l.meta = append(l.meta[:0], src.meta...)
+}
+
+// Reset empties the lineage, keeping allocated capacity for reuse.
+func (l *Lineage) Reset() { l.meta = l.meta[:0] }
+
 // Add registers element id (dense, append-ordered) with its parent.
 func (l *Lineage) Add(id int32, frame cilk.FrameID, label string, parent int32) {
 	for int(id) >= len(l.meta) {

@@ -111,6 +111,41 @@ func (f *Forest) Same(a, b Elem) bool { return f.Find(a) == f.Find(b) }
 // harness's accounting of detector work.
 func (f *Forest) Stats() (finds, unions uint64) { return f.finds, f.unions }
 
+// Clone returns a structurally independent copy of the forest: parent
+// links, ranks, payload slots and operation counters. Payload values are
+// copied shallowly — callers whose payloads are mutable pointers (the bag
+// detectors) must remap them afterward.
+func (f *Forest) Clone() *Forest {
+	return &Forest{
+		nodes:   append(make([]node, 0, len(f.nodes)), f.nodes...),
+		payload: append(make([]any, 0, len(f.payload)), f.payload...),
+		finds:   f.finds,
+		unions:  f.unions,
+	}
+}
+
+// CopyFrom makes f an independent copy of src, reusing f's slice capacity
+// where possible — the pooled-reuse counterpart of Clone.
+func (f *Forest) CopyFrom(src *Forest) {
+	f.nodes = append(f.nodes[:0], src.nodes...)
+	f.payload = append(f.payload[:0], src.payload...)
+	f.finds, f.unions = src.finds, src.unions
+}
+
+// Payloads gives mutable access to the payload slots (indexed by root
+// element) so a Clone caller can remap pointer payloads in place.
+func (f *Forest) Payloads() []any { return f.payload }
+
+// Reset empties the forest, keeping allocated capacity for reuse.
+func (f *Forest) Reset() {
+	f.nodes = f.nodes[:0]
+	for i := range f.payload {
+		f.payload[i] = nil
+	}
+	f.payload = f.payload[:0]
+	f.finds, f.unions = 0, 0
+}
+
 // NaiveForest is a linked-list disjoint-set without path compression or
 // union by rank. It exists only as the ablation baseline for
 // BenchmarkAblationPathCompression; production code uses Forest.

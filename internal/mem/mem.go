@@ -94,6 +94,16 @@ const (
 	pageMask = pageSize - 1
 )
 
+// shadowPage is one materialized page. A page starts private to the Shadow
+// that created it; taking a Snapshot marks every live page shared, after
+// which the struct is immutable — a later write copies the buffer into a
+// fresh private page and swaps the map entry, leaving every snapshot that
+// references the shared page untouched (copy-on-write).
+type shadowPage struct {
+	buf    []int32
+	shared bool
+}
+
 // Shadow is a two-level paged shadow space mapping addresses to int32
 // values (function-instantiation IDs in the detectors). Unmapped addresses
 // read as the sentinel passed at construction. Pages materialize on first
@@ -101,61 +111,148 @@ const (
 // overhead — the ablation bench BenchmarkAblationShadow quantifies this
 // against MapShadow.
 type Shadow struct {
-	pages    map[uint64][]int32
+	pages    map[uint64]*shadowPage
 	sentinel int32
 	// one-entry cache: hot loops touch consecutive addresses. Validity is
-	// carried by lastBuf != nil, never by a magic lastPage value: with
+	// carried by last != nil, never by a magic lastPage value: with
 	// 12-bit pages the key ^uint64(0) happens to be unreachable (a 64-bit
 	// address shifts down to at most 2^52-1), but indexing correctness
 	// must not hinge on that arithmetic accident surviving a pageBits
 	// change.
 	lastPage uint64
-	lastBuf  []int32
+	last     *shadowPage
+	// free recycles private page buffers across Reset calls so pooled
+	// sweep units reuse pages without reallocation.
+	free [][]int32
+	// copied counts copy-on-write page clones since construction.
+	copied uint64
 }
 
 // NewShadow returns a shadow space whose unwritten entries read as sentinel.
 func NewShadow(sentinel int32) *Shadow {
-	return &Shadow{pages: make(map[uint64][]int32), sentinel: sentinel}
+	return &Shadow{pages: make(map[uint64]*shadowPage), sentinel: sentinel}
 }
 
-func (s *Shadow) page(a Addr, create bool) []int32 {
-	pn := uint64(a) >> pageBits
-	if pn == s.lastPage && s.lastBuf != nil {
-		return s.lastBuf
+// newPage hands out a sentinel-filled buffer, recycling one from the free
+// list when available.
+func (s *Shadow) newPage() []int32 {
+	var buf []int32
+	if n := len(s.free); n > 0 {
+		buf = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		buf = make([]int32, pageSize)
+		if s.sentinel == 0 {
+			return buf
+		}
 	}
-	buf, ok := s.pages[pn]
+	for i := range buf {
+		buf[i] = s.sentinel
+	}
+	return buf
+}
+
+func (s *Shadow) page(a Addr, create bool) *shadowPage {
+	pn := uint64(a) >> pageBits
+	if pn == s.lastPage && s.last != nil {
+		return s.last
+	}
+	pg, ok := s.pages[pn]
 	if !ok {
 		if !create {
 			return nil
 		}
-		buf = make([]int32, pageSize)
-		if s.sentinel != 0 {
-			for i := range buf {
-				buf[i] = s.sentinel
-			}
-		}
-		s.pages[pn] = buf
+		pg = &shadowPage{buf: s.newPage()}
+		s.pages[pn] = pg
 	}
-	s.lastPage, s.lastBuf = pn, buf
-	return buf
+	s.lastPage, s.last = pn, pg
+	return pg
 }
 
 // Get returns the value stored at a, or the sentinel if never written.
 func (s *Shadow) Get(a Addr) int32 {
-	buf := s.page(a, false)
-	if buf == nil {
+	pg := s.page(a, false)
+	if pg == nil {
 		return s.sentinel
 	}
-	return buf[uint64(a)&pageMask]
+	return pg.buf[uint64(a)&pageMask]
 }
 
-// Set stores v at address a.
+// Set stores v at address a. Writing to a page shared with a snapshot
+// first clones it into a fresh private page (copy-on-write), so snapshots
+// stay immutable.
 func (s *Shadow) Set(a Addr, v int32) {
-	s.page(a, true)[uint64(a)&pageMask] = v
+	pg := s.page(a, true)
+	if pg.shared {
+		clone := &shadowPage{buf: s.newPage()}
+		copy(clone.buf, pg.buf)
+		pn := uint64(a) >> pageBits
+		s.pages[pn] = clone
+		s.lastPage, s.last = pn, clone
+		s.copied++
+		pg = clone
+	}
+	pg.buf[uint64(a)&pageMask] = v
 }
 
 // Pages reports how many shadow pages have materialized.
 func (s *Shadow) Pages() int { return len(s.pages) }
+
+// PagesCopied reports how many copy-on-write page clones writes have
+// forced since construction (Reset does not clear it; it is a lifetime
+// counter feeding the sweep's pages-copied metric).
+func (s *Shadow) PagesCopied() uint64 { return s.copied }
+
+// Reset forgets every stored value, as if the shadow were freshly
+// constructed with the same sentinel. Private page buffers are recycled
+// into a free list for the next materialization; shared pages may still
+// back live snapshots and are left to the garbage collector.
+func (s *Shadow) Reset() {
+	for pn, pg := range s.pages {
+		if !pg.shared {
+			s.free = append(s.free, pg.buf)
+		}
+		delete(s.pages, pn)
+	}
+	s.last = nil
+}
+
+// ShadowSnap is an immutable point-in-time copy of a Shadow, produced by
+// Snapshot and consumed (any number of times) by Restore. Cost is
+// proportional to the number of materialized pages — page buffers are
+// shared copy-on-write, not copied.
+type ShadowSnap struct {
+	pages    map[uint64]*shadowPage
+	sentinel int32
+}
+
+// Snapshot captures the current contents. Every live page is marked
+// shared, so subsequent writes through this Shadow (or any Shadow restored
+// from the snapshot) copy the page before mutating it.
+func (s *Shadow) Snapshot() *ShadowSnap {
+	snap := &ShadowSnap{pages: make(map[uint64]*shadowPage, len(s.pages)), sentinel: s.sentinel}
+	for pn, pg := range s.pages {
+		// Only flip private pages: an already-shared page may be visible to
+		// sibling shadows restored from an earlier snapshot, and re-writing
+		// the flag would race with their reads. Shared is monotonic, so the
+		// prior write is already visible via the snapshot handoff.
+		if !pg.shared {
+			pg.shared = true
+		}
+		snap.pages[pn] = pg
+	}
+	return snap
+}
+
+// Restore replaces the shadow's contents with the snapshot's. The sentinel
+// is adopted from the snapshot; previously private pages are recycled.
+func (s *Shadow) Restore(snap *ShadowSnap) {
+	s.Reset()
+	s.sentinel = snap.sentinel
+	for pn, pg := range snap.pages {
+		s.pages[pn] = pg
+	}
+}
 
 // MapShadow is the map-backed alternative used only as the ablation baseline.
 type MapShadow struct {
@@ -178,3 +275,6 @@ func (s *MapShadow) Get(a Addr) int32 {
 
 // Set stores v at a.
 func (s *MapShadow) Set(a Addr, v int32) { s.m[a] = v }
+
+// Reset forgets every stored value, the MapShadow parity of Shadow.Reset.
+func (s *MapShadow) Reset() { clear(s.m) }

@@ -38,10 +38,23 @@ func TestShadowMapShadowParity(t *testing.T) {
 	mapped := NewMapShadow(sentinel)
 	for i := 0; i < 20000; i++ {
 		a := pick()
-		if rng.Intn(2) == 0 {
-			v := int32(rng.Intn(100))
-			paged.Set(a, v)
-			mapped.Set(a, v)
+		switch rng.Intn(40) {
+		case 0:
+			// Reset-then-reuse: both sides forget everything; the paged side
+			// must refill recycled buffers with the sentinel, not leak stale
+			// values back through the free list.
+			paged.Reset()
+			mapped.Reset()
+		case 1:
+			// A snapshot marks pages shared; subsequent writes go through
+			// the copy-on-write path. Parity must survive the transition.
+			paged.Snapshot()
+		default:
+			if rng.Intn(2) == 0 {
+				v := int32(rng.Intn(100))
+				paged.Set(a, v)
+				mapped.Set(a, v)
+			}
 		}
 		if got, want := paged.Get(a), mapped.Get(a); got != want {
 			t.Fatalf("op %d: Shadow.Get(%#x) = %d, MapShadow says %d", i, uint64(a), got, want)

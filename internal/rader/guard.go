@@ -22,6 +22,33 @@ type guard struct {
 
 const deadlineStride = 1024
 
+// sweepClock anchors every deadline decision of one sweep to a single
+// monotonic time reading, so per-unit expiry checks and the in-run guard
+// deadline agree with each other and are immune to wall-clock steps.
+type sweepClock struct {
+	start   time.Time
+	timeout time.Duration
+}
+
+func newSweepClock(timeout time.Duration) sweepClock {
+	return sweepClock{start: time.Now(), timeout: timeout}
+}
+
+// expired reports whether the sweep's budgeted wall time has elapsed.
+func (c sweepClock) expired() bool {
+	return c.timeout > 0 && time.Since(c.start) >= c.timeout
+}
+
+// deadline returns the guard-facing absolute deadline (zero = none). The
+// time carries the start's monotonic reading, so guard comparisons stay
+// monotonic too.
+func (c sweepClock) deadline() time.Time {
+	if c.timeout <= 0 {
+		return time.Time{}
+	}
+	return c.start.Add(c.timeout)
+}
+
 func newGuard(h cilk.Hooks, budget int64, deadline time.Time) *guard {
 	if h == nil {
 		h = cilk.Empty{}

@@ -1,0 +1,309 @@
+package rader
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/specgen"
+	"repro/internal/spplus"
+	"repro/internal/streamerr"
+)
+
+// The prefix-sharing sweep makes each unit's cost proportional to its
+// specification's divergent suffix instead of the whole execution. The
+// family's specs are grouped by longest common prefix of steal decisions
+// into a trie (specgen.BuildTrie); each trie leaf is one group of
+// stream-identical specs and is analysed exactly once. A sweep unit walks
+// the leftmost path of its subtree: it re-executes the program with the
+// SP+ detector gated off for the shared prefix, restores the detector from
+// the snapshot captured at the subtree's divergence probe, and lets the
+// gate open there. At each branch node on its path it captures a fresh
+// copy-on-write snapshot and spawns one unit per sibling subtree. The
+// budget/deadline guard sits outside the gate, so every unit counts the
+// full event stream — budget and deadline aborts land on the same event,
+// with the same error text, as the naive per-spec sweep.
+
+// SweepStats accounts for how a sweep was executed. It is diagnostic
+// output: two sweeps over the same program are equivalent iff their
+// canonical CoverageResult fields match, regardless of Stats.
+type SweepStats struct {
+	// Strategy is "prefix" or "naive".
+	Strategy string
+	// SnapshotHits counts sweep units seeded from a detector snapshot;
+	// SnapshotMisses counts units that ran fully live (the root unit, and
+	// any fallback unit respawned after a failure upstream of its subtree).
+	SnapshotHits   int64
+	SnapshotMisses int64
+	// EventsSkipped is the total number of instrumentation events the
+	// prefix gates suppressed — work the naive sweep would have fed to a
+	// live detector.
+	EventsSkipped int64
+	// PagesCopied counts shadow-memory pages cloned by copy-on-write
+	// across all units — the cost side of forking detectors.
+	PagesCopied int64
+	// Groups is the number of distinct event streams the family collapsed
+	// to (specs with identical steal decisions and reduce mode share one).
+	Groups int
+}
+
+// unitTask is one schedulable sweep unit: analyse the leftmost leaf group
+// of node, seeded from snap at divergence probe seedSeq. A nil snap means
+// the unit runs fully live from the first event (the root unit, and
+// fallback units respawned after an upstream failure).
+type unitTask struct {
+	node    *specgen.TrieNode
+	snap    *spplus.Snapshot
+	seedSeq int
+	root    bool
+}
+
+// groupResult is the verdict for one trie leaf, replicated at collect time
+// to every specification in the group.
+type groupResult struct {
+	races     []core.Race
+	total     int
+	err       error
+	viewReads *core.Report // piggybacked Peer-Set verdict, root unit only
+}
+
+// prefixSweep is the shared state of one prefix-sharing sweep run.
+type prefixSweep struct {
+	factory func() func(*cilk.Ctx)
+	opts    SweepOptions
+	clock   sweepClock
+
+	specs []cilk.StealSpec
+	names []string
+	trie  *specgen.Trie
+
+	results []groupResult // one slot per trie group, each written once
+	psErr   error         // root-unit failure, doubling as the peer-set loss
+
+	pool sync.Pool // of *spplus.Detector
+	sem  chan struct{}
+	wg   sync.WaitGroup
+
+	hits, misses, skipped, pages atomic.Int64
+}
+
+// sweepPrefix runs the §7 sweep with prefix sharing. Equivalence contract:
+// the returned CoverageResult's canonical fields (Profile, SpecsRun,
+// ViewReads, Races, Failures, TotalReports) are byte-identical to the
+// naive per-specification sweep's.
+func sweepPrefix(factory func() func(*cilk.Ctx), opts SweepOptions, workers int, clock sweepClock) *CoverageResult {
+	cr := &CoverageResult{ViewReads: &core.Report{}, Stats: SweepStats{Strategy: "prefix"}}
+
+	pspan := opts.Trace.Start("profile")
+	profile, probes, err := measureProbes(factory)
+	pspan.End()
+	if err != nil {
+		cr.Failures = append(cr.Failures, SpecFailure{Spec: "profile", Err: err})
+		return cr
+	}
+	cr.Profile = profile
+
+	specs := specgen.All(cr.Profile)
+	s := &prefixSweep{
+		factory: factory, opts: opts, clock: clock,
+		specs: specs,
+		names: make([]string, len(specs)),
+		trie:  specgen.BuildTrie(specs, probes),
+		sem:   make(chan struct{}, workers),
+	}
+	for i, spec := range specs {
+		s.names[i] = sched.Format(spec)
+	}
+	s.results = make([]groupResult, len(s.trie.Groups))
+	s.pool.New = func() any { return spplus.New() }
+	cr.Stats.Groups = len(s.trie.Groups)
+
+	s.spawn(unitTask{node: s.trie.Root, root: true})
+	s.wg.Wait()
+
+	cr.Stats.SnapshotHits = s.hits.Load()
+	cr.Stats.SnapshotMisses = s.misses.Load()
+	cr.Stats.EventsSkipped = s.skipped.Load()
+	cr.Stats.PagesCopied = s.pages.Load()
+
+	// Collect exactly as the naive sweep does, replicating each group's
+	// verdict to every member specification in spec-index order so race
+	// attribution (first spec to report a distinct race wins) matches.
+	cspan := opts.Trace.Start("collect")
+	groupOf := make([]int, len(specs))
+	for g, members := range s.trie.Groups {
+		for _, i := range members {
+			groupOf[i] = g
+		}
+	}
+	seen := make(map[string]bool)
+	for i := range specs {
+		res := s.results[groupOf[i]]
+		name := s.names[i]
+		if res.err != nil {
+			if i == 0 && s.psErr != nil {
+				// The root unit carried the Peer-Set pass too; its loss must
+				// be visible under both names, as in the naive piggyback.
+				cr.Failures = append(cr.Failures, SpecFailure{Spec: "peer-set", Err: s.psErr})
+			}
+			cr.Failures = append(cr.Failures, SpecFailure{Spec: name, Err: res.err})
+			continue
+		}
+		if res.viewReads != nil {
+			cr.ViewReads = res.viewReads
+		}
+		cr.SpecsRun++
+		cr.total += res.total
+		for _, race := range res.races {
+			key := race.String()
+			if !seen[key] {
+				seen[key] = true
+				cr.Races = append(cr.Races, CoverageFinding{Spec: name, Race: race})
+			}
+		}
+	}
+	cr.sortCanonical()
+	cspan.Arg("specs", cr.SpecsRun).Arg("races", len(cr.Races)).
+		Arg("failures", len(cr.Failures)).End()
+	return cr
+}
+
+// spawn schedules a unit on the worker pool. The semaphore bounds
+// concurrency; the goroutine itself is cheap, so a unit capturing a
+// snapshot mid-run never blocks on its children.
+func (s *prefixSweep) spawn(t unitTask) {
+	s.wg.Add(1)
+	go func() {
+		s.sem <- struct{}{}
+		defer func() {
+			<-s.sem
+			s.wg.Done()
+		}()
+		s.runUnit(t)
+	}()
+}
+
+func deadlineSkip() error {
+	return streamerr.Errorf("rader", streamerr.KindDeadline,
+		"sweep deadline exceeded before specification ran")
+}
+
+// runUnit analyses the leftmost leaf group of t.node and spawns one unit
+// per sibling subtree at each branch node on the way down.
+func (s *prefixSweep) runUnit(t unitTask) {
+	if s.clock.expired() {
+		err := deadlineSkip()
+		for _, g := range t.node.Leaves(nil) {
+			s.results[g] = groupResult{err: err}
+		}
+		if t.root {
+			s.psErr = err
+		}
+		return
+	}
+
+	var branches []*specgen.TrieNode
+	n := t.node
+	for !n.IsLeaf() {
+		branches = append(branches, n)
+		n = n.Children[0]
+	}
+	leaf := n.Group
+	leafSpec := s.specs[s.trie.Groups[leaf][0]]
+	name := s.names[s.trie.Groups[leaf][0]]
+	span := s.opts.Trace.Start("spec:" + name)
+
+	det := s.pool.Get().(*spplus.Detector)
+	det.Reset()
+	pagesBefore := int64(det.PagesCopied())
+	if t.snap != nil {
+		det.Restore(t.snap)
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	gate := cilk.NewGate(det, t.snap == nil)
+
+	// nextBranch is shared with the recovery path: sibling subtrees of
+	// branch nodes the failing unit never reached must still be analysed,
+	// so they are respawned as fully live units.
+	nextBranch := 0
+	defer func() {
+		s.skipped.Add(gate.Skipped())
+		s.pages.Add(int64(det.PagesCopied()) - pagesBefore)
+		if p := recover(); p != nil {
+			err := streamerr.FromPanic("rader", p)
+			s.results[leaf] = groupResult{err: err}
+			if t.root {
+				s.psErr = err
+			}
+			for _, b := range branches[nextBranch:] {
+				for _, child := range b.Children[1:] {
+					s.spawn(unitTask{node: child})
+				}
+			}
+			span.Arg("error", err.Error()).End()
+		}
+		det.Reset()
+		s.pool.Put(det)
+	}()
+
+	onProbe := func(ci cilk.ContInfo) {
+		if ci.Seq < 1 || ci.Seq > len(s.trie.Probes) || !s.trie.Probes[ci.Seq-1].Matches(ci) {
+			panic(streamerr.Errorf("rader", streamerr.KindState,
+				"continuation probe %d diverged from the recorded sequence; program is not ostensibly deterministic", ci.Seq))
+		}
+		for nextBranch < len(branches) && ci.Seq == branches[nextBranch].Seq {
+			b := branches[nextBranch]
+			nextBranch++
+			snap := det.Snapshot()
+			for _, child := range b.Children[1:] {
+				s.spawn(unitTask{node: child, snap: snap, seedSeq: b.Seq})
+			}
+		}
+	}
+	spec := cilk.NewGatedSpec(leafSpec, gate, t.seedSeq, onProbe)
+
+	var hooks cilk.Hooks = gate
+	var ps core.Detector
+	if t.root {
+		// The root unit's leftmost leaf is the all-serial group (the
+		// no-steal edge sorts first at every branch), so — exactly like the
+		// naive sweep's first unit — the schedule-independent Peer-Set pass
+		// piggybacks on its execution.
+		psDet, psHooks, _ := NewDetector(PeerSet)
+		ps = psDet
+		hooks = cilk.MultiHooks(psHooks, gate)
+	}
+	if s.opts.EventBudget > 0 || s.opts.Timeout > 0 {
+		hooks = newGuard(hooks, s.opts.EventBudget, s.clock.deadline())
+	}
+
+	cilk.Run(s.factory(), cilk.Config{Spec: spec, Hooks: hooks})
+
+	res := groupResult{
+		races: append([]core.Race(nil), det.Report().Races()...),
+		total: det.Report().Total(),
+	}
+	if ps != nil {
+		res.viewReads = ps.Report()
+	}
+	s.results[leaf] = res
+	span.Arg("races", det.Report().Distinct()).
+		Arg("skipped", gate.Skipped()).
+		Arg("seed", t.seedSeq).End()
+}
+
+// measureProbes profiles one program instance and records its continuation
+// probes, containing any panic the program (or profiler) raises.
+func measureProbes(factory func() func(*cilk.Ctx)) (p specgen.Profile, probes []specgen.ProbeRecord, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = streamerr.FromPanic("rader", r)
+		}
+	}()
+	p, probes = specgen.MeasureProbes(factory())
+	return p, probes, nil
+}

@@ -1,0 +1,148 @@
+package rader
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cilk"
+	"repro/internal/corpus"
+	"repro/internal/faults"
+	"repro/internal/mem"
+)
+
+// sweepEntry runs one corpus entry under opts with a fresh allocator, so
+// address layouts — and with them race findings — are comparable across
+// sweeps.
+func sweepEntry(e corpus.Entry, opts SweepOptions) *CoverageResult {
+	return Sweep(func() func(*cilk.Ctx) {
+		return e.Build(mem.NewAllocator())
+	}, opts)
+}
+
+// requireEquivalent asserts the canonical CoverageResult fields of a
+// prefix-sharing sweep and a naive sweep are identical. SweepStats is
+// deliberately excluded: it describes how the sweep executed, not what it
+// concluded.
+func requireEquivalent(t *testing.T, prefix, naive *CoverageResult) {
+	t.Helper()
+	if prefix.Profile != naive.Profile {
+		t.Errorf("Profile: prefix %+v, naive %+v", prefix.Profile, naive.Profile)
+	}
+	if prefix.SpecsRun != naive.SpecsRun {
+		t.Errorf("SpecsRun: prefix %d, naive %d", prefix.SpecsRun, naive.SpecsRun)
+	}
+	if prefix.TotalReports() != naive.TotalReports() {
+		t.Errorf("TotalReports: prefix %d, naive %d", prefix.TotalReports(), naive.TotalReports())
+	}
+	if !reflect.DeepEqual(prefix.ViewReads.Races(), naive.ViewReads.Races()) ||
+		prefix.ViewReads.Total() != naive.ViewReads.Total() {
+		t.Errorf("ViewReads: prefix %v, naive %v",
+			prefix.ViewReads.Summary(), naive.ViewReads.Summary())
+	}
+	if !reflect.DeepEqual(prefix.Races, naive.Races) {
+		t.Errorf("Races:\nprefix: %v\nnaive:  %v", prefix.Races, naive.Races)
+	}
+	if fmt.Sprint(prefix.Failures) != fmt.Sprint(naive.Failures) {
+		t.Errorf("Failures:\nprefix: %v\nnaive:  %v", prefix.Failures, naive.Failures)
+	}
+}
+
+// The prefix-sharing sweep must be observationally indistinguishable from
+// the naive per-specification sweep on every corpus program, serial and
+// parallel — the correctness contract that lets it be the default path.
+func TestSweepPrefixEquivalence(t *testing.T) {
+	for _, e := range corpus.All() {
+		t.Run(e.Name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				prefix := sweepEntry(e, SweepOptions{Workers: workers})
+				naive := sweepEntry(e, SweepOptions{Workers: workers, Naive: true})
+				if prefix.Stats.Strategy != "prefix" {
+					t.Fatalf("default sweep took strategy %q, want prefix", prefix.Stats.Strategy)
+				}
+				if naive.Stats.Strategy != "naive" {
+					t.Fatalf("Naive sweep took strategy %q, want naive", naive.Stats.Strategy)
+				}
+				requireEquivalent(t, prefix, naive)
+			}
+		})
+	}
+}
+
+// Budget aborts must land identically on both paths: the guard wraps the
+// gate, so a prefix unit counts the full event stream — suppressed prefix
+// included — and fails on the same event with the same error text as the
+// naive run of the same specification.
+func TestSweepPrefixEquivalenceUnderBudget(t *testing.T) {
+	for _, e := range corpus.All() {
+		t.Run(e.Name, func(t *testing.T) {
+			for _, budget := range []int64{40, 400} {
+				prefix := sweepEntry(e, SweepOptions{Workers: 4, EventBudget: budget})
+				naive := sweepEntry(e, SweepOptions{Workers: 4, EventBudget: budget, Naive: true})
+				requireEquivalent(t, prefix, naive)
+			}
+		})
+	}
+}
+
+// Fault injection addresses runs by specification index, which has no
+// meaning for a shared-prefix unit covering many specifications — so a
+// wrapped sweep must fall back to the naive path, and a sweep requested
+// without the Naive flag must still match one requested with it.
+func TestSweepPrefixEquivalenceUnderFaults(t *testing.T) {
+	e := mustEntry(t, "figure1-shallow-copy")
+	for _, plan := range faults.Plans(7, 6, 400) {
+		t.Run(plan.String(), func(t *testing.T) {
+			wrap := func(index int, _ cilk.StealSpec, hooks cilk.Hooks) cilk.Hooks {
+				if index%3 == 0 { // fault a third of the units, spare the rest
+					return faults.New(hooks, plan)
+				}
+				return hooks
+			}
+			def := sweepEntry(e, SweepOptions{Workers: 4, Wrap: wrap})
+			naive := sweepEntry(e, SweepOptions{Workers: 4, Wrap: wrap, Naive: true})
+			if def.Stats.Strategy != "naive" {
+				t.Fatalf("wrapped sweep took strategy %q, want naive fallback", def.Stats.Strategy)
+			}
+			requireEquivalent(t, def, naive)
+		})
+	}
+}
+
+// A prefix sweep of the family should run far fewer live units than the
+// family has specifications: groups collapse stream-identical specs, and
+// snapshot seeding skips shared-prefix events. This pins the mechanism
+// (not the wall-clock win, which bench tables measure).
+func TestSweepPrefixActuallyShares(t *testing.T) {
+	e := mustEntry(t, "reduce-strand-race-hidden")
+	cr := sweepEntry(e, SweepOptions{Workers: 4})
+	specs := cr.SpecsRun
+	st := cr.Stats
+	if st.Strategy != "prefix" {
+		t.Fatalf("strategy = %q, want prefix", st.Strategy)
+	}
+	if st.Groups >= specs {
+		t.Errorf("no spec dedup: %d groups for %d specs", st.Groups, specs)
+	}
+	if st.SnapshotHits == 0 {
+		t.Errorf("no unit was seeded from a snapshot (hits=0, misses=%d)", st.SnapshotMisses)
+	}
+	if st.EventsSkipped == 0 {
+		t.Errorf("no events were skipped; prefix sharing did no work")
+	}
+	units := st.SnapshotHits + st.SnapshotMisses
+	if units != int64(st.Groups) {
+		t.Errorf("ran %d units for %d groups; each group must run exactly once", units, st.Groups)
+	}
+}
+
+func mustEntry(t *testing.T, name string) corpus.Entry {
+	t.Helper()
+	for _, e := range corpus.All() {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("corpus entry %q not found", name)
+	return corpus.Entry{}
+}

@@ -332,7 +332,11 @@ type CoverageResult struct {
 	// panicking program. The remaining specifications' results are still
 	// reported — a sweep degrades, it does not die.
 	Failures []SpecFailure
-	total    int
+	// Stats accounts for how the sweep executed (prefix sharing vs naive,
+	// snapshot and copy-on-write counters). It is diagnostic, not part of
+	// the canonical verdict: two equivalent sweeps may differ here.
+	Stats SweepStats
+	total int
 }
 
 // Clean reports whether the sweep found no race. A sweep with Failures
@@ -360,8 +364,16 @@ type SweepOptions struct {
 	Timeout time.Duration
 	// Wrap, when set, wraps the hook chain of the run for each
 	// specification index — the fault-injection seam. Index -1 is the
-	// Peer-Set pass.
+	// Peer-Set pass. Wrapped sweeps always take the naive path: injection
+	// is addressed per specification index, which has no meaning for a
+	// shared-prefix unit covering many specifications at once.
 	Wrap func(index int, spec cilk.StealSpec, hooks cilk.Hooks) cilk.Hooks
+	// Naive forces the per-specification sweep, disabling prefix sharing.
+	// The default sweep groups specifications by longest common prefix of
+	// steal decisions and analyses each shared prefix once, seeding the
+	// divergent suffixes from copy-on-write detector snapshots; both paths
+	// produce byte-identical canonical CoverageResults.
+	Naive bool
 	// Trace, when set, collects per-phase spans: "profile", "peer-set",
 	// one "spec:<name>" per sweep unit (on the worker's lane), and
 	// "collect" for the merge. Nil disables collection at zero cost.
@@ -397,10 +409,13 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 	if workers < 1 {
 		workers = 1
 	}
-	var deadline time.Time
-	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
+	// All deadline arithmetic derives from this one monotonic reading, so a
+	// wall-clock step mid-sweep cannot expire (or revive) the timeout.
+	clock := newSweepClock(opts.Timeout)
+	if !opts.Naive && opts.Wrap == nil {
+		return sweepPrefix(factory, opts, workers, clock)
 	}
+	deadline := clock.deadline()
 	wrapFor := func(i int, spec cilk.StealSpec) func(cilk.Hooks) cilk.Hooks {
 		if opts.Wrap == nil {
 			return nil
@@ -408,7 +423,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 		return func(h cilk.Hooks) cilk.Hooks { return opts.Wrap(i, spec, h) }
 	}
 
-	cr := &CoverageResult{ViewReads: &core.Report{}}
+	cr := &CoverageResult{ViewReads: &core.Report{}, Stats: SweepStats{Strategy: "naive"}}
 
 	pspan := opts.Trace.Start("profile")
 	profile, err := measure(factory)
@@ -463,10 +478,8 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 			for i := range next {
 				name := sched.Format(specs[i])
 				span := opts.Trace.StartTID(lane, "spec:"+name)
-				if !deadline.IsZero() && time.Now().After(deadline) {
-					results[i] = specResult{spec: name, err: streamerr.Errorf(
-						"rader", streamerr.KindDeadline,
-						"sweep deadline exceeded before specification ran")}
+				if clock.expired() {
+					results[i] = specResult{spec: name, err: deadlineSkip()}
 					span.Arg("skipped", "deadline").End()
 					continue
 				}

@@ -25,8 +25,9 @@ import (
 )
 
 // Schema is the current schema version, carried by every document.
-// Version 2 added the per-race provenance section.
-const Schema = 2
+// Version 2 added the per-race provenance section; version 3 added the
+// sweep document's execution-stats section.
+const Schema = 3
 
 // Access is one side of a race.
 type Access struct {
@@ -224,6 +225,20 @@ type SweepFailure struct {
 	Error string `json:"error"`
 }
 
+// SweepStats mirrors the sweep's execution accounting: which strategy
+// ran and what prefix sharing saved. The values are deterministic for a
+// given program and strategy (the trie, the snapshot points and the
+// copy-on-write writes are all schedule-independent), so they are safe in
+// the byte-identical cached document.
+type SweepStats struct {
+	Strategy       string `json:"strategy"`
+	Groups         int    `json:"groups"`
+	SnapshotHits   int64  `json:"snapshotHits"`
+	SnapshotMisses int64  `json:"snapshotMisses"`
+	EventsSkipped  int64  `json:"eventsSkipped"`
+	PagesCopied    int64  `json:"pagesCopied"`
+}
+
 // Sweep is the verdict document for a §7 coverage sweep.
 type Sweep struct {
 	Schema       int            `json:"schema"`
@@ -235,6 +250,7 @@ type Sweep struct {
 	TotalReports int            `json:"totalReports"`
 	Clean        bool           `json:"clean"`
 	Complete     bool           `json:"complete"`
+	Stats        SweepStats     `json:"stats"`
 }
 
 // Marshal renders the document deterministically.
@@ -258,6 +274,14 @@ func FromCoverage(cr *rader.CoverageResult) *Sweep {
 		TotalReports: cr.TotalReports(),
 		Clean:        cr.Clean(),
 		Complete:     cr.Complete(),
+		Stats: SweepStats{
+			Strategy:       cr.Stats.Strategy,
+			Groups:         cr.Stats.Groups,
+			SnapshotHits:   cr.Stats.SnapshotHits,
+			SnapshotMisses: cr.Stats.SnapshotMisses,
+			EventsSkipped:  cr.Stats.EventsSkipped,
+			PagesCopied:    cr.Stats.PagesCopied,
+		},
 	}
 	if cr.ViewReads != nil {
 		for _, r := range cr.ViewReads.Races() {

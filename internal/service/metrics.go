@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/rader"
 )
 
 // knownDetectors is the closed label set for per-detector series. Detector
@@ -50,6 +51,11 @@ type metrics struct {
 	cacheMisses *obs.Counter
 	events      *obs.Counter
 	lastEPS     *obs.Gauge
+
+	sweepSnapHits   *obs.Counter
+	sweepSnapMisses *obs.Counter
+	sweepSkipped    *obs.Counter
+	sweepPages      *obs.Counter
 
 	phase map[string]*obs.Histogram
 }
@@ -106,6 +112,15 @@ func newMetrics(pool *pool, cache *resultCache, jobs *jobTable) *metrics {
 			func() float64 { return float64(jobs.states()[st]) })
 	}
 
+	m.sweepSnapHits = reg.Counter("raderd_sweep_snapshot_hits_total",
+		"Prefix-sharing sweep units seeded from a detector snapshot.", "")
+	m.sweepSnapMisses = reg.Counter("raderd_sweep_snapshot_misses_total",
+		"Prefix-sharing sweep units that ran without a seed snapshot.", "")
+	m.sweepSkipped = reg.Counter("raderd_sweep_events_skipped_total",
+		"Detector events skipped over shared steal-decision prefixes.", "")
+	m.sweepPages = reg.Counter("raderd_sweep_pages_copied_total",
+		"Shadow-memory pages copied on write by snapshot-seeded sweep units.", "")
+
 	m.phase = make(map[string]*obs.Histogram, 3)
 	for _, ph := range []string{phaseQueue, phaseRun, phaseEncode} {
 		m.phase[ph] = reg.Histogram("raderd_phase_latency_seconds",
@@ -137,6 +152,16 @@ func (m *metrics) done(detector string, d time.Duration, events int64) {
 		"Wall time of completed analyses by detector.",
 		fmt.Sprintf("detector=%q", sanitizeDetector(detector)), nil)
 	h.Observe(d.Seconds())
+}
+
+// sweep accumulates the sharing counters of one completed coverage sweep.
+// Naive sweeps contribute zeros; the counters then read as a flat line,
+// which is itself the signal that prefix sharing is off.
+func (m *metrics) sweep(st rader.SweepStats) {
+	m.sweepSnapHits.Add(uint64(st.SnapshotHits))
+	m.sweepSnapMisses.Add(uint64(st.SnapshotMisses))
+	m.sweepSkipped.Add(uint64(st.EventsSkipped))
+	m.sweepPages.Add(uint64(st.PagesCopied))
 }
 
 // snapshotHits returns the current cache-hit count (tests poll it).

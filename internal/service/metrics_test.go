@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -247,6 +248,8 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"raderd_workers", "raderd_cache_hits_total", "raderd_cache_misses_total",
 		"raderd_cache_hit_ratio", "raderd_cache_entries", "raderd_events_total",
 		"raderd_events_per_second", "raderd_sweep_jobs",
+		"raderd_sweep_snapshot_hits_total", "raderd_sweep_snapshot_misses_total",
+		"raderd_sweep_events_skipped_total", "raderd_sweep_pages_copied_total",
 		"raderd_phase_latency_seconds", "raderd_analyze_latency_seconds",
 	} {
 		if types[fam] == "" {
@@ -371,6 +374,87 @@ func TestMetricsExpositionFormat(t *testing.T) {
 	for _, ph := range []string{phaseQueue, phaseRun, phaseEncode} {
 		if phases[fmt.Sprintf("phase=%q", ph)] < 1 {
 			t.Errorf("phase %q histogram has no observations: %v", ph, phases)
+		}
+	}
+}
+
+// TestSweepSharingMetricsSeries pins the sweep-sharing series names: one
+// completed sweep must populate raderd_sweep_snapshot_{hits,misses}_total,
+// raderd_sweep_events_skipped_total and raderd_sweep_pages_copied_total on
+// both /metrics and the /debug/vars snapshot — the default sweep is the
+// prefix-sharing one, so the hit and skip counters move.
+func TestSweepSharingMetricsSeries(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, SweepWorkers: 2})
+	resp, err := http.Post(ts.URL+"/sweep?prog=fig1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SweepResponse
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("submit: %v in %s", err, body)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for sr.State != stateDone && sr.State != stateFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck in state %q", sr.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		pr, err := http.Get(ts.URL + "/sweep/" + sr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, _ := io.ReadAll(pr.Body)
+		pr.Body.Close()
+		if err := json.Unmarshal(pb, &sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sr.State != stateDone {
+		t.Fatalf("sweep failed: %s", sr.Error)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(mb)
+	value := func(series string) float64 {
+		for _, line := range strings.Split(text, "\n") {
+			if rest, ok := strings.CutPrefix(line, series+" "); ok {
+				v, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					t.Fatalf("series %s has unparsable value %q", series, rest)
+				}
+				return v
+			}
+		}
+		t.Fatalf("series %s missing from exposition:\n%s", series, text)
+		return 0
+	}
+	if hits := value("raderd_sweep_snapshot_hits_total"); hits == 0 {
+		t.Error("a prefix-sharing sweep must seed at least one unit from a snapshot")
+	}
+	if misses := value("raderd_sweep_snapshot_misses_total"); misses == 0 {
+		t.Error("the root unit always runs without a seed; misses cannot be zero")
+	}
+	if skipped := value("raderd_sweep_events_skipped_total"); skipped == 0 {
+		t.Error("snapshot-seeded units must skip prefix events")
+	}
+	value("raderd_sweep_pages_copied_total") // presence is the contract; fig1 may or may not COW
+
+	vars := s.MetricsSnapshot()
+	for _, name := range []string{
+		"raderd_sweep_snapshot_hits_total",
+		"raderd_sweep_snapshot_misses_total",
+		"raderd_sweep_events_skipped_total",
+		"raderd_sweep_pages_copied_total",
+	} {
+		if _, ok := vars[name]; !ok {
+			t.Errorf("/debug/vars snapshot missing %s", name)
 		}
 	}
 }

@@ -503,8 +503,11 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.metrics.done("sweep", time.Since(start), 0)
+		s.metrics.sweep(cr.Stats)
 		log.Info("sweep done", "dur", time.Since(start),
-			"specs", cr.SpecsRun, "clean", cr.Clean(), "complete", cr.Complete())
+			"specs", cr.SpecsRun, "clean", cr.Clean(), "complete", cr.Complete(),
+			"strategy", cr.Stats.Strategy, "snapshotHits", cr.Stats.SnapshotHits,
+			"eventsSkipped", cr.Stats.EventsSkipped)
 		// Only complete sweeps are cacheable: a sweep degraded by a
 		// deadline or budget abort reports Failures instead of verdicts
 		// for some specifications, and serving that from the cache would

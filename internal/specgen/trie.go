@@ -1,0 +1,250 @@
+// The steal-decision trie groups the §7 specification family by longest
+// common prefix of steal decisions. For an ostensibly deterministic
+// program the continuation-probe sequence is schedule-independent: every
+// specification is asked ShouldSteal at the same probes, in the same
+// order, with the same ContInfo. Two specifications that answer the same
+// way up to probe t therefore produce bit-identical instrumentation-event
+// prefixes up to probe t — the invariant the prefix-sharing sweep exploits
+// by snapshotting detector state at trie branch points instead of
+// re-analysing the shared prefix once per specification.
+//
+// Reduce ordering complicates sharing only after the first steal: with no
+// views beyond the leftmost there is nothing to reduce, so ReduceOrder and
+// ReduceScheduler cannot influence the stream. The trie's edge keys encode
+// exactly that: decisions share freely while no steal has occurred, and
+// once one has, the key conservatively incorporates the specification's
+// reduce mode so only schedules with identical post-steal semantics keep
+// sharing.
+package specgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cilk"
+)
+
+// ProbeRecord captures the scalar identity of one continuation probe from
+// a recording run, enough to re-evaluate any steal specification offline
+// and to verify a later run replays the same probe sequence.
+type ProbeRecord struct {
+	Frame     cilk.FrameID
+	Label     string
+	Depth     int
+	SyncBlock int
+	Index     int
+	Seq       int
+	PDepth    int
+}
+
+// Matches reports whether a live probe is the recorded one. A mismatch
+// means the program is not ostensibly deterministic (its spawn structure
+// changed across runs), which invalidates prefix sharing for the run.
+func (p ProbeRecord) Matches(ci cilk.ContInfo) bool {
+	return ci.Seq == p.Seq && ci.Index == p.Index && ci.SyncBlock == p.SyncBlock &&
+		ci.PDepth == p.PDepth && ci.Depth == p.Depth &&
+		ci.Frame != nil && ci.Frame.ID == p.Frame
+}
+
+type recordingSpec struct {
+	pr     *profiler
+	probes *[]ProbeRecord
+}
+
+func (s recordingSpec) ShouldSteal(ci cilk.ContInfo) bool {
+	s.pr.observe(ci)
+	*s.probes = append(*s.probes, ProbeRecord{
+		Frame: ci.Frame.ID, Label: ci.Label, Depth: ci.Depth,
+		SyncBlock: ci.SyncBlock, Index: ci.Index, Seq: ci.Seq, PDepth: ci.PDepth,
+	})
+	return false
+}
+
+func (s recordingSpec) Order() cilk.ReduceOrder { return cilk.ReduceAtSync }
+
+// MeasureProbes is Measure plus a recording of every continuation probe in
+// serial order — the single profiling run the prefix-sharing sweep builds
+// its trie from.
+func MeasureProbes(prog func(*cilk.Ctx)) (Profile, []ProbeRecord) {
+	pr := &profiler{}
+	var probes []ProbeRecord
+	cilk.Run(prog, cilk.Config{Spec: recordingSpec{pr: pr, probes: &probes}})
+	return pr.p, probes
+}
+
+// DecisionVector evaluates spec offline over the recorded probes: element
+// i is ShouldSteal's answer at probe i+1. Specifications in the §7 family
+// decide from the probe's scalar fields alone, so offline evaluation
+// agrees with a live run.
+func DecisionVector(spec cilk.StealSpec, probes []ProbeRecord) []bool {
+	vec := make([]bool, len(probes))
+	for i, p := range probes {
+		f := &cilk.Frame{ID: p.Frame, Label: p.Label, Depth: p.Depth, SyncBlock: p.SyncBlock}
+		vec[i] = spec.ShouldSteal(cilk.ContInfo{
+			Frame: f, Label: p.Label, Depth: p.Depth, SyncBlock: p.SyncBlock,
+			Index: p.Index, Seq: p.Seq, PDepth: p.PDepth,
+		})
+	}
+	return vec
+}
+
+// TrieNode is one node of the steal-decision trie. A branch node carries
+// the probe sequence number its children decide differently at and its
+// children ordered shared-prefix-first (the no-steal edge, when present,
+// is Children[0]); a leaf carries the specification group it covers.
+type TrieNode struct {
+	Seq      int
+	Children []*TrieNode
+	Group    int
+}
+
+// IsLeaf reports whether the node covers a single specification group.
+func (n *TrieNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Leaves appends the group indices of every leaf under n, leftmost first.
+func (n *TrieNode) Leaves(out []int) []int {
+	if n.IsLeaf() {
+		return append(out, n.Group)
+	}
+	for _, c := range n.Children {
+		out = c.Leaves(out)
+	}
+	return out
+}
+
+// Trie is the steal-decision trie over one specification family.
+type Trie struct {
+	// Probes is the recorded continuation-probe sequence.
+	Probes []ProbeRecord
+	// Groups partitions specification indices by identical (decision
+	// vector, reduce mode): every spec in a group produces the same event
+	// stream, so one run's verdict serves them all. Indices within a group
+	// and groups themselves are in specification order.
+	Groups [][]int
+	// Root covers every group. It is a leaf when the family collapses to
+	// one group (e.g. a program with no continuations).
+	Root *TrieNode
+
+	vectors    [][]bool // per group, the representative decision vector
+	firstSteal []int    // per group, seq of first steal (len(Probes)+1 = none)
+}
+
+// modeKey fingerprints the schedule semantics that can influence the event
+// stream once a steal has occurred. Specifications that schedule their own
+// reductions get a unique key (their timing is not computable offline), so
+// they never share past their first steal — conservative but safe.
+func modeKey(spec cilk.StealSpec, idx int) string {
+	if _, ok := spec.(cilk.ReduceScheduler); ok {
+		return fmt.Sprintf("rs%d", idx)
+	}
+	return fmt.Sprintf("o%d", spec.Order())
+}
+
+// BuildTrie evaluates every specification over the recorded probes and
+// builds the decision trie.
+func BuildTrie(specs []cilk.StealSpec, probes []ProbeRecord) *Trie {
+	t := &Trie{Probes: probes}
+	groupOf := make(map[string]int)
+	for i, spec := range specs {
+		vec := DecisionVector(spec, probes)
+		first := len(probes) + 1
+		key := make([]byte, len(vec))
+		for j, b := range vec {
+			key[j] = '0'
+			if b {
+				key[j] = '1'
+				if first > len(probes) {
+					first = j + 1
+				}
+			}
+		}
+		gk := string(key)
+		if first <= len(probes) {
+			// Reduce mode only matters once a steal occurs; all-serial
+			// vectors coincide regardless of mode.
+			gk += "|" + modeKey(spec, i)
+		}
+		g, ok := groupOf[gk]
+		if !ok {
+			g = len(t.Groups)
+			groupOf[gk] = g
+			t.Groups = append(t.Groups, nil)
+			t.vectors = append(t.vectors, vec)
+			t.firstSteal = append(t.firstSteal, first)
+		}
+		t.Groups[g] = append(t.Groups[g], i)
+	}
+	all := make([]int, len(t.Groups))
+	for g := range all {
+		all[g] = g
+	}
+	t.Root = t.build(all, 1)
+	return t
+}
+
+// edgeKey is the trie edge label of group g's decision at probe seq:
+// decisions share freely while no steal has occurred on the path ("0");
+// after the first steal the reduce mode joins the key, so only schedules
+// with identical post-steal semantics stay on one path. Keys sort with
+// the no-steal edge first ("0" < "0|…" < "1|…").
+func (t *Trie) edgeKey(g, seq int, modes []string) string {
+	steal := t.vectors[g][seq-1]
+	prior := t.firstSteal[g] < seq
+	switch {
+	case !steal && !prior:
+		return "0"
+	case !steal:
+		return "0|" + modes[g]
+	default:
+		return "1|" + modes[g]
+	}
+}
+
+// groupModes lazily computes, per group, the mode key of its
+// representative spec. Captured once in build via closure state.
+func (t *Trie) build(groups []int, seq int) *TrieNode {
+	if len(groups) == 1 {
+		return &TrieNode{Group: groups[0]}
+	}
+	modes := make([]string, len(t.Groups))
+	for _, g := range groups {
+		if t.firstSteal[g] <= len(t.Probes) {
+			// Mode of the group's vector: any member agrees past the first
+			// steal by group construction; encode via the vector's group id
+			// position (stable) — the representative's mode was folded into
+			// the group key, so groups with different modes are distinct.
+			modes[g] = fmt.Sprintf("g%d", g)
+		}
+	}
+	return t.buildAt(groups, seq, modes)
+}
+
+func (t *Trie) buildAt(groups []int, seq int, modes []string) *TrieNode {
+	if len(groups) == 1 {
+		return &TrieNode{Group: groups[0]}
+	}
+	for ; seq <= len(t.Probes); seq++ {
+		byKey := make(map[string][]int)
+		var keys []string
+		for _, g := range groups {
+			k := t.edgeKey(g, seq, modes)
+			if _, ok := byKey[k]; !ok {
+				keys = append(keys, k)
+			}
+			byKey[k] = append(byKey[k], g)
+		}
+		if len(keys) == 1 {
+			continue
+		}
+		sort.Strings(keys)
+		node := &TrieNode{Seq: seq}
+		for _, k := range keys {
+			node.Children = append(node.Children, t.buildAt(byKey[k], seq+1, modes))
+		}
+		return node
+	}
+	// Distinct groups share every edge key: possible only when vectors are
+	// identical and modes differ without any steal — excluded by grouping —
+	// so reaching here is a construction bug.
+	panic(fmt.Sprintf("specgen: trie groups %v never diverge", groups))
+}

@@ -1,0 +1,178 @@
+package spplus
+
+import (
+	"repro/internal/cilk"
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// Snapshot is an immutable point-in-time copy of a Detector's full state:
+// the frame stack with its S and P bags, the disjoint-set forest, the
+// lineage and race report, the four shadow spaces (copy-on-write, so the
+// cost is O(pages materialized), not O(addresses)), and the scalar
+// counters. One snapshot can seed any number of detectors via Restore —
+// the fork operation behind the prefix-sharing coverage sweep.
+//
+// Snapshots may only be taken at a continuation-probe boundary (outside
+// view-aware sections and reduce strands): that is where the sweep's trie
+// branch points live, and it is the only place the detector has no
+// transient mid-operation state.
+type Snapshot struct {
+	forest  *dsu.Forest
+	stack   []*frameRec
+	current int // index into stack, -1 when no frame has entered
+
+	reader   *mem.ShadowSnap
+	writer   *mem.ShadowSnap
+	readerEv *mem.ShadowSnap
+	writerEv *mem.ShadowSnap
+
+	lin    core.Lineage
+	report *core.Report
+	counts obs.EventCounts
+	events int64
+}
+
+// cloneBag returns the memoized deep copy of b (nil-safe).
+func cloneBag(memo map[*bag]*bag, b *bag) *bag {
+	if b == nil {
+		return nil
+	}
+	if c, ok := memo[b]; ok {
+		return c
+	}
+	c := &bag{kind: b.kind, vid: b.vid, root: b.root}
+	memo[b] = c
+	return c
+}
+
+// cloneFrames deep-copies a frame stack, memoizing bag copies so shared
+// references stay shared on the other side.
+func cloneFrames(stack []*frameRec, memo map[*bag]*bag) []*frameRec {
+	out := make([]*frameRec, len(stack))
+	for i, fr := range stack {
+		nfr := &frameRec{id: fr.id, label: fr.label, elem: fr.elem, s: cloneBag(memo, fr.s)}
+		nfr.pstack = make([]*bag, len(fr.pstack))
+		for j, b := range fr.pstack {
+			nfr.pstack[j] = cloneBag(memo, b)
+		}
+		out[i] = nfr
+	}
+	return out
+}
+
+// remapPayloads rewrites every *bag payload of f through the memo so the
+// forest references the cloned bags, never the source detector's.
+func remapPayloads(f *dsu.Forest, memo map[*bag]*bag) {
+	payloads := f.Payloads()
+	for i, p := range payloads {
+		if b, ok := p.(*bag); ok {
+			payloads[i] = cloneBag(memo, b)
+		}
+	}
+}
+
+// Snapshot captures the detector's state. It panics if called inside a
+// view-aware section or reduce strand — the sweep only snapshots at
+// continuation probes, where neither can be live.
+func (d *Detector) Snapshot() *Snapshot {
+	if d.vaDepth != 0 || d.inReduce {
+		panic(core.Violatef("spplus", core.StreamState, d.currentFrameID(),
+			"snapshot inside a view-aware or reduce strand (vaDepth=%d inReduce=%v)",
+			d.vaDepth, d.inReduce))
+	}
+	memo := make(map[*bag]*bag)
+	s := &Snapshot{
+		stack:    cloneFrames(d.stack, memo),
+		current:  -1,
+		forest:   d.forest.Clone(),
+		reader:   d.reader.Snapshot(),
+		writer:   d.writer.Snapshot(),
+		readerEv: d.readerEv.Snapshot(),
+		writerEv: d.writerEv.Snapshot(),
+		report:   d.report.Clone(),
+		counts:   d.counts,
+		events:   d.events,
+	}
+	remapPayloads(s.forest, memo)
+	for i, fr := range d.stack {
+		if fr == d.current {
+			s.current = i
+		}
+	}
+	s.lin.CopyFrom(&d.lin)
+	return s
+}
+
+// Restore replaces the detector's state with an independent copy of the
+// snapshot's, as if the detector had processed exactly the event prefix
+// the snapshot was taken after. Restoring reuses the detector's existing
+// allocations where possible, so pooled detectors fork cheaply.
+func (d *Detector) Restore(s *Snapshot) {
+	memo := make(map[*bag]*bag)
+	d.stack = append(d.stack[:0], cloneFrames(s.stack, memo)...)
+	d.forest.CopyFrom(s.forest)
+	remapPayloads(d.forest, memo)
+	d.current = nil
+	if s.current >= 0 {
+		d.current = d.stack[s.current]
+	}
+	d.reader.Restore(s.reader)
+	d.writer.Restore(s.writer)
+	d.readerEv.Restore(s.readerEv)
+	d.writerEv.Restore(s.writerEv)
+	d.lin.CopyFrom(&s.lin)
+	d.report.CopyFrom(s.report)
+	d.vaDepth = 0
+	d.vaOp = 0
+	d.vaReducer = nil
+	d.inReduce = false
+	d.reduceVID = 0
+	d.reduceElem = dsu.None
+	d.counts = s.counts
+	d.events = s.events
+}
+
+// Reset returns the detector to its freshly constructed state, keeping
+// allocated capacity (forest slices, shadow pages, lineage and report
+// backing arrays) so pooled sweep units reuse memory across runs. The
+// shadow PagesCopied counters survive as lifetime totals.
+func (d *Detector) Reset() {
+	d.forest.Reset()
+	d.stack = d.stack[:0]
+	d.reader.Reset()
+	d.writer.Reset()
+	d.readerEv.Reset()
+	d.writerEv.Reset()
+	d.lin.Reset()
+	d.report.Reset()
+	d.current = nil
+	d.vaDepth = 0
+	d.vaOp = 0
+	d.vaReducer = nil
+	d.inReduce = false
+	d.reduceVID = 0
+	d.reduceElem = dsu.None
+	d.counts = obs.EventCounts{}
+	d.events = 0
+}
+
+// PagesCopied totals the copy-on-write page clones across the detector's
+// four shadow spaces — the sweep's cost-of-forking metric.
+func (d *Detector) PagesCopied() uint64 {
+	return d.reader.PagesCopied() + d.writer.PagesCopied() +
+		d.readerEv.PagesCopied() + d.writerEv.PagesCopied()
+}
+
+// Events reports the detector-relative ordinal of the last processed
+// event, used by sweep accounting.
+func (d *Detector) Events() int64 { return d.events }
+
+func (d *Detector) currentFrameID() cilk.FrameID {
+	if d.current == nil {
+		return cilk.NoFrame
+	}
+	return d.current.id
+}

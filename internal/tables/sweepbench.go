@@ -1,0 +1,141 @@
+// Sweep-throughput measurement: the numbers behind BENCH_PR5.json. The
+// §7 coverage sweep re-executes the program once per specification; most
+// of those executions share a long prefix of steal decisions. This
+// harness times the prefix-sharing sweep (steal-decision trie +
+// copy-on-write detector snapshots) against the naive one-run-per-spec
+// sweep on a program built to have a long shared prefix, and records the
+// sharing counters that explain the speedup.
+package tables
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"time"
+
+	"repro/internal/cilk"
+	"repro/internal/mem"
+	"repro/internal/progs"
+	"repro/internal/rader"
+)
+
+// SweepBench is the sweep-throughput section of BENCH_PR5.json.
+type SweepBench struct {
+	// Program identifies the benchmark workload: progs.SweepStress with
+	// the recorded shape (spawns / preamble accesses / per-child accesses).
+	Program string `json:"program"`
+	// Specs is the §7 family size — the acceptance bar demands >= 50.
+	Specs int `json:"specs"`
+	// Groups is how many distinct event streams the trie found; the
+	// prefix sweep runs one unit per group instead of one per spec.
+	Groups int `json:"groups"`
+	// NaiveMs and PrefixMs are median wall-clock milliseconds for one
+	// whole sweep (Workers: 1, so the ratio measures work, not
+	// scheduling).
+	NaiveMs  float64 `json:"naiveMs"`
+	PrefixMs float64 `json:"prefixMs"`
+	// Speedup is NaiveMs / PrefixMs — the PR's acceptance gate demands
+	// >= 2.
+	Speedup float64 `json:"speedup"`
+	// Sharing counters from the measured prefix sweep: every unit seeded
+	// from a snapshot is a hit, EventsSkipped is detector work not done,
+	// PagesCopied is the copy-on-write bill for all the forks.
+	SnapshotHits   int64 `json:"snapshotHits"`
+	SnapshotMisses int64 `json:"snapshotMisses"`
+	EventsSkipped  int64 `json:"eventsSkipped"`
+	PagesCopied    int64 `json:"pagesCopied"`
+}
+
+// Render formats the comparison as benchtab's sweep table.
+func (sb *SweepBench) Render() string {
+	return fmt.Sprintf(
+		"program:            %s\n"+
+			"family:             %d specifications in %d trie groups\n"+
+			"naive sweep:        %8.2f ms   (one detector run per specification)\n"+
+			"prefix sweep:       %8.2f ms   (one unit per group, snapshot-seeded suffixes)\n"+
+			"speedup:            %8.2fx\n"+
+			"snapshot seeding:   %d hits, %d misses\n"+
+			"detector work skipped: %d events; copy-on-write pages copied: %d\n",
+		sb.Program, sb.Specs, sb.Groups, sb.NaiveMs, sb.PrefixMs, sb.Speedup,
+		sb.SnapshotHits, sb.SnapshotMisses, sb.EventsSkipped, sb.PagesCopied)
+}
+
+// measureSweep times f over trials and returns the median duration plus
+// the last result (for counter extraction).
+func measureSweep(trials int, f func() *rader.CoverageResult) (time.Duration, *rader.CoverageResult) {
+	cr := f() // warm pools and the page free lists
+	samples := make([]time.Duration, trials)
+	for i := range samples {
+		start := time.Now()
+		cr = f()
+		samples[i] = time.Since(start)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2], cr
+}
+
+// MeasureSweep runs the naive-vs-prefix sweep comparison on the
+// SweepStress workload, first checking that the two strategies agree on
+// the canonical verdict they are being timed to produce.
+func MeasureSweep(trials int) (*SweepBench, error) {
+	if trials < 1 {
+		trials = 3
+	}
+	const spawns, preamble, body = 7, 2048, 64
+	factory := func() func(*cilk.Ctx) {
+		return progs.SweepStress(mem.NewAllocator(), spawns, preamble, body)
+	}
+	run := func(naive bool) *rader.CoverageResult {
+		return rader.Sweep(factory, rader.SweepOptions{Workers: 1, Naive: naive})
+	}
+
+	naiveCR := run(true)
+	prefixCR := run(false)
+	if err := sweepsAgree(naiveCR, prefixCR); err != nil {
+		return nil, err
+	}
+	out := &SweepBench{
+		Program: fmt.Sprintf("SweepStress(spawns=%d, preamble=%d, body=%d)", spawns, preamble, body),
+		Specs:   naiveCR.SpecsRun,
+		Groups:  prefixCR.Stats.Groups,
+	}
+	if out.Specs < 50 {
+		return nil, fmt.Errorf("tables: benchmark family has %d specs, want >= 50", out.Specs)
+	}
+
+	naiveMed, _ := measureSweep(trials, func() *rader.CoverageResult { return run(true) })
+	prefixMed, cr := measureSweep(trials, func() *rader.CoverageResult { return run(false) })
+	out.NaiveMs = float64(naiveMed.Nanoseconds()) / 1e6
+	out.PrefixMs = float64(prefixMed.Nanoseconds()) / 1e6
+	if out.PrefixMs <= 0 {
+		return nil, fmt.Errorf("tables: degenerate prefix-sweep measurement")
+	}
+	out.Speedup = out.NaiveMs / out.PrefixMs
+	out.SnapshotHits = cr.Stats.SnapshotHits
+	out.SnapshotMisses = cr.Stats.SnapshotMisses
+	out.EventsSkipped = cr.Stats.EventsSkipped
+	out.PagesCopied = cr.Stats.PagesCopied
+	return out, nil
+}
+
+// sweepsAgree checks the canonical verdict fields the equivalence
+// property test pins, so the benchmark can never time two sweeps that
+// disagree about the answer.
+func sweepsAgree(a, b *rader.CoverageResult) error {
+	if a.SpecsRun != b.SpecsRun {
+		return fmt.Errorf("tables: sweeps disagree on SpecsRun: %d vs %d", a.SpecsRun, b.SpecsRun)
+	}
+	if !reflect.DeepEqual(a.Races, b.Races) {
+		return fmt.Errorf("tables: sweeps disagree on races:\n%v\nvs\n%v", a.Races, b.Races)
+	}
+	if len(a.Failures) != 0 || len(b.Failures) != 0 {
+		return fmt.Errorf("tables: benchmark sweep failed: %v / %v", a.Failures, b.Failures)
+	}
+	if a.TotalReports() != b.TotalReports() {
+		return fmt.Errorf("tables: sweeps disagree on total reports: %d vs %d", a.TotalReports(), b.TotalReports())
+	}
+	if !reflect.DeepEqual(a.ViewReads.Races(), b.ViewReads.Races()) {
+		return fmt.Errorf("tables: sweeps disagree on view-read races")
+	}
+	return nil
+}
