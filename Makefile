@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench tables coverage-demo serve clean
+.PHONY: all build test race vet fuzz chaos bench tables coverage-demo serve clean
 
 all: build test
 
@@ -26,6 +26,15 @@ fuzz:
 	$(GO) test -fuzz FuzzDedupDecode -fuzztime 15s ./internal/apps/
 	$(GO) test -fuzz FuzzDedupRoundTrip -fuzztime 15s ./internal/apps/
 	$(GO) test -fuzz FuzzReplay -fuzztime 15s ./internal/trace/
+	$(GO) test -fuzz FuzzStoreRecovery -fuzztime 15s ./internal/store/
+	$(GO) test -fuzz FuzzVerdictDecode -fuzztime 15s ./internal/store/
+
+# The crash-recovery chaos suite: kill the store at every fault-injection
+# point, reopen, and assert byte-identical verdicts (docs/ROBUSTNESS.md,
+# "The durable store"). Plus the service-level durability/drain tests.
+chaos:
+	$(GO) test -race -count=1 ./internal/store/
+	$(GO) test -race -count=1 -run 'Restart|Drain|Recover|Journal|Ingest|Resumable' ./internal/service/ ./cmd/raderd/ ./cmd/rader/
 
 # The testing.B suite: Figure 7/8 cells, theorem scaling, ablations.
 bench:

@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/report"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // remoteRequest is one -remote invocation's worth of intent: exactly one
@@ -28,12 +30,16 @@ type remoteRequest struct {
 }
 
 // remoteClient drives a raderd daemon — the analyze-remotely half of the
-// record-once/analyze-many workflow.
+// record-once/analyze-many workflow. Every exchange goes through the
+// retrying transport in retry.go, so transient saturation (429), a
+// draining daemon (503) and dial failures heal without the user seeing
+// them; exhausted retries surface as ordinary errors (exit code 2).
 type remoteClient struct {
 	base   string
 	stdout io.Writer
 	// client overrides http.DefaultClient in tests.
 	client *http.Client
+	retry  retryPolicy
 }
 
 func (c *remoteClient) http() *http.Client {
@@ -50,24 +56,33 @@ func (c *remoteClient) run(req remoteRequest) (int, error) {
 	return c.analyze(req)
 }
 
+// Resumable-upload shape: traces at or past resumableThreshold go
+// through PUT /traces/{digest} in uploadChunk-sized pieces (each fsynced
+// server-side before acknowledgment) and are then analyzed by reference,
+// so neither end ever holds the trace in memory and an interrupted
+// upload resumes from the last durable byte. Smaller traces — and any
+// daemon without a store — use a single streamed POST body.
+var (
+	uploadChunk        = int64(4 << 20)
+	resumableThreshold = int64(8 << 20)
+)
+
 // analyze submits one synchronous analysis: the trace file when
 // -replay was given, the named program otherwise.
 func (c *remoteClient) analyze(req remoteRequest) (int, error) {
 	q := url.Values{}
 	q.Set("detector", req.detector)
-	var body io.Reader
+	var resp *http.Response
+	var raw []byte
+	var err error
 	if req.replayPath != "" {
-		data, err := os.ReadFile(req.replayPath)
-		if err != nil {
-			return exitError, err
-		}
-		body = bytes.NewReader(data)
+		resp, raw, err = c.analyzeTrace(req.replayPath, q)
 	} else {
 		q.Set("prog", req.prog)
 		q.Set("scale", req.scale)
 		q.Set("spec", req.spec)
+		resp, raw, err = c.do(http.MethodPost, "/analyze?"+q.Encode(), nil, false)
 	}
-	resp, raw, err := c.post("/analyze?"+q.Encode(), body)
 	if err != nil {
 		return exitError, err
 	}
@@ -89,6 +104,115 @@ func (c *remoteClient) analyze(req remoteRequest) (int, error) {
 		return exitClean, nil
 	}
 	return exitRaces, nil
+}
+
+// analyzeTrace uploads a recorded trace and returns the daemon's
+// /analyze exchange. Large traces take the resumable digest-addressed
+// path when the daemon supports it; everything else streams the file as
+// a single POST body (reopened per retry attempt, never slurped).
+func (c *remoteClient) analyzeTrace(path string, q url.Values) (*http.Response, []byte, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() >= resumableThreshold {
+		resp, raw, handled, err := c.analyzeViaStore(path, q)
+		if handled {
+			return resp, raw, err
+		}
+	}
+	mkBody := func() (io.Reader, error) { return os.Open(path) }
+	return c.do(http.MethodPost, "/analyze?"+q.Encode(), mkBody, false)
+}
+
+// analyzeViaStore drives the resumable path: digest the file, ask the
+// daemon where the upload stands, push the missing chunks, then analyze
+// by reference. handled=false means the daemon has no trace store (501,
+// or a pre-store daemon's 404/405) and the caller should fall back to
+// the plain body upload.
+func (c *remoteClient) analyzeViaStore(path string, q url.Values) (resp *http.Response, raw []byte, handled bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, true, err
+	}
+	defer f.Close()
+	dg, err := trace.DigestOf(f)
+	if err != nil {
+		return nil, nil, true, fmt.Errorf("digesting %s: %v", path, err)
+	}
+	digest := dg.String()
+
+	hresp, _, err := c.do(http.MethodHead, "/traces/"+digest, nil, true)
+	if err != nil {
+		return nil, nil, true, err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return nil, nil, false, nil
+	}
+	offset, _ := strconv.ParseInt(hresp.Header.Get("Upload-Offset"), 10, 64)
+	if hresp.Header.Get("Upload-Complete") != "true" {
+		if err := c.uploadChunks(f, digest, offset); err != nil {
+			return nil, nil, true, err
+		}
+	}
+	q.Set("digest", digest)
+	resp, raw, err = c.do(http.MethodPost, "/analyze?"+q.Encode(), nil, false)
+	return resp, raw, true, err
+}
+
+// uploadChunks pushes the file from offset to EOF in uploadChunk pieces.
+// Chunk PUTs are idempotent by construction — the server verifies the
+// claimed offset against its durable state and answers a duplicate with
+// 409 plus the true offset — so transport errors mid-chunk are safe to
+// retry, and an offset conflict just resyncs the loop.
+func (c *remoteClient) uploadChunks(f *os.File, digest string, offset int64) error {
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	buf := make([]byte, uploadChunk)
+	for offset < size {
+		n := int64(len(buf))
+		if rem := size - offset; rem < n {
+			n = rem
+		}
+		if _, err := f.ReadAt(buf[:n], offset); err != nil {
+			return fmt.Errorf("reading trace chunk at %d: %v", offset, err)
+		}
+		chunk := buf[:n]
+		path := fmt.Sprintf("/traces/%s?offset=%d", digest, offset)
+		if offset+n == size {
+			path += "&complete=1"
+		}
+		resp, raw, err := c.do(http.MethodPut, path,
+			func() (io.Reader, error) { return bytes.NewReader(chunk), nil }, true)
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			// Content-addressed no-op: the daemon already has this trace.
+			return nil
+		case http.StatusAccepted, http.StatusCreated:
+			if v, perr := strconv.ParseInt(resp.Header.Get("Upload-Offset"), 10, 64); perr == nil {
+				offset = v
+			} else {
+				offset += n
+			}
+		case http.StatusConflict:
+			// Another client (or a retried chunk) moved the offset; the
+			// header carries the durable truth to resume from.
+			v, perr := strconv.ParseInt(resp.Header.Get("Upload-Offset"), 10, 64)
+			if perr != nil {
+				return remoteErr(resp, raw)
+			}
+			offset = v
+		default:
+			return remoteErr(resp, raw)
+		}
+	}
+	return nil
 }
 
 func (c *remoteClient) printAnalyze(ar service.AnalyzeResponse) {
@@ -207,24 +331,20 @@ func (c *remoteClient) printSweep(s report.Sweep) {
 	}
 }
 
+// post submits a bodyless POST (sweep submission) through the retrying
+// transport; non-idempotent, so only 429/503/dial failures replay it.
 func (c *remoteClient) post(path string, body io.Reader) (*http.Response, []byte, error) {
-	resp, err := c.http().Post(c.base+path, "application/octet-stream", body)
-	if err != nil {
-		return nil, nil, fmt.Errorf("reaching raderd at %s: %v", c.base, err)
+	var mkBody func() (io.Reader, error)
+	if body != nil {
+		mkBody = func() (io.Reader, error) { return body, nil }
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	return resp, raw, err
+	return c.do(http.MethodPost, path, mkBody, false)
 }
 
+// get reads through the retrying transport; GETs are idempotent, so a
+// connection cut mid-response is retried too.
 func (c *remoteClient) get(path string) (*http.Response, []byte, error) {
-	resp, err := c.http().Get(c.base + path)
-	if err != nil {
-		return nil, nil, fmt.Errorf("reaching raderd at %s: %v", c.base, err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	return resp, raw, err
+	return c.do(http.MethodGet, path, nil, true)
 }
 
 // remoteErr folds a non-2xx response into one readable error, surfacing

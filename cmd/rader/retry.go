@@ -1,0 +1,160 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// retryPolicy shapes the remote client's retries: jittered exponential
+// backoff between attempts, with server-provided Retry-After hints (from
+// a 429 shed or a 503 drain) taking precedence over the computed delay.
+// The zero value means "use defaults"; tests inject sleep and jitter.
+type retryPolicy struct {
+	attempts int           // total tries including the first (default 4)
+	base     time.Duration // first backoff step (default 200ms)
+	cap      time.Duration // backoff ceiling (default 5s)
+	sleep    func(time.Duration)
+	jitter   func() float64 // uniform in [0,1)
+}
+
+func (p retryPolicy) withDefaults() retryPolicy {
+	if p.attempts < 1 {
+		p.attempts = 4
+	}
+	if p.base <= 0 {
+		p.base = 200 * time.Millisecond
+	}
+	if p.cap <= 0 {
+		p.cap = 5 * time.Second
+	}
+	if p.sleep == nil {
+		p.sleep = time.Sleep
+	}
+	if p.jitter == nil {
+		p.jitter = rand.Float64
+	}
+	return p
+}
+
+// backoff computes the delay before retry attempt i (0-based). A
+// parseable Retry-After wins outright — the server knows its own queue
+// better than any client-side curve; otherwise exponential with full
+// jitter over the top half of the window, so a thundering herd of shed
+// clients decorrelates.
+func (p retryPolicy) backoff(i int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+		if at, err := http.ParseTime(retryAfter); err == nil {
+			if d := time.Until(at); d > 0 {
+				return d
+			}
+			return 0
+		}
+	}
+	d := p.base << uint(i)
+	if d > p.cap || d <= 0 {
+		d = p.cap
+	}
+	half := d / 2
+	return half + time.Duration(p.jitter()*float64(half))
+}
+
+// requestNeverSent reports whether a transport error happened before any
+// bytes of the request could have reached the server — a dial failure
+// (connection refused, no route). Those are safe to retry for any
+// method: the server never saw the request.
+func requestNeverSent(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// do performs one HTTP exchange against the daemon with retries. mkBody
+// recreates the request body for each attempt (nil for bodyless
+// requests). idempotent governs what is retryable:
+//
+//   - 429 (shed) and 503 (draining/restarting) retry for every method,
+//     honoring Retry-After.
+//   - Dial failures retry for every method — the request never left.
+//   - Connection reset or unexpected EOF mid-exchange retries ONLY when
+//     idempotent: for a non-idempotent request the server may have
+//     already acted on it, and replaying it is not the client's call.
+//
+// The response body is fully read and returned; the caller never touches
+// resp.Body. On exhausted retries the last error (or last 429/503) comes
+// back wrapped with the attempt count — the caller maps it to exit
+// code 2 like any other remote failure.
+func (c *remoteClient) do(method, path string, mkBody func() (io.Reader, error), idempotent bool) (*http.Response, []byte, error) {
+	p := c.retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < p.attempts; attempt++ {
+		if attempt > 0 {
+			retryAfter := ""
+			var rerr *retryableStatus
+			if errors.As(lastErr, &rerr) {
+				retryAfter = rerr.retryAfter
+			}
+			p.sleep(p.backoff(attempt-1, retryAfter))
+		}
+		var body io.Reader
+		if mkBody != nil {
+			b, err := mkBody()
+			if err != nil {
+				return nil, nil, err
+			}
+			body = b
+		}
+		req, err := http.NewRequest(method, c.base+path, body)
+		if err != nil {
+			return nil, nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/octet-stream")
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			if idempotent || requestNeverSent(err) {
+				lastErr = fmt.Errorf("reaching raderd at %s: %v", c.base, err)
+				continue
+			}
+			return nil, nil, fmt.Errorf("reaching raderd at %s: %v (not retried: the daemon may have received the request)", c.base, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			// The response was cut mid-body — the server DID act on the
+			// request, so only idempotent exchanges may replay it.
+			if idempotent {
+				lastErr = fmt.Errorf("reading response from %s: %v", c.base, err)
+				continue
+			}
+			return nil, nil, fmt.Errorf("reading response from %s: %v (not retried: request was not idempotent)", c.base, err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			lastErr = &retryableStatus{
+				err:        remoteErr(resp, raw),
+				retryAfter: resp.Header.Get("Retry-After"),
+			}
+			continue
+		}
+		return resp, raw, nil
+	}
+	return nil, nil, fmt.Errorf("giving up after %d attempts: %w", p.attempts, lastErr)
+}
+
+// retryableStatus carries a retryable HTTP status (429/503) between
+// attempts along with the server's Retry-After hint.
+type retryableStatus struct {
+	err        error
+	retryAfter string
+}
+
+func (e *retryableStatus) Error() string { return e.err.Error() }
+func (e *retryableStatus) Unwrap() error { return e.err }

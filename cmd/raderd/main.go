@@ -7,16 +7,26 @@
 //
 // Usage:
 //
-//	raderd -addr :8735 -workers 8 -queue 16
+//	raderd -addr :8735 -workers 8 -queue 16 -store-dir /var/lib/raderd
 //	rader -remote http://localhost:8735 -replay t.trace
 //
-// Endpoints: POST /analyze, POST /sweep, GET /sweep/{id}, GET /healthz,
-// GET /metrics (Prometheus text). The usual Go debug surfaces ride along:
-// GET /debug/pprof/* (CPU, heap, goroutine profiles) and GET /debug/vars
-// (the metric series as flat JSON, plus expvar's standard memstats).
-// Requests are logged structured (log/slog) to stderr with a per-request
-// ID; -quiet silences them. Capacity, cache and per-job limits are flags;
-// see docs/SERVICE.md for the full API and failure-mode table.
+// Endpoints: POST /analyze, POST /sweep, GET /sweep/{id}, PUT/HEAD
+// /traces/{digest}, GET /healthz, GET /readyz, GET /metrics (Prometheus
+// text). The usual Go debug surfaces ride along: GET /debug/pprof/*
+// (CPU, heap, goroutine profiles) and GET /debug/vars (the metric series
+// as flat JSON, plus expvar's standard memstats). Requests are logged
+// structured (log/slog) to stderr with a per-request ID; -quiet silences
+// them. Capacity, cache and per-job limits are flags; see
+// docs/SERVICE.md for the full API and failure-mode table.
+//
+// With -store-dir the daemon is crash-safe: verdicts and uploaded traces
+// live in a disk-backed content-addressed store, sweep jobs are
+// journaled and re-enqueued after a crash, and a startup recovery scan
+// quarantines any torn or corrupt file instead of dying on it. SIGTERM
+// triggers a graceful drain: /readyz flips to 503 first (so balancers
+// stop routing here), in-flight work finishes up to -drain-timeout, and
+// /healthz stays 200 until the process actually exits. See
+// docs/ROBUSTNESS.md for the durability model.
 package main
 
 import (
@@ -64,8 +74,11 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 		eventBudget = fs.Int64("event-budget", 50_000_000, "per-job event budget (-1 = unlimited)")
 		jobTimeout  = fs.Duration("job-timeout", 60*time.Second, "per-job wall-time bound")
 		sweepWkrs   = fs.Int("sweep-workers", 0, "per-sweep parallelism (0 = workers)")
-		maxUpload   = fs.Int64("max-upload", 64<<20, "max uploaded trace bytes")
+		maxUpload   = fs.Int64("max-upload", 64<<20, "max uploaded trace bytes (per chunk for resumable ingest)")
 		keepJobs    = fs.Int("keep-jobs", 64, "finished sweep jobs retained for polling")
+		cacheBytes  = fs.Int64("cache-bytes", 64<<20, "result-cache capacity in bytes")
+		storeDir    = fs.String("store-dir", "", "root of the durable trace+verdict store (empty = in-memory only)")
+		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: how long to wait for in-flight work before exiting")
 		quiet       = fs.Bool("quiet", false, "suppress per-request structured logs")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -78,10 +91,12 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 	}
 	logger := slog.New(slog.NewTextHandler(logDst, nil))
 
-	srv := service.New(service.Config{
+	srv, err := service.Open(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheSize,
+		CacheBytes:     *cacheBytes,
+		StoreDir:       *storeDir,
 		EventBudget:    *eventBudget,
 		JobTimeout:     *jobTimeout,
 		SweepWorkers:   *sweepWkrs,
@@ -89,6 +104,13 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 		KeepJobs:       *keepJobs,
 		Logger:         logger,
 	})
+	if err != nil {
+		// A daemon that cannot open its durable store must fail loudly —
+		// limping along non-durable would silently break the crash-safety
+		// contract clients rely on.
+		fmt.Fprintln(stderr, "raderd:", err)
+		return exitError
+	}
 	publishDebugVars(srv)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -99,6 +121,9 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 	hs := &http.Server{Handler: logRequests(logger, debugMux(srv))}
 	fmt.Fprintf(stdout, "raderd listening on %s (workers=%d queue=%d cache=%d)\n",
 		ln.Addr(), *workers, *queue, *cacheSize)
+	if banner := srv.RecoveryBanner(); banner != "" {
+		fmt.Fprintf(stdout, "raderd: store %s: %s\n", *storeDir, banner)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -107,13 +132,23 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 		fmt.Fprintln(stderr, "raderd:", err)
 		return exitError
 	case <-shutdown:
-		fmt.Fprintln(stdout, "raderd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain, in contract order: readiness goes dark first
+		// (srv.Drain flips /readyz to 503 and refuses new work at
+		// admission), in-flight requests and journaled jobs get up to
+		// -drain-timeout to finish, and only then does the listener — and
+		// with it /healthz — go away. Work that does not finish in time
+		// stays journaled in the store and re-runs on the next start.
+		fmt.Fprintln(stdout, "raderd: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintln(stderr, "raderd: drain:", err)
+		}
 		if err := hs.Shutdown(ctx); err != nil {
 			fmt.Fprintln(stderr, "raderd: shutdown:", err)
 			return exitError
 		}
+		fmt.Fprintln(stdout, "raderd: drained, exiting")
 		return exitOK
 	}
 }

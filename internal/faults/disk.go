@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrCrash is the sentinel a disk injector returns to simulate the
+// process dying at an I/O boundary: the store layer aborts the operation
+// immediately — no cleanup, no compensating writes — leaving on disk
+// exactly what a SIGKILL at that instant would leave. Recovery code must
+// treat the resulting state (orphan temp files, torn journals,
+// unrenamed partials) as expected input, never as corruption to crash on.
+var ErrCrash = errors.New("faults: simulated crash")
+
+// ErrDisk is the generic injected I/O failure for non-crash plans: the
+// operation fails, the process keeps running, and the caller must surface
+// a structured error instead of wedging or corrupting state.
+var ErrDisk = errors.New("faults: injected disk error")
+
+// Disk injects one failure into a stream of store I/O operations. It
+// implements the injection seam the disk-backed store exposes
+// (store.Options.Inject): the store calls Check before every durable
+// side effect — temp-file create/write/sync, rename, directory sync,
+// journal append — naming the operation and path, and aborts if Check
+// returns an error.
+//
+// FailAt counts matching operations from zero; the FailAt-th one returns
+// Err (ErrCrash by default). Like the event-level Injector, the zero
+// randomness rule applies: equal plans yield equal failures, so every
+// chaos finding is replayable.
+type Disk struct {
+	// FailAt is the 0-based index (among matching ops) to fail.
+	FailAt int64
+	// Op restricts the fault to operations with this name; empty matches
+	// every operation.
+	Op string
+	// Err is what the failing operation returns (default ErrCrash).
+	Err error
+
+	n        atomic.Int64
+	injected atomic.Bool
+}
+
+// Check implements the store's injection seam. It is safe for concurrent
+// use; exactly one matching operation fails.
+func (d *Disk) Check(op, path string) error {
+	if d == nil {
+		return nil
+	}
+	if d.Op != "" && d.Op != op {
+		return nil
+	}
+	if d.n.Add(1)-1 != d.FailAt {
+		return nil
+	}
+	d.injected.Store(true)
+	err := d.Err
+	if err == nil {
+		err = ErrCrash
+	}
+	return fmt.Errorf("%w (op %s on %s)", err, op, path)
+}
+
+// Ops reports how many matching operations the injector has observed —
+// run a counting pass (FailAt < 0 never matches an index) to enumerate a
+// workload's injection points, then iterate FailAt over [0, Ops).
+func (d *Disk) Ops() int64 { return d.n.Load() }
+
+// Injected reports whether the planned fault actually fired.
+func (d *Disk) Injected() bool { return d.injected.Load() }

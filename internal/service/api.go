@@ -33,6 +33,19 @@ type SweepResponse struct {
 	Sweep json.RawMessage `json:"sweep,omitempty"`
 }
 
+// TraceStatusResponse is the envelope of PUT/HEAD /traces/{digest}: the
+// durable state of a resumable upload. Offset is also mirrored in the
+// Upload-Offset header so a HEAD (no body) carries it too.
+type TraceStatusResponse struct {
+	Digest string `json:"digest"`
+	// Offset is the count of bytes durably received so far; a resuming
+	// client continues from here.
+	Offset int64 `json:"offset"`
+	// Complete reports whether the trace has been verified and finalized
+	// into the content-addressed store.
+	Complete bool `json:"complete"`
+}
+
 // ErrorResponse is the body of every non-2xx JSON response.
 type ErrorResponse struct {
 	Error string `json:"error"`

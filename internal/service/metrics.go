@@ -3,10 +3,12 @@ package service
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/rader"
+	"repro/internal/store"
 )
 
 // knownDetectors is the closed label set for per-detector series. Detector
@@ -51,6 +53,7 @@ type metrics struct {
 	cacheMisses *obs.Counter
 	events      *obs.Counter
 	lastEPS     *obs.Gauge
+	ingestBytes *obs.Counter
 
 	sweepSnapHits   *obs.Counter
 	sweepSnapMisses *obs.Counter
@@ -61,8 +64,10 @@ type metrics struct {
 }
 
 // newMetrics builds the registry. The pool/cache/jobs closures feed the
-// scrape-time gauges; registration order fixes the exposition order.
-func newMetrics(pool *pool, cache *resultCache, jobs *jobTable) *metrics {
+// scrape-time gauges; registration order fixes the exposition order. st
+// may be nil (no -store-dir): the store families are then simply absent,
+// so a non-durable daemon's exposition is unchanged from before.
+func newMetrics(pool *pool, cache *resultCache, jobs *jobTable, st *store.Store, recovered *atomic.Uint64) *metrics {
 	reg := obs.NewRegistry()
 	m := &metrics{reg: reg}
 
@@ -99,11 +104,15 @@ func newMetrics(pool *pool, cache *resultCache, jobs *jobTable) *metrics {
 		})
 	reg.GaugeFunc("raderd_cache_entries", "Resident cache entries.", "",
 		func() float64 { return float64(cache.len()) })
+	reg.GaugeFunc("raderd_cache_bytes", "Resident cache bytes (the LRU's byte bound binds on this).", "",
+		func() float64 { return float64(cache.size()) })
 
 	m.events = reg.Counter("raderd_events_total",
 		"Trace events consumed by completed analyses.", "")
 	m.lastEPS = reg.Gauge("raderd_events_per_second",
 		"Throughput of the most recent event-counted analysis.", "")
+	m.ingestBytes = reg.Counter("raderd_ingest_bytes_total",
+		"Trace bytes accepted over PUT /traces/{digest}.", "")
 
 	for _, st := range []string{"queued", "running", "done", "failed"} {
 		st := st
@@ -127,7 +136,43 @@ func newMetrics(pool *pool, cache *resultCache, jobs *jobTable) *metrics {
 			"Wall time of analyze-request phases.",
 			fmt.Sprintf("phase=%q", ph), nil)
 	}
+
+	if st != nil {
+		type statFn func(store.Stats) uint64
+		for _, sg := range []struct {
+			name, help string
+			get        statFn
+		}{
+			{"raderd_store_verdict_writes_total", "Verdict records durably written.",
+				func(s store.Stats) uint64 { return s.VerdictWrites }},
+			{"raderd_store_verdict_hits_total", "Checksum-verified verdict reads from disk.",
+				func(s store.Stats) uint64 { return s.VerdictHits }},
+			{"raderd_store_verdict_misses_total", "Verdict reads that missed (absent or quarantined).",
+				func(s store.Stats) uint64 { return s.VerdictMisses }},
+			{"raderd_store_trace_writes_total", "Traces committed to the content-addressed store.",
+				func(s store.Stats) uint64 { return s.TraceWrites }},
+			{"raderd_store_quarantined_total", "Corrupt or torn store files moved to quarantine.",
+				func(s store.Stats) uint64 { return s.Quarantined }},
+			{"raderd_store_ingest_bytes_total", "Bytes durably appended to resumable uploads.",
+				func(s store.Stats) uint64 { return s.IngestBytes }},
+		} {
+			get := sg.get
+			reg.GaugeFunc(sg.name, sg.help, "",
+				func() float64 { return float64(get(st.Stats())) })
+		}
+		reg.GaugeFunc("raderd_recovered_jobs", "Journaled sweep jobs re-enqueued at startup.", "",
+			func() float64 { return float64(recovered.Load()) })
+	}
 	return m
+}
+
+// ingested accumulates resumable-upload bytes accepted by the ingest
+// handler (the store counts its own durable bytes; this counter exists
+// even without a store so the family is stable for the /analyze path).
+func (m *metrics) ingested(n int64) {
+	if n > 0 {
+		m.ingestBytes.Add(uint64(n))
+	}
 }
 
 func (m *metrics) hit()  { m.cacheHits.Inc() }

@@ -15,7 +15,11 @@
 //	POST /sweep       ?prog=<name>[&scale=] — the §7 coverage sweep as an
 //	                  asynchronous job; returns an ID to poll.
 //	GET  /sweep/{id}  job state, then the sweep verdict document.
-//	GET  /healthz     liveness.
+//	PUT  /traces/{digest}  chunked resumable trace ingest (?offset=,
+//	                  &complete=1); HEAD reports the resume offset.
+//	GET  /healthz     liveness (200 for the process's whole life).
+//	GET  /readyz      readiness (503 once draining; flip order matters:
+//	                  readyz goes dark first, healthz last).
 //	GET  /metrics     Prometheus text exposition.
 //
 // Capacity model: at most Workers analyses run concurrently and at most
@@ -25,11 +29,20 @@
 // worker forever. Cache keys are digest × detector × spec: two uploads
 // with the same bytes, or two requests for the same program
 // configuration, pay for one analysis.
+//
+// Durability: with StoreDir configured, verdicts and uploaded traces
+// live in a disk-backed content-addressed store (internal/store); the
+// in-memory LRU becomes a read-through layer over it, sweep jobs are
+// journaled and re-enqueued after a crash, and restarts serve verdicts
+// byte-identical to an uninterrupted run. Without StoreDir everything is
+// in-memory, exactly as before.
 package service
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -44,6 +57,7 @@ import (
 	"repro/internal/rader"
 	"repro/internal/report"
 	"repro/internal/sched"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -54,8 +68,18 @@ type Config struct {
 	// QueueDepth caps admitted-but-waiting requests (default 2×Workers).
 	// Admission beyond Workers+QueueDepth is shed with 429.
 	QueueDepth int
-	// CacheEntries caps the result cache (default 256 entries).
+	// CacheEntries caps the result cache's entry count (default 256).
 	CacheEntries int
+	// CacheBytes caps the result cache's resident bytes (default
+	// 64 MiB). The cache is bounded by whichever limit binds first;
+	// verdict documents vary from hundreds of bytes to megabytes, so the
+	// byte bound is the one that protects RAM.
+	CacheBytes int64
+	// StoreDir, when non-empty, roots the disk-backed content-addressed
+	// trace + verdict store. Verdicts survive restarts, uploads become
+	// resumable, and sweep jobs are journaled for crash re-enqueue. Use
+	// Open (not New) to surface store-initialization errors.
+	StoreDir string
 	// EventBudget bounds each job's event stream (default 50M; <0 means
 	// unlimited).
 	EventBudget int64
@@ -88,6 +112,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries < 1 {
 		c.CacheEntries = 256
 	}
+	if c.CacheBytes < 1 {
+		c.CacheBytes = 64 << 20
+	}
 	if c.EventBudget == 0 {
 		c.EventBudget = 50_000_000
 	}
@@ -109,7 +136,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the analysis service. Create with New, mount Handler.
+// Server is the analysis service. Create with New (or Open when a
+// StoreDir is configured), mount Handler.
 type Server struct {
 	cfg      Config
 	pool     *pool
@@ -117,24 +145,130 @@ type Server struct {
 	metrics  *metrics
 	jobs     *jobTable
 	programs *registry
+	store    *store.Store
+	recovery *store.Recovery
 	log      *slog.Logger
 	reqID    atomic.Uint64
+	// bootID distinguishes this process's journal records from a prior
+	// incarnation's, so re-used sweep-N table IDs never collide with a
+	// pending journal entry.
+	bootID string
+	// draining flips once, at the start of graceful shutdown: /readyz
+	// goes 503 and admission is refused, while /healthz stays 200 until
+	// the process exits — the readiness-before-liveness contract load
+	// balancers rely on.
+	draining  atomic.Bool
+	recovered atomic.Uint64
 }
 
-// New builds a Server from cfg.
+// New builds a Server from cfg. It panics if the disk store cannot be
+// initialized — use Open to handle that error (a daemon with a bad
+// -store-dir must fail loudly, not limp along non-durable).
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Server from cfg, initializing (and crash-recovering)
+// the disk store when cfg.StoreDir is set: orphaned temp files are
+// removed, torn or corrupt store files are quarantined, and journaled
+// sweep jobs that never finished are re-enqueued on the worker pool.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	pool := newPool(cfg.Workers, cfg.QueueDepth)
-	cache := newResultCache(cfg.CacheEntries)
+	cache := newResultCache(cfg.CacheEntries, cfg.CacheBytes)
 	jobs := newJobTable(cfg.KeepJobs)
-	return &Server{
+	var nonce [4]byte
+	_, _ = rand.Read(nonce[:])
+	s := &Server{
 		cfg:      cfg,
 		pool:     pool,
 		cache:    cache,
-		metrics:  newMetrics(pool, cache, jobs),
 		jobs:     jobs,
 		programs: &registry{extra: cfg.Programs},
 		log:      cfg.Logger,
+		bootID:   hex.EncodeToString(nonce[:]),
+	}
+	if cfg.StoreDir != "" {
+		st, rec, err := store.Open(cfg.StoreDir, store.Options{
+			VerifyTrace: trace.VerifyIntegrity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store, s.recovery = st, rec
+	}
+	s.metrics = newMetrics(pool, cache, jobs, s.store, &s.recovered)
+	if s.recovery != nil {
+		s.requeueRecovered(s.recovery.PendingJobs)
+	}
+	return s, nil
+}
+
+// RecoveryBanner returns the startup recovery summary ("" without a
+// store) for the daemon's boot log line.
+func (s *Server) RecoveryBanner() string {
+	if s.recovery == nil {
+		return ""
+	}
+	return s.recovery.String()
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// BeginDrain flips the server into draining mode: /readyz answers 503
+// and new work is refused at admission. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain begins the drain and waits until every admitted request and
+// background job has left the system, or ctx expires. In-flight sweep
+// jobs that do not finish in time stay journaled as pending (when a
+// store is configured) and re-run on the next start — the drain never
+// abandons durable work, it only stops waiting for it.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.pool.admitted() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain: %d requests still in flight: %w", s.pool.admitted(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// requeueRecovered re-enqueues journaled-but-unfinished sweep jobs from
+// a previous incarnation. Each reuses its journal ID, so finishing this
+// time marks the original record done; an unknown program (a journal
+// from an older build) is marked failed rather than retried forever.
+func (s *Server) requeueRecovered(pending []store.JobRecord) {
+	for _, jr := range pending {
+		jr := jr
+		prog, identity, err := s.programs.resolve(jr.Prog, jr.Scale)
+		log := s.log.With("req", s.nextReqID("recover"), "prog", jr.Prog, "journal", jr.ID)
+		if err != nil {
+			log.Warn("recovered job names unknown program; marking failed", "err", err)
+			_ = s.store.JournalJob(store.JobRecord{ID: jr.ID, Prog: jr.Prog, Scale: jr.Scale, State: store.JobFailed})
+			continue
+		}
+		if !s.pool.tryAdmit() {
+			// More recovered jobs than capacity: leave the rest pending;
+			// they re-run on a later start (or a bigger pool).
+			log.Warn("no capacity to re-enqueue recovered job; leaving journaled")
+			continue
+		}
+		s.recovered.Add(1)
+		job := s.jobs.add(jr.Prog)
+		log.Info("re-enqueued recovered sweep job", "job", job.view().ID)
+		go s.runSweep(job, prog, identity, jr, log)
 	}
 }
 
@@ -173,13 +307,24 @@ func (s *Server) shed(w http.ResponseWriter, format string, a ...any) {
 	writeErr(w, http.StatusTooManyRequests, format, a...)
 }
 
+// refuseDraining answers a request that arrived after graceful shutdown
+// began: 503 (not 429 — the condition is terminal for this process, the
+// client should go elsewhere) with a short Retry-After for clients
+// behind a balancer that will re-resolve.
+func (s *Server) refuseDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusServiceUnavailable, "draining: not accepting new work")
+}
+
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/sweep", s.handleSweepSubmit)
 	mux.HandleFunc("/sweep/", s.handleSweepPoll)
+	mux.HandleFunc("/traces/", s.handleTraces)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -300,6 +445,27 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 		}
 	}
 
+	// A previously ingested trace, analyzed by reference: the body stays
+	// empty and the trace streams from the store — multi-GB traces never
+	// transit RAM whole.
+	if digest := q.Get("digest"); digest != "" {
+		if s.store == nil {
+			writeErr(w, http.StatusNotImplemented,
+				"analyze-by-digest needs a store (-store-dir); upload the trace in the body instead")
+			return nil
+		}
+		if !s.store.HasTrace(digest) {
+			writeErr(w, http.StatusNotFound,
+				"no stored trace %s (upload it via PUT /traces/{digest})", digest)
+			return nil
+		}
+		return &analyzeUnit{
+			digest:   digest,
+			detector: det,
+			run:      func() (*analysisResult, error) { return s.analyzeStored(digest, det) },
+		}
+	}
+
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	data, err := io.ReadAll(body)
 	if err != nil {
@@ -353,9 +519,44 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 	}
 }
 
+// storeLookup is the read-through path: on a RAM miss, a verified
+// verdict record from the disk store rehydrates the cache. Returns nil
+// on miss (or without a store).
+func (s *Server) storeLookup(key string) *cached {
+	if s.store == nil {
+		return nil
+	}
+	rec, ok, err := s.store.GetVerdict(key)
+	if err != nil || !ok {
+		return nil
+	}
+	entry := &cached{digest: rec.Digest, report: rec.Report, clean: rec.Clean}
+	s.cache.put(key, entry)
+	return entry
+}
+
+// storePersist durably writes one verdict under its cache key. Best
+// effort: a store write failure degrades durability, not the response.
+func (s *Server) storePersist(key, digest, detector, spec string, clean bool, doc []byte, log *slog.Logger) {
+	if s.store == nil {
+		return
+	}
+	err := s.store.PutVerdict(&store.Verdict{
+		Key: key, Digest: digest, Detector: detector, Spec: spec,
+		Clean: clean, Report: doc,
+	})
+	if err != nil {
+		log.Error("verdict store write failed", "err", err, "key", key)
+	}
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST /analyze")
+		return
+	}
+	if s.draining.Load() {
+		s.refuseDraining(w)
 		return
 	}
 	unit := s.resolveAnalyze(w, r)
@@ -364,7 +565,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	id := s.nextReqID("analyze")
 	log := s.log.With("req", id, "detector", string(unit.detector), "digest", unit.digest)
-	if hit, ok := s.cache.get(unit.key()); ok {
+	hit, ok := s.cache.get(unit.key())
+	if !ok {
+		if hit = s.storeLookup(unit.key()); hit != nil {
+			ok = true
+			log.Info("analyze rehydrated from store", "clean", hit.clean)
+		}
+	}
+	if ok {
 		s.metrics.hit()
 		log.Info("analyze served from cache", "clean", hit.clean)
 		writeJSON(w, http.StatusOK, AnalyzeResponse{
@@ -423,6 +631,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	log.Info("analyze done", "dur", dur, "events", res.events, "clean", res.clean)
 	entry := &cached{digest: unit.digest, report: raw, clean: res.clean}
 	s.cache.put(unit.key(), entry)
+	s.storePersist(unit.key(), unit.digest, string(unit.detector), unit.specStr, res.clean, raw, log)
 	// An all-detectors pass also seeds one cache entry per detector, so a
 	// later single-detector request for the same digest and spec is a hit
 	// — one upload, one decode, four cache entries.
@@ -433,6 +642,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		skey := unit.digest + "|" + string(sub.detector) + "|" + unit.specStr
 		s.cache.put(skey, &cached{digest: unit.digest, report: sraw, clean: sub.doc.Clean})
+		s.storePersist(skey, unit.digest, string(sub.detector), unit.specStr, sub.doc.Clean, sraw, log)
 	}
 	writeJSON(w, http.StatusOK, AnalyzeResponse{
 		Digest:     entry.digest,
@@ -450,19 +660,30 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "POST /sweep, poll GET /sweep/{id}")
 		return
 	}
+	if s.draining.Load() {
+		s.refuseDraining(w)
+		return
+	}
 	name := r.URL.Query().Get("prog")
 	if name == "" {
 		writeErr(w, http.StatusBadRequest, "sweep needs ?prog= (sweeps rerun the program; traces cannot be swept)")
 		return
 	}
-	prog, identity, err := s.programs.resolve(name, r.URL.Query().Get("scale"))
+	scale := r.URL.Query().Get("scale")
+	prog, identity, err := s.programs.resolve(name, scale)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	key := programDigest(identity) + "|sweep"
 	log := s.log.With("req", s.nextReqID("sweep"), "prog", name)
-	if hit, ok := s.cache.get(key); ok {
+	hit, ok := s.cache.get(key)
+	if !ok {
+		if hit = s.storeLookup(key); hit != nil {
+			ok = true
+		}
+	}
+	if ok {
 		s.metrics.hit()
 		job := s.jobs.add(name)
 		job.finish(hit.report, nil)
@@ -478,47 +699,81 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job := s.jobs.add(name)
 	log = log.With("job", job.view().ID)
-	go func() {
-		defer s.pool.unadmit()
-		// The job outlives the submitting request on purpose — clients
-		// poll for it — so it waits on the background context, not r's.
-		if err := s.pool.acquire(context.Background()); err != nil {
-			log.Warn("sweep cancelled while queued", "err", err)
-			job.finish(nil, fmt.Errorf("cancelled while queued: %w", err))
-			return
+	// Journal the job as queued before acknowledging it: if the process
+	// dies between the 202 and the verdict, the next start re-enqueues it.
+	// The journal ID carries this boot's nonce so the sweep-N table IDs,
+	// which restart from 1 every boot, never collide across incarnations.
+	jr := store.JobRecord{ID: s.bootID + "-" + job.view().ID, Prog: name, Scale: scale, State: store.JobQueued}
+	if s.store != nil {
+		if err := s.store.JournalJob(jr); err != nil {
+			log.Error("job journal write failed; job will not survive a crash", "err", err)
+			jr.ID = "" // skip the terminal record too
 		}
-		defer s.pool.release()
-		job.set(stateRunning)
-		start := time.Now()
-		cr := rader.Sweep(prog.Factory, rader.SweepOptions{
-			Workers:     s.cfg.SweepWorkers,
-			EventBudget: s.cfg.EventBudget,
-			Timeout:     s.cfg.JobTimeout,
-		})
-		raw, err := report.FromCoverage(cr).Marshal()
-		if err != nil {
-			s.metrics.fail()
-			log.Error("sweep report encoding failed", "err", err)
-			job.finish(nil, err)
-			return
-		}
-		s.metrics.done("sweep", time.Since(start), 0)
-		s.metrics.sweep(cr.Stats)
-		log.Info("sweep done", "dur", time.Since(start),
-			"specs", cr.SpecsRun, "clean", cr.Clean(), "complete", cr.Complete(),
-			"strategy", cr.Stats.Strategy, "snapshotHits", cr.Stats.SnapshotHits,
-			"eventsSkipped", cr.Stats.EventsSkipped)
-		// Only complete sweeps are cacheable: a sweep degraded by a
-		// deadline or budget abort reports Failures instead of verdicts
-		// for some specifications, and serving that from the cache would
-		// freeze the degradation forever. Incomplete results still go to
-		// the submitting job; the next submission reruns the sweep.
-		if cr.Complete() {
-			s.cache.put(key, &cached{digest: programDigest(identity), report: raw, clean: cr.Clean()})
-		}
-		job.finish(raw, nil)
-	}()
+	}
+	go s.runSweep(job, prog, identity, jr, log)
 	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+// runSweep executes one admitted sweep job to completion: it acquires a
+// worker slot, runs the §7 coverage sweep, memoizes complete verdicts in
+// both cache layers, and writes the job's terminal journal record. It is
+// the shared body behind fresh submissions and crash-recovered re-runs —
+// jr is the journal record to close out (jr.ID == "" means unjournaled).
+func (s *Server) runSweep(job *sweepJob, prog Program, identity string, jr store.JobRecord, log *slog.Logger) {
+	defer s.pool.unadmit()
+	// journalTerminal closes the journal record; without it the job would
+	// re-run on every restart forever.
+	journalTerminal := func(state string) {
+		if s.store == nil || jr.ID == "" {
+			return
+		}
+		if err := s.store.JournalJob(store.JobRecord{ID: jr.ID, Prog: jr.Prog, Scale: jr.Scale, State: state}); err != nil {
+			log.Error("job journal terminal write failed", "err", err)
+		}
+	}
+	// The job outlives the submitting request on purpose — clients
+	// poll for it — so it waits on the background context, not r's.
+	if err := s.pool.acquire(context.Background()); err != nil {
+		log.Warn("sweep cancelled while queued", "err", err)
+		job.finish(nil, fmt.Errorf("cancelled while queued: %w", err))
+		journalTerminal(store.JobFailed)
+		return
+	}
+	defer s.pool.release()
+	job.set(stateRunning)
+	start := time.Now()
+	cr := rader.Sweep(prog.Factory, rader.SweepOptions{
+		Workers:     s.cfg.SweepWorkers,
+		EventBudget: s.cfg.EventBudget,
+		Timeout:     s.cfg.JobTimeout,
+	})
+	raw, err := report.FromCoverage(cr).Marshal()
+	if err != nil {
+		s.metrics.fail()
+		log.Error("sweep report encoding failed", "err", err)
+		job.finish(nil, err)
+		journalTerminal(store.JobFailed)
+		return
+	}
+	s.metrics.done("sweep", time.Since(start), 0)
+	s.metrics.sweep(cr.Stats)
+	log.Info("sweep done", "dur", time.Since(start),
+		"specs", cr.SpecsRun, "clean", cr.Clean(), "complete", cr.Complete(),
+		"strategy", cr.Stats.Strategy, "snapshotHits", cr.Stats.SnapshotHits,
+		"eventsSkipped", cr.Stats.EventsSkipped)
+	// Only complete sweeps are cacheable: a sweep degraded by a
+	// deadline or budget abort reports Failures instead of verdicts
+	// for some specifications, and serving that from the cache would
+	// freeze the degradation forever. Incomplete results still go to
+	// the submitting job; the next submission reruns the sweep.
+	if cr.Complete() {
+		digest := programDigest(identity)
+		key := digest + "|sweep"
+		s.cache.put(key, &cached{digest: digest, report: raw, clean: cr.Clean()})
+		s.storePersist(key, digest, "sweep", "", cr.Clean(), raw, log)
+	}
+	job.finish(raw, nil)
+	journalTerminal(store.JobDone)
 }
 
 func (s *Server) handleSweepPoll(w http.ResponseWriter, r *http.Request) {
@@ -537,6 +792,61 @@ func (s *Server) handleSweepPoll(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while serving, 503 once
+// draining. It flips before /healthz ever does — a balancer stops
+// routing new work here while in-flight requests finish behind a
+// still-live process.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// analyzeStored replays a store-resident trace straight from disk into
+// the requested detector. The trace streams through trace.ReplayAll, so
+// peak memory is independent of trace size — the property that makes
+// multi-GB resumable uploads worth having.
+func (s *Server) analyzeStored(digest string, det rader.DetectorName) (*analysisResult, error) {
+	rc, _, err := s.store.OpenTrace(digest)
+	if err != nil {
+		return nil, fmt.Errorf("opening stored trace %s: %w", digest, err)
+	}
+	defer rc.Close()
+	if det == rader.All {
+		dets := rader.NewAllDetectors()
+		hooks := make([]cilk.Hooks, len(dets))
+		for i, d := range dets {
+			hooks[i] = d
+		}
+		events, err := trace.ReplayAll(rc, hooks...)
+		if err != nil {
+			return nil, err
+		}
+		m := report.FromDetectors("", events, dets)
+		return &analysisResult{doc: m, clean: m.Clean, events: events, subs: subsFromMulti(m)}, nil
+	}
+	d, hooks, err := rader.NewDetector(det)
+	if err != nil {
+		return nil, err
+	}
+	if hooks == nil {
+		hooks = cilk.Empty{}
+	}
+	events, err := trace.ReplayAll(rc, hooks)
+	if err != nil {
+		return nil, err
+	}
+	var rep *report.Report
+	if d != nil {
+		rep = report.FromCore(string(det), "", events, d.Report())
+	} else {
+		rep = report.FromCore(string(det), "", events, nil)
+	}
+	return &analysisResult{doc: rep, clean: rep.Clean, events: events}, nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

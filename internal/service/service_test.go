@@ -462,7 +462,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 
 // Unit coverage for the LRU: capacity bound, recency refresh, overwrite.
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	c.put("a", &cached{digest: "a"})
 	c.put("b", &cached{digest: "b"})
 	if _, ok := c.get("a"); !ok { // refresh a

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// chaosContent is the deterministic "trace" the chaos workload uploads.
+func chaosContent() []byte {
+	b := make([]byte, 32<<10)
+	for i := range b {
+		b[i] = byte(i*7 + i>>8)
+	}
+	return b
+}
+
+// runWorkload drives one deterministic store workload — the same mix a
+// live raderd performs: verdict writes for several keys, a chunked
+// resumable upload with commit, and journaled job transitions. It is
+// written the way a correct crash-recovering caller behaves: it resumes
+// the upload from the store's durable offset and treats every operation
+// as idempotent. It stops at the first error (a simulated crash).
+func runWorkload(s *Store) error {
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("digest%d|sp+|all", i)
+		err := s.PutVerdict(&Verdict{
+			Key:      key,
+			Digest:   fmt.Sprintf("digest%d", i),
+			Detector: "sp+",
+			Spec:     "all",
+			Clean:    i%2 == 0,
+			Report:   []byte(fmt.Sprintf(`{"schema":3,"detector":"sp+","unit":%d}`, i)),
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	content := chaosContent()
+	sum := sha256.Sum256(content)
+	dg := hex.EncodeToString(sum[:])
+	if !s.HasTrace(dg) {
+		// Resume from whatever is durable, in two chunks.
+		off := s.PartialOffset(dg)
+		for off < int64(len(content)) {
+			end := off + 12000
+			if end > int64(len(content)) {
+				end = int64(len(content))
+			}
+			n, err := s.AppendPartial(dg, off, bytes.NewReader(content[off:end]))
+			if err != nil {
+				return err
+			}
+			off = n
+		}
+		if err := s.CommitPartial(dg); err != nil {
+			return err
+		}
+	}
+
+	if err := s.JournalJob(JobRecord{ID: "job-1", Prog: "fig1", State: JobQueued}); err != nil {
+		return err
+	}
+	if err := s.JournalJob(JobRecord{ID: "job-2", Prog: "dedup", Scale: "test", State: JobQueued}); err != nil {
+		return err
+	}
+	return s.JournalJob(JobRecord{ID: "job-1", Prog: "fig1", State: JobDone})
+}
+
+// observe snapshots everything a client of the store can see: verdict
+// report bytes per key, trace content, and the set of pending jobs a
+// reopen reports.
+type observation struct {
+	verdicts map[string]string
+	trace    string
+	pending  []JobRecord
+}
+
+func observeStore(t *testing.T, dir string) observation {
+	t.Helper()
+	s, rec := open(t, dir, Options{})
+	obs := observation{verdicts: map[string]string{}, pending: rec.PendingJobs}
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("digest%d|sp+|all", i)
+		if v, ok, err := s.GetVerdict(key); err != nil {
+			t.Fatalf("observe %s: %v", key, err)
+		} else if ok {
+			obs.verdicts[key] = string(v.Report)
+		}
+	}
+	content := chaosContent()
+	sum := sha256.Sum256(content)
+	dg := hex.EncodeToString(sum[:])
+	if rc, _, err := s.OpenTrace(dg); err == nil {
+		raw, _ := io.ReadAll(rc)
+		rc.Close()
+		obs.trace = string(raw)
+	}
+	return obs
+}
+
+// TestChaosCrashAtEveryInjectionPoint is the crash-recovery property
+// test: for every durable-I/O injection point in the workload, simulate
+// the process dying exactly there, reopen the store (recovery scan), run
+// the workload again the way a restarted daemon would, and require the
+// final observable state to be byte-identical to an uninterrupted run.
+func TestChaosCrashAtEveryInjectionPoint(t *testing.T) {
+	// Control: uninterrupted run.
+	controlDir := t.TempDir()
+	ctl, _ := open(t, controlDir, Options{})
+	if err := runWorkload(ctl); err != nil {
+		t.Fatalf("control workload: %v", err)
+	}
+	want := observeStore(t, controlDir)
+	if len(want.verdicts) != 3 || want.trace == "" || len(want.pending) != 1 {
+		t.Fatalf("control run incomplete: %d verdicts, trace %d bytes, %d pending",
+			len(want.verdicts), len(want.trace), len(want.pending))
+	}
+
+	// Counting pass: how many injection points does the workload cross?
+	counter := &faults.Disk{FailAt: -1}
+	cdir := t.TempDir()
+	cs, _ := open(t, cdir, Options{Inject: counter.Check})
+	if err := runWorkload(cs); err != nil {
+		t.Fatalf("counting workload: %v", err)
+	}
+	total := counter.Ops()
+	if total < 20 {
+		t.Fatalf("suspiciously few injection points: %d", total)
+	}
+
+	for at := int64(0); at < total; at++ {
+		at := at
+		t.Run(fmt.Sprintf("crash-at-%d", at), func(t *testing.T) {
+			dir := t.TempDir()
+			inj := &faults.Disk{FailAt: at}
+			s, _, err := Open(dir, Options{Inject: inj.Check})
+			if err != nil {
+				// The crash hit Open's own journal bootstrap — the
+				// "daemon" died before serving. Restart below.
+			} else if err := runWorkload(s); err == nil && inj.Injected() {
+				t.Fatalf("crash at %d fired but workload finished cleanly", at)
+			}
+
+			// Restart: recovery scan, then the workload as a restarted
+			// daemon performs it.
+			s2, _, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("reopen after crash at %d: %v", at, err)
+			}
+			if err := runWorkload(s2); err != nil {
+				t.Fatalf("rerun after crash at %d: %v", at, err)
+			}
+			got := observeStore(t, dir)
+			if !reflect.DeepEqual(got.verdicts, want.verdicts) {
+				t.Fatalf("crash at %d: verdicts diverge:\n got %v\nwant %v", at, got.verdicts, want.verdicts)
+			}
+			if got.trace != want.trace {
+				t.Fatalf("crash at %d: trace content diverges (%d vs %d bytes)", at, len(got.trace), len(want.trace))
+			}
+			if !reflect.DeepEqual(got.pending, want.pending) {
+				t.Fatalf("crash at %d: pending jobs diverge:\n got %+v\nwant %+v", at, got.pending, want.pending)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzStoreRecovery is the torn-write property: however a stored verdict
+// record is truncated or corrupted on disk, reopening the store must
+// succeed, the read must never return wrong bytes (it either serves the
+// intact record or quarantines and misses), and recomputing — a fresh
+// PutVerdict — must restore the golden verdict byte-identically.
+func FuzzStoreRecovery(f *testing.F) {
+	golden := []byte(`{"schema":3,"detector":"sp+","clean":false,"races":["w/w fig1.c:12"]}`)
+	const key = "deadbeef|sp+|all"
+
+	f.Add(uint16(0), uint16(0), false)
+	f.Add(uint16(9), uint16(3), true)
+	f.Add(uint16(64), uint16(200), false)
+	f.Add(uint16(1000), uint16(77), true)
+
+	f.Fuzz(func(t *testing.T, cut, flip uint16, alsoFlip bool) {
+		dir := t.TempDir()
+		s, _, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &Verdict{Key: key, Digest: "deadbeef", Detector: "sp+", Spec: "all", Report: golden}
+		if err := s.PutVerdict(rec); err != nil {
+			t.Fatal(err)
+		}
+		path := s.verdictPath(key)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Corrupt: truncate at an arbitrary offset, optionally also flip
+		// an arbitrary byte of what remains.
+		mut := append([]byte(nil), data[:int(cut)%(len(data)+1)]...)
+		if alsoFlip && len(mut) > 0 {
+			mut[int(flip)%len(mut)] ^= 1 << (flip % 8)
+		}
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		intact := bytes.Equal(mut, data)
+
+		// Recovery scan must absorb the damage without error.
+		s2, rep, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open over corrupted store: %v", err)
+		}
+		if !intact && rep.VerdictsQuarantined != 1 {
+			t.Fatalf("corrupt record must be quarantined by the scan: %+v", rep)
+		}
+
+		got, ok, err := s2.GetVerdict(key)
+		if err != nil {
+			t.Fatalf("GetVerdict after corruption: %v", err)
+		}
+		if ok {
+			if !intact {
+				t.Fatalf("served a verdict from a corrupted record")
+			}
+			if !bytes.Equal(got.Report, golden) {
+				t.Fatalf("served non-golden bytes: %q", got.Report)
+			}
+			return
+		}
+		// Quarantine-then-recompute: the re-derived verdict must land and
+		// read back golden.
+		if err := s2.PutVerdict(rec); err != nil {
+			t.Fatalf("recompute put: %v", err)
+		}
+		got, ok, err = s2.GetVerdict(key)
+		if err != nil || !ok || !bytes.Equal(got.Report, golden) {
+			t.Fatalf("recomputed verdict not golden: ok=%v err=%v got=%q", ok, err, got.Report)
+		}
+	})
+}
+
+// FuzzVerdictDecode hardens the record parser against arbitrary bytes:
+// it must never panic or over-allocate, only return an error or a valid
+// record.
+func FuzzVerdictDecode(f *testing.F) {
+	rec := &Verdict{Key: "k|d|s", Digest: "k", Detector: "d", Report: []byte(`{}`)}
+	enc, _ := rec.encode()
+	f.Add(enc)
+	f.Add([]byte(verdictMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := decodeVerdict(data)
+		if err == nil && v == nil {
+			t.Fatal("nil record without error")
+		}
+	})
+}

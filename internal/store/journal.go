@@ -1,0 +1,137 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Job states recorded in the journal.
+const (
+	JobQueued = "queued"
+	JobDone   = "done"
+	JobFailed = "failed"
+)
+
+// JobRecord is one journaled sweep-job transition. A job's life is a
+// queued record followed eventually by a done or failed record with the
+// same ID; a queued record with no terminal record is
+// persisted-but-unfinished work that a restarted daemon re-enqueues.
+type JobRecord struct {
+	ID    string `json:"id"`
+	Prog  string `json:"prog"`
+	Scale string `json:"scale,omitempty"`
+	State string `json:"state"`
+}
+
+// journal is an append-only JSONL file of JobRecords. Appends are
+// fsynced line by line, so at most the final line can be torn by a
+// crash — and a torn line is simply dropped on replay (its job either
+// never reached the queue, or its terminal state is re-derived by
+// rerunning, which is idempotent).
+type journal struct {
+	s  *Store
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJournal replays (and compacts) the journal at path, returning the
+// handle for further appends, the pending (unfinished) jobs, and how
+// many torn trailing lines were dropped.
+func openJournal(s *Store, path string) (*journal, []JobRecord, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, 0, fmt.Errorf("store: reading journal: %w", err)
+	}
+	pending, torn := replayJournal(data)
+
+	// Compact: rewrite the journal to hold only the pending records,
+	// atomically, so the file does not grow forever and recovery after
+	// the next crash replays a minimal history.
+	var buf bytes.Buffer
+	for _, r := range pending {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("store: compacting journal: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := s.writeAtomic(path, buf.Bytes()); err != nil {
+		return nil, nil, 0, fmt.Errorf("store: compacting journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("store: opening journal: %w", err)
+	}
+	return &journal{s: s, f: f}, pending, torn, nil
+}
+
+// replayJournal folds the journal bytes into the set of unfinished jobs
+// (in first-queued order) plus the count of undecodable lines dropped.
+func replayJournal(data []byte) (pending []JobRecord, torn int) {
+	open := map[string]int{} // id -> index in pending
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r JobRecord
+		if err := json.Unmarshal(line, &r); err != nil || r.ID == "" {
+			// A torn tail (crash mid-append) or bitrot: drop the line.
+			torn++
+			continue
+		}
+		switch r.State {
+		case JobQueued:
+			if _, dup := open[r.ID]; !dup {
+				open[r.ID] = len(pending)
+				pending = append(pending, r)
+			}
+		case JobDone, JobFailed:
+			if i, ok := open[r.ID]; ok {
+				pending[i].ID = "" // tombstone
+				delete(open, r.ID)
+			}
+		}
+	}
+	out := pending[:0]
+	for _, r := range pending {
+		if r.ID != "" {
+			out = append(out, r)
+		}
+	}
+	return out, torn
+}
+
+// Append durably journals one job transition (fsync before return).
+func (j *journal) append(r JobRecord) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: journal encode: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.s.inject(OpJournalWrite, j.f.Name()); err != nil {
+		return err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := j.s.inject(OpJournalSync, j.f.Name()); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// JournalJob records a job transition in the durable journal. The queued
+// record must be written before the job is acknowledged to the client;
+// the terminal record is written after the verdict is stored, so a crash
+// between the two re-runs the job (idempotent: verdicts are
+// content-addressed).
+func (s *Store) JournalJob(r JobRecord) error { return s.journal.append(r) }

@@ -1,0 +1,138 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Recovery reports what the Open-time scan found and fixed. Every field
+// is informational: recovery never fails the Open for reconcilable
+// damage — the worst state a crash can leave costs recomputation, not
+// correctness.
+type Recovery struct {
+	// TempFilesRemoved counts orphaned tmp/ files from interrupted
+	// atomic writes (the write never happened; the final file is
+	// untouched by protocol).
+	TempFilesRemoved int
+	// VerdictsScanned and VerdictsQuarantined count the verdict files
+	// checked and the torn/corrupt ones moved to quarantine/.
+	VerdictsScanned     int
+	VerdictsQuarantined int
+	// TracesScanned and TracesQuarantined count the finalized traces
+	// checked (v2 footer CRC) and the ones quarantined.
+	TracesScanned     int
+	TracesQuarantined int
+	// PartialsKept counts resumable uploads preserved for resume;
+	// PartialsRemoved counts those GCed because their finalized trace
+	// already exists (the upload raced its own completion).
+	PartialsKept    int
+	PartialsRemoved int
+	// PendingJobs are journaled-but-unfinished sweep jobs the service
+	// should re-enqueue. JournalTornLines counts dropped torn lines.
+	PendingJobs      []JobRecord
+	JournalTornLines int
+}
+
+// String renders the one-line startup banner.
+func (r *Recovery) String() string {
+	return fmt.Sprintf(
+		"recovered: %d tmp removed, %d/%d verdicts quarantined, %d/%d traces quarantined, %d partials kept (%d gced), %d jobs pending",
+		r.TempFilesRemoved, r.VerdictsQuarantined, r.VerdictsScanned,
+		r.TracesQuarantined, r.TracesScanned, r.PartialsKept, r.PartialsRemoved,
+		len(r.PendingJobs))
+}
+
+// recover reconciles the on-disk layout after an arbitrary crash.
+func (s *Store) recover() (*Recovery, error) {
+	rec := &Recovery{}
+
+	// 1. Orphan temp files: an interrupted atomic write left bytes in
+	// tmp/ that were never renamed. The protocol guarantees the final
+	// file is either old or new, so temps are pure garbage.
+	tmps, err := listFiles(filepath.Join(s.dir, "tmp"))
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning tmp: %w", err)
+	}
+	for _, p := range tmps {
+		if err := os.Remove(p); err == nil {
+			rec.TempFilesRemoved++
+		}
+	}
+
+	// 2. Verdict records: verify framing + CRC of every record;
+	// quarantine what fails. (Records are small; the scan is one read
+	// per file.)
+	verdicts, err := listFiles(filepath.Join(s.dir, "verdicts"))
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning verdicts: %w", err)
+	}
+	for _, p := range verdicts {
+		rec.VerdictsScanned++
+		data, err := os.ReadFile(p)
+		if err != nil {
+			s.quarantine(p, "unreadable")
+			rec.VerdictsQuarantined++
+			continue
+		}
+		if _, err := decodeVerdict(data); err != nil {
+			s.quarantine(p, err.Error())
+			rec.VerdictsQuarantined++
+		}
+	}
+
+	// 3. Finalized traces: names must be content digests; content must
+	// pass the (streaming, O(1)-memory) integrity check when one is
+	// wired in.
+	traces, err := listFiles(filepath.Join(s.dir, "traces"))
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning traces: %w", err)
+	}
+	for _, p := range traces {
+		rec.TracesScanned++
+		digest := strings.TrimSuffix(filepath.Base(p), ".trace")
+		if !ValidDigest(digest) || !strings.HasSuffix(p, ".trace") {
+			s.quarantine(p, "not content-addressed")
+			rec.TracesQuarantined++
+			continue
+		}
+		if s.verifyTrace != nil {
+			f, err := os.Open(p)
+			if err != nil {
+				s.quarantine(p, "unreadable")
+				rec.TracesQuarantined++
+				continue
+			}
+			verr := s.verifyTrace(f)
+			f.Close()
+			if verr != nil {
+				s.quarantine(p, verr.Error())
+				rec.TracesQuarantined++
+			}
+		}
+	}
+
+	// 4. Partial uploads: keep them (resumability across restarts is the
+	// point), except when the finalized trace already exists — then the
+	// partial is a leftover duplicate.
+	partials, err := listFiles(filepath.Join(s.dir, "partial"))
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning partials: %w", err)
+	}
+	for _, p := range partials {
+		digest := strings.TrimSuffix(filepath.Base(p), ".partial")
+		if !ValidDigest(digest) || !strings.HasSuffix(p, ".partial") {
+			s.quarantine(p, "not content-addressed")
+			rec.PartialsRemoved++
+			continue
+		}
+		if s.HasTrace(digest) {
+			_ = os.Remove(p)
+			rec.PartialsRemoved++
+			continue
+		}
+		rec.PartialsKept++
+	}
+	return rec, nil
+}
