@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz chaos bench tables coverage-demo serve clean
+.PHONY: all build test race vet fuzz chaos bench tables parallel coverage-demo serve clean
 
 all: build test
 
@@ -28,6 +28,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReplay -fuzztime 15s ./internal/trace/
 	$(GO) test -fuzz FuzzStoreRecovery -fuzztime 15s ./internal/store/
 	$(GO) test -fuzz FuzzVerdictDecode -fuzztime 15s ./internal/store/
+	$(GO) test -fuzz FuzzDepaOracle -fuzztime 15s ./internal/depa/
 
 # The crash-recovery chaos suite: kill the store at every fault-injection
 # point, reopen, and assert byte-identical verdicts (docs/ROBUSTNESS.md,
@@ -43,6 +44,10 @@ bench:
 # Regenerate the paper's evaluation tables at full scale.
 tables:
 	$(GO) run ./cmd/benchtab -q
+
+# The depa parallel-detection scaling table (docs/PARALLEL.md).
+parallel:
+	$(GO) run ./cmd/benchtab -table parallel -q
 
 # The §7 coverage sweep finding the Figure 1 race.
 coverage-demo:

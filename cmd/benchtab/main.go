@@ -6,6 +6,7 @@
 //
 //	benchtab                    # both tables, bench scale
 //	benchtab -table 7 -trials 5
+//	benchtab -table parallel    # depa critical-path scaling table
 //	benchtab -apps fib,pbfs -scale small
 package main
 
@@ -21,18 +22,21 @@ import (
 )
 
 // benchDoc is the machine-readable benchmark artifact -json emits
-// (BENCH_PR3.json / BENCH_PR5.json in the repo): the replay-throughput
-// comparison behind the single-pass engine, the naive-vs-prefix sweep
-// comparison behind the steal-decision trie, plus the regenerated
-// Figure 7/8 tables. Schema 2 added the sweep section.
+// (BENCH_PR3.json / BENCH_PR5.json / BENCH_PR7.json in the repo): the
+// replay-throughput comparison behind the single-pass engine, the
+// naive-vs-prefix sweep comparison behind the steal-decision trie, the
+// parallel-detection scaling table behind the depa detector, plus the
+// regenerated Figure 7/8 tables. Schema 2 added the sweep section;
+// schema 3 added the parallel section.
 type benchDoc struct {
-	Schema   int                 `json:"schema"`
-	Scale    string              `json:"scale"`
-	Trials   int                 `json:"trials"`
-	Replay   *tables.ReplayBench `json:"replay"`
-	Sweep    *tables.SweepBench  `json:"sweep"`
-	Figure7  *tables.Table       `json:"figure7"`
-	Figure8  *tables.Table       `json:"figure8"`
+	Schema   int                   `json:"schema"`
+	Scale    string                `json:"scale"`
+	Trials   int                   `json:"trials"`
+	Replay   *tables.ReplayBench   `json:"replay"`
+	Sweep    *tables.SweepBench    `json:"sweep"`
+	Parallel *tables.ParallelBench `json:"parallel"`
+	Figure7  *tables.Table         `json:"figure7"`
+	Figure8  *tables.Table         `json:"figure8"`
 	Headline struct {
 		Fig7PeerSet float64 `json:"fig7PeerSet"`
 		Fig7SPPlus  float64 `json:"fig7SpPlus"`
@@ -43,7 +47,7 @@ type benchDoc struct {
 
 func main() {
 	var (
-		table    = flag.String("table", "both", "which table: 7, 8, both, sweep")
+		table    = flag.String("table", "both", "which table: 7, 8, both, sweep, parallel")
 		trials   = flag.Int("trials", 3, "timing repetitions per cell (median)")
 		scaleStr = flag.String("scale", "bench", "input scale: test, small, bench")
 		appsStr  = flag.String("apps", "", "comma-separated benchmark subset (default all)")
@@ -93,6 +97,28 @@ func main() {
 		return
 	}
 
+	// -table parallel on its own likewise skips the figure tables; the
+	// -json document always carries the parallel section too.
+	var parallel *tables.ParallelBench
+	if *jsonPath != "" || *table == "parallel" {
+		popts := tables.ParallelOptions{Trials: *trials}
+		if !*quiet {
+			popts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+			fmt.Fprintln(os.Stderr, "measuring parallel-detection scaling...")
+		}
+		var err error
+		parallel, err = tables.MeasureParallel(popts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+	}
+	if *table == "parallel" && *jsonPath == "" {
+		fmt.Println("=== depa parallel detection: critical-path scaling ===")
+		fmt.Print(parallel.Render())
+		return
+	}
+
 	fig7, fig8, err := tables.Generate(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -107,7 +133,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
-		doc := benchDoc{Schema: 2, Scale: *scaleStr, Trials: *trials, Replay: rb, Sweep: sweep, Figure7: fig7, Figure8: fig8}
+		doc := benchDoc{Schema: 3, Scale: *scaleStr, Trials: *trials, Replay: rb, Sweep: sweep, Parallel: parallel, Figure7: fig7, Figure8: fig8}
 		doc.Headline.Fig7PeerSet, doc.Headline.Fig7SPPlus = fig7.Headline(true)
 		doc.Headline.Fig8PeerSet, doc.Headline.Fig8SPPlus = fig8.Headline(true)
 		b, err := json.MarshalIndent(doc, "", "  ")
@@ -119,12 +145,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (replay speedup %.2fx, sweep speedup %.2fx, decode loop %.4f allocs/event)\n",
-			*jsonPath, rb.Speedup, sweep.Speedup, rb.DecodeLoop.AllocsPerEvent)
+		fmt.Fprintf(os.Stderr, "wrote %s (replay speedup %.2fx, sweep speedup %.2fx, parallel speedup %.2fx, decode loop %.4f allocs/event)\n",
+			*jsonPath, rb.Speedup, sweep.Speedup, parallel.BestSpeedup, rb.DecodeLoop.AllocsPerEvent)
 	}
 	if *table == "sweep" {
 		fmt.Println("=== §7 coverage sweep: naive vs prefix-sharing ===")
 		fmt.Print(sweep.Render())
+		return
+	}
+	if *table == "parallel" {
+		fmt.Println("=== depa parallel detection: critical-path scaling ===")
+		fmt.Print(parallel.Render())
 		return
 	}
 	if *csv {

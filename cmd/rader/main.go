@@ -18,6 +18,15 @@
 //	rader -record t.trace -prog fig1 -spec all     # record locally
 //	rader -remote http://localhost:8735 -replay t.trace -json
 //
+// With -live <workload> the analysis happens during a genuinely parallel
+// execution: the named bridged workload (see -live list) runs on the
+// work-stealing runtime with -live-workers workers while the depa
+// detector watches on-the-fly. The verdict is byte-identical to a serial
+// replay of the same program; the report's parallel section carries the
+// worker count, shard merges and fast-path hit rate.
+//
+//	rader -live dedup -live-workers 8 -json
+//
 // Programs: the six benchmarks (collision, dedup, ferret, fib, knapsack,
 // pbfs) at -scale test|small|bench, plus the paper's figures: fig1 (the
 // §2 linked-list program), fig1-early (get_value before sync), fig1-late
@@ -41,6 +50,7 @@ import (
 	"repro/internal/cilk"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/depa"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/progs"
@@ -48,6 +58,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/wsrt"
 )
 
 // Exit codes.
@@ -79,6 +90,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "print the race report as JSON (for CI)")
 		record   = fs.String("record", "", "record the run's event stream to this trace file")
 		replay   = fs.String("replay", "", "skip execution; replay a recorded trace file into the detector")
+		live     = fs.String("live", "", "run a bridged workload live on the work-stealing runtime under the depa detector (name, or 'list')")
+		liveN    = fs.Int("live-workers", 4, "worker count for -live")
 		remote   = fs.String("remote", "", "raderd base URL; analyze on the daemon instead of in-process")
 		profile  = fs.String("profile-out", "", "write a Chrome trace-event JSON profile of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
 	)
@@ -132,6 +145,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fatal(err)
 		}
 		code, err := replayTrace(stdout, *replay, det, *jsonOut, tr)
+		if err != nil {
+			return fatal(err)
+		}
+		return code
+	}
+
+	if *live != "" {
+		code, err := runLive(stdout, *live, *liveN, *jsonOut, tr)
 		if err != nil {
 			return fatal(err)
 		}
@@ -439,6 +460,11 @@ func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, json
 	if det == nil {
 		return exitError, fmt.Errorf("replay needs an analysing detector (got %s)", detName)
 	}
+	if dd, ok := det.(*depa.Detector); ok {
+		// The parallel detector's finalize phase emits per-shard spans on
+		// worker lanes when profiling is on.
+		dd.Trace = tr
+	}
 	var stats trace.ReplayStats
 	span := tr.Start("replay")
 	n, err := trace.ReplayAllStats(f, &stats, hooks)
@@ -449,7 +475,7 @@ func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, json
 	replaySpan(span, tr, &stats, []core.Detector{det})
 	rp := det.Report()
 	if jsonOut {
-		b, err := report.FromCore(string(detName), "", n, rp).Marshal()
+		b, err := report.FromDetector(string(detName), "", n, det).Marshal()
 		if err != nil {
 			return exitError, err
 		}
@@ -457,6 +483,55 @@ func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, json
 	} else {
 		fmt.Fprintf(stdout, "replayed %d events from %s under %s\n", n, path, detName)
 		fmt.Fprintln(stdout, rp.Summary())
+		if pp, ok := det.(depa.ParallelStatsProvider); ok {
+			ps := pp.ParallelStats()
+			fmt.Fprintf(stdout, "parallel: workers=%d shard-merges=%d fast-path=%.2f\n",
+				ps.Workers, ps.ShardMerges, ps.FastPathRate())
+		}
+	}
+	if !rp.Empty() {
+		return exitRaces, nil
+	}
+	return exitClean, nil
+}
+
+// runLive executes a bridged workload live on the work-stealing runtime
+// with the depa detector watching during execution — the on-the-fly half
+// of the detector, as opposed to -replay's post-mortem analysis. The
+// verdict document is the standard report schema with the parallel stats
+// section filled in from the live run.
+func runLive(stdout io.Writer, name string, workers int, jsonOut bool, tr *obs.Trace) (int, error) {
+	if name == "list" {
+		for _, w := range depa.Workloads() {
+			fmt.Fprintf(stdout, "%-12s %s\n", w.Name, w.Desc)
+		}
+		return exitClean, nil
+	}
+	w, err := depa.WorkloadByName(name)
+	if err != nil {
+		return exitError, err
+	}
+	if workers < 1 {
+		return exitError, fmt.Errorf("-live-workers must be at least 1 (got %d)", workers)
+	}
+	live := depa.NewLive()
+	live.Trace = tr
+	live.Run(wsrt.New(workers), w.Build(mem.NewAllocator()))
+	rp := live.Report()
+	if jsonOut {
+		doc := report.FromCore(live.Name(), "", 0, rp)
+		doc.Parallel = report.ParallelFrom(live.ParallelStats())
+		b, err := doc.Marshal()
+		if err != nil {
+			return exitError, err
+		}
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		ps := live.ParallelStats()
+		fmt.Fprintf(stdout, "workload: %s (%s)\n", w.Name, w.Desc)
+		fmt.Fprintf(stdout, "live depa on %d worker(s): %s\n", ps.Workers, rp.Summary())
+		fmt.Fprintf(stdout, "parallel: shard-merges=%d accesses=%d fast-path=%.2f\n",
+			ps.ShardMerges, ps.Accesses, ps.FastPathRate())
 	}
 	if !rp.Empty() {
 		return exitRaces, nil

@@ -29,6 +29,18 @@ import "repro/internal/mem"
 //     Create-Identity and Reduce operation; Load/Store events in between
 //     come from a view-aware strand, all others from view-oblivious
 //     strands.
+//
+// Threading contract: the serial executor and the trace replay engine
+// drive Hooks from a single goroutine, and the serial detectors (SP-bags,
+// SP+, Peer-Set, the depa replay detector) rely on that — their state
+// machines assume one totally-ordered event stream and are NOT safe for
+// concurrent invocation. A caller that drives hooks from several
+// goroutines (the work-stealing runtime's live mode, a test harness
+// fanning one stream to per-worker consumers) must either give each
+// goroutine its own Hooks value or use an implementation documented as
+// concurrent-safe (Empty is; a Multi is exactly when every element is,
+// see Multi's doc). Violating the contract is a data race, not a detected
+// error: run such configurations under the race detector.
 type Hooks interface {
 	ProgramStart(root *Frame)
 	ProgramEnd(root *Frame)
@@ -99,6 +111,14 @@ func (Empty) Store(*Frame, mem.Addr) {}
 
 // Multi fans events out to several Hooks in order, so a detector and a
 // trace recorder can observe the same run.
+//
+// Multi itself holds no mutable state — each callback is a read-only
+// iteration over the slice — so a Multi is safe for concurrent invocation
+// exactly when every element is. Under a single-goroutine driver the
+// in-order fan-out additionally guarantees every element sees the same
+// totally-ordered stream; under a concurrent driver no such total order
+// exists and each element must tolerate interleaved callbacks (the Hooks
+// threading contract above).
 type Multi []Hooks
 
 // MultiHooks builds the cheapest demultiplexer for the given consumers:

@@ -1,0 +1,112 @@
+package cilk
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// atomicHooks is a concurrent-safe Hooks implementation: every callback
+// bumps an atomic counter. It stands in for the class of consumers the
+// threading contract allows under parallel invocation.
+type atomicHooks struct {
+	control  atomic.Int64 // frame/sync/steal/reduce/program events
+	accesses atomic.Int64 // loads and stores
+	reducer  atomic.Int64 // reducer and view-aware events
+}
+
+func (c *atomicHooks) ProgramStart(*Frame)                     { c.control.Add(1) }
+func (c *atomicHooks) ProgramEnd(*Frame)                       { c.control.Add(1) }
+func (c *atomicHooks) FrameEnter(*Frame)                       { c.control.Add(1) }
+func (c *atomicHooks) FrameReturn(*Frame, *Frame)              { c.control.Add(1) }
+func (c *atomicHooks) Sync(*Frame)                             { c.control.Add(1) }
+func (c *atomicHooks) ContinuationStolen(*Frame, ViewID)       { c.control.Add(1) }
+func (c *atomicHooks) ReduceStart(*Frame, ViewID, ViewID)      { c.control.Add(1) }
+func (c *atomicHooks) ReduceEnd(*Frame)                        { c.control.Add(1) }
+func (c *atomicHooks) ViewAwareBegin(*Frame, ViewOp, *Reducer) { c.reducer.Add(1) }
+func (c *atomicHooks) ViewAwareEnd(*Frame, ViewOp, *Reducer)   { c.reducer.Add(1) }
+func (c *atomicHooks) ReducerCreate(*Frame, *Reducer)          { c.reducer.Add(1) }
+func (c *atomicHooks) ReducerRead(*Frame, *Reducer)            { c.reducer.Add(1) }
+func (c *atomicHooks) Load(*Frame, mem.Addr)                   { c.accesses.Add(1) }
+func (c *atomicHooks) Store(*Frame, mem.Addr)                  { c.accesses.Add(1) }
+
+// TestMultiHooksConcurrentInvocation stress-tests the Hooks threading
+// contract's concurrent half: a Multi whose elements are all
+// concurrent-safe must itself be safe under parallel invocation — the
+// configuration live detection on the work-stealing runtime creates. The
+// test hammers every callback from several goroutines and checks the
+// fan-out lost no event; run under -race it also proves the
+// demultiplexer adds no shared mutable state of its own.
+func TestMultiHooksConcurrentInvocation(t *testing.T) {
+	a, b := &atomicHooks{}, &atomicHooks{}
+	hooks := MultiHooks(nil, a, Empty{}, b)
+	if _, ok := hooks.(Multi); !ok {
+		t.Fatalf("MultiHooks(nil, a, Empty, b) = %T, want Multi", hooks)
+	}
+
+	const goroutines = 8
+	const rounds = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := &Frame{} // one frame per goroutine, as the runtime would
+			for i := 0; i < rounds; i++ {
+				hooks.FrameEnter(f)
+				hooks.Load(f, mem.Addr(g))
+				hooks.Store(f, mem.Addr(g))
+				hooks.Sync(f)
+				hooks.FrameReturn(f, f)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	wantControl := int64(goroutines * rounds * 3)
+	wantAccess := int64(goroutines * rounds * 2)
+	for name, c := range map[string]*atomicHooks{"first": a, "second": b} {
+		if got := c.control.Load(); got != wantControl {
+			t.Errorf("%s consumer saw %d control events, want %d", name, got, wantControl)
+		}
+		if got := c.accesses.Load(); got != wantAccess {
+			t.Errorf("%s consumer saw %d access events, want %d", name, got, wantAccess)
+		}
+	}
+}
+
+// TestMultiHooksConcurrentReplayFanOut covers the cross-stream variant:
+// several goroutines each replay an independent serial stream into the
+// same shared Multi. This is the shape a parallel test harness or a
+// sharded replay uses; the fan-out must stay race-free and exact.
+func TestMultiHooksConcurrentReplayFanOut(t *testing.T) {
+	shared := &atomicHooks{}
+	const streams = 6
+	var wg sync.WaitGroup
+	var frames atomic.Int64
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			private := &atomicHooks{}
+			hooks := MultiHooks(shared, private)
+			f := &Frame{}
+			n := 100 + s*10
+			for i := 0; i < n; i++ {
+				hooks.FrameEnter(f)
+				hooks.Store(f, mem.Addr(i))
+				hooks.FrameReturn(f, f)
+			}
+			frames.Add(int64(n))
+			if got := private.control.Load(); got != int64(2*n) {
+				t.Errorf("stream %d private consumer saw %d control events, want %d", s, got, 2*n)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got, want := shared.control.Load(), 2*frames.Load(); got != want {
+		t.Errorf("shared consumer saw %d control events, want %d", got, want)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/cilk"
 	"repro/internal/core"
+	"repro/internal/depa"
 	"repro/internal/ehlabel"
 	"repro/internal/obs"
 	"repro/internal/offsetspan"
@@ -50,6 +51,11 @@ const (
 	// EnglishHebrew is the Nudler-Rudolph labeling detector, the earliest
 	// scheme §9 surveys.
 	EnglishHebrew DetectorName = "english-hebrew"
+	// Depa is the order-maintenance detector: DePa-style (depth,
+	// fork-path) strand timestamps with a sharded parallel detection
+	// phase. Verdicts are byte-identical to SP-bags; it additionally
+	// reports parallel-machinery statistics.
+	Depa DetectorName = "depa"
 	// All runs the paper's three detectors — Peer-Set, SP-bags and SP+ —
 	// over a single execution (or a single trace decode) in one pass,
 	// producing a merged Outcome with one report per detector.
@@ -64,10 +70,10 @@ var AllDetectors = []DetectorName{PeerSet, SPBags, SPPlus}
 // ParseDetector validates a detector name.
 func ParseDetector(s string) (DetectorName, error) {
 	switch DetectorName(s) {
-	case None, EmptyTool, PeerSet, SPBags, SPPlus, OffsetSpan, EnglishHebrew, All:
+	case None, EmptyTool, PeerSet, SPBags, SPPlus, OffsetSpan, EnglishHebrew, Depa, All:
 		return DetectorName(s), nil
 	default:
-		return "", fmt.Errorf("rader: unknown detector %q (have none, empty, peer-set, sp-bags, sp+, offset-span, english-hebrew, all)", s)
+		return "", fmt.Errorf("rader: unknown detector %q (have none, empty, peer-set, sp-bags, sp+, offset-span, english-hebrew, depa, all)", s)
 	}
 }
 
@@ -104,6 +110,9 @@ type Outcome struct {
 	Replay string
 	// Counts is the detector's per-event-class accounting when available.
 	Counts obs.EventCounts
+	// Parallel holds the depa detector's parallel-machinery statistics
+	// (nil for the other detectors).
+	Parallel *depa.ParallelStats
 	// All holds the per-detector outcomes of an All run, in AllDetectors
 	// order. Report and Stats mirror the first entry so callers that only
 	// look at the merged Outcome still see a verdict.
@@ -143,6 +152,9 @@ func NewDetector(name DetectorName) (core.Detector, cilk.Hooks, error) {
 	case EnglishHebrew:
 		d := ehlabel.New()
 		return d, d, nil
+	case Depa:
+		d := depa.New()
+		return d, d, nil
 	default:
 		return nil, nil, fmt.Errorf("rader: bad detector %q", name)
 	}
@@ -173,6 +185,9 @@ func Run(prog func(*cilk.Ctx), cfg Config) (out *Outcome, err error) {
 	det, hooks, err := NewDetector(cfg.Detector)
 	if err != nil {
 		return nil, err
+	}
+	if dd, ok := det.(*depa.Detector); ok {
+		dd.Trace = cfg.Trace
 	}
 	if cfg.EventBudget > 0 || !cfg.Deadline.IsZero() {
 		hooks = newGuard(hooks, cfg.EventBudget, cfg.Deadline)
@@ -205,6 +220,10 @@ func Run(prog func(*cilk.Ctx), cfg Config) (out *Outcome, err error) {
 		}
 		if ec, ok := det.(core.EventCountsProvider); ok {
 			out.Counts = ec.EventCounts()
+		}
+		if pp, ok := det.(depa.ParallelStatsProvider); ok {
+			ps := pp.ParallelStats()
+			out.Parallel = &ps
 		}
 		span.Arg("races", out.Report.Distinct())
 	}

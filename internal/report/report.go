@@ -21,13 +21,15 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/depa"
 	"repro/internal/rader"
 )
 
 // Schema is the current schema version, carried by every document.
 // Version 2 added the per-race provenance section; version 3 added the
-// sweep document's execution-stats section.
-const Schema = 3
+// sweep document's execution-stats section; version 4 added the parallel
+// detector's stats section (workers, shard merges, fast-path hit rate).
+const Schema = 4
 
 // Access is one side of a race.
 type Access struct {
@@ -70,6 +72,31 @@ func (r Race) String() string {
 		r.Kind, r.Addr, r.First.Label, r.First.Frame, r.Second.Label, r.Second.Frame)
 }
 
+// Parallel is the parallel detector's execution accounting: how many
+// workers (or shards) the detection ran on, how many shard merges the
+// run performed, and how often the strand-local coalescing fast path
+// absorbed an access without logging a fresh entry. Present only when
+// the analysing detector is depa; verdict fields are unaffected by it —
+// two runs of the same trace at different shard counts differ only here.
+type Parallel struct {
+	Workers      int     `json:"workers"`
+	ShardMerges  int64   `json:"shardMerges"`
+	FastPathHits int64   `json:"fastPathHits"`
+	Accesses     int64   `json:"accesses"`
+	FastPathRate float64 `json:"fastPathRate"`
+}
+
+// ParallelFrom mirrors the detector's stats into the document section.
+func ParallelFrom(ps depa.ParallelStats) *Parallel {
+	return &Parallel{
+		Workers:      ps.Workers,
+		ShardMerges:  ps.ShardMerges,
+		FastPathHits: ps.FastPathHits,
+		Accesses:     ps.Accesses,
+		FastPathRate: ps.FastPathRate(),
+	}
+}
+
 // Report is the verdict document for one analysed run or replay.
 type Report struct {
 	Schema   int    `json:"schema"`
@@ -83,6 +110,9 @@ type Report struct {
 	Distinct int    `json:"distinct"`
 	Total    int    `json:"total"`
 	Clean    bool   `json:"clean"`
+	// Parallel carries the depa detector's parallel-machinery stats;
+	// absent for every serial detector.
+	Parallel *Parallel `json:"parallel,omitempty"`
 }
 
 // Marshal renders the document. Encoding equal values always yields equal
@@ -145,9 +175,24 @@ func FromCore(detector, spec string, events int64, rp *core.Report) *Report {
 	return out
 }
 
+// FromDetector builds a Report from one detector that consumed an event
+// stream, attaching the parallel stats section when the detector provides
+// it (the verdict fields come from FromCore unchanged).
+func FromDetector(detector, spec string, events int64, det core.Detector) *Report {
+	out := FromCore(detector, spec, events, det.Report())
+	if pp, ok := det.(depa.ParallelStatsProvider); ok {
+		out.Parallel = ParallelFrom(pp.ParallelStats())
+	}
+	return out
+}
+
 // FromOutcome builds a Report from one rader.Run outcome.
 func FromOutcome(out *rader.Outcome, spec string) *Report {
-	return FromCore(string(out.Detector), spec, 0, out.Report)
+	rep := FromCore(string(out.Detector), spec, 0, out.Report)
+	if out.Parallel != nil {
+		rep.Parallel = ParallelFrom(*out.Parallel)
+	}
+	return rep
 }
 
 // Multi is the verdict document for a single-pass all-detectors run or
@@ -181,7 +226,7 @@ func FromDetectors(spec string, events int64, dets []core.Detector) *Multi {
 		Clean:    true,
 	}
 	for i, det := range dets {
-		out.Reports[i] = FromCore(det.Name(), spec, events, det.Report())
+		out.Reports[i] = FromDetector(det.Name(), spec, events, det)
 		out.Clean = out.Clean && out.Reports[i].Clean
 	}
 	return out

@@ -10,8 +10,10 @@ import (
 	"repro/internal/cilk"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/depa"
 	"repro/internal/mem"
 	"repro/internal/rader"
+	"repro/internal/spbags"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -123,6 +125,40 @@ func TestAllReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	golden(t, "all_report.golden", b)
+}
+
+// The parallel stats section (schema 4) gets its own golden pinning field
+// order and the rate's float rendering; the serial goldens above pin the
+// omission rule (no "parallel" key).
+func TestParallelReportGolden(t *testing.T) {
+	doc := FromCore("depa", "", 123, fixedReport())
+	doc.Parallel = ParallelFrom(depa.ParallelStats{
+		Workers: 8, ShardMerges: 9, FastPathHits: 90, Accesses: 120,
+	})
+	b, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "parallel_report.golden", b)
+}
+
+// FromDetector attaches the parallel section exactly when the detector
+// provides it.
+func TestFromDetectorAttachesParallel(t *testing.T) {
+	det := depa.New()
+	det.Shards = 2
+	cilk.Run(func(c *cilk.Ctx) { c.Store(1); c.Store(1) }, cilk.Config{Hooks: det})
+	doc := FromDetector("depa", "", 0, det)
+	if doc.Parallel == nil {
+		t.Fatal("depa report is missing the parallel section")
+	}
+	if doc.Parallel.Workers != 2 || doc.Parallel.Accesses != 2 || doc.Parallel.FastPathHits != 1 {
+		t.Fatalf("parallel section = %+v, want workers=2 accesses=2 fastPathHits=1", doc.Parallel)
+	}
+	serial := FromDetector("sp-bags", "", 0, spbags.New())
+	if serial.Parallel != nil {
+		t.Fatal("serial detector report grew a parallel section")
+	}
 }
 
 // Marshaling the same value twice must be byte-identical — the property

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rader"
+	"repro/internal/report"
 	"repro/internal/store"
 )
 
@@ -18,8 +19,8 @@ import (
 // input must not be able to mint unbounded label values.
 var knownDetectors = map[string]bool{
 	"none": true, "empty": true, "peer-set": true, "sp-bags": true,
-	"sp+": true, "offset-span": true, "english-hebrew": true, "all": true,
-	"sweep": true,
+	"sp+": true, "offset-span": true, "english-hebrew": true, "depa": true,
+	"all": true, "sweep": true,
 }
 
 // sanitizeDetector folds unknown detector names into "other".
@@ -59,6 +60,9 @@ type metrics struct {
 	sweepSnapMisses *obs.Counter
 	sweepSkipped    *obs.Counter
 	sweepPages      *obs.Counter
+
+	depaMerges   *obs.Counter
+	depaFastPath *obs.Gauge
 
 	phase map[string]*obs.Histogram
 }
@@ -130,6 +134,11 @@ func newMetrics(pool *pool, cache *resultCache, jobs *jobTable, st *store.Store,
 	m.sweepPages = reg.Counter("raderd_sweep_pages_copied_total",
 		"Shadow-memory pages copied on write by snapshot-seeded sweep units.", "")
 
+	m.depaMerges = reg.Counter("raderd_depa_shard_merges_total",
+		"Shard merges performed by completed depa (parallel detector) analyses.", "")
+	m.depaFastPath = reg.Gauge("raderd_depa_fast_path_rate",
+		"Strand-local fast-path hit rate of the most recent depa analysis.", "")
+
 	m.phase = make(map[string]*obs.Histogram, 3)
 	for _, ph := range []string{phaseQueue, phaseRun, phaseEncode} {
 		m.phase[ph] = reg.Histogram("raderd_phase_latency_seconds",
@@ -197,6 +206,18 @@ func (m *metrics) done(detector string, d time.Duration, events int64) {
 		"Wall time of completed analyses by detector.",
 		fmt.Sprintf("detector=%q", sanitizeDetector(detector)), nil)
 	h.Observe(d.Seconds())
+}
+
+// depa accumulates the parallel detector's machinery stats from one
+// completed analysis: shard merges add up across requests, the fast-path
+// rate tracks the most recent run (matching lastEPS's convention). Serial
+// detectors pass nil and the series stay flat.
+func (m *metrics) depa(p *report.Parallel) {
+	if p == nil {
+		return
+	}
+	m.depaMerges.Add(uint64(p.ShardMerges))
+	m.depaFastPath.Set(p.FastPathRate)
 }
 
 // sweep accumulates the sharing counters of one completed coverage sweep.

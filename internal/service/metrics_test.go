@@ -25,7 +25,7 @@ func progOf(desc string, body func()) Program {
 
 func TestSanitizeDetector(t *testing.T) {
 	for _, d := range []string{"none", "empty", "peer-set", "sp-bags", "sp+",
-		"offset-span", "english-hebrew", "all", "sweep"} {
+		"offset-span", "english-hebrew", "depa", "all", "sweep"} {
 		if got := sanitizeDetector(d); got != d {
 			t.Errorf("sanitizeDetector(%q) = %q, want identity", d, got)
 		}
@@ -250,6 +250,7 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"raderd_events_per_second", "raderd_sweep_jobs",
 		"raderd_sweep_snapshot_hits_total", "raderd_sweep_snapshot_misses_total",
 		"raderd_sweep_events_skipped_total", "raderd_sweep_pages_copied_total",
+		"raderd_depa_shard_merges_total", "raderd_depa_fast_path_rate",
 		"raderd_phase_latency_seconds", "raderd_analyze_latency_seconds",
 	} {
 		if types[fam] == "" {
@@ -374,6 +375,66 @@ func TestMetricsExpositionFormat(t *testing.T) {
 	for _, ph := range []string{phaseQueue, phaseRun, phaseEncode} {
 		if phases[fmt.Sprintf("phase=%q", ph)] < 1 {
 			t.Errorf("phase %q histogram has no observations: %v", ph, phases)
+		}
+	}
+}
+
+// TestDepaMetricsSeries pins the parallel detector's series names: one
+// completed detector=depa analysis must populate
+// raderd_depa_shard_merges_total and raderd_depa_fast_path_rate on both
+// /metrics and the /debug/vars snapshot, and its verdict document must
+// carry the parallel stats section.
+func TestDepaMetricsSeries(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	resp, err := http.Post(ts.URL+"/analyze?prog=fig1&detector=depa", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze?detector=depa = %d: %s", resp.StatusCode, body)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ar.Report), `"parallel":{`) {
+		t.Errorf("depa verdict document missing the parallel section: %s", ar.Report)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(mb)
+	value := func(series string) float64 {
+		for _, line := range strings.Split(text, "\n") {
+			if rest, ok := strings.CutPrefix(line, series+" "); ok {
+				v, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					t.Fatalf("series %s has unparsable value %q", series, rest)
+				}
+				return v
+			}
+		}
+		t.Fatalf("series %s missing from exposition:\n%s", series, text)
+		return 0
+	}
+	if merges := value("raderd_depa_shard_merges_total"); merges < 1 {
+		t.Errorf("raderd_depa_shard_merges_total = %g, want >= 1 after a depa analysis", merges)
+	}
+	value("raderd_depa_fast_path_rate") // presence is the contract
+
+	vars := s.MetricsSnapshot()
+	for _, name := range []string{
+		"raderd_depa_shard_merges_total",
+		"raderd_depa_fast_path_rate",
+	} {
+		if _, ok := vars[name]; !ok {
+			t.Errorf("/debug/vars snapshot missing %s", name)
 		}
 	}
 }

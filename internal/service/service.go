@@ -369,6 +369,9 @@ type analysisResult struct {
 	clean  bool
 	events int64
 	subs   []subResult
+	// parallel is the depa detector's machinery stats, nil for every
+	// serial detector; it feeds the raderd_depa_* series.
+	parallel *report.Parallel
 }
 
 // subResult is one detector's verdict extracted from an all-mode pass.
@@ -440,7 +443,7 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 					return &analysisResult{doc: m, clean: m.Clean, subs: subsFromMulti(m)}, nil
 				}
 				rep := report.FromOutcome(out, canon)
-				return &analysisResult{doc: rep, clean: rep.Clean}, nil
+				return &analysisResult{doc: rep, clean: rep.Clean, parallel: rep.Parallel}, nil
 			},
 		}
 	}
@@ -510,11 +513,11 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 			}
 			var rep *report.Report
 			if d != nil {
-				rep = report.FromCore(string(det), "", events, d.Report())
+				rep = report.FromDetector(string(det), "", events, d)
 			} else {
 				rep = report.FromCore(string(det), "", events, nil)
 			}
-			return &analysisResult{doc: rep, clean: rep.Clean, events: events}, nil
+			return &analysisResult{doc: rep, clean: rep.Clean, events: events, parallel: rep.Parallel}, nil
 		},
 	}
 }
@@ -628,6 +631,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.done(string(unit.detector), dur, res.events)
+	s.metrics.depa(res.parallel)
 	log.Info("analyze done", "dur", dur, "events", res.events, "clean", res.clean)
 	entry := &cached{digest: unit.digest, report: raw, clean: res.clean}
 	s.cache.put(unit.key(), entry)
@@ -842,11 +846,11 @@ func (s *Server) analyzeStored(digest string, det rader.DetectorName) (*analysis
 	}
 	var rep *report.Report
 	if d != nil {
-		rep = report.FromCore(string(det), "", events, d.Report())
+		rep = report.FromDetector(string(det), "", events, d)
 	} else {
 		rep = report.FromCore(string(det), "", events, nil)
 	}
-	return &analysisResult{doc: rep, clean: rep.Clean, events: events}, nil
+	return &analysisResult{doc: rep, clean: rep.Clean, events: events, parallel: rep.Parallel}, nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

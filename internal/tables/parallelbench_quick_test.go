@@ -1,0 +1,38 @@
+package tables
+
+import "testing"
+
+// TestMeasureParallelQuick exercises the scaling harness end to end at a
+// tiny scale: parity must hold in every cell and every live run, and the
+// row/cell population must match the requested shard counts.
+func TestMeasureParallelQuick(t *testing.T) {
+	pb, err := MeasureParallel(ParallelOptions{
+		Trials:        1,
+		ShardCounts:   []int{1, 2},
+		DedupChunks:   64,
+		FerretQueries: 16,
+		StressLeaves:  32,
+		StressWork:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pb.Parity {
+		t.Fatal("verdict parity failed in a scaling cell or live run")
+	}
+	if len(pb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(pb.Rows))
+	}
+	for _, row := range pb.Rows {
+		if len(row.Cells) != 2 {
+			t.Fatalf("%s: cells = %d, want 2", row.Workload, len(row.Cells))
+		}
+		if row.Entries == 0 || row.Accesses < row.Entries {
+			t.Fatalf("%s: bad log accounting entries=%d accesses=%d", row.Workload, row.Entries, row.Accesses)
+		}
+	}
+	if len(pb.Live) != 3*2 {
+		t.Fatalf("live checks = %d, want 6", len(pb.Live))
+	}
+	_ = pb.Render()
+}

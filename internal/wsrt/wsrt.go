@@ -247,6 +247,41 @@ func (ws *workerState) execute(t *task) {
 	t.views = fr.cur
 }
 
+// Worker reports the ID of the worker executing this task, in
+// [0, Workers()). Tasks never migrate mid-execution, so the value is
+// stable for the lifetime of the Ctx; instrumentation layered on the
+// runtime (the depa live detector's per-worker lanes) keys its logs and
+// spans on it.
+func (c *Ctx) Worker() int { return c.worker.id }
+
+// Call runs body as a called (not spawned) child scope on the same
+// worker: a nested join context whose spawns are joined by body's own
+// Sync — plus an implicit one at return — without joining the caller's
+// outstanding children. This mirrors a plain function call in Cilk: the
+// callee must sync its own spawns before returning (§2). The callee's
+// final view segment folds into the caller's current segment, preserving
+// the serial reduction order.
+func (c *Ctx) Call(body func(*Ctx)) {
+	fr := &frame{}
+	ctx := &Ctx{rt: c.rt, worker: c.worker, frame: fr}
+	body(ctx)
+	ctx.Sync()
+	if fr.cur != nil {
+		pf := c.frame
+		if pf.cur == nil {
+			pf.cur = fr.cur
+		} else {
+			for r, rv := range fr.cur {
+				if lv, ok := pf.cur[r]; ok {
+					pf.cur[r] = r.m.Combine(lv, rv)
+				} else {
+					pf.cur[r] = rv
+				}
+			}
+		}
+	}
+}
+
 // Spawn schedules body to run in parallel with the continuation, sealing
 // the current view segment so later updates stay ordered after the child.
 func (c *Ctx) Spawn(body func(*Ctx)) {
