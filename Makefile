@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz chaos bench tables parallel coverage-demo serve clean
+.PHONY: all build test race vet fuzz chaos bench tables parallel elide coverage-demo serve clean
 
 all: build test
 
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -fuzz FuzzStoreRecovery -fuzztime 15s ./internal/store/
 	$(GO) test -fuzz FuzzVerdictDecode -fuzztime 15s ./internal/store/
 	$(GO) test -fuzz FuzzDepaOracle -fuzztime 15s ./internal/depa/
+	$(GO) test -fuzz FuzzElide -fuzztime 15s ./internal/elide/
 
 # The crash-recovery chaos suite: kill the store at every fault-injection
 # point, reopen, and assert byte-identical verdicts (docs/ROBUSTNESS.md,
@@ -48,6 +49,10 @@ tables:
 # The depa parallel-detection scaling table (docs/PARALLEL.md).
 parallel:
 	$(GO) run ./cmd/benchtab -table parallel -q
+
+# The static-elision shrink/parity table (docs/ELISION.md).
+elide:
+	$(GO) run ./cmd/benchtab -table elide -q
 
 # The §7 coverage sweep finding the Figure 1 race.
 coverage-demo:

@@ -22,12 +22,13 @@ import (
 )
 
 // benchDoc is the machine-readable benchmark artifact -json emits
-// (BENCH_PR3.json / BENCH_PR5.json / BENCH_PR7.json in the repo): the
-// replay-throughput comparison behind the single-pass engine, the
-// naive-vs-prefix sweep comparison behind the steal-decision trie, the
-// parallel-detection scaling table behind the depa detector, plus the
-// regenerated Figure 7/8 tables. Schema 2 added the sweep section;
-// schema 3 added the parallel section.
+// (BENCH_PR3.json / BENCH_PR5.json / BENCH_PR7.json / BENCH_PR8.json in
+// the repo): the replay-throughput comparison behind the single-pass
+// engine, the naive-vs-prefix sweep comparison behind the steal-decision
+// trie, the parallel-detection scaling table behind the depa detector,
+// the static-elision shrink/parity table, plus the regenerated Figure
+// 7/8 tables. Schema 2 added the sweep section; schema 3 added the
+// parallel section; schema 4 added the elide section.
 type benchDoc struct {
 	Schema   int                   `json:"schema"`
 	Scale    string                `json:"scale"`
@@ -35,6 +36,7 @@ type benchDoc struct {
 	Replay   *tables.ReplayBench   `json:"replay"`
 	Sweep    *tables.SweepBench    `json:"sweep"`
 	Parallel *tables.ParallelBench `json:"parallel"`
+	Elide    *tables.ElideBench    `json:"elide"`
 	Figure7  *tables.Table         `json:"figure7"`
 	Figure8  *tables.Table         `json:"figure8"`
 	Headline struct {
@@ -47,7 +49,7 @@ type benchDoc struct {
 
 func main() {
 	var (
-		table    = flag.String("table", "both", "which table: 7, 8, both, sweep, parallel")
+		table    = flag.String("table", "both", "which table: 7, 8, both, sweep, parallel, elide")
 		trials   = flag.Int("trials", 3, "timing repetitions per cell (median)")
 		scaleStr = flag.String("scale", "bench", "input scale: test, small, bench")
 		appsStr  = flag.String("apps", "", "comma-separated benchmark subset (default all)")
@@ -119,6 +121,28 @@ func main() {
 		return
 	}
 
+	// -table elide on its own likewise skips the figure tables; the
+	// -json document always carries the elide section too. The shrink
+	// measurement always runs at small scale — shrink ratios are
+	// scale-stable and the parity check replays every trace seven times.
+	var elided *tables.ElideBench
+	if *jsonPath != "" || *table == "elide" {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "measuring static elision...")
+		}
+		var err error
+		elided, err = tables.MeasureElide(*trials, apps.Small, "small")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+	}
+	if *table == "elide" && *jsonPath == "" {
+		fmt.Println("=== static elision: trace shrink and verdict parity ===")
+		fmt.Print(elided.Render())
+		return
+	}
+
 	fig7, fig8, err := tables.Generate(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -133,7 +157,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
-		doc := benchDoc{Schema: 3, Scale: *scaleStr, Trials: *trials, Replay: rb, Sweep: sweep, Parallel: parallel, Figure7: fig7, Figure8: fig8}
+		doc := benchDoc{Schema: 4, Scale: *scaleStr, Trials: *trials, Replay: rb, Sweep: sweep, Parallel: parallel, Elide: elided, Figure7: fig7, Figure8: fig8}
 		doc.Headline.Fig7PeerSet, doc.Headline.Fig7SPPlus = fig7.Headline(true)
 		doc.Headline.Fig8PeerSet, doc.Headline.Fig8SPPlus = fig8.Headline(true)
 		b, err := json.MarshalIndent(doc, "", "  ")
@@ -145,8 +169,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (replay speedup %.2fx, sweep speedup %.2fx, parallel speedup %.2fx, decode loop %.4f allocs/event)\n",
-			*jsonPath, rb.Speedup, sweep.Speedup, parallel.BestSpeedup, rb.DecodeLoop.AllocsPerEvent)
+		fmt.Fprintf(os.Stderr, "wrote %s (replay speedup %.2fx, sweep speedup %.2fx, parallel speedup %.2fx, elide shrink dedup %.2fx/ferret %.2fx, decode loop %.4f allocs/event)\n",
+			*jsonPath, rb.Speedup, sweep.Speedup, parallel.BestSpeedup, elided.DedupShrink, elided.FerretShrink, rb.DecodeLoop.AllocsPerEvent)
 	}
 	if *table == "sweep" {
 		fmt.Println("=== §7 coverage sweep: naive vs prefix-sharing ===")

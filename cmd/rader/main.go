@@ -51,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/depa"
+	"repro/internal/elide"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/progs"
@@ -94,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		liveN    = fs.Int("live-workers", 4, "worker count for -live")
 		remote   = fs.String("remote", "", "raderd base URL; analyze on the daemon instead of in-process")
 		profile  = fs.String("profile-out", "", "write a Chrome trace-event JSON profile of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
+		elideOn  = fs.Bool("elide", false, "with -replay: statically elide provably race-free accesses before detection (verdicts stay byte-identical)")
+		elideAud = fs.String("elide-audit", "", "with -replay: write the per-class \"why elided\" JSON audit to this file (implies -elide)")
+		elideOut = fs.String("elide-out", "", "with -replay: write the filtered trace stream to this file (implies -elide)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitError
@@ -101,6 +105,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fatal := func(err error) int {
 		fmt.Fprintln(stderr, "rader:", err)
 		return exitError
+	}
+	eo := elideOpts{enabled: *elideOn || *elideAud != "" || *elideOut != "", auditPath: *elideAud, outPath: *elideOut}
+	if eo.enabled {
+		if *replay == "" {
+			return fatal(fmt.Errorf("-elide analyzes a recorded trace; it requires -replay"))
+		}
+		if *coverage {
+			return fatal(fmt.Errorf("-elide cannot be combined with -coverage"))
+		}
+		if *remote != "" && (eo.auditPath != "" || eo.outPath != "") {
+			return fatal(fmt.Errorf("-elide-audit and -elide-out are local artifacts; drop -remote to produce them"))
+		}
 	}
 
 	// With -profile-out the whole pipeline records spans; nil keeps every
@@ -132,6 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			spec:       *specStr,
 			coverage:   *coverage,
 			jsonOut:    *jsonOut,
+			elide:      eo.enabled,
 		})
 		if err != nil {
 			return fatal(err)
@@ -143,6 +160,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		det, err := rader.ParseDetector(*detector)
 		if err != nil {
 			return fatal(err)
+		}
+		if eo.enabled {
+			code, err := replayTraceElided(stdout, *replay, det, *jsonOut, tr, eo)
+			if err != nil {
+				return fatal(err)
+			}
+			return code
 		}
 		code, err := replayTrace(stdout, *replay, det, *jsonOut, tr)
 		if err != nil {
@@ -490,6 +514,137 @@ func replayTrace(stdout io.Writer, path string, detName rader.DetectorName, json
 		}
 	}
 	if !rp.Empty() {
+		return exitRaces, nil
+	}
+	return exitClean, nil
+}
+
+// elideOpts is the -elide flag family: run the static elision pre-pass
+// over the replayed trace and optionally persist its artifacts.
+type elideOpts struct {
+	enabled   bool
+	auditPath string // -elide-audit: "why elided" JSON artifact
+	outPath   string // -elide-out: filtered trace stream
+}
+
+// replayTraceElided is -replay with the static elision pre-pass in
+// front: the trace is analyzed once to prove addresses race-free, the
+// detectors then replay only the must-keep accesses (via the skip-set
+// fast path), and the verdict document is fixed up to be byte-identical
+// to a full replay — same races, same provenance ordinals, same event
+// accounting.
+func replayTraceElided(stdout io.Writer, path string, detName rader.DetectorName, jsonOut bool, tr *obs.Trace, eo elideOpts) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return exitError, err
+	}
+	espan := tr.Start("elide")
+	plan, err := elide.Analyze(data)
+	if err != nil {
+		espan.Arg("error", err.Error()).End()
+		return exitError, err
+	}
+	aud := plan.Audit()
+	espan.Arg("originalEvents", aud.OriginalEvents).Arg("elidedEvents", aud.ElidedEvents).
+		Arg("elidedBytes", aud.ElidedBytes).End()
+	if eo.auditPath != "" {
+		b, err := aud.Marshal()
+		if err != nil {
+			return exitError, err
+		}
+		if err := os.WriteFile(eo.auditPath, b, 0o644); err != nil {
+			return exitError, err
+		}
+	}
+	if eo.outPath != "" {
+		filtered, _, err := plan.Filter(data)
+		if err != nil {
+			return exitError, err
+		}
+		if err := os.WriteFile(eo.outPath, filtered, 0o644); err != nil {
+			return exitError, err
+		}
+	}
+	if !jsonOut {
+		fmt.Fprintf(stdout, "elision: %d of %d events proven race-free and skipped (%.2fx shrink, %d bytes)\n",
+			aud.ElidedEvents, aud.OriginalEvents, aud.Shrink, aud.ElidedBytes)
+		if eo.auditPath != "" {
+			fmt.Fprintf(stdout, "elision audit written to %s\n", eo.auditPath)
+		}
+		if eo.outPath != "" {
+			fmt.Fprintf(stdout, "filtered trace written to %s\n", eo.outPath)
+		}
+	}
+	skip := plan.SkipSet()
+	if detName == rader.All {
+		dets := rader.NewAllDetectors()
+		hooks := make([]cilk.Hooks, len(dets))
+		for i, d := range dets {
+			hooks[i] = d
+		}
+		var stats trace.ReplayStats
+		span := tr.Start("replay")
+		n, err := trace.ReplayAllBytesSkip(data, skip, &stats, hooks...)
+		if err != nil {
+			span.Arg("error", err.Error()).End()
+			return exitError, err
+		}
+		replaySpan(span, tr, &stats, dets)
+		m := report.FromDetectors("", n, dets)
+		plan.FixupMulti(m)
+		if jsonOut {
+			b, err := m.Marshal()
+			if err != nil {
+				return exitError, err
+			}
+			fmt.Fprintln(stdout, string(b))
+		} else {
+			fmt.Fprintf(stdout, "replayed %d events from %s in one pass under %d detectors\n",
+				n, path, len(dets))
+			for _, d := range dets {
+				fmt.Fprintf(stdout, "%s: %s\n", d.Name(), d.Report().Summary())
+			}
+		}
+		if !m.Clean {
+			return exitRaces, nil
+		}
+		return exitClean, nil
+	}
+	det, hooks, err := rader.NewDetector(detName)
+	if err != nil {
+		return exitError, err
+	}
+	if det == nil {
+		return exitError, fmt.Errorf("replay needs an analysing detector (got %s)", detName)
+	}
+	if dd, ok := det.(*depa.Detector); ok {
+		dd.Trace = tr
+	}
+	var stats trace.ReplayStats
+	span := tr.Start("replay")
+	n, err := trace.ReplayAllBytesSkip(data, skip, &stats, hooks)
+	if err != nil {
+		span.Arg("error", err.Error()).End()
+		return exitError, err
+	}
+	replaySpan(span, tr, &stats, []core.Detector{det})
+	doc := report.FromDetector(string(detName), "", n, det)
+	plan.FixupReport(doc)
+	if jsonOut {
+		b, err := doc.Marshal()
+		if err != nil {
+			return exitError, err
+		}
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		fmt.Fprintf(stdout, "replayed %d events from %s under %s\n", n, path, detName)
+		fmt.Fprintln(stdout, det.Report().Summary())
+		if doc.Parallel != nil {
+			fmt.Fprintf(stdout, "parallel: workers=%d shard-merges=%d fast-path=%.2f\n",
+				doc.Parallel.Workers, doc.Parallel.ShardMerges, doc.Parallel.FastPathRate)
+		}
+	}
+	if !doc.Clean {
 		return exitRaces, nil
 	}
 	return exitClean, nil

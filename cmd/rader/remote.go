@@ -27,6 +27,10 @@ type remoteRequest struct {
 	spec       string
 	coverage   bool
 	jsonOut    bool
+	// elide asks the daemon to run the static elision pre-pass before
+	// detection (?elide=1). Verdicts are byte-identical either way; the
+	// daemon's raderd_elide_* series account for the saved work.
+	elide bool
 }
 
 // remoteClient drives a raderd daemon — the analyze-remotely half of the
@@ -76,8 +80,14 @@ func (c *remoteClient) analyze(req remoteRequest) (int, error) {
 	var raw []byte
 	var err error
 	if req.replayPath != "" {
+		if req.elide {
+			q.Set("elide", "1")
+		}
 		resp, raw, err = c.analyzeTrace(req.replayPath, q)
 	} else {
+		if req.elide {
+			return exitError, fmt.Errorf("-elide analyzes a recorded trace; it requires -replay")
+		}
 		q.Set("prog", req.prog)
 		q.Set("scale", req.scale)
 		q.Set("spec", req.spec)

@@ -42,21 +42,37 @@ func (p retryPolicy) withDefaults() retryPolicy {
 	return p
 }
 
+// remoteRetryAfterCap bounds how long a server-provided Retry-After
+// hint can park the client. The daemon's own hints never exceed 30s
+// (retryAfterHint caps there), so anything larger is a misconfigured or
+// hostile intermediary — honoring an uncapped hint would stall a CLI
+// invocation for hours on one bad header.
+const remoteRetryAfterCap = 30 * time.Second
+
 // backoff computes the delay before retry attempt i (0-based). A
-// parseable Retry-After wins outright — the server knows its own queue
-// better than any client-side curve; otherwise exponential with full
-// jitter over the top half of the window, so a thundering herd of shed
-// clients decorrelates.
+// parseable Retry-After wins over the computed delay — the server knows
+// its own queue better than any client-side curve — but is clamped to
+// remoteRetryAfterCap; otherwise exponential with full jitter over the
+// top half of the window, so a thundering herd of shed clients
+// decorrelates.
 func (p retryPolicy) backoff(i int, retryAfter string) time.Duration {
 	if retryAfter != "" {
 		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
+			d := time.Duration(secs) * time.Second
+			if d > remoteRetryAfterCap {
+				d = remoteRetryAfterCap
+			}
+			return d
 		}
 		if at, err := http.ParseTime(retryAfter); err == nil {
-			if d := time.Until(at); d > 0 {
-				return d
+			d := time.Until(at)
+			switch {
+			case d <= 0:
+				return 0
+			case d > remoteRetryAfterCap:
+				return remoteRetryAfterCap
 			}
-			return 0
+			return d
 		}
 	}
 	d := p.base << uint(i)

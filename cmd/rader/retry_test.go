@@ -58,6 +58,27 @@ func TestBackoffHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// A server hint beyond remoteRetryAfterCap is clamped, in both header
+// forms: honoring a raw "Retry-After: 86400" (or a far-future HTTP
+// date) would park a CLI invocation for a day on one bad header.
+func TestBackoffClampsRetryAfter(t *testing.T) {
+	p := retryPolicy{jitter: func() float64 { return 0 }}.withDefaults()
+	if d := p.backoff(0, "86400"); d != remoteRetryAfterCap {
+		t.Fatalf("Retry-After 86400 → %v, want the %v cap", d, remoteRetryAfterCap)
+	}
+	if d := p.backoff(0, "30"); d != 30*time.Second {
+		t.Fatalf("Retry-After 30 → %v, want 30s (at the cap, not over it)", d)
+	}
+	future := time.Now().Add(24 * time.Hour).UTC().Format(http.TimeFormat)
+	if d := p.backoff(0, future); d != remoteRetryAfterCap {
+		t.Fatalf("far-future HTTP-date → %v, want the %v cap", d, remoteRetryAfterCap)
+	}
+	near := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	if d := p.backoff(0, near); d <= 0 || d > 2*time.Second {
+		t.Fatalf("near HTTP-date → %v, want ~2s (under the cap, honored)", d)
+	}
+}
+
 // A saturated daemon (429 with Retry-After) is retried after exactly the
 // server-requested delay, and the request eventually succeeds without
 // the user seeing the shed.

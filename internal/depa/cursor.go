@@ -1,0 +1,103 @@
+package depa
+
+// cursorFrame is one open Cilk function's slice of the cursor: the
+// current fork path, the length to truncate back to at Sync, the
+// executing strand's dag depth, the sync block's running depth maximum,
+// and how the frame was entered (a spawned child closes its fork when
+// it returns; a called child just extends the serial chain).
+type cursorFrame struct {
+	path        []uint32 // current fork path (base + one entry per joined spawn this block)
+	basePathLen int      // fork path length at frame entry; Sync truncates to it
+	depth       int32    // dag depth of the current strand
+	maxBlock    int32    // max dag depth seen in the current sync block
+	forkDepth   int32    // depth of the fork that spawned this frame (spawned only)
+	spawned     bool
+}
+
+// Cursor maintains the (dag-depth, fork-path) position of the strand
+// currently executing, over a stack of open Cilk functions. It is the
+// timestamp arithmetic of the depa detector factored out on its own so
+// other passes over the same event stream — the static elision
+// classifier in internal/elide — can reconstruct strand timestamps
+// without carrying the detector's access log or lineage. Enter, Return
+// and Sync mirror the detector's FrameEnter, FrameReturn and Sync
+// transitions exactly; Now packs the top frame's cursor into a
+// comparable Timestamp.
+//
+// Callers own stream-order validation: Return on a single open frame or
+// Sync with none is a caller bug, and the methods assume well-formed
+// input rather than re-checking it.
+type Cursor struct {
+	frames []cursorFrame
+}
+
+// Open is the number of frames currently open.
+func (c *Cursor) Open() int { return len(c.frames) }
+
+// Enter starts the new function's first strand: a called child extends
+// the caller's serial chain one level deeper; a spawned child descends
+// the branch-0 side of a fresh fork at the parent's depth.
+func (c *Cursor) Enter(spawned bool) {
+	fs := cursorFrame{spawned: spawned}
+	if n := len(c.frames); n > 0 {
+		p := &c.frames[n-1]
+		if spawned {
+			fs.forkDepth = p.depth
+			fs.path = append(append(make([]uint32, 0, len(p.path)+1), p.path...),
+				pathEntry(p.depth, branchChild))
+			fs.depth = p.depth + 1
+		} else {
+			fs.path = append(make([]uint32, 0, len(p.path)), p.path...)
+			fs.depth = p.depth + 1
+		}
+	}
+	fs.basePathLen = len(fs.path)
+	fs.maxBlock = fs.depth
+	c.frames = append(c.frames, fs)
+}
+
+// Return pops the returning frame and resumes its parent: after a
+// spawned child the parent moves to the continuation branch of the
+// child's fork; after a called child it continues the shared serial
+// chain below the child's final depth. Either way the child's depths
+// fold into the parent's sync block maximum, so the next Sync lands
+// strictly after everything the block ran.
+func (c *Cursor) Return() {
+	n := len(c.frames)
+	g := c.frames[n-1]
+	c.frames = c.frames[:n-1]
+	f := &c.frames[n-2]
+	if g.spawned {
+		f.path = append(f.path, pathEntry(g.forkDepth, branchCont))
+		f.depth = g.forkDepth + 1
+	} else {
+		f.depth = g.depth + 1
+	}
+	if g.depth > f.maxBlock {
+		f.maxBlock = g.depth
+	}
+	if g.maxBlock > f.maxBlock {
+		f.maxBlock = g.maxBlock
+	}
+	if f.depth > f.maxBlock {
+		f.maxBlock = f.depth
+	}
+}
+
+// Sync joins the top frame's block: the fork path pops back to the
+// frame's base (all the block's forks are closed) and the post-sync
+// strand sits one level below everything the block executed.
+func (c *Cursor) Sync() {
+	f := &c.frames[len(c.frames)-1]
+	f.path = f.path[:f.basePathLen]
+	f.depth = f.maxBlock + 1
+	f.maxBlock = f.depth
+}
+
+// Now packs the top frame's cursor into the executing strand's
+// Timestamp. The result owns its storage; later cursor motion does not
+// mutate it.
+func (c *Cursor) Now() Timestamp {
+	f := &c.frames[len(c.frames)-1]
+	return pack(f.path, f.depth)
+}

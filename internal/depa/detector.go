@@ -42,20 +42,15 @@ type entry struct {
 	op     uint8
 }
 
-// frameState tracks one open Cilk function: its fork-path/depth cursor
-// (the timestamp of the strand currently executing in it) and the sync
-// block bookkeeping that decides the post-sync depth.
-type frameState struct {
+// frameMeta tracks one open Cilk function's identity: the frame ID and
+// label for stream-order diagnostics and the lineage element race
+// reports attribute accesses to. The fork-path/depth arithmetic lives
+// in the Cursor (cursor.go), which the detector advances in lockstep
+// with this stack.
+type frameMeta struct {
 	id    cilk.FrameID
 	label string
 	elem  int32
-
-	path        []uint32 // current fork path (base + one entry per joined spawn this block)
-	basePathLen int      // fork path length at frame entry; Sync truncates to it
-	depth       int32    // dag depth of the current strand
-	maxBlock    int32    // max dag depth seen in the current sync block
-	forkDepth   int32    // depth of the fork that spawned this frame (spawned only)
-	spawned     bool
 }
 
 // ParallelStats accounts for the parallel detection machinery: how many
@@ -115,7 +110,8 @@ type Detector struct {
 	// busy time without scheduler interference.
 	Sequential bool
 
-	stack    []*frameState
+	stack    []frameMeta
+	cursor   Cursor
 	lin      core.Lineage
 	strands  []strandRec
 	entries  []entry
@@ -155,13 +151,13 @@ func (d *Detector) ParallelStats() ParallelStats {
 // EventCounts implements core.EventCountsProvider.
 func (d *Detector) EventCounts() obs.EventCounts { return d.counts }
 
-func (d *Detector) top() *frameState { return d.stack[len(d.stack)-1] }
+func (d *Detector) top() frameMeta { return d.stack[len(d.stack)-1] }
 
-// newStrand registers the current cursor of f as a fresh strand and
-// returns its ID.
-func (d *Detector) newStrand(f *frameState) int32 {
+// newStrand registers the cursor's current position as a fresh strand,
+// attributed to the top frame's lineage element, and returns its ID.
+func (d *Detector) newStrand() int32 {
 	id := int32(len(d.strands))
-	d.strands = append(d.strands, strandRec{ts: pack(f.path, f.depth), frame: f.elem})
+	d.strands = append(d.strands, strandRec{ts: d.cursor.Now(), frame: d.top().elem})
 	return id
 }
 
@@ -175,27 +171,16 @@ func (d *Detector) curStrand() int32 { return int32(len(d.strands)) - 1 }
 func (d *Detector) FrameEnter(f *cilk.Frame) {
 	d.events++
 	d.counts.FrameEnters++
-	fs := &frameState{id: f.ID, label: f.Label, elem: d.nextElem, spawned: f.Spawned}
+	meta := frameMeta{id: f.ID, label: f.Label, elem: d.nextElem}
 	d.nextElem++
 	parent := core.NoParent
 	if len(d.stack) > 0 {
-		p := d.top()
-		parent = p.elem
-		if f.Spawned {
-			fs.forkDepth = p.depth
-			fs.path = append(append(make([]uint32, 0, len(p.path)+1), p.path...),
-				pathEntry(p.depth, branchChild))
-			fs.depth = p.depth + 1
-		} else {
-			fs.path = append(make([]uint32, 0, len(p.path)), p.path...)
-			fs.depth = p.depth + 1
-		}
+		parent = d.top().elem
 	}
-	fs.basePathLen = len(fs.path)
-	fs.maxBlock = fs.depth
-	d.lin.Add(fs.elem, f.ID, f.Label, parent)
-	d.stack = append(d.stack, fs)
-	d.newStrand(fs)
+	d.lin.Add(meta.elem, f.ID, f.Label, parent)
+	d.stack = append(d.stack, meta)
+	d.cursor.Enter(f.Spawned)
+	d.newStrand()
 }
 
 // FrameReturn resumes the parent: after a spawned child it moves to the
@@ -216,23 +201,8 @@ func (d *Detector) FrameReturn(g, f *cilk.Frame) {
 			"event order violation: return %d, top %d", g.ID, grec.id))
 	}
 	d.stack = d.stack[:len(d.stack)-1]
-	frec := d.top()
-	if grec.spawned {
-		frec.path = append(frec.path, pathEntry(grec.forkDepth, branchCont))
-		frec.depth = grec.forkDepth + 1
-	} else {
-		frec.depth = grec.depth + 1
-	}
-	if grec.depth > frec.maxBlock {
-		frec.maxBlock = grec.depth
-	}
-	if grec.maxBlock > frec.maxBlock {
-		frec.maxBlock = grec.maxBlock
-	}
-	if frec.depth > frec.maxBlock {
-		frec.maxBlock = frec.depth
-	}
-	d.newStrand(frec)
+	d.cursor.Return()
+	d.newStrand()
 }
 
 // Sync joins the block: the fork path pops back to the frame's base (all
@@ -244,11 +214,8 @@ func (d *Detector) Sync(f *cilk.Frame) {
 	if len(d.stack) == 0 {
 		panic(core.Violatef("depa", core.StreamOrder, f.ID, "sync before any frame entered"))
 	}
-	rec := d.top()
-	rec.path = rec.path[:rec.basePathLen]
-	rec.depth = rec.maxBlock + 1
-	rec.maxBlock = rec.depth
-	d.newStrand(rec)
+	d.cursor.Sync()
+	d.newStrand()
 }
 
 // logAccess appends to the access log, or bumps the count of the last

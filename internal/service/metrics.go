@@ -64,6 +64,9 @@ type metrics struct {
 	depaMerges   *obs.Counter
 	depaFastPath *obs.Gauge
 
+	elideEvents *obs.Counter
+	elideBytes  *obs.Counter
+
 	phase map[string]*obs.Histogram
 }
 
@@ -138,6 +141,11 @@ func newMetrics(pool *pool, cache *resultCache, jobs *jobTable, st *store.Store,
 		"Shard merges performed by completed depa (parallel detector) analyses.", "")
 	m.depaFastPath = reg.Gauge("raderd_depa_fast_path_rate",
 		"Strand-local fast-path hit rate of the most recent depa analysis.", "")
+
+	m.elideEvents = reg.Counter("raderd_elide_events_elided_total",
+		"Access events the static elision pre-pass proved race-free and skipped.", "")
+	m.elideBytes = reg.Counter("raderd_elide_bytes_saved_total",
+		"Encoded trace bytes the elision pre-pass removed from detector replay.", "")
 
 	m.phase = make(map[string]*obs.Histogram, 3)
 	for _, ph := range []string{phaseQueue, phaseRun, phaseEncode} {
@@ -218,6 +226,19 @@ func (m *metrics) depa(p *report.Parallel) {
 	}
 	m.depaMerges.Add(uint64(p.ShardMerges))
 	m.depaFastPath.Set(p.FastPathRate)
+}
+
+// elide accumulates the static elision pre-pass's savings from one
+// completed analysis. Non-elided analyses pass zeros and the series stay
+// flat — the families exist from boot so dashboards never see them
+// appear mid-flight.
+func (m *metrics) elide(events, bytes int64) {
+	if events > 0 {
+		m.elideEvents.Add(uint64(events))
+	}
+	if bytes > 0 {
+		m.elideBytes.Add(uint64(bytes))
+	}
 }
 
 // sweep accumulates the sharing counters of one completed coverage sweep.

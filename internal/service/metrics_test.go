@@ -251,6 +251,7 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"raderd_sweep_snapshot_hits_total", "raderd_sweep_snapshot_misses_total",
 		"raderd_sweep_events_skipped_total", "raderd_sweep_pages_copied_total",
 		"raderd_depa_shard_merges_total", "raderd_depa_fast_path_rate",
+		"raderd_elide_events_elided_total", "raderd_elide_bytes_saved_total",
 		"raderd_phase_latency_seconds", "raderd_analyze_latency_seconds",
 	} {
 		if types[fam] == "" {
@@ -436,6 +437,96 @@ func TestDepaMetricsSeries(t *testing.T) {
 		if _, ok := vars[name]; !ok {
 			t.Errorf("/debug/vars snapshot missing %s", name)
 		}
+	}
+}
+
+// TestElideMetricsSeries pins the elision series names: one elide=1
+// trace analysis must move raderd_elide_events_elided_total and
+// raderd_elide_bytes_saved_total on both /metrics and the /debug/vars
+// snapshot, while the verdict document stays byte-identical to the
+// plain analysis of the same trace (same cache key, same races).
+func TestElideMetricsSeries(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	raw := fixture(t, "fig1_v2.trace")
+
+	plain, plainBody := postAnalyze(t, ts.URL+"/analyze?detector=sp-bags", raw)
+	if plain.StatusCode != http.StatusOK {
+		t.Fatalf("plain analyze: %d %s", plain.StatusCode, plainBody)
+	}
+	full := decodeAnalyze(t, plainBody)
+
+	// Same digest+detector: the elided request is answered from the cache
+	// the plain one seeded — the elision counters must not move.
+	resp, body := postAnalyze(t, ts.URL+"/analyze?detector=sp-bags&elide=1", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached elide analyze: %d %s", resp.StatusCode, body)
+	}
+	if ar := decodeAnalyze(t, body); !ar.Cached {
+		t.Fatal("elide=1 for an already-analyzed digest must hit the cache (verdicts are byte-identical)")
+	}
+
+	// A fresh detector key actually runs the elision pre-pass.
+	resp2, body2 := postAnalyze(t, ts.URL+"/analyze?detector=depa&elide=1", raw)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("elide analyze: %d %s", resp2.StatusCode, body2)
+	}
+	elided := decodeAnalyze(t, body2)
+	if elided.Cached {
+		t.Fatal("fresh detector key cannot be a cache hit")
+	}
+	resp3, body3 := postAnalyze(t, ts.URL+"/analyze?detector=depa", raw)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("plain depa analyze: %d %s", resp3.StatusCode, body3)
+	}
+	if ar := decodeAnalyze(t, body3); !ar.Cached {
+		t.Fatal("plain analysis after an elided one must be a cache hit: same key, identical verdict")
+	}
+	if full.Clean || elided.Clean {
+		t.Fatal("fig1 trace must race with and without elision")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(mb)
+	value := func(series string) float64 {
+		for _, line := range strings.Split(text, "\n") {
+			if rest, ok := strings.CutPrefix(line, series+" "); ok {
+				v, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					t.Fatalf("series %s has unparsable value %q", series, rest)
+				}
+				return v
+			}
+		}
+		t.Fatalf("series %s missing from exposition:\n%s", series, text)
+		return 0
+	}
+	if ev := value("raderd_elide_events_elided_total"); ev < 1 {
+		t.Errorf("raderd_elide_events_elided_total = %g, want >= 1 after an elided analysis", ev)
+	}
+	if by := value("raderd_elide_bytes_saved_total"); by < 1 {
+		t.Errorf("raderd_elide_bytes_saved_total = %g, want >= 1 after an elided analysis", by)
+	}
+
+	vars := s.MetricsSnapshot()
+	for _, name := range []string{
+		"raderd_elide_events_elided_total",
+		"raderd_elide_bytes_saved_total",
+	} {
+		if _, ok := vars[name]; !ok {
+			t.Errorf("/debug/vars snapshot missing %s", name)
+		}
+	}
+
+	// Elision proves facts about a recorded stream; a program run has no
+	// stream to elide and must be refused at resolve time.
+	resp4, body4 := postAnalyze(t, ts.URL+"/analyze?prog=fig1&elide=1", nil)
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("elide=1 with ?prog= = %d, want 400: %s", resp4.StatusCode, body4)
 	}
 }
 

@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/cilk"
+	"repro/internal/elide"
 	"repro/internal/rader"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -372,6 +373,12 @@ type analysisResult struct {
 	// parallel is the depa detector's machinery stats, nil for every
 	// serial detector; it feeds the raderd_depa_* series.
 	parallel *report.Parallel
+	// elidedEvents/elidedBytes account for the static elision pre-pass
+	// (?elide=1): access events proven race-free and skipped, and the
+	// encoded bytes they occupied. Zero when elision was off. They feed
+	// the raderd_elide_* series.
+	elidedEvents int64
+	elidedBytes  int64
 }
 
 // subResult is one detector's verdict extracted from an all-mode pass.
@@ -406,9 +413,15 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return nil
 	}
+	elideOn := q.Get("elide") == "1"
 	deadline := time.Now().Add(s.cfg.JobTimeout)
 
 	if name := q.Get("prog"); name != "" {
+		if elideOn {
+			writeErr(w, http.StatusBadRequest,
+				"elide=1 applies to recorded traces; program runs (?prog=) are not elidable")
+			return nil
+		}
 		prog, identity, err := s.programs.resolve(name, q.Get("scale"))
 		if err != nil {
 			writeErr(w, http.StatusNotFound, "%v", err)
@@ -465,7 +478,7 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 		return &analyzeUnit{
 			digest:   digest,
 			detector: det,
-			run:      func() (*analysisResult, error) { return s.analyzeStored(digest, det) },
+			run:      func() (*analysisResult, error) { return s.analyzeStored(digest, det, elideOn) },
 		}
 	}
 
@@ -485,41 +498,70 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 	return &analyzeUnit{
 		digest:   digest.String(),
 		detector: det,
-		run: func() (*analysisResult, error) {
-			if det == rader.All {
-				dets := rader.NewAllDetectors()
-				hooks := make([]cilk.Hooks, len(dets))
-				for i, d := range dets {
-					hooks[i] = d
-				}
-				events, err := trace.ReplayAllBytes(data, hooks...)
-				if err != nil {
-					return nil, err
-				}
-				m := report.FromDetectors("", events, dets)
-				return &analysisResult{doc: m, clean: m.Clean, events: events, subs: subsFromMulti(m)}, nil
-			}
-			d, hooks, err := rader.NewDetector(det)
-			if err != nil {
-				return nil, err
-			}
-			if hooks == nil {
-				// Replaying into no detector still validates the stream.
-				hooks = cilk.Empty{}
-			}
-			events, err := trace.ReplayAllBytes(data, hooks)
-			if err != nil {
-				return nil, err
-			}
-			var rep *report.Report
-			if d != nil {
-				rep = report.FromDetector(string(det), "", events, d)
-			} else {
-				rep = report.FromCore(string(det), "", events, nil)
-			}
-			return &analysisResult{doc: rep, clean: rep.Clean, events: events, parallel: rep.Parallel}, nil
-		},
+		run:      func() (*analysisResult, error) { return analyzeTraceBytes(data, det, elideOn) },
 	}
+}
+
+// analyzeTraceBytes replays an in-memory trace into the requested
+// detector configuration, optionally behind the static elision pre-pass.
+// With elision the detectors consume only the accesses the pass could
+// not prove race-free, and the verdict document is fixed up afterwards
+// so it is byte-identical to the full replay — the cache key therefore
+// never needs to mention elision.
+func analyzeTraceBytes(data []byte, det rader.DetectorName, elideOn bool) (*analysisResult, error) {
+	var plan *elide.Plan
+	var skip *trace.SkipSet
+	res := &analysisResult{}
+	if elideOn {
+		p, err := elide.Analyze(data)
+		if err != nil {
+			return nil, err
+		}
+		plan, skip = p, p.SkipSet()
+		aud := p.Audit()
+		res.elidedEvents = aud.ElidedEvents
+		res.elidedBytes = aud.ElidedBytes
+	}
+	if det == rader.All {
+		dets := rader.NewAllDetectors()
+		hooks := make([]cilk.Hooks, len(dets))
+		for i, d := range dets {
+			hooks[i] = d
+		}
+		events, err := trace.ReplayAllBytesSkip(data, skip, nil, hooks...)
+		if err != nil {
+			return nil, err
+		}
+		m := report.FromDetectors("", events, dets)
+		if plan != nil {
+			plan.FixupMulti(m)
+		}
+		res.doc, res.clean, res.events, res.subs = m, m.Clean, events, subsFromMulti(m)
+		return res, nil
+	}
+	d, hooks, err := rader.NewDetector(det)
+	if err != nil {
+		return nil, err
+	}
+	if hooks == nil {
+		// Replaying into no detector still validates the stream.
+		hooks = cilk.Empty{}
+	}
+	events, err := trace.ReplayAllBytesSkip(data, skip, nil, hooks)
+	if err != nil {
+		return nil, err
+	}
+	var rep *report.Report
+	if d != nil {
+		rep = report.FromDetector(string(det), "", events, d)
+	} else {
+		rep = report.FromCore(string(det), "", events, nil)
+	}
+	if plan != nil {
+		plan.FixupReport(rep)
+	}
+	res.doc, res.clean, res.events, res.parallel = rep, rep.Clean, events, rep.Parallel
+	return res, nil
 }
 
 // storeLookup is the read-through path: on a RAM miss, a verified
@@ -632,6 +674,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.done(string(unit.detector), dur, res.events)
 	s.metrics.depa(res.parallel)
+	s.metrics.elide(res.elidedEvents, res.elidedBytes)
 	log.Info("analyze done", "dur", dur, "events", res.events, "clean", res.clean)
 	entry := &cached{digest: unit.digest, report: raw, clean: res.clean}
 	s.cache.put(unit.key(), entry)
@@ -813,13 +856,22 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // analyzeStored replays a store-resident trace straight from disk into
 // the requested detector. The trace streams through trace.ReplayAll, so
 // peak memory is independent of trace size — the property that makes
-// multi-GB resumable uploads worth having.
-func (s *Server) analyzeStored(digest string, det rader.DetectorName) (*analysisResult, error) {
+// multi-GB resumable uploads worth having. The elision pre-pass needs
+// random access to classify addresses before replaying, so elide=1
+// materializes the stored trace and takes the in-memory path instead.
+func (s *Server) analyzeStored(digest string, det rader.DetectorName, elideOn bool) (*analysisResult, error) {
 	rc, _, err := s.store.OpenTrace(digest)
 	if err != nil {
 		return nil, fmt.Errorf("opening stored trace %s: %w", digest, err)
 	}
 	defer rc.Close()
+	if elideOn {
+		data, err := io.ReadAll(rc)
+		if err != nil {
+			return nil, fmt.Errorf("reading stored trace %s: %w", digest, err)
+		}
+		return analyzeTraceBytes(data, det, true)
+	}
 	if det == rader.All {
 		dets := rader.NewAllDetectors()
 		hooks := make([]cilk.Hooks, len(dets))

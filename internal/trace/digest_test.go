@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/cilk"
@@ -34,6 +36,46 @@ func TestWriterDigestMatchesDigestOf(t *testing.T) {
 	}
 	if len(got.String()) != 64 {
 		t.Fatalf("digest hex should be 64 chars, got %q", got)
+	}
+}
+
+// Label bytes must flow through the same CRC/digest bookkeeping as every
+// other byte of the stream (emitString once bypassed write and kept its
+// own copy of that accounting). Property: on label-heavy traces — long,
+// varied frame labels, across several shapes — the writer's incremental
+// digest equals DigestOf over the written bytes, and the footer CRC the
+// writer emitted verifies on replay.
+func TestWriterDigestLabelHeavy(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		var buf bytes.Buffer
+		tw := NewWriter(&buf)
+		prog := func(c *cilk.Ctx) {
+			for i := 0; i < 16; i++ {
+				label := fmt.Sprintf("frame-%d-%d-%s", trial, i, strings.Repeat("λ", trial+i%5))
+				c.Spawn(label, func(cc *cilk.Ctx) {
+					cc.Call(label+"/callee-with-a-deliberately-long-label", func(*cilk.Ctx) {})
+				})
+			}
+			c.Sync()
+		}
+		cilk.Run(prog, cilk.Config{Spec: cilk.StealAll{}, Hooks: tw})
+		if err := tw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := tw.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DigestOf(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: writer digest %s != DigestOf %s", trial, got, want)
+		}
+		if _, err := Replay(bytes.NewReader(buf.Bytes()), spplus.New()); err != nil {
+			t.Fatalf("trial %d: label-heavy stream failed integrity replay: %v", trial, err)
+		}
 	}
 }
 

@@ -69,10 +69,12 @@ type Replayer struct {
 	scratch []byte // pooled read buffer for ReplayAll's io.Reader front door
 
 	// per-replay decode state
-	body   []byte
-	off    int
-	events int64
-	hooks  cilk.Hooks
+	body    []byte
+	off     int
+	events  int64
+	hooks   cilk.Hooks
+	skip    *SkipSet // addresses whose Load/Store events bypass the hooks
+	skipped int64    // access events elided by skip this replay
 
 	// classes counts decoded events by kind byte. One unconditional
 	// array increment per event — no branch, no allocation — so the
@@ -131,6 +133,7 @@ func (rp *Replayer) reset() {
 	}
 	rp.off = 0
 	rp.events = 0
+	rp.skipped = 0
 	rp.classes = [evMax]int64{}
 }
 
@@ -242,6 +245,22 @@ func (rp *Replayer) str() (string, error) {
 // *streamerr.Error kinds; the only observable difference is speed. It
 // returns the number of events replayed.
 func (rp *Replayer) Replay(data []byte, hooks ...cilk.Hooks) (events int64, err error) {
+	rp.skip = nil
+	return rp.replay(data, hooks...)
+}
+
+// ReplaySkip is Replay with an address-range skip set: Load and Store
+// events whose address falls in skip are fully decoded and validated —
+// the event count, per-class accounting, frame-table checks and footer
+// verification are identical to a plain Replay — but never reach the
+// hooks. Consumers therefore observe exactly the event sequence a
+// FilterAccesses-filtered trace would replay, at full-trace integrity.
+func (rp *Replayer) ReplaySkip(data []byte, skip *SkipSet, hooks ...cilk.Hooks) (events int64, err error) {
+	rp.skip = skip
+	return rp.replay(data, hooks...)
+}
+
+func (rp *Replayer) replay(data []byte, hooks ...cilk.Hooks) (events int64, err error) {
 	rp.reset()
 	rp.hooks = cilk.MultiHooks(hooks...)
 	// Contract violations out of a detector (and any other consumer
@@ -497,6 +516,14 @@ func (rp *Replayer) Replay(data []byte, hooks ...cilk.Hooks) (events int64, err 
 			f, err := rp.frameOf(id)
 			if err != nil {
 				return rp.events, err
+			}
+			// The elision fast path: a skipped access is still decoded,
+			// counted and frame-checked above — stream validation and the
+			// footer contract are unchanged — it just never reaches the
+			// consumers.
+			if rp.skip.Contains(mem.Addr(a)) {
+				rp.skipped++
+				break
 			}
 			if k == evLoad {
 				h.Load(f, mem.Addr(a))

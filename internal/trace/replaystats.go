@@ -28,6 +28,11 @@ type ReplayStats struct {
 	// Classes maps event-class name → decoded count, covering every
 	// event kind the format defines.
 	Classes map[string]int64 `json:"classes,omitempty"`
+	// Skipped is the number of access events the elision skip set kept
+	// away from the hooks (ReplaySkip; zero for a plain replay). Skipped
+	// events still count in Events and Classes — they were decoded and
+	// validated, just not dispatched.
+	Skipped int64 `json:"skipped,omitempty"`
 }
 
 // classNames labels the event kinds for ReplayStats.Classes.
@@ -60,6 +65,7 @@ func (rp *Replayer) Stats() ReplayStats {
 		ArenaChunks:    len(rp.chunks),
 		InternedLabels: len(rp.labels),
 		Classes:        make(map[string]int64),
+		Skipped:        rp.skipped,
 	}
 	for k, n := range rp.classes {
 		if n > 0 {
@@ -95,6 +101,38 @@ func ReplayAllBytesStats(data []byte, stats *ReplayStats, hooks ...cilk.Hooks) (
 	rp := replayerPool.Get().(*Replayer)
 	defer replayerPool.Put(rp)
 	n, err := rp.Replay(data, hooks...)
+	if stats != nil {
+		*stats = rp.Stats()
+	}
+	return n, err
+}
+
+// ReplayAllSkip is ReplayAll under an elision skip set: access events
+// whose address falls in skip are decoded and validated but never reach
+// the hooks (see Replayer.ReplaySkip). A nil stats skips the accounting;
+// a nil or empty skip makes it exactly ReplayAllStats.
+func ReplayAllSkip(r io.Reader, skip *SkipSet, stats *ReplayStats, hooks ...cilk.Hooks) (int64, error) {
+	rp := replayerPool.Get().(*Replayer)
+	defer replayerPool.Put(rp)
+	buf := bytes.NewBuffer(rp.scratch[:0])
+	if _, err := buf.ReadFrom(r); err != nil {
+		return 0, streamerr.Errorf("trace", streamerr.KindTruncated,
+			"reading stream: %v", err)
+	}
+	rp.scratch = buf.Bytes()
+	n, err := rp.ReplaySkip(rp.scratch, skip, hooks...)
+	if stats != nil {
+		*stats = rp.Stats()
+	}
+	return n, err
+}
+
+// ReplayAllBytesSkip is ReplayAllBytes under an elision skip set, with
+// the same contract as ReplayAllSkip.
+func ReplayAllBytesSkip(data []byte, skip *SkipSet, stats *ReplayStats, hooks ...cilk.Hooks) (int64, error) {
+	rp := replayerPool.Get().(*Replayer)
+	defer replayerPool.Put(rp)
+	n, err := rp.ReplaySkip(data, skip, hooks...)
 	if stats != nil {
 		*stats = rp.Stats()
 	}

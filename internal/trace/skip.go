@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// AddrRange is a closed interval [Lo, Hi] of shadow addresses.
+type AddrRange struct {
+	Lo, Hi mem.Addr
+}
+
+// SkipSet is an immutable set of address ranges the replay engine may
+// elide: Load/Store events whose address falls in the set are decoded
+// and validated but never dispatched to the hooks. It is the replay-side
+// twin of FilterAccesses — replaying a full trace under a SkipSet drives
+// the hooks with exactly the event sequence the filtered trace encodes,
+// without materializing the filtered bytes. internal/elide builds one
+// from its per-address classification.
+type SkipSet struct {
+	ranges []AddrRange
+}
+
+// NewSkipSet builds a set from the given ranges, normalizing them
+// (sorted, overlaps and adjacent runs merged) so Contains can binary
+// search. Ranges with Hi < Lo are ignored.
+func NewSkipSet(ranges []AddrRange) *SkipSet {
+	rs := make([]AddrRange, 0, len(ranges))
+	for _, r := range ranges {
+		if r.Hi >= r.Lo {
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	merged := rs[:0]
+	for _, r := range rs {
+		if n := len(merged); n > 0 && r.Lo <= merged[n-1].Hi+1 {
+			if r.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = r.Hi
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return &SkipSet{ranges: merged}
+}
+
+// SkipSetFromAddrs builds a set from individual addresses, coalescing
+// consecutive runs into ranges.
+func SkipSetFromAddrs(addrs []mem.Addr) *SkipSet {
+	rs := make([]AddrRange, len(addrs))
+	for i, a := range addrs {
+		rs[i] = AddrRange{Lo: a, Hi: a}
+	}
+	return NewSkipSet(rs)
+}
+
+// Contains reports whether a falls in the set.
+func (s *SkipSet) Contains(a mem.Addr) bool {
+	if s == nil || len(s.ranges) == 0 {
+		return false
+	}
+	// First range starting after a; the candidate is its predecessor.
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].Lo > a })
+	return i > 0 && a <= s.ranges[i-1].Hi
+}
+
+// Ranges returns the normalized ranges (callers must not mutate).
+func (s *SkipSet) Ranges() []AddrRange {
+	if s == nil {
+		return nil
+	}
+	return s.ranges
+}
+
+// Len is the number of normalized ranges.
+func (s *SkipSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.ranges)
+}

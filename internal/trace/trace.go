@@ -215,12 +215,10 @@ func (t *Writer) emitString(s string) {
 	}
 	n := binary.PutUvarint(t.buf[:], uint64(len(s)))
 	t.write(t.buf[:n])
-	if t.err != nil {
-		return
-	}
-	t.crc = crc32.Update(t.crc, castagnoli, []byte(s))
-	t.sha.Write([]byte(s))
-	_, t.err = t.w.WriteString(s)
+	// Route the payload through write() too: it is the single place that
+	// folds bytes into the CRC32C and content digest, so the two can never
+	// drift apart (Writer.Digest must equal DigestOf over the file).
+	t.write([]byte(s))
 }
 
 // ProgramStart implements cilk.Hooks.
