@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz chaos bench tables parallel elide coverage-demo serve clean
+.PHONY: all build test race vet fuzz chaos bench tables parallel elide obs coverage-demo serve clean
 
 all: build test
 
@@ -37,6 +37,13 @@ fuzz:
 chaos:
 	$(GO) test -race -count=1 ./internal/store/
 	$(GO) test -race -count=1 -run 'Restart|Drain|Recover|Journal|Ingest|Resumable' ./internal/service/ ./cmd/raderd/ ./cmd/rader/
+
+# The observability layer under the race detector: obs core (spans,
+# metrics, progress, request ring), the traced service surfaces, and the
+# distributed-tracing client paths (docs/OBSERVABILITY.md).
+obs:
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/service/
+	$(GO) test -race -count=1 -run 'Trace|Profile|Progress|Stream|Events' ./cmd/rader/
 
 # The testing.B suite: Figure 7/8 cells, theorem scaling, ablations.
 bench:

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// readMergedProfile parses a merged two-process profile without the
+// X-only assertion readProfile enforces (multi-process output carries M
+// metadata events by design).
+func readMergedProfile(t *testing.T, path string) profileDoc {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc profileDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("profile is not valid JSON: %v\n%s", err, b)
+	}
+	return doc
+}
+
+// traceIDOf extracts the trace-id field of a rendered traceparent.
+func traceIDOf(t *testing.T, tp string) string {
+	t.Helper()
+	if _, err := obs.ParseTraceparent(tp); err != nil {
+		t.Fatalf("bad traceparent %q: %v", tp, err)
+	}
+	return tp[3:35]
+}
+
+// A remote analyze with -profile-out merges client and server spans into
+// one two-process Chrome trace linked by a single trace ID: the client's
+// per-attempt request spans on PID 1, the daemon's queue/run/encode
+// phases on PID 2.
+func TestRemoteProfileMergesServerSpans(t *testing.T) {
+	_, base := startDaemon(t, service.Config{Workers: 2})
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace")
+	if code, out, errOut := exec(t, "-prog", "fig1", "-spec", "all", "-record", tracePath); code != exitClean {
+		t.Fatalf("record: exit %d\n%s%s", code, out, errOut)
+	}
+	profPath := filepath.Join(dir, "remote.json")
+	code, out, errOut := exec(t, "-remote", base, "-replay", tracePath,
+		"-detector", "sp+", "-profile-out", profPath)
+	if code != exitRaces {
+		t.Fatalf("remote replay: exit %d\n%s%s", code, out, errOut)
+	}
+	doc := readMergedProfile(t, profPath)
+
+	procNames := map[int]string{}
+	procTraceparents := map[int]string{}
+	spansByPID := map[int]map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				procNames[ev.PID], _ = ev.Args["name"].(string)
+			case "process_labels":
+				procTraceparents[ev.PID], _ = ev.Args["traceparent"].(string)
+			}
+		case "X":
+			if spansByPID[ev.PID] == nil {
+				spansByPID[ev.PID] = map[string]int{}
+			}
+			spansByPID[ev.PID][ev.Name]++
+			if ev.TS < 0 {
+				t.Errorf("span %q has negative ts %g", ev.Name, ev.TS)
+			}
+		default:
+			t.Errorf("unexpected phase %q on %q", ev.Ph, ev.Name)
+		}
+	}
+	if procNames[1] != "rader (client)" || procNames[2] != "raderd (server)" {
+		t.Fatalf("process names = %v", procNames)
+	}
+	if spansByPID[1]["attempt"] == 0 {
+		t.Errorf("client lane lacks per-attempt request spans: %v", spansByPID[1])
+	}
+	for _, phase := range []string{"queue", "run", "encode"} {
+		if spansByPID[2][phase] == 0 {
+			t.Errorf("server lane lacks %q phase span: %v", phase, spansByPID[2])
+		}
+	}
+	ctp, stp := procTraceparents[1], procTraceparents[2]
+	if ctp == "" || stp == "" {
+		t.Fatalf("both processes must be labelled with traceparents: %v", procTraceparents)
+	}
+	if traceIDOf(t, ctp) != traceIDOf(t, stp) {
+		t.Fatalf("client and server spans are not one trace:\nclient %s\nserver %s", ctp, stp)
+	}
+	if ctp == stp {
+		t.Fatal("server must carry its own span ID within the shared trace")
+	}
+}
+
+// A remote sweep with -profile-out merges the daemon's per-worker sweep
+// spans, and the plain-text run surfaces the live progress stream.
+func TestRemoteSweepProfileAndProgress(t *testing.T) {
+	_, base := startDaemon(t, service.Config{Workers: 2, SweepWorkers: 2})
+	profPath := filepath.Join(t.TempDir(), "sweep.json")
+	code, out, errOut := exec(t, "-remote", base, "-prog", "fig1", "-coverage",
+		"-profile-out", profPath)
+	if code != exitRaces {
+		t.Fatalf("remote sweep: exit %d\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "sweep progress: ") {
+		t.Fatalf("plain sweep output must stream progress lines:\n%s", out)
+	}
+	if !strings.Contains(out, "determinacy:") {
+		t.Fatalf("sweep verdict summary missing:\n%s", out)
+	}
+	doc := readMergedProfile(t, profPath)
+	var haveUnit, haveEvents bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.PID == 2 && strings.HasPrefix(ev.Name, "spec:") {
+			haveUnit = true
+		}
+		if ev.PID == 1 && ev.Name == "events" {
+			haveEvents = true
+		}
+	}
+	if !haveUnit {
+		t.Error("server lane lacks per-unit spec: sweep spans")
+	}
+	if !haveEvents {
+		t.Error("client lane lacks the events-stream span")
+	}
+
+	// JSON mode keeps stdout to one document: no progress lines.
+	code, jsonOut, _ := exec(t, "-remote", base, "-prog", "fig1", "-coverage", "-json")
+	if code != exitRaces {
+		t.Fatalf("remote sweep json: exit %d", code)
+	}
+	if strings.Contains(jsonOut, "sweep progress") {
+		t.Fatalf("json output must stay a bare document:\n%s", jsonOut)
+	}
+}
+
+// Without -profile-out nothing fetches server spans, and local runs keep
+// the single-process X-only profile shape readProfile pins.
+func TestLocalProfileUnchangedShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "local.json")
+	code, _, _ := exec(t, "-prog", "fig1", "-detector", "sp+", "-spec", "all", "-profile-out", path)
+	if code != exitRaces {
+		t.Fatalf("exit %d", code)
+	}
+	readProfile(t, path) // fails the test on any non-X event
+}

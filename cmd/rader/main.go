@@ -120,12 +120,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// With -profile-out the whole pipeline records spans; nil keeps every
-	// instrumentation site on its zero-cost path.
+	// instrumentation site on its zero-cost path. For remote runs the
+	// deferred writer also merges the daemon's span tree (fetched by the
+	// client after the work resolves) onto a second process lane.
 	var tr *obs.Trace
+	var remoteCl *remoteClient
 	if *profile != "" {
 		tr = obs.NewTrace()
 		defer func() {
-			if err := writeProfile(tr, *profile); err != nil {
+			var sdoc *obs.SpanDoc
+			if remoteCl != nil {
+				sdoc = remoteCl.serverDoc
+			}
+			if err := writeProfile(tr, sdoc, *profile); err != nil {
 				fmt.Fprintln(stderr, "rader: writing profile:", err)
 			} else if !*jsonOut {
 				fmt.Fprintf(stderr, "profile written to %s\n", *profile)
@@ -139,7 +146,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *remote != "" {
-		cl := &remoteClient{base: strings.TrimRight(*remote, "/"), stdout: stdout}
+		// The invocation is one distributed trace: its context rides every
+		// request as a traceparent header, the daemon parents its spans
+		// under it, and -profile-out shows both sides on one timeline.
+		ctx := obs.NewSpanContext()
+		tr.SetContext(ctx)
+		cl := &remoteClient{base: strings.TrimRight(*remote, "/"), stdout: stdout, ctx: ctx, tr: tr}
+		remoteCl = cl
 		code, err := cl.run(remoteRequest{
 			replayPath: *replay,
 			prog:       *progName,
@@ -404,15 +417,39 @@ func recordTrace(path string, prog func(*cilk.Ctx), spec cilk.StealSpec) (trace.
 	return digest, f.Close()
 }
 
-// writeProfile renders collected spans as Chrome trace-event JSON.
-func writeProfile(tr *obs.Trace, path string) error {
+// writeProfile renders collected spans as Chrome trace-event JSON. With a
+// fetched server-side span tree the output is a two-process trace: the
+// client's spans on PID 1, the daemon's on PID 2, time-shifted onto the
+// client's clock by the difference of the two trace epochs and labelled
+// with the traceparents that link them. Without one (local runs, or a
+// daemon that recorded nothing) the single-process format is unchanged.
+func writeProfile(tr *obs.Trace, sdoc *obs.SpanDoc, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := tr.WriteChrome(f); err != nil {
+	var werr error
+	if sdoc == nil {
+		werr = tr.WriteChrome(f)
+	} else {
+		clientLabels := map[string]string{}
+		if tp := tr.Context().Traceparent(); tp != "" {
+			clientLabels["traceparent"] = tp
+		}
+		serverLabels := map[string]string{}
+		if sdoc.Traceparent != "" {
+			serverLabels["traceparent"] = sdoc.Traceparent
+		}
+		werr = obs.WriteChromeProcesses(f, []obs.Process{
+			{PID: 1, Name: "rader (client)", Spans: tr.Spans(), Labels: clientLabels},
+			{PID: 2, Name: "raderd (server)",
+				Offset: time.Duration(sdoc.T0UnixNano - tr.T0().UnixNano()),
+				Spans:  sdoc.Records(), Labels: serverLabels},
+		})
+	}
+	if werr != nil {
 		f.Close()
-		return err
+		return werr
 	}
 	return f.Close()
 }

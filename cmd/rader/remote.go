@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/service"
 	"repro/internal/trace"
@@ -44,6 +45,17 @@ type remoteClient struct {
 	// client overrides http.DefaultClient in tests.
 	client *http.Client
 	retry  retryPolicy
+	// ctx is the client half of the distributed trace: every request
+	// carries a traceparent derived from it, so the daemon's span trees
+	// parent under this invocation. Zero disables propagation.
+	ctx obs.SpanContext
+	// tr records client-side spans when -profile-out is set; nil keeps
+	// every instrumentation site on its zero-cost path.
+	tr *obs.Trace
+	// serverDoc is the daemon's span tree for this invocation's work,
+	// fetched best-effort after a successful analyze or sweep so
+	// -profile-out can merge both sides onto one timeline.
+	serverDoc *obs.SpanDoc
 }
 
 func (c *remoteClient) http() *http.Client {
@@ -103,6 +115,7 @@ func (c *remoteClient) analyze(req remoteRequest) (int, error) {
 	if err := json.Unmarshal(raw, &ar); err != nil {
 		return exitError, fmt.Errorf("decoding daemon response: %v", err)
 	}
+	c.fetchServerSpans("/traces/" + ar.Digest + "/trace")
 	if req.jsonOut {
 		// Emit the verdict document exactly as the daemon encoded it —
 		// byte-for-byte what a local -json run prints for the same trace.
@@ -195,8 +208,10 @@ func (c *remoteClient) uploadChunks(f *os.File, digest string, offset int64) err
 		if offset+n == size {
 			path += "&complete=1"
 		}
+		cspan := c.tr.Start("chunk").Arg("offset", offset).Arg("bytes", n)
 		resp, raw, err := c.do(http.MethodPut, path,
 			func() (io.Reader, error) { return bytes.NewReader(chunk), nil }, true)
+		cspan.End()
 		if err != nil {
 			return err
 		}
@@ -283,6 +298,12 @@ func (c *remoteClient) sweep(req remoteRequest) (int, error) {
 	if err := json.Unmarshal(raw, &sr); err != nil {
 		return exitError, fmt.Errorf("decoding daemon response: %v", err)
 	}
+	if sr.State == "queued" || sr.State == "running" {
+		// Follow the job's live event stream while it runs; a daemon
+		// without the surface (or any stream hiccup) just falls through to
+		// the poll loop below, which remains the source of truth.
+		c.streamEvents(sr.ID, req.jsonOut)
+	}
 	for sr.State == "queued" || sr.State == "running" {
 		time.Sleep(100 * time.Millisecond)
 		resp, raw, err := c.get("/sweep/" + sr.ID)
@@ -299,6 +320,7 @@ func (c *remoteClient) sweep(req remoteRequest) (int, error) {
 	if sr.State == "failed" {
 		return exitError, fmt.Errorf("remote sweep failed: %s", sr.Error)
 	}
+	c.fetchServerSpans("/jobs/" + sr.ID + "/trace")
 	var sweep report.Sweep
 	if err := json.Unmarshal(sr.Sweep, &sweep); err != nil {
 		return exitError, fmt.Errorf("decoding sweep verdict: %v", err)

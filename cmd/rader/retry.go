@@ -8,7 +8,10 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // retryPolicy shapes the remote client's retries: jittered exponential
@@ -109,33 +112,52 @@ func requestNeverSent(err error) bool {
 // code 2 like any other remote failure.
 func (c *remoteClient) do(method, path string, mkBody func() (io.Reader, error), idempotent bool) (*http.Response, []byte, error) {
 	p := c.retry.withDefaults()
+	route, _, _ := strings.Cut(path, "?")
+	rspan := c.tr.Start("http:" + method + " " + route)
+	defer rspan.End()
 	var lastErr error
 	for attempt := 0; attempt < p.attempts; attempt++ {
+		var backoff time.Duration
 		if attempt > 0 {
 			retryAfter := ""
 			var rerr *retryableStatus
 			if errors.As(lastErr, &rerr) {
 				retryAfter = rerr.retryAfter
 			}
-			p.sleep(p.backoff(attempt-1, retryAfter))
+			backoff = p.backoff(attempt-1, retryAfter)
+			p.sleep(backoff)
+		}
+		// Each attempt is its own child span so a profile shows every
+		// retry with the backoff that preceded it.
+		aspan := c.tr.Start("attempt").Arg("attempt", attempt+1)
+		if attempt > 0 {
+			aspan.Arg("backoffMs", backoff.Milliseconds())
 		}
 		var body io.Reader
 		if mkBody != nil {
 			b, err := mkBody()
 			if err != nil {
+				aspan.Arg("error", err.Error()).End()
 				return nil, nil, err
 			}
 			body = b
 		}
 		req, err := http.NewRequest(method, c.base+path, body)
 		if err != nil {
+			aspan.Arg("error", err.Error()).End()
 			return nil, nil, err
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/octet-stream")
 		}
+		// Every attempt carries the client's trace identity with a fresh
+		// span ID — the daemon parents its server-side spans under it.
+		if c.ctx.Valid() {
+			req.Header.Set(obs.TraceparentHeader, c.ctx.Child().Traceparent())
+		}
 		resp, err := c.http().Do(req)
 		if err != nil {
+			aspan.Arg("error", err.Error()).End()
 			if idempotent || requestNeverSent(err) {
 				lastErr = fmt.Errorf("reaching raderd at %s: %v", c.base, err)
 				continue
@@ -144,6 +166,7 @@ func (c *remoteClient) do(method, path string, mkBody func() (io.Reader, error),
 		}
 		raw, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		aspan.Arg("status", resp.StatusCode).End()
 		if err != nil {
 			// The response was cut mid-body — the server DID act on the
 			// request, so only idempotent exchanges may replay it.

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// streamEvents follows GET /jobs/{id}/events until the daemon sends the
+// terminal event and closes the stream. Progress frames print as they
+// arrive (suppressed under -json, whose stdout is one document); every
+// failure mode — an older daemon without the surface, a cut connection, a
+// malformed frame — is silent, because the caller's poll loop is the
+// source of truth for the job's outcome.
+func (c *remoteClient) streamEvents(id string, jsonOut bool) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return
+	}
+	if c.ctx.Valid() {
+		req.Header.Set(obs.TraceparentHeader, c.ctx.Child().Traceparent())
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	span := c.tr.Start("events")
+	frames := 0
+	var last service.JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			continue
+		}
+		frames++
+		p, lp := ev.Progress, last.Progress
+		if !jsonOut && p.UnitsTotal > 0 && (p.UnitsDone != lp.UnitsDone || p.Races != lp.Races) {
+			fmt.Fprintf(c.stdout, "sweep progress: %d/%d units, %d race(s) so far\n",
+				p.UnitsDone, p.UnitsTotal, p.Races)
+		}
+		last = ev
+	}
+	span.Arg("frames", frames).Arg("state", last.State).End()
+}
+
+// fetchServerSpans pulls the daemon's span tree for the work this
+// invocation just drove, for the -profile-out merge. Best effort and
+// gated on profiling: without -profile-out nothing consumes the tree, so
+// nothing is fetched.
+func (c *remoteClient) fetchServerSpans(path string) {
+	if c.tr == nil {
+		return
+	}
+	resp, raw, err := c.get(path + "?format=spans")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return
+	}
+	doc, err := obs.DecodeSpans(raw)
+	if err != nil {
+		return
+	}
+	c.serverDoc = doc
+}

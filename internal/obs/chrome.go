@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"time"
 )
 
 // chromeEvent is one Chrome trace-event "complete" record ("ph":"X"):
@@ -30,26 +31,82 @@ type chromeDoc struct {
 // WriteChrome renders the trace's spans as Chrome trace-event JSON,
 // loadable in chrome://tracing or https://ui.perfetto.dev. Spans are
 // emitted in the deterministic Spans() order; args become the event's
-// args panel.
+// args panel. The output contains only ph:"X" complete events (CI's
+// profile-export smoke asserts exactly that); multi-process output with
+// metadata events goes through WriteChromeProcesses instead.
 func (t *Trace) WriteChrome(w io.Writer) error {
 	spans := t.Spans()
 	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
 	for _, s := range spans {
-		ev := chromeEvent{
-			Name: s.Name, Ph: "X",
-			TS:  float64(s.Start.Nanoseconds()) / 1e3,
-			Dur: float64(s.Dur.Nanoseconds()) / 1e3,
-			PID: 1, TID: s.TID,
-		}
-		if len(s.Args) > 0 {
-			ev.Args = make(map[string]any, len(s.Args))
-			for _, a := range s.Args {
-				ev.Args[a.Key] = a.Value
-			}
-		}
-		doc.TraceEvents = append(doc.TraceEvents, ev)
+		doc.TraceEvents = append(doc.TraceEvents, completeEvent(s, 1, 0))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(doc)
+}
+
+// Process is one process's worth of spans for a merged multi-process
+// Chrome trace: the rader client is one process, the raderd server
+// another, aligned on a shared timeline by Offset (the server's t0 minus
+// the client's t0, so server spans land where they actually happened
+// relative to the client's clock).
+type Process struct {
+	PID    int
+	Name   string
+	Offset time.Duration
+	Spans  []SpanRecord
+	// Labels become a "process_labels" metadata event (e.g. the
+	// traceparent linking the processes).
+	Labels map[string]string
+}
+
+// WriteChromeProcesses renders several processes' spans into one Chrome
+// trace-event document: per-process "M" metadata events naming each
+// process, then ph:"X" complete events with each process's offset
+// applied. Events whose offset-adjusted start would be negative are
+// clamped to 0 (clock skew between hosts must not hide spans off the left
+// edge of the viewer).
+func WriteChromeProcesses(w io.Writer, procs []Process) error {
+	doc := chromeDoc{DisplayTimeUnit: "ms"}
+	for _, p := range procs {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: p.PID,
+			Args: map[string]any{"name": p.Name},
+		})
+		if len(p.Labels) > 0 {
+			labels := make(map[string]any, len(p.Labels))
+			for k, v := range p.Labels {
+				labels[k] = v
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_labels", Ph: "M", PID: p.PID, Args: labels,
+			})
+		}
+		for _, s := range p.Spans {
+			doc.TraceEvents = append(doc.TraceEvents, completeEvent(s, p.PID, p.Offset))
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+func completeEvent(s SpanRecord, pid int, offset time.Duration) chromeEvent {
+	start := s.Start + offset
+	if start < 0 {
+		start = 0
+	}
+	ev := chromeEvent{
+		Name: s.Name, Ph: "X",
+		TS:  float64(start.Nanoseconds()) / 1e3,
+		Dur: float64(s.Dur.Nanoseconds()) / 1e3,
+		PID: pid, TID: s.TID,
+	}
+	if len(s.Args) > 0 {
+		ev.Args = make(map[string]any, len(s.Args))
+		for _, a := range s.Args {
+			ev.Args[a.Key] = a.Value
+		}
+	}
+	return ev
 }

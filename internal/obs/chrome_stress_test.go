@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestTraceConcurrentWriteChrome is the -race stress for concurrent Trace
+// use: many goroutines spawn spans on distinct lanes while WriteChrome
+// (and EncodeSpans) snapshot mid-flight. The contract: exports observe
+// only finished spans — an open span either renders (if it Ended before
+// the snapshot) or is skipped entirely, never torn — and every export is
+// valid JSON whose events are well-formed complete events.
+func TestTraceConcurrentWriteChrome(t *testing.T) {
+	tr := NewTrace()
+	tr.SetContext(NewSpanContext())
+
+	const lanes = 16
+	const spansPerLane = 200
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for lane := 1; lane <= lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; i < spansPerLane; i++ {
+				s := tr.StartTID(lane, "unit").Arg("i", i)
+				s.End()
+			}
+		}(lane)
+	}
+
+	// Snapshotters race against the span producers.
+	var snapWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := tr.WriteChrome(&buf); err != nil {
+					t.Errorf("WriteChrome mid-flight: %v", err)
+					return
+				}
+				var doc struct {
+					TraceEvents []struct {
+						Name string  `json:"name"`
+						Ph   string  `json:"ph"`
+						TID  int     `json:"tid"`
+						Dur  float64 `json:"dur"`
+					} `json:"traceEvents"`
+				}
+				if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+					t.Errorf("mid-flight export not JSON: %v", err)
+					return
+				}
+				for _, ev := range doc.TraceEvents {
+					if ev.Ph != "X" || ev.Name != "unit" || ev.TID < 1 || ev.TID > lanes || ev.Dur < 0 {
+						t.Errorf("torn event in mid-flight export: %+v", ev)
+						return
+					}
+				}
+				if _, err := tr.EncodeSpans("stress"); err != nil {
+					t.Errorf("EncodeSpans mid-flight: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	if got := len(tr.Spans()); got != lanes*spansPerLane {
+		t.Fatalf("finished spans = %d, want %d", got, lanes*spansPerLane)
+	}
+}

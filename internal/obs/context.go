@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// TraceparentHeader is the W3C Trace Context header carrying a
+// SpanContext across process boundaries. The rader remote client injects
+// it on every request (each retry attempt and each resumable-upload chunk
+// gets a fresh child span ID under the same trace ID); raderd extracts it
+// and parents the server-side span tree under the remote context, so one
+// trace ID names the whole cross-process story.
+const TraceparentHeader = "Traceparent"
+
+// SpanContext is the serializable identity of a trace position: a
+// 16-byte trace ID shared by every span of one distributed trace, and an
+// 8-byte span ID naming the position a child hangs under. The zero value
+// is invalid (the W3C format reserves all-zero IDs as absent).
+type SpanContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+}
+
+// NewSpanContext mints a fresh root context with random trace and span
+// IDs.
+func NewSpanContext() SpanContext {
+	var c SpanContext
+	_, _ = rand.Read(c.TraceID[:])
+	_, _ = rand.Read(c.SpanID[:])
+	// rand.Read cannot fail on supported platforms, but an all-zero ID
+	// would read as "absent" on the wire — force validity regardless.
+	if c.TraceID == ([16]byte{}) {
+		c.TraceID[0] = 1
+	}
+	if c.SpanID == ([8]byte{}) {
+		c.SpanID[0] = 1
+	}
+	return c
+}
+
+// Valid reports whether both IDs are non-zero, the W3C validity rule.
+func (c SpanContext) Valid() bool {
+	return c.TraceID != ([16]byte{}) && c.SpanID != ([8]byte{})
+}
+
+// Child derives a context for a new span under c: same trace ID, fresh
+// random span ID. Each outbound request carries a Child of the client's
+// root context, so per-request server trees stay distinguishable while
+// sharing one trace ID.
+func (c SpanContext) Child() SpanContext {
+	nc := c
+	_, _ = rand.Read(nc.SpanID[:])
+	if nc.SpanID == ([8]byte{}) {
+		nc.SpanID[0] = 1
+	}
+	return nc
+}
+
+// Traceparent renders the context in the W3C wire format:
+// version 00, lowercase hex IDs, sampled flag set
+// ("00-<32 hex>-<16 hex>-01"). Invalid contexts render to "".
+func (c SpanContext) Traceparent() string {
+	if !c.Valid() {
+		return ""
+	}
+	return "00-" + hex.EncodeToString(c.TraceID[:]) + "-" + hex.EncodeToString(c.SpanID[:]) + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Unknown (non-ff)
+// versions are accepted with the version-00 field layout, per the spec's
+// forward-compatibility rule; malformed values, version ff, and all-zero
+// IDs are errors. Callers treat an error as "no remote context" and mint
+// their own root.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var c SpanContext
+	// version(2) '-' traceID(32) '-' spanID(16) '-' flags(2); later
+	// versions may append fields after the flags.
+	if len(s) < 55 {
+		return c, fmt.Errorf("obs: traceparent too short (%d bytes)", len(s))
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return c, fmt.Errorf("obs: traceparent field separators misplaced")
+	}
+	ver := s[:2]
+	if !isLowerHex(ver) {
+		return c, fmt.Errorf("obs: traceparent version %q is not hex", ver)
+	}
+	if ver == "ff" {
+		return c, fmt.Errorf("obs: traceparent version ff is forbidden")
+	}
+	if ver == "00" && len(s) != 55 {
+		return c, fmt.Errorf("obs: version-00 traceparent must be 55 bytes, got %d", len(s))
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return c, fmt.Errorf("obs: traceparent trailing fields must be dash-separated")
+	}
+	traceID, spanID, flags := s[3:35], s[36:52], s[53:55]
+	if !isLowerHex(traceID) || !isLowerHex(spanID) || !isLowerHex(flags) {
+		return c, fmt.Errorf("obs: traceparent IDs must be lowercase hex")
+	}
+	if _, err := hex.Decode(c.TraceID[:], []byte(traceID)); err != nil {
+		return c, err
+	}
+	if _, err := hex.Decode(c.SpanID[:], []byte(spanID)); err != nil {
+		return c, err
+	}
+	if !c.Valid() {
+		return SpanContext{}, fmt.Errorf("obs: traceparent carries an all-zero ID")
+	}
+	return c, nil
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	c := NewSpanContext()
+	if !c.Valid() {
+		t.Fatal("NewSpanContext returned invalid context")
+	}
+	wire := c.Traceparent()
+	if len(wire) != 55 {
+		t.Fatalf("traceparent length = %d, want 55: %q", len(wire), wire)
+	}
+	if !strings.HasPrefix(wire, "00-") || !strings.HasSuffix(wire, "-01") {
+		t.Fatalf("traceparent framing wrong: %q", wire)
+	}
+	got, err := ParseTraceparent(wire)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", wire, err)
+	}
+	if got != c {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, c)
+	}
+}
+
+func TestSpanContextChild(t *testing.T) {
+	c := NewSpanContext()
+	kid := c.Child()
+	if kid.TraceID != c.TraceID {
+		t.Fatal("Child changed the trace ID")
+	}
+	if kid.SpanID == c.SpanID {
+		t.Fatal("Child kept the parent span ID")
+	}
+	if !kid.Valid() {
+		t.Fatal("Child produced an invalid context")
+	}
+}
+
+func TestSpanContextZeroInvalid(t *testing.T) {
+	var zero SpanContext
+	if zero.Valid() {
+		t.Fatal("zero context claims validity")
+	}
+	if got := zero.Traceparent(); got != "" {
+		t.Fatalf("zero context renders %q, want empty", got)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if _, err := ParseTraceparent(valid); err != nil {
+		t.Fatalf("canonical example rejected: %v", err)
+	}
+	bad := []struct{ name, in string }{
+		{"empty", ""},
+		{"short", "00-abc"},
+		{"version ff", "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"},
+		{"version not hex", "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"},
+		{"uppercase trace id", "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01"},
+		{"all-zero trace id", "00-00000000000000000000000000000000-b7ad6b7169203331-01"},
+		{"all-zero span id", "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01"},
+		{"misplaced separators", "00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01"},
+		{"v00 with trailing field", valid + "-extra"},
+		{"trailing junk without dash", valid + "x"},
+	}
+	for _, tc := range bad {
+		if _, err := ParseTraceparent(tc.in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, want error", tc.name, tc.in)
+		}
+	}
+	// Forward compatibility: an unknown (non-ff) version with trailing
+	// dash-separated fields parses with the version-00 layout.
+	future := "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-futurefield"
+	c, err := ParseTraceparent(future)
+	if err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+	if !c.Valid() {
+		t.Fatal("future version parsed to invalid context")
+	}
+}
+
+func TestTraceContextAttachment(t *testing.T) {
+	tr := NewTrace()
+	if got := tr.Context(); got.Valid() {
+		t.Fatal("fresh trace has a context")
+	}
+	c := NewSpanContext()
+	tr.SetContext(c)
+	if got := tr.Context(); got != c {
+		t.Fatalf("Context() = %+v, want %+v", got, c)
+	}
+
+	var nilTr *Trace
+	nilTr.SetContext(c) // must not panic
+	if got := nilTr.Context(); got.Valid() {
+		t.Fatal("nil trace returned a valid context")
+	}
+	if !nilTr.T0().IsZero() {
+		t.Fatal("nil trace returned a non-zero T0")
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"all\\\"\n", `all\\\"\n`},
+		// Bytes the format does NOT escape must pass through untouched —
+		// %q would mangle these into escapes strict parsers reject.
+		{"tab\there", "tab\there"},
+		{"útf8-ßtring", "útf8-ßtring"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := EscapeLabelValue(tc.in); got != tc.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLabelRendersEscapedPair(t *testing.T) {
+	if got := Label("prog", `evil"\`+"\n"); got != `prog="evil\"\\\n"` {
+		t.Fatalf("Label = %q", got)
+	}
+}
+
+// TestWritePrometheusEscapesHostileLabels pins the satellite fix: a label
+// value carrying a quote, backslash and newline (e.g. a hostile program
+// name) must render as a single well-formed sample line.
+func TestWritePrometheusEscapesHostileLabels(t *testing.T) {
+	r := NewRegistry()
+	hostile := "bad\"name\\with\nnewline"
+	r.Counter("test_total", "help", Label("prog", hostile)).Add(3)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	wantLine := `test_total{prog="bad\"name\\with\nnewline"} 3`
+	if !strings.Contains(out, wantLine+"\n") {
+		t.Fatalf("exposition missing escaped sample line %q:\n%s", wantLine, out)
+	}
+	// Every non-comment line must be NAME{...} VALUE or NAME VALUE on a
+	// single physical line — the raw newline must not have split the sample.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "test_total") {
+			t.Fatalf("stray exposition line %q (hostile label leaked a newline):\n%s", line, out)
+		}
+	}
+}
+
+func TestWritePrometheusEscapesHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "line one\nline two \\ backslash", "").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `# HELP h_total line one\nline two \\ backslash`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Fatalf("help not escaped:\n%s", b.String())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -235,6 +236,57 @@ func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histo
 	return ch.h
 }
 
+// EscapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double-quote and newline become \\, \"
+// and \n. Nothing else is touched — %q-style escaping would turn tabs or
+// non-ASCII bytes into escapes the format does not define, corrupting the
+// stream for strict parsers.
+func EscapeLabelValue(s string) string {
+	// Fast path: nothing to escape.
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '\\' || c == '"' || c == '\n' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Label renders one label pair key="value" with the value escaped for the
+// text exposition format. Use this (not %q) to build the labels argument
+// of Counter/Gauge/Histogram when the value comes from user input.
+func Label(key, value string) string {
+	return key + `="` + EscapeLabelValue(value) + `"`
+}
+
+// escapeHelp escapes HELP text per the exposition format (backslash and
+// newline only; quotes are legal in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // series renders one sample line: name, optional label pairs, value.
 func series(w io.Writer, name, labels, value string) {
 	if labels == "" {
@@ -261,7 +313,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Unlock()
 
 	for _, f := range fams {
-		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
 		r.mu.Lock()
 		kids := make([]*child, len(f.children))

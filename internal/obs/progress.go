@@ -1,0 +1,90 @@
+package obs
+
+import "sync"
+
+// ProgressSnapshot is one monotone observation of a long-running job:
+// every field only grows (Publish merges per-field maxima), so readers
+// streaming successive snapshots can assert monotonicity and resume after
+// a dropped connection without seeing counters move backwards.
+type ProgressSnapshot struct {
+	UnitsDone     int64 `json:"unitsDone"`
+	UnitsTotal    int64 `json:"unitsTotal"`
+	EventsSkipped int64 `json:"eventsSkipped"`
+	PagesCopied   int64 `json:"pagesCopied"`
+	Races         int64 `json:"races"`
+}
+
+// merge folds s2 into s per-field-max.
+func (s *ProgressSnapshot) merge(s2 ProgressSnapshot) bool {
+	changed := false
+	maxInto := func(dst *int64, v int64) {
+		if v > *dst {
+			*dst = v
+			changed = true
+		}
+	}
+	maxInto(&s.UnitsDone, s2.UnitsDone)
+	maxInto(&s.UnitsTotal, s2.UnitsTotal)
+	maxInto(&s.EventsSkipped, s2.EventsSkipped)
+	maxInto(&s.PagesCopied, s2.PagesCopied)
+	maxInto(&s.Races, s2.Races)
+	return changed
+}
+
+// Progress is a monotone progress cell with change broadcast: writers
+// Publish snapshots (merged per-field-max, so late or out-of-order
+// publishes can't regress), readers Load the current state plus a channel
+// that closes on the next change. Nil-safe like the rest of obs.
+type Progress struct {
+	mu   sync.Mutex
+	cur  ProgressSnapshot
+	ver  uint64
+	wake chan struct{}
+}
+
+// NewProgress returns an empty progress cell.
+func NewProgress() *Progress { return &Progress{wake: make(chan struct{})} }
+
+// Publish merges s into the current snapshot (per-field max) and, if
+// anything grew, bumps the version and wakes waiters. No-op on nil.
+func (p *Progress) Publish(s ProgressSnapshot) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.cur.merge(s) {
+		p.bumpLocked()
+	}
+	p.mu.Unlock()
+}
+
+// Bump wakes waiters without changing counters — used to signal terminal
+// state transitions (done/failed) that may not move any counter. No-op on
+// nil.
+func (p *Progress) Bump() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.bumpLocked()
+	p.mu.Unlock()
+}
+
+func (p *Progress) bumpLocked() {
+	p.ver++
+	close(p.wake)
+	p.wake = make(chan struct{})
+}
+
+// Load returns the current snapshot, its version, and a channel that
+// closes when the version next changes. On a nil cell it returns a zero
+// snapshot and a nil channel (which blocks forever — callers pair it with
+// their own timeout).
+func (p *Progress) Load() (ProgressSnapshot, uint64, <-chan struct{}) {
+	if p == nil {
+		return ProgressSnapshot{}, 0, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur, p.ver, p.wake
+}

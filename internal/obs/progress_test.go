@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressMonotoneMerge(t *testing.T) {
+	p := NewProgress()
+	p.Publish(ProgressSnapshot{UnitsDone: 3, UnitsTotal: 10, Races: 1})
+	// A stale publish must not regress anything.
+	p.Publish(ProgressSnapshot{UnitsDone: 1, UnitsTotal: 10})
+	snap, ver, _ := p.Load()
+	if snap.UnitsDone != 3 || snap.UnitsTotal != 10 || snap.Races != 1 {
+		t.Fatalf("snapshot regressed: %+v", snap)
+	}
+	if ver != 1 {
+		t.Fatalf("version = %d, want 1 (stale publish must not bump)", ver)
+	}
+	p.Publish(ProgressSnapshot{UnitsDone: 7, EventsSkipped: 40, PagesCopied: 5})
+	snap, ver, _ = p.Load()
+	if snap.UnitsDone != 7 || snap.EventsSkipped != 40 || snap.PagesCopied != 5 || snap.UnitsTotal != 10 {
+		t.Fatalf("merge wrong: %+v", snap)
+	}
+	if ver != 2 {
+		t.Fatalf("version = %d, want 2", ver)
+	}
+}
+
+func TestProgressBroadcast(t *testing.T) {
+	p := NewProgress()
+	_, _, wake := p.Load()
+	done := make(chan ProgressSnapshot, 1)
+	go func() {
+		<-wake
+		snap, _, _ := p.Load()
+		done <- snap
+	}()
+	p.Publish(ProgressSnapshot{UnitsDone: 1, UnitsTotal: 2})
+	select {
+	case snap := <-done:
+		if snap.UnitsDone != 1 {
+			t.Fatalf("waiter saw %+v", snap)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestProgressBumpWakesWithoutChange(t *testing.T) {
+	p := NewProgress()
+	_, ver0, wake := p.Load()
+	p.Bump()
+	select {
+	case <-wake:
+	default:
+		t.Fatal("Bump did not close the wake channel")
+	}
+	snap, ver, _ := p.Load()
+	if ver <= ver0 {
+		t.Fatalf("version did not advance: %d -> %d", ver0, ver)
+	}
+	if snap != (ProgressSnapshot{}) {
+		t.Fatalf("Bump changed counters: %+v", snap)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Publish(ProgressSnapshot{UnitsDone: 1})
+	p.Bump()
+	snap, ver, wake := p.Load()
+	if snap != (ProgressSnapshot{}) || ver != 0 || wake != nil {
+		t.Fatal("nil Progress not inert")
+	}
+}
+
+func TestProgressConcurrentPublish(t *testing.T) {
+	p := NewProgress()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := int64(1); i <= 50; i++ {
+				p.Publish(ProgressSnapshot{UnitsDone: i, UnitsTotal: 50})
+			}
+		}(g)
+	}
+	// Concurrent reader asserting monotonicity.
+	stop := make(chan struct{})
+	var rdWG sync.WaitGroup
+	rdWG.Add(1)
+	go func() {
+		defer rdWG.Done()
+		var last ProgressSnapshot
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap, _, _ := p.Load()
+			if snap.UnitsDone < last.UnitsDone || snap.UnitsTotal < last.UnitsTotal {
+				t.Error("progress regressed under concurrency")
+				return
+			}
+			last = snap
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rdWG.Wait()
+	snap, _, _ := p.Load()
+	if snap.UnitsDone != 50 || snap.UnitsTotal != 50 {
+		t.Fatalf("final snapshot %+v, want 50/50", snap)
+	}
+}

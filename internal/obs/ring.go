@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RequestRecord is one entry in a RequestRing: the summary of a finished
+// HTTP request, in the spirit of x/net/trace's per-request event log but
+// bounded and dependency-free.
+type RequestRecord struct {
+	ID          string        `json:"id"`
+	Method      string        `json:"method"`
+	Path        string        `json:"path"`
+	Status      int           `json:"status"`
+	Start       time.Time     `json:"start"`
+	Duration    time.Duration `json:"durationNs"`
+	Traceparent string        `json:"traceparent,omitempty"`
+	Detail      string        `json:"detail,omitempty"`
+}
+
+// RequestRing is a bounded, newest-wins ring of recent request records.
+// Like the rest of obs it is nil-safe — every method on a nil *RequestRing
+// is a no-op — and lock-cheap: Add is one short critical section copying a
+// small struct, no allocation once the ring is warm.
+type RequestRing struct {
+	mu   sync.Mutex
+	recs []RequestRecord
+	next int // index the next Add writes
+	full bool
+}
+
+// NewRequestRing returns a ring holding the last n records (n < 1 is
+// clamped to 1).
+func NewRequestRing(n int) *RequestRing {
+	if n < 1 {
+		n = 1
+	}
+	return &RequestRing{recs: make([]RequestRecord, n)}
+}
+
+// Add records one request, evicting the oldest when full. No-op on nil.
+func (r *RequestRing) Add(rec RequestRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.recs[r.next] = rec
+	r.next++
+	if r.next == len(r.recs) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of records held (0 on nil).
+func (r *RequestRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.recs)
+	}
+	return r.next
+}
+
+// Cap returns the ring's capacity (0 on nil).
+func (r *RequestRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.recs)
+}
+
+// Snapshot returns the held records newest-first (nil on a nil ring).
+func (r *RequestRing) Snapshot() []RequestRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.recs)
+	}
+	out := make([]RequestRecord, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the slot before next, wrapping.
+		idx := (r.next - 1 - i + len(r.recs)) % len(r.recs)
+		out = append(out, r.recs[idx])
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRequestRingBoundsAndOrder(t *testing.T) {
+	r := NewRequestRing(3)
+	if r.Cap() != 3 || r.Len() != 0 {
+		t.Fatalf("fresh ring: cap=%d len=%d", r.Cap(), r.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		r.Add(RequestRecord{ID: fmt.Sprintf("req-%d", i), Status: 200})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d after 5 adds to cap-3 ring, want 3", r.Len())
+	}
+	snap := r.Snapshot()
+	want := []string{"req-5", "req-4", "req-3"}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d records, want %d", len(snap), len(want))
+	}
+	for i, w := range want {
+		if snap[i].ID != w {
+			t.Errorf("snapshot[%d].ID = %q, want %q (newest first)", i, snap[i].ID, w)
+		}
+	}
+}
+
+func TestRequestRingPartial(t *testing.T) {
+	r := NewRequestRing(8)
+	r.Add(RequestRecord{ID: "a"})
+	r.Add(RequestRecord{ID: "b"})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "b" || snap[1].ID != "a" {
+		t.Fatalf("partial snapshot wrong: %+v", snap)
+	}
+}
+
+func TestRequestRingNilSafe(t *testing.T) {
+	var r *RequestRing
+	r.Add(RequestRecord{ID: "x"}) // must not panic
+	if r.Len() != 0 || r.Cap() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil ring not inert")
+	}
+}
+
+func TestRequestRingClampsCapacity(t *testing.T) {
+	r := NewRequestRing(0)
+	r.Add(RequestRecord{ID: "only"})
+	if r.Cap() != 1 || r.Len() != 1 {
+		t.Fatalf("cap=%d len=%d, want 1/1", r.Cap(), r.Len())
+	}
+}
+
+func TestRequestRingConcurrent(t *testing.T) {
+	r := NewRequestRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(RequestRecord{ID: fmt.Sprintf("g%d-%d", g, i)})
+				_ = r.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", r.Len())
+	}
+}

@@ -46,10 +46,44 @@ type Trace struct {
 
 	mu    sync.Mutex
 	spans []SpanRecord
+	ctx   SpanContext
 }
 
 // NewTrace returns a collecting trace whose clock starts now.
 func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+// SetContext attaches a distributed-trace identity to the trace — either
+// a freshly minted root (the client side) or a context extracted from an
+// incoming traceparent header (the server side). No-op on nil.
+func (t *Trace) SetContext(c SpanContext) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ctx = c
+	t.mu.Unlock()
+}
+
+// Context returns the trace's distributed identity (zero when none was
+// set, and on a nil trace).
+func (t *Trace) Context() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ctx
+}
+
+// T0 returns the wall-clock instant the trace's monotonic clock started,
+// the anchor for aligning span trees recorded by different processes.
+// Zero on a nil trace.
+func (t *Trace) T0() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.t0
+}
 
 // Span is an open interval handle. End finishes it; Arg annotates it.
 // Methods on a nil *Span are no-ops (the nil-sink fast path).

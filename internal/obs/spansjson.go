@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// SpanDoc is the serializable form of a finished span tree: the
+// distributed-trace identity it belongs to, the wall-clock anchor of its
+// monotonic timestamps, and the spans themselves. raderd persists one
+// SpanDoc next to each verdict; the rader client fetches it and merges
+// the server's spans into its own profile, aligning clocks via T0.
+type SpanDoc struct {
+	// Traceparent is the W3C rendering of the trace's SpanContext, ""
+	// when the trace had no distributed identity.
+	Traceparent string `json:"traceparent,omitempty"`
+	// T0UnixNano anchors the spans' monotonic offsets in wall time.
+	T0UnixNano int64 `json:"t0UnixNano"`
+	// Process names the recording process (e.g. "raderd").
+	Process string     `json:"process,omitempty"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// SpanJSON is one SpanRecord with JSON-stable fields (nanosecond offsets,
+// args as an object).
+type SpanJSON struct {
+	Name    string         `json:"name"`
+	TID     int            `json:"tid"`
+	StartNS int64          `json:"startNs"`
+	DurNS   int64          `json:"durNs"`
+	Args    map[string]any `json:"args,omitempty"`
+}
+
+// EncodeSpans renders the trace's finished spans (in deterministic
+// Spans() order) as a SpanDoc. A nil trace encodes to an empty document.
+func (t *Trace) EncodeSpans(process string) ([]byte, error) {
+	doc := SpanDoc{Process: process}
+	if t != nil {
+		doc.Traceparent = t.Context().Traceparent()
+		doc.T0UnixNano = t.T0().UnixNano()
+		spans := t.Spans()
+		doc.Spans = make([]SpanJSON, len(spans))
+		for i, s := range spans {
+			doc.Spans[i] = SpanJSON{
+				Name: s.Name, TID: s.TID,
+				StartNS: s.Start.Nanoseconds(), DurNS: s.Dur.Nanoseconds(),
+				Args: argsMap(s.Args),
+			}
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// DecodeSpans parses an encoded SpanDoc.
+func DecodeSpans(data []byte) (*SpanDoc, error) {
+	var doc SpanDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: decoding span document: %w", err)
+	}
+	return &doc, nil
+}
+
+// Context returns the document's distributed identity, ok=false when the
+// traceparent is absent or malformed.
+func (d *SpanDoc) Context() (SpanContext, bool) {
+	if d == nil || d.Traceparent == "" {
+		return SpanContext{}, false
+	}
+	c, err := ParseTraceparent(d.Traceparent)
+	return c, err == nil
+}
+
+// Records converts the document back into SpanRecords (args in sorted
+// key order for determinism).
+func (d *SpanDoc) Records() []SpanRecord {
+	if d == nil {
+		return nil
+	}
+	out := make([]SpanRecord, len(d.Spans))
+	for i, s := range d.Spans {
+		rec := SpanRecord{
+			Name: s.Name, TID: s.TID,
+			Start: time.Duration(s.StartNS), Dur: time.Duration(s.DurNS),
+		}
+		for _, k := range sortedKeys(s.Args) {
+			rec.Args = append(rec.Args, Arg{Key: k, Value: s.Args[k]})
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+func argsMap(args []Arg) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func sortedKeys(m map[string]any) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanDocRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.SetContext(NewSpanContext())
+	s := tr.Start("outer").Arg("n", 7).Arg("mode", "sweep")
+	tr.StartTID(2, "worker").End()
+	s.End()
+
+	data, err := tr.EncodeSpans("raderd")
+	if err != nil {
+		t.Fatalf("EncodeSpans: %v", err)
+	}
+	doc, err := DecodeSpans(data)
+	if err != nil {
+		t.Fatalf("DecodeSpans: %v", err)
+	}
+	if doc.Process != "raderd" {
+		t.Fatalf("Process = %q", doc.Process)
+	}
+	ctx, ok := doc.Context()
+	if !ok || ctx != tr.Context() {
+		t.Fatalf("context did not survive: ok=%v ctx=%+v", ok, ctx)
+	}
+	if doc.T0UnixNano != tr.T0().UnixNano() {
+		t.Fatalf("T0 mismatch: %d vs %d", doc.T0UnixNano, tr.T0().UnixNano())
+	}
+	recs := doc.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	want := tr.Spans()
+	for i, rec := range recs {
+		if rec.Name != want[i].Name || rec.TID != want[i].TID ||
+			rec.Start != want[i].Start || rec.Dur != want[i].Dur {
+			t.Errorf("record %d: got %+v want %+v", i, rec, want[i])
+		}
+	}
+	// Args survive (JSON numbers come back as float64 — fine for display).
+	var gotArgs map[string]any
+	for _, rec := range recs {
+		if rec.Name == "outer" {
+			gotArgs = map[string]any{}
+			for _, a := range rec.Args {
+				gotArgs[a.Key] = a.Value
+			}
+		}
+	}
+	if gotArgs["mode"] != "sweep" || gotArgs["n"] != float64(7) {
+		t.Fatalf("outer args wrong: %+v", gotArgs)
+	}
+}
+
+func TestSpanDocNilTrace(t *testing.T) {
+	var tr *Trace
+	data, err := tr.EncodeSpans("x")
+	if err != nil {
+		t.Fatalf("EncodeSpans(nil): %v", err)
+	}
+	doc, err := DecodeSpans(data)
+	if err != nil {
+		t.Fatalf("DecodeSpans: %v", err)
+	}
+	if len(doc.Spans) != 0 || doc.Traceparent != "" {
+		t.Fatalf("nil trace encoded to %+v", doc)
+	}
+	if _, ok := doc.Context(); ok {
+		t.Fatal("empty doc claims a context")
+	}
+	var nilDoc *SpanDoc
+	if nilDoc.Records() != nil {
+		t.Fatal("nil doc Records not nil")
+	}
+	if _, ok := nilDoc.Context(); ok {
+		t.Fatal("nil doc claims a context")
+	}
+}
+
+func TestDecodeSpansRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSpans([]byte("not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestWriteChromeProcesses(t *testing.T) {
+	client := NewTrace()
+	client.Start("request").End()
+	server := NewTrace()
+	server.StartTID(1, "run").End()
+
+	var buf bytes.Buffer
+	err := WriteChromeProcesses(&buf, []Process{
+		{PID: 1, Name: "rader (client)", Spans: client.Spans()},
+		{PID: 2, Name: "raderd (server)", Offset: 5 * time.Millisecond,
+			Spans:  server.Spans(),
+			Labels: map[string]string{"traceparent": "00-abc"}},
+	})
+	if err != nil {
+		t.Fatalf("WriteChromeProcesses: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TS   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	var meta, complete int
+	var sawServerSpan bool
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name == "process_name" && ev.PID == 2 {
+				if ev.Args["name"] != "raderd (server)" {
+					t.Errorf("server process name = %v", ev.Args["name"])
+				}
+			}
+		case "X":
+			complete++
+			if ev.PID == 2 {
+				sawServerSpan = true
+				if ev.TS < 5000 { // 5ms offset in microseconds
+					t.Errorf("server span not offset: ts=%v", ev.TS)
+				}
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 3 { // 2 process_name + 1 process_labels
+		t.Errorf("metadata events = %d, want 3", meta)
+	}
+	if complete != 2 || !sawServerSpan {
+		t.Errorf("complete events = %d (server seen: %v), want 2", complete, sawServerSpan)
+	}
+}
+
+func TestWriteChromeProcessesClampsNegativeStart(t *testing.T) {
+	tr := NewTrace()
+	tr.Start("early").End()
+	var buf bytes.Buffer
+	if err := WriteChromeProcesses(&buf, []Process{
+		{PID: 1, Name: "p", Offset: -time.Hour, Spans: tr.Spans()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"ts": -`) {
+		t.Fatalf("negative ts leaked:\n%s", buf.String())
+	}
+}

@@ -83,8 +83,13 @@ type prefixSweep struct {
 	psErr   error         // root-unit failure, doubling as the peer-set loss
 
 	pool sync.Pool // of *spplus.Detector
-	sem  chan struct{}
-	wg   sync.WaitGroup
+	// lanes is both the concurrency bound and the span-lane allocator: it
+	// holds the values 1..workers, a unit runs while holding one, and no
+	// two concurrent units can hold the same lane — so per-unit spans on
+	// lane TIDs never interleave on one timeline row.
+	lanes    chan int
+	wg       sync.WaitGroup
+	progress *progressSink
 
 	hits, misses, skipped, pages atomic.Int64
 }
@@ -108,10 +113,14 @@ func sweepPrefix(factory func() func(*cilk.Ctx), opts SweepOptions, workers int,
 	specs := specgen.All(cr.Profile)
 	s := &prefixSweep{
 		factory: factory, opts: opts, clock: clock,
-		specs: specs,
-		names: make([]string, len(specs)),
-		trie:  specgen.BuildTrie(specs, probes),
-		sem:   make(chan struct{}, workers),
+		specs:    specs,
+		names:    make([]string, len(specs)),
+		trie:     specgen.BuildTrie(specs, probes),
+		lanes:    make(chan int, workers),
+		progress: newProgressSink(opts.OnProgress),
+	}
+	for lane := 1; lane <= workers; lane++ {
+		s.lanes <- lane
 	}
 	for i, spec := range specs {
 		s.names[i] = sched.Format(spec)
@@ -119,6 +128,7 @@ func sweepPrefix(factory func() func(*cilk.Ctx), opts SweepOptions, workers int,
 	s.results = make([]groupResult, len(s.trie.Groups))
 	s.pool.New = func() any { return spplus.New() }
 	cr.Stats.Groups = len(s.trie.Groups)
+	s.progress.start(len(s.trie.Groups))
 
 	s.spawn(unitTask{node: s.trie.Root, root: true})
 	s.wg.Wait()
@@ -176,12 +186,12 @@ func sweepPrefix(factory func() func(*cilk.Ctx), opts SweepOptions, workers int,
 func (s *prefixSweep) spawn(t unitTask) {
 	s.wg.Add(1)
 	go func() {
-		s.sem <- struct{}{}
+		lane := <-s.lanes
 		defer func() {
-			<-s.sem
+			s.lanes <- lane
 			s.wg.Done()
 		}()
-		s.runUnit(t)
+		s.runUnit(t, lane)
 	}()
 }
 
@@ -190,17 +200,21 @@ func deadlineSkip() error {
 		"sweep deadline exceeded before specification ran")
 }
 
-// runUnit analyses the leftmost leaf group of t.node and spawns one unit
-// per sibling subtree at each branch node on the way down.
-func (s *prefixSweep) runUnit(t unitTask) {
+// runUnit analyses the leftmost leaf group of t.node, on the given span
+// lane, and spawns one unit per sibling subtree at each branch node on
+// the way down.
+func (s *prefixSweep) runUnit(t unitTask, lane int) {
 	if s.clock.expired() {
 		err := deadlineSkip()
-		for _, g := range t.node.Leaves(nil) {
+		groups := t.node.Leaves(nil)
+		for _, g := range groups {
 			s.results[g] = groupResult{err: err}
 		}
 		if t.root {
 			s.psErr = err
 		}
+		// A deadline skip settles every leaf group under the node at once.
+		s.progress.unitDone(len(groups), 0, 0, 0)
 		return
 	}
 
@@ -213,7 +227,7 @@ func (s *prefixSweep) runUnit(t unitTask) {
 	leaf := n.Group
 	leafSpec := s.specs[s.trie.Groups[leaf][0]]
 	name := s.names[s.trie.Groups[leaf][0]]
-	span := s.opts.Trace.Start("spec:" + name)
+	span := s.opts.Trace.StartTID(lane, "spec:"+name)
 
 	det := s.pool.Get().(*spplus.Detector)
 	det.Reset()
@@ -230,12 +244,16 @@ func (s *prefixSweep) runUnit(t unitTask) {
 	// branch nodes the failing unit never reached must still be analysed,
 	// so they are respawned as fully live units.
 	nextBranch := 0
+	unitRaces := 0
 	defer func() {
-		s.skipped.Add(gate.Skipped())
-		s.pages.Add(int64(det.PagesCopied()) - pagesBefore)
+		skipped := gate.Skipped()
+		pages := int64(det.PagesCopied()) - pagesBefore
+		s.skipped.Add(skipped)
+		s.pages.Add(pages)
 		if p := recover(); p != nil {
 			err := streamerr.FromPanic("rader", p)
 			s.results[leaf] = groupResult{err: err}
+			unitRaces = 0
 			if t.root {
 				s.psErr = err
 			}
@@ -246,6 +264,8 @@ func (s *prefixSweep) runUnit(t unitTask) {
 			}
 			span.Arg("error", err.Error()).End()
 		}
+		// Resolved one leaf group, by verdict or by failure.
+		s.progress.unitDone(1, unitRaces, skipped, pages)
 		det.Reset()
 		s.pool.Put(det)
 	}()
@@ -291,7 +311,8 @@ func (s *prefixSweep) runUnit(t unitTask) {
 		res.viewReads = ps.Report()
 	}
 	s.results[leaf] = res
-	span.Arg("races", det.Report().Distinct()).
+	unitRaces = det.Report().Distinct()
+	span.Arg("races", unitRaces).
 		Arg("skipped", gate.Skipped()).
 		Arg("seed", t.seedSeq).End()
 }

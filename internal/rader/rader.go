@@ -397,6 +397,67 @@ type SweepOptions struct {
 	// one "spec:<name>" per sweep unit (on the worker's lane), and
 	// "collect" for the merge. Nil disables collection at zero cost.
 	Trace *obs.Trace
+	// OnProgress, when set, receives monotone progress snapshots: once
+	// when the unit count is known, then after every resolved sweep unit.
+	// Callbacks are serialized under the sweep's progress lock and must
+	// not block — hand the snapshot to a channel or an obs.Progress and
+	// return.
+	OnProgress func(SweepProgress)
+}
+
+// SweepProgress is one monotone observation of a running sweep. Every
+// field only grows. Races counts distinct races per resolved unit before
+// cross-unit dedup, so it can exceed the final CoverageResult's count —
+// it is a live signal, not the verdict.
+type SweepProgress struct {
+	UnitsDone     int
+	UnitsTotal    int
+	EventsSkipped int64
+	PagesCopied   int64
+	Races         int
+}
+
+// progressSink serializes OnProgress deliveries: accumulate under one
+// mutex, emit the merged snapshot while still holding it so observers see
+// a strictly monotone sequence. A nil sink is inert.
+type progressSink struct {
+	mu  sync.Mutex
+	cur SweepProgress
+	fn  func(SweepProgress)
+}
+
+func newProgressSink(fn func(SweepProgress)) *progressSink {
+	if fn == nil {
+		return nil
+	}
+	return &progressSink{fn: fn}
+}
+
+// start publishes the initial 0/total snapshot once the unit count is
+// known.
+func (p *progressSink) start(total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.cur.UnitsTotal = total
+	p.fn(p.cur)
+	p.mu.Unlock()
+}
+
+// unitDone folds one resolved unit (or several, for a deadline skip that
+// settles a whole subtree) into the running totals and publishes.
+func (p *progressSink) unitDone(units, races int, skipped, pages int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.cur.UnitsDone += units
+	p.cur.Races += races
+	p.cur.EventsSkipped += skipped
+	p.cur.PagesCopied += pages
+	p.fn(p.cur)
+	p.mu.Unlock()
 }
 
 // Coverage performs the paper's full §7 check of an ostensibly
@@ -457,6 +518,8 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 	cr.Profile = profile
 
 	specs := specgen.All(cr.Profile)
+	sink := newProgressSink(opts.OnProgress)
+	sink.start(len(specs))
 
 	// Peer-Set is schedule-independent, so its verdict can ride along any
 	// one execution. When nothing injects per-pass faults (opts.Wrap is the
@@ -500,6 +563,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 				if clock.expired() {
 					results[i] = specResult{spec: name, err: deadlineSkip()}
 					span.Arg("skipped", "deadline").End()
+					sink.unitDone(1, 0, 0, 0)
 					continue
 				}
 				if piggyback && i == 0 {
@@ -510,6 +574,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 					if err != nil {
 						results[i] = specResult{spec: name, err: err}
 						span.Arg("error", err.Error()).End()
+						sink.unitDone(1, 0, 0, 0)
 						continue
 					}
 					results[i] = specResult{
@@ -519,6 +584,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 						viewReads: out.All[0].Report,
 					}
 					span.Arg("races", out.All[1].Report.Distinct()).End()
+					sink.unitDone(1, out.All[1].Report.Distinct(), 0, 0)
 					continue
 				}
 				out, err := Run(factory(), Config{
@@ -529,6 +595,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 				if err != nil {
 					results[i] = specResult{spec: name, err: err}
 					span.Arg("error", err.Error()).End()
+					sink.unitDone(1, 0, 0, 0)
 					continue
 				}
 				results[i] = specResult{
@@ -537,6 +604,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 					total: out.Report.Total(),
 				}
 				span.Arg("races", out.Report.Distinct()).End()
+				sink.unitDone(1, out.Report.Distinct(), 0, 0)
 			}
 		}(w + 1)
 	}

@@ -1,6 +1,10 @@
 package service
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"repro/internal/obs"
+)
 
 // AnalyzeResponse is the envelope of POST /analyze. Report is the shared
 // internal/report verdict document, kept as raw bytes so a client can
@@ -31,6 +35,20 @@ type SweepResponse struct {
 	Error string `json:"error,omitempty"`
 	// Sweep is the verdict document (report.Sweep) once State is done.
 	Sweep json.RawMessage `json:"sweep,omitempty"`
+	// Progress is the job's live monotone progress, once any has been
+	// reported (absent before the sweep announces its unit count).
+	Progress *obs.ProgressSnapshot `json:"progress,omitempty"`
+}
+
+// JobEvent is one progress event of GET /jobs/{id}/events: the SSE
+// "data:" payload, and the whole body of a ?wait= long-poll response.
+// Progress fields are monotone across a job's event sequence; the stream
+// ends with a terminal event whose State matches the final job status.
+type JobEvent struct {
+	ID       string               `json:"id"`
+	State    string               `json:"state"`
+	Error    string               `json:"error,omitempty"`
+	Progress obs.ProgressSnapshot `json:"progress"`
 }
 
 // TraceStatusResponse is the envelope of PUT/HEAD /traces/{digest}: the

@@ -26,12 +26,23 @@ import (
 // daemon with a small heap. The finalized trace is analyzed by reference
 // with POST /analyze?digest={digest}.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	digest := strings.TrimPrefix(r.URL.Path, "/traces/")
+	// GET /traces/{digest}/trace is the span-tree surface, not ingest:
+	// it works without a store (the span table's RAM layer backs it).
+	if d, ok := strings.CutSuffix(digest, "/trace"); ok {
+		if !store.ValidDigest(d) {
+			writeErr(w, http.StatusBadRequest,
+				"trace path must name a lowercase hex SHA-256 digest, got %q", d)
+			return
+		}
+		s.handleTraceTree(w, r, d)
+		return
+	}
 	if s.store == nil {
 		writeErr(w, http.StatusNotImplemented,
 			"trace ingest needs a store: start raderd with -store-dir")
 		return
 	}
-	digest := strings.TrimPrefix(r.URL.Path, "/traces/")
 	if !store.ValidDigest(digest) {
 		writeErr(w, http.StatusBadRequest,
 			"trace path must name a lowercase hex SHA-256 digest, got %q", digest)

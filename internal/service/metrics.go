@@ -1,7 +1,6 @@
 package service
 
 import (
-	"fmt"
 	"io"
 	"sync/atomic"
 	"time"
@@ -67,6 +66,10 @@ type metrics struct {
 	elideEvents *obs.Counter
 	elideBytes  *obs.Counter
 
+	tracesPropagated *obs.Counter
+	spanTrees        *obs.Counter
+	eventStreams     *obs.Counter
+
 	phase map[string]*obs.Histogram
 }
 
@@ -74,7 +77,7 @@ type metrics struct {
 // scrape-time gauges; registration order fixes the exposition order. st
 // may be nil (no -store-dir): the store families are then simply absent,
 // so a non-durable daemon's exposition is unchanged from before.
-func newMetrics(pool *pool, cache *resultCache, jobs *jobTable, st *store.Store, recovered *atomic.Uint64) *metrics {
+func newMetrics(pool *pool, cache *resultCache, jobs *jobTable, st *store.Store, recovered *atomic.Uint64, ring *obs.RequestRing) *metrics {
 	reg := obs.NewRegistry()
 	m := &metrics{reg: reg}
 
@@ -124,7 +127,7 @@ func newMetrics(pool *pool, cache *resultCache, jobs *jobTable, st *store.Store,
 	for _, st := range []string{"queued", "running", "done", "failed"} {
 		st := st
 		reg.GaugeFunc("raderd_sweep_jobs", "Coverage-sweep jobs by state.",
-			fmt.Sprintf("state=%q", st),
+			obs.Label("state", st),
 			func() float64 { return float64(jobs.states()[st]) })
 	}
 
@@ -147,11 +150,21 @@ func newMetrics(pool *pool, cache *resultCache, jobs *jobTable, st *store.Store,
 	m.elideBytes = reg.Counter("raderd_elide_bytes_saved_total",
 		"Encoded trace bytes the elision pre-pass removed from detector replay.", "")
 
+	m.tracesPropagated = reg.Counter("raderd_trace_propagated_total",
+		"Requests that arrived with a valid traceparent header.", "")
+	m.spanTrees = reg.Counter("raderd_span_trees_persisted_total",
+		"Server-side span trees recorded for later retrieval.", "")
+	m.eventStreams = reg.Counter("raderd_job_event_streams_total",
+		"GET /jobs/{id}/events requests (streams and long-polls).", "")
+	reg.GaugeFunc("raderd_request_ring_depth",
+		"Requests currently retained in the /debug/requests ring.", "",
+		func() float64 { return float64(ring.Len()) })
+
 	m.phase = make(map[string]*obs.Histogram, 3)
 	for _, ph := range []string{phaseQueue, phaseRun, phaseEncode} {
 		m.phase[ph] = reg.Histogram("raderd_phase_latency_seconds",
 			"Wall time of analyze-request phases.",
-			fmt.Sprintf("phase=%q", ph), nil)
+			obs.Label("phase", ph), nil)
 	}
 
 	if st != nil {
@@ -172,6 +185,8 @@ func newMetrics(pool *pool, cache *resultCache, jobs *jobTable, st *store.Store,
 				func(s store.Stats) uint64 { return s.Quarantined }},
 			{"raderd_store_ingest_bytes_total", "Bytes durably appended to resumable uploads.",
 				func(s store.Stats) uint64 { return s.IngestBytes }},
+			{"raderd_store_spans_writes_total", "Span-tree records durably written.",
+				func(s store.Stats) uint64 { return s.SpansWrites }},
 		} {
 			get := sg.get
 			reg.GaugeFunc(sg.name, sg.help, "",
@@ -197,6 +212,10 @@ func (m *metrics) miss() { m.cacheMisses.Inc() }
 func (m *metrics) shed() { m.jobsShed.Inc() }
 func (m *metrics) fail() { m.jobsFailed.Inc() }
 
+func (m *metrics) tracePropagated()   { m.tracesPropagated.Inc() }
+func (m *metrics) spanTreePersisted() { m.spanTrees.Inc() }
+func (m *metrics) eventStream()       { m.eventStreams.Inc() }
+
 // observePhase records one request phase's wall time.
 func (m *metrics) observePhase(phase string, d time.Duration) {
 	m.phase[phase].Observe(d.Seconds())
@@ -212,7 +231,7 @@ func (m *metrics) done(detector string, d time.Duration, events int64) {
 	}
 	h := m.reg.Histogram("raderd_analyze_latency_seconds",
 		"Wall time of completed analyses by detector.",
-		fmt.Sprintf("detector=%q", sanitizeDetector(detector)), nil)
+		obs.Label("detector", sanitizeDetector(detector)), nil)
 	h.Observe(d.Seconds())
 }
 

@@ -252,6 +252,8 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"raderd_sweep_events_skipped_total", "raderd_sweep_pages_copied_total",
 		"raderd_depa_shard_merges_total", "raderd_depa_fast_path_rate",
 		"raderd_elide_events_elided_total", "raderd_elide_bytes_saved_total",
+		"raderd_trace_propagated_total", "raderd_span_trees_persisted_total",
+		"raderd_job_event_streams_total", "raderd_request_ring_depth",
 		"raderd_phase_latency_seconds", "raderd_analyze_latency_seconds",
 	} {
 		if types[fam] == "" {

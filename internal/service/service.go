@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/cilk"
 	"repro/internal/elide"
+	"repro/internal/obs"
 	"repro/internal/rader"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -150,6 +151,11 @@ type Server struct {
 	recovery *store.Recovery
 	log      *slog.Logger
 	reqID    atomic.Uint64
+	// spans retains recent server-side span trees (RAM layer; the store,
+	// when configured, is the durable layer); ring holds the last N
+	// request summaries for /debug/requests.
+	spans *spanTable
+	ring  *obs.RequestRing
 	// bootID distinguishes this process's journal records from a prior
 	// incarnation's, so re-used sweep-N table IDs never collide with a
 	// pending journal entry.
@@ -192,6 +198,8 @@ func Open(cfg Config) (*Server, error) {
 		programs: &registry{extra: cfg.Programs},
 		log:      cfg.Logger,
 		bootID:   hex.EncodeToString(nonce[:]),
+		spans:    newSpanTable(requestRingSize),
+		ring:     obs.NewRequestRing(requestRingSize),
 	}
 	if cfg.StoreDir != "" {
 		st, rec, err := store.Open(cfg.StoreDir, store.Options{
@@ -202,7 +210,7 @@ func Open(cfg Config) (*Server, error) {
 		}
 		s.store, s.recovery = st, rec
 	}
-	s.metrics = newMetrics(pool, cache, jobs, s.store, &s.recovered)
+	s.metrics = newMetrics(pool, cache, jobs, s.store, &s.recovered, s.ring)
 	if s.recovery != nil {
 		s.requeueRecovered(s.recovery.PendingJobs)
 	}
@@ -268,8 +276,13 @@ func (s *Server) requeueRecovered(pending []store.JobRecord) {
 		}
 		s.recovered.Add(1)
 		job := s.jobs.add(jr.Prog)
+		job.setSpansKey(programDigest(identity) + "|sweep")
 		log.Info("re-enqueued recovered sweep job", "job", job.view().ID)
-		go s.runSweep(job, prog, identity, jr, log)
+		// A recovered job has no client request to inherit a traceparent
+		// from; it roots a fresh trace.
+		tr := obs.NewTrace()
+		tr.SetContext(obs.NewSpanContext())
+		go s.runSweep(job, prog, identity, jr, tr, log)
 	}
 }
 
@@ -317,17 +330,20 @@ func (s *Server) refuseDraining(w http.ResponseWriter) {
 	writeErr(w, http.StatusServiceUnavailable, "draining: not accepting new work")
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, wrapped so every request is
+// recorded into the /debug/requests ring.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/sweep", s.handleSweepSubmit)
 	mux.HandleFunc("/sweep/", s.handleSweepPoll)
+	mux.HandleFunc("/jobs/", s.handleJobs)
 	mux.HandleFunc("/traces/", s.handleTraces)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	return s.recordRequests(mux)
 }
 
 // CacheHits exposes the hit counter for tests and ops tooling.
@@ -350,12 +366,15 @@ func writeErr(w http.ResponseWriter, status int, format string, a ...any) {
 }
 
 // analyzeUnit is one fully-resolved analysis request: either an uploaded
-// trace replay or a live run of a named program.
+// trace replay or a live run of a named program. run records its phases
+// on the per-request server trace it is handed (nil-safe throughout, per
+// the obs contract).
 type analyzeUnit struct {
 	digest   string
 	detector rader.DetectorName
 	specStr  string // "" for replays
-	run      func() (*analysisResult, error)
+	elide    bool   // static elision pre-pass requested
+	run      func(tr *obs.Trace) (*analysisResult, error)
 }
 
 func (u *analyzeUnit) key() string {
@@ -441,12 +460,13 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 			digest:   programDigest(identity),
 			detector: det,
 			specStr:  canon,
-			run: func() (*analysisResult, error) {
+			run: func(tr *obs.Trace) (*analysisResult, error) {
 				out, err := rader.Run(prog.Factory(), rader.Config{
 					Detector:    det,
 					Spec:        spec,
 					EventBudget: s.cfg.EventBudget,
 					Deadline:    deadline,
+					Trace:       tr,
 				})
 				if err != nil {
 					return nil, err
@@ -478,7 +498,10 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 		return &analyzeUnit{
 			digest:   digest,
 			detector: det,
-			run:      func() (*analysisResult, error) { return s.analyzeStored(digest, det, elideOn) },
+			elide:    elideOn,
+			run: func(tr *obs.Trace) (*analysisResult, error) {
+				return s.analyzeStored(digest, det, elideOn, tr)
+			},
 		}
 	}
 
@@ -498,7 +521,10 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 	return &analyzeUnit{
 		digest:   digest.String(),
 		detector: det,
-		run:      func() (*analysisResult, error) { return analyzeTraceBytes(data, det, elideOn) },
+		elide:    elideOn,
+		run: func(tr *obs.Trace) (*analysisResult, error) {
+			return analyzeTraceBytes(data, det, elideOn, tr)
+		},
 	}
 }
 
@@ -508,19 +534,22 @@ func (s *Server) resolveAnalyze(w http.ResponseWriter, r *http.Request) *analyze
 // not prove race-free, and the verdict document is fixed up afterwards
 // so it is byte-identical to the full replay — the cache key therefore
 // never needs to mention elision.
-func analyzeTraceBytes(data []byte, det rader.DetectorName, elideOn bool) (*analysisResult, error) {
+func analyzeTraceBytes(data []byte, det rader.DetectorName, elideOn bool, tr *obs.Trace) (*analysisResult, error) {
 	var plan *elide.Plan
 	var skip *trace.SkipSet
 	res := &analysisResult{}
 	if elideOn {
+		espan := tr.Start("elide")
 		p, err := elide.Analyze(data)
 		if err != nil {
+			espan.Arg("error", err.Error()).End()
 			return nil, err
 		}
 		plan, skip = p, p.SkipSet()
 		aud := p.Audit()
 		res.elidedEvents = aud.ElidedEvents
 		res.elidedBytes = aud.ElidedBytes
+		espan.Arg("elidedEvents", aud.ElidedEvents).Arg("elidedBytes", aud.ElidedBytes).End()
 	}
 	if det == rader.All {
 		dets := rader.NewAllDetectors()
@@ -528,7 +557,9 @@ func analyzeTraceBytes(data []byte, det rader.DetectorName, elideOn bool) (*anal
 		for i, d := range dets {
 			hooks[i] = d
 		}
+		rspan := tr.Start("replay")
 		events, err := trace.ReplayAllBytesSkip(data, skip, nil, hooks...)
+		rspan.Arg("events", events).End()
 		if err != nil {
 			return nil, err
 		}
@@ -547,7 +578,9 @@ func analyzeTraceBytes(data []byte, det rader.DetectorName, elideOn bool) (*anal
 		// Replaying into no detector still validates the stream.
 		hooks = cilk.Empty{}
 	}
+	rspan := tr.Start("replay")
 	events, err := trace.ReplayAllBytesSkip(data, skip, nil, hooks)
+	rspan.Arg("events", events).End()
 	if err != nil {
 		return nil, err
 	}
@@ -619,7 +652,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if ok {
 		s.metrics.hit()
-		log.Info("analyze served from cache", "clean", hit.clean)
+		log.Info("analyze served from cache", "clean", hit.clean,
+			"cacheHit", true, "elide", unit.elide)
 		writeJSON(w, http.StatusOK, AnalyzeResponse{
 			Digest:   hit.digest,
 			Detector: string(unit.detector),
@@ -640,17 +674,27 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.pool.unadmit()
+	// The per-request server trace: parented under the client's
+	// traceparent when one arrived, so its spans join the client's
+	// distributed trace; persisted under the digest when the analysis
+	// succeeds.
+	tr := s.serverTrace(r)
 	queueStart := time.Now()
+	qspan := tr.Start("queue")
 	if err := s.pool.acquire(r.Context()); err != nil {
+		qspan.Arg("error", err.Error()).End()
 		log.Warn("analyze cancelled while queued", "err", err)
 		writeErr(w, http.StatusServiceUnavailable, "cancelled while queued: %v", err)
 		return
 	}
+	qspan.End()
 	defer s.pool.release()
 	s.metrics.observePhase(phaseQueue, time.Since(queueStart))
 
 	start := time.Now()
-	res, err := unit.run()
+	rspan := tr.Start("run").Arg("detector", string(unit.detector))
+	res, err := unit.run(tr)
+	rspan.End()
 	dur := time.Since(start)
 	s.metrics.observePhase(phaseRun, dur)
 	if err != nil {
@@ -664,7 +708,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	encodeStart := time.Now()
+	espan := tr.Start("encode")
 	raw, err := res.doc.Marshal()
+	espan.End()
 	s.metrics.observePhase(phaseEncode, time.Since(encodeStart))
 	if err != nil {
 		s.metrics.fail()
@@ -675,7 +721,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.metrics.done(string(unit.detector), dur, res.events)
 	s.metrics.depa(res.parallel)
 	s.metrics.elide(res.elidedEvents, res.elidedBytes)
-	log.Info("analyze done", "dur", dur, "events", res.events, "clean", res.clean)
+	log.Info("analyze done", "dur", dur, "events", res.events, "clean", res.clean,
+		"cacheHit", false, "elide", unit.elide)
+	s.saveSpans(unit.digest, tr, log)
 	entry := &cached{digest: unit.digest, report: raw, clean: res.clean}
 	s.cache.put(unit.key(), entry)
 	s.storePersist(unit.key(), unit.digest, string(unit.detector), unit.specStr, res.clean, raw, log)
@@ -733,6 +781,10 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	if ok {
 		s.metrics.hit()
 		job := s.jobs.add(name)
+		// A cache-served job ran nothing, so it has no span tree of its
+		// own; the key points GET /jobs/{id}/trace at the tree persisted
+		// by the sweep that computed the verdict.
+		job.setSpansKey(key)
 		job.finish(hit.report, nil)
 		log.Info("sweep served from cache", "job", job.view().ID)
 		writeJSON(w, http.StatusOK, job.view())
@@ -745,7 +797,12 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job := s.jobs.add(name)
+	job.setSpansKey(key)
 	log = log.With("job", job.view().ID)
+	// The job's trace is rooted now, under the submitting client's
+	// traceparent when one arrived — the sweep runs after this request
+	// returns 202, but its spans still join the client's trace.
+	tr := s.serverTrace(r)
 	// Journal the job as queued before acknowledging it: if the process
 	// dies between the 202 and the verdict, the next start re-enqueues it.
 	// The journal ID carries this boot's nonce so the sweep-N table IDs,
@@ -757,7 +814,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			jr.ID = "" // skip the terminal record too
 		}
 	}
-	go s.runSweep(job, prog, identity, jr, log)
+	go s.runSweep(job, prog, identity, jr, tr, log)
 	writeJSON(w, http.StatusAccepted, job.view())
 }
 
@@ -766,7 +823,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 // both cache layers, and writes the job's terminal journal record. It is
 // the shared body behind fresh submissions and crash-recovered re-runs —
 // jr is the journal record to close out (jr.ID == "" means unjournaled).
-func (s *Server) runSweep(job *sweepJob, prog Program, identity string, jr store.JobRecord, log *slog.Logger) {
+func (s *Server) runSweep(job *sweepJob, prog Program, identity string, jr store.JobRecord, tr *obs.Trace, log *slog.Logger) {
 	defer s.pool.unadmit()
 	// journalTerminal closes the journal record; without it the job would
 	// re-run on every restart forever.
@@ -780,21 +837,38 @@ func (s *Server) runSweep(job *sweepJob, prog Program, identity string, jr store
 	}
 	// The job outlives the submitting request on purpose — clients
 	// poll for it — so it waits on the background context, not r's.
+	qspan := tr.Start("queue")
 	if err := s.pool.acquire(context.Background()); err != nil {
+		qspan.Arg("error", err.Error()).End()
 		log.Warn("sweep cancelled while queued", "err", err)
 		job.finish(nil, fmt.Errorf("cancelled while queued: %w", err))
 		journalTerminal(store.JobFailed)
 		return
 	}
+	qspan.End()
 	defer s.pool.release()
 	job.set(stateRunning)
 	start := time.Now()
+	rspan := tr.Start("run").Arg("prog", job.prog)
 	cr := rader.Sweep(prog.Factory, rader.SweepOptions{
 		Workers:     s.cfg.SweepWorkers,
 		EventBudget: s.cfg.EventBudget,
 		Timeout:     s.cfg.JobTimeout,
+		Trace:       tr,
+		OnProgress: func(p rader.SweepProgress) {
+			job.progress.Publish(obs.ProgressSnapshot{
+				UnitsDone:     int64(p.UnitsDone),
+				UnitsTotal:    int64(p.UnitsTotal),
+				EventsSkipped: p.EventsSkipped,
+				PagesCopied:   p.PagesCopied,
+				Races:         int64(p.Races),
+			})
+		},
 	})
+	rspan.End()
+	espan := tr.Start("encode")
 	raw, err := report.FromCoverage(cr).Marshal()
+	espan.End()
 	if err != nil {
 		s.metrics.fail()
 		log.Error("sweep report encoding failed", "err", err)
@@ -818,6 +892,13 @@ func (s *Server) runSweep(job *sweepJob, prog Program, identity string, jr store
 		key := digest + "|sweep"
 		s.cache.put(key, &cached{digest: digest, report: raw, clean: cr.Clean()})
 		s.storePersist(key, digest, "sweep", "", cr.Clean(), raw, log)
+		// The span tree persists under the same key, so later cache-served
+		// jobs (which run nothing) can still serve the computing sweep's
+		// trace via their spansKey.
+		s.saveSpans(key, tr, log)
+	}
+	if doc, err := tr.EncodeSpans("raderd"); err == nil {
+		job.setSpans(doc)
 	}
 	job.finish(raw, nil)
 	journalTerminal(store.JobDone)
@@ -859,7 +940,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // multi-GB resumable uploads worth having. The elision pre-pass needs
 // random access to classify addresses before replaying, so elide=1
 // materializes the stored trace and takes the in-memory path instead.
-func (s *Server) analyzeStored(digest string, det rader.DetectorName, elideOn bool) (*analysisResult, error) {
+func (s *Server) analyzeStored(digest string, det rader.DetectorName, elideOn bool, tr *obs.Trace) (*analysisResult, error) {
 	rc, _, err := s.store.OpenTrace(digest)
 	if err != nil {
 		return nil, fmt.Errorf("opening stored trace %s: %w", digest, err)
@@ -870,7 +951,7 @@ func (s *Server) analyzeStored(digest string, det rader.DetectorName, elideOn bo
 		if err != nil {
 			return nil, fmt.Errorf("reading stored trace %s: %w", digest, err)
 		}
-		return analyzeTraceBytes(data, det, true)
+		return analyzeTraceBytes(data, det, true, tr)
 	}
 	if det == rader.All {
 		dets := rader.NewAllDetectors()
@@ -878,7 +959,9 @@ func (s *Server) analyzeStored(digest string, det rader.DetectorName, elideOn bo
 		for i, d := range dets {
 			hooks[i] = d
 		}
+		rspan := tr.Start("replay")
 		events, err := trace.ReplayAll(rc, hooks...)
+		rspan.Arg("events", events).End()
 		if err != nil {
 			return nil, err
 		}
@@ -892,7 +975,9 @@ func (s *Server) analyzeStored(digest string, det rader.DetectorName, elideOn bo
 	if hooks == nil {
 		hooks = cilk.Empty{}
 	}
+	rspan := tr.Start("replay")
 	events, err := trace.ReplayAll(rc, hooks)
+	rspan.Arg("events", events).End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,127 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// spansMagic heads every on-disk span-tree record. Same versioning
+// convention as verdictMagic: a layout change bumps the digit and stale
+// records quarantine rather than misparse.
+const spansMagic = "RADERSP1\n"
+
+// SpanTree is one durably stored server-side span tree: the obs.SpanDoc
+// bytes raderd recorded while computing a verdict, stored next to it so a
+// remote client can fetch the server's half of a distributed trace after
+// the fact.
+type SpanTree struct {
+	// Key is the verdict-style key the record answers (digest|detector|spec
+	// for analyses, programDigest|sweep for sweep jobs).
+	Key string `json:"key"`
+	// Traceparent is the W3C context the tree was recorded under, "" when
+	// the triggering request carried none.
+	Traceparent string `json:"traceparent,omitempty"`
+	// Doc is the encoded obs.SpanDoc, stored verbatim.
+	Doc []byte `json:"-"`
+}
+
+// encode renders the record with the verdict framing:
+//
+//	"RADERSP1\n" | u32 metaLen | meta JSON | u32 docLen | doc | u32 CRC32C
+func (t *SpanTree) encode() ([]byte, error) {
+	meta, err := json.Marshal(t)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding span-tree meta: %w", err)
+	}
+	out := make([]byte, 0, len(spansMagic)+8+len(meta)+len(t.Doc)+4)
+	out = append(out, spansMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(meta)))
+	out = append(out, meta...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(t.Doc)))
+	out = append(out, t.Doc...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, verdictCRC))
+	return out, nil
+}
+
+// decodeSpanTree parses and verifies an encoded record.
+func decodeSpanTree(data []byte) (*SpanTree, error) {
+	if len(data) < len(spansMagic)+4+4+4 {
+		return nil, fmt.Errorf("store: span-tree record truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(spansMagic)]) != spansMagic {
+		return nil, fmt.Errorf("store: bad span-tree magic")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, verdictCRC); got != sum {
+		return nil, fmt.Errorf("store: span-tree checksum mismatch: record %08x, content %08x", sum, got)
+	}
+	p := body[len(spansMagic):]
+	metaLen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint64(metaLen) > maxVerdictSection || uint64(metaLen)+4 > uint64(len(p)) {
+		return nil, fmt.Errorf("store: span-tree meta length %d exceeds record", metaLen)
+	}
+	meta := p[:metaLen]
+	p = p[metaLen:]
+	docLen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint64(docLen) != uint64(len(p)) {
+		return nil, fmt.Errorf("store: span-tree doc length %d, %d bytes remain", docLen, len(p))
+	}
+	var t SpanTree
+	if err := json.Unmarshal(meta, &t); err != nil {
+		return nil, fmt.Errorf("store: span-tree meta: %w", err)
+	}
+	t.Doc = append([]byte(nil), p...)
+	return &t, nil
+}
+
+func (s *Store) spansPath(key string) string {
+	kd := verdictKeyDigest(key)
+	return filepath.Join(s.dir, "spans", shard(kd), kd+".spans")
+}
+
+// PutSpans durably stores a span tree under its verdict-style key. Span
+// trees are observability data: best-effort by design, so callers log
+// rather than fail requests on error.
+func (s *Store) PutSpans(rec *SpanTree) error {
+	data, err := rec.encode()
+	if err != nil {
+		return err
+	}
+	if err := s.writeAtomic(s.spansPath(rec.Key), data); err != nil {
+		return err
+	}
+	s.spansWrites.Add(1)
+	return nil
+}
+
+// GetSpans loads and verifies the span tree stored under key. A missing
+// record is (nil, false, nil); a torn or corrupt record is quarantined
+// and reported as a miss — losing one loses a profile view, never a
+// verdict.
+func (s *Store) GetSpans(key string) (*SpanTree, bool, error) {
+	path := s.spansPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: reading span tree: %w", err)
+	}
+	rec, err := decodeSpanTree(data)
+	if err != nil {
+		s.quarantine(path, err.Error())
+		return nil, false, nil
+	}
+	if rec.Key != key {
+		s.quarantine(path, "key mismatch")
+		return nil, false, nil
+	}
+	return rec, true, nil
+}

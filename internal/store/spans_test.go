@@ -1,0 +1,130 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, _, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestSpanTreeRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	rec := &SpanTree{
+		Key:         "deadbeef|spbags|",
+		Traceparent: "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		Doc:         []byte(`{"spans":[{"name":"run","tid":0}]}`),
+	}
+	if err := s.PutSpans(rec); err != nil {
+		t.Fatalf("PutSpans: %v", err)
+	}
+	got, ok, err := s.GetSpans(rec.Key)
+	if err != nil || !ok {
+		t.Fatalf("GetSpans: ok=%v err=%v", ok, err)
+	}
+	if got.Key != rec.Key || got.Traceparent != rec.Traceparent || string(got.Doc) != string(rec.Doc) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if s.Stats().SpansWrites != 1 {
+		t.Fatalf("SpansWrites = %d, want 1", s.Stats().SpansWrites)
+	}
+}
+
+func TestSpanTreeMiss(t *testing.T) {
+	s := openTestStore(t)
+	got, ok, err := s.GetSpans("absent|spbags|")
+	if got != nil || ok || err != nil {
+		t.Fatalf("miss returned %v %v %v", got, ok, err)
+	}
+}
+
+func TestSpanTreeCorruptQuarantines(t *testing.T) {
+	s := openTestStore(t)
+	rec := &SpanTree{Key: "k", Doc: []byte("doc")}
+	if err := s.PutSpans(rec); err != nil {
+		t.Fatal(err)
+	}
+	path := s.spansPath("k")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.GetSpans("k")
+	if got != nil || ok || err != nil {
+		t.Fatalf("corrupt record served: %v %v %v", got, ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt record not moved out of the hot path")
+	}
+	ents, err := os.ReadDir(filepath.Join(s.Dir(), "quarantine"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("quarantine empty: %v", err)
+	}
+}
+
+func TestSpanTreeTruncatedRejected(t *testing.T) {
+	rec := &SpanTree{Key: "k2", Doc: []byte(strings.Repeat("x", 256))}
+	data, err := rec.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, len(spansMagic), len(spansMagic) + 4, len(data) / 2, len(data) - 1} {
+		if _, err := decodeSpanTree(data[:n]); err == nil {
+			t.Errorf("prefix of %d bytes decoded", n)
+		}
+	}
+	if _, err := decodeSpanTree(data); err != nil {
+		t.Fatalf("full record rejected: %v", err)
+	}
+}
+
+func TestSpanTreeKeyMismatchQuarantines(t *testing.T) {
+	s := openTestStore(t)
+	if err := s.PutSpans(&SpanTree{Key: "real", Doc: []byte("d")}); err != nil {
+		t.Fatal(err)
+	}
+	// Move the record to where a different key would live.
+	other := s.spansPath("other")
+	if err := os.MkdirAll(filepath.Dir(other), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.spansPath("real"), other); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.GetSpans("other"); ok {
+		t.Fatal("record served under the wrong key")
+	}
+}
+
+// TestSpanTreeSurvivesReopen pins that a spans/ record written by one
+// store generation is readable after recovery reopens the directory.
+func TestSpanTreeSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.PutSpans(&SpanTree{Key: "persist", Doc: []byte("tree")}); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, ok, err := s2.GetSpans("persist")
+	if err != nil || !ok || string(got.Doc) != "tree" {
+		t.Fatalf("record lost across reopen: %v %v %v", got, ok, err)
+	}
+}

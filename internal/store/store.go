@@ -84,6 +84,7 @@ type Stats struct {
 	VerdictHits   uint64 // verified verdict reads
 	VerdictMisses uint64 // absent (or quarantined-on-read) verdicts
 	TraceWrites   uint64 // traces committed (direct or via partial)
+	SpansWrites   uint64 // span-tree records durably written
 	Quarantined   uint64 // files moved to quarantine (scan + read paths)
 	IngestBytes   uint64 // bytes appended to partial uploads
 }
@@ -103,6 +104,7 @@ type Store struct {
 	verdictHits   atomic.Uint64
 	verdictMisses atomic.Uint64
 	traceWrites   atomic.Uint64
+	spansWrites   atomic.Uint64
 	quarantined   atomic.Uint64
 	ingestBytes   atomic.Uint64
 
@@ -120,7 +122,7 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	if s.inject == nil {
 		s.inject = func(op, path string) error { return nil }
 	}
-	for _, sub := range []string{"tmp", "traces", "verdicts", "partial", "quarantine", "journal"} {
+	for _, sub := range []string{"tmp", "traces", "verdicts", "spans", "partial", "quarantine", "journal"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, nil, fmt.Errorf("store: creating layout: %w", err)
 		}
@@ -149,6 +151,7 @@ func (s *Store) Stats() Stats {
 		VerdictHits:   s.verdictHits.Load(),
 		VerdictMisses: s.verdictMisses.Load(),
 		TraceWrites:   s.traceWrites.Load(),
+		SpansWrites:   s.spansWrites.Load(),
 		Quarantined:   s.quarantined.Load(),
 		IngestBytes:   s.ingestBytes.Load(),
 	}
