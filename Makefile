@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz chaos bench tables parallel elide obs coverage-demo serve clean
+.PHONY: all build test race vet fuzz chaos bench tables sweep parallel elide obs coverage-demo serve clean
 
 all: build test
 
@@ -52,6 +52,13 @@ bench:
 # Regenerate the paper's evaluation tables at full scale.
 tables:
 	$(GO) run ./cmd/benchtab -q
+
+# The work-stealing sweep suite under the race detector (scheduler,
+# deques, snapshot handoff, sampling, equivalence), then the sweep
+# throughput table with the critical-path section (docs/SWEEP.md).
+sweep:
+	$(GO) test -race -count=1 -run 'Sweep|Steal|Deque|Handoff|Sample' ./internal/rader/ ./internal/specgen/ ./internal/tables/
+	$(GO) run ./cmd/benchtab -table sweep -q
 
 # The depa parallel-detection scaling table (docs/PARALLEL.md).
 parallel:

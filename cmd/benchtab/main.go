@@ -28,7 +28,9 @@ import (
 // trie, the parallel-detection scaling table behind the depa detector,
 // the static-elision shrink/parity table, plus the regenerated Figure
 // 7/8 tables. Schema 2 added the sweep section; schema 3 added the
-// parallel section; schema 4 added the elide section.
+// parallel section; schema 4 added the elide section; schema 5 added the
+// sweep section's work-stealing fields (stress family, critical-path
+// speedup, steals/handoffs).
 type benchDoc struct {
 	Schema   int                   `json:"schema"`
 	Scale    string                `json:"scale"`
@@ -157,7 +159,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
-		doc := benchDoc{Schema: 4, Scale: *scaleStr, Trials: *trials, Replay: rb, Sweep: sweep, Parallel: parallel, Elide: elided, Figure7: fig7, Figure8: fig8}
+		doc := benchDoc{Schema: 5, Scale: *scaleStr, Trials: *trials, Replay: rb, Sweep: sweep, Parallel: parallel, Elide: elided, Figure7: fig7, Figure8: fig8}
 		doc.Headline.Fig7PeerSet, doc.Headline.Fig7SPPlus = fig7.Headline(true)
 		doc.Headline.Fig8PeerSet, doc.Headline.Fig8SPPlus = fig8.Headline(true)
 		b, err := json.MarshalIndent(doc, "", "  ")
@@ -169,8 +171,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (replay speedup %.2fx, sweep speedup %.2fx, parallel speedup %.2fx, elide shrink dedup %.2fx/ferret %.2fx, decode loop %.4f allocs/event)\n",
-			*jsonPath, rb.Speedup, sweep.Speedup, parallel.BestSpeedup, elided.DedupShrink, elided.FerretShrink, rb.DecodeLoop.AllocsPerEvent)
+		fmt.Fprintf(os.Stderr, "wrote %s (replay speedup %.2fx, sweep speedup %.2fx, sweep critical-path %.2fx@%d workers, parallel speedup %.2fx, elide shrink dedup %.2fx/ferret %.2fx, decode loop %.4f allocs/event)\n",
+			*jsonPath, rb.Speedup, sweep.Speedup, sweep.CriticalPathSpeedup, sweep.Workers, parallel.BestSpeedup, elided.DedupShrink, elided.FerretShrink, rb.DecodeLoop.AllocsPerEvent)
 	}
 	if *table == "sweep" {
 		fmt.Println("=== §7 coverage sweep: naive vs prefix-sharing ===")

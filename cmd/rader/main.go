@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -85,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale    = fs.String("scale", "small", "benchmark scale: test, small, bench")
 		reads    = fs.String("reads", "1,9", "fig2 only: comma-separated strands that read the reducer")
 		coverage = fs.Bool("coverage", false, "run the full §7 specification sweep with SP+ and Peer-Set")
+		sweepW   = fs.Int("sweep-workers", 0, "worker lanes of the -coverage work-stealing scheduler (0 = one per CPU); the verdict is identical at any width")
+		sweepN   = fs.Int("sweep-sample", 0, "cap the -coverage sweep at this many coverage-guided specifications (0 = the full family); sampled verdicts cover only the sampled schedules")
 		timeout  = fs.Duration("timeout", 0, "abort the run or sweep after this long (0 = no limit)")
 		verbose  = fs.Bool("v", false, "print run statistics")
 		dot      = fs.Bool("dot", false, "emit the run's performance dag in Graphviz dot format and exit")
@@ -160,6 +163,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			detector:   *detector,
 			spec:       *specStr,
 			coverage:   *coverage,
+			sweepW:     *sweepW,
+			sweepN:     *sweepN,
 			jsonOut:    *jsonOut,
 			elide:      eo.enabled,
 		})
@@ -207,7 +212,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *coverage {
-		return runCoverage(stdout, prog, *timeout, *jsonOut, tr)
+		return runCoverage(stdout, prog, rader.SweepOptions{
+			Workers:     *sweepW,
+			SampleSpecs: *sweepN,
+			Timeout:     *timeout,
+			Trace:       tr,
+		}, *jsonOut)
 	}
 
 	det, err := rader.ParseDetector(*detector)
@@ -312,9 +322,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exitClean
 }
 
-func runCoverage(stdout io.Writer, prog func(*cilk.Ctx), timeout time.Duration, jsonOut bool, tr *obs.Trace) int {
-	cr := rader.Sweep(func() func(*cilk.Ctx) { return prog },
-		rader.SweepOptions{Timeout: timeout, Trace: tr})
+func runCoverage(stdout io.Writer, prog func(*cilk.Ctx), opts rader.SweepOptions, jsonOut bool) int {
+	if opts.Workers < 1 {
+		opts.Workers = runtime.NumCPU()
+	}
+	cr := rader.Sweep(func() func(*cilk.Ctx) { return prog }, opts)
 	if jsonOut {
 		b, err := report.FromCoverage(cr).Marshal()
 		if err != nil {
@@ -334,6 +346,9 @@ func runCoverage(stdout io.Writer, prog func(*cilk.Ctx), timeout time.Duration, 
 	fmt.Fprintf(stdout, "profile: max P-depth %d, max sync block %d, Cilk depth %d\n",
 		cr.Profile.MaxPDepth, cr.Profile.MaxSyncBlock, cr.Profile.CilkDepth)
 	fmt.Fprintf(stdout, "specifications run: %d (SP+), plus one Peer-Set pass\n", cr.SpecsRun)
+	if cr.Stats.Sampled {
+		fmt.Fprintf(stdout, "sampled: %s\n", cr.Stats.Confidence)
+	}
 	fmt.Fprintf(stdout, "view-read: %s\n", cr.ViewReads.Summary())
 	if len(cr.Races) == 0 {
 		fmt.Fprintln(stdout, "determinacy: no races under any specification")

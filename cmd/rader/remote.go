@@ -27,7 +27,11 @@ type remoteRequest struct {
 	detector   string
 	spec       string
 	coverage   bool
-	jsonOut    bool
+	// sweepW/sweepN mirror -sweep-workers/-sweep-sample onto the daemon's
+	// ?workers=/?sample= sweep parameters (0 = daemon default / full family).
+	sweepW  int
+	sweepN  int
+	jsonOut bool
 	// elide asks the daemon to run the static elision pre-pass before
 	// detection (?elide=1). Verdicts are byte-identical either way; the
 	// daemon's raderd_elide_* series account for the saved work.
@@ -287,6 +291,12 @@ func (c *remoteClient) sweep(req remoteRequest) (int, error) {
 	q := url.Values{}
 	q.Set("prog", req.prog)
 	q.Set("scale", req.scale)
+	if req.sweepW > 0 {
+		q.Set("workers", strconv.Itoa(req.sweepW))
+	}
+	if req.sweepN > 0 {
+		q.Set("sample", strconv.Itoa(req.sweepN))
+	}
 	resp, raw, err := c.post("/sweep?"+q.Encode(), nil)
 	if err != nil {
 		return exitError, err

@@ -32,6 +32,19 @@ func NewGate(inner Hooks, active bool) *Gate {
 // Activate opens the gate; subsequent events reach the inner hooks.
 func (g *Gate) Activate() { g.active = true }
 
+// Rearm resets the gate for a new sweep unit: the inner hooks are swapped
+// (the unit's freshly restored detector), the open/closed state is set,
+// and the skip/probe counters restart from zero. The work-stealing sweep
+// keeps one gate per worker and re-arms it on every unit — including
+// stolen units whose snapshot was handed off from another worker — instead
+// of allocating a gate per unit.
+func (g *Gate) Rearm(inner Hooks, active bool) {
+	g.inner = inner
+	g.active = active
+	g.skipped = 0
+	g.probes = 0
+}
+
 // Active reports whether the gate is open.
 func (g *Gate) Active() bool { return g.active }
 

@@ -92,6 +92,14 @@ const (
 	pageBits = 12
 	pageSize = 1 << pageBits
 	pageMask = pageSize - 1
+
+	// maxFreePages caps the Reset free list. A 10^4-spec sweep resets
+	// pooled detectors tens of thousands of times; without a cap each
+	// Reset of a page-heavy unit would park every private page forever,
+	// hoarding arena-sized buffers that the next (usually small) unit
+	// never drains. 128 pages (2 MiB of int32s) keeps the hot reuse path
+	// while bounding the pool.
+	maxFreePages = 128
 )
 
 // shadowPage is one materialized page. A page starts private to the Shadow
@@ -205,17 +213,22 @@ func (s *Shadow) PagesCopied() uint64 { return s.copied }
 
 // Reset forgets every stored value, as if the shadow were freshly
 // constructed with the same sentinel. Private page buffers are recycled
-// into a free list for the next materialization; shared pages may still
-// back live snapshots and are left to the garbage collector.
+// into a free list (capped at maxFreePages) for the next materialization;
+// shared pages may still back live snapshots, and overflow beyond the cap
+// is left to the garbage collector.
 func (s *Shadow) Reset() {
 	for pn, pg := range s.pages {
-		if !pg.shared {
+		if !pg.shared && len(s.free) < maxFreePages {
 			s.free = append(s.free, pg.buf)
 		}
 		delete(s.pages, pn)
 	}
 	s.last = nil
 }
+
+// PagesPooled reports how many recycled page buffers the free list holds,
+// the residency behind the raderd_sweep_pages_pooled gauge.
+func (s *Shadow) PagesPooled() int { return len(s.free) }
 
 // ShadowSnap is an immutable point-in-time copy of a Shadow, produced by
 // Snapshot and consumed (any number of times) by Restore. Cost is
@@ -230,7 +243,21 @@ type ShadowSnap struct {
 // shared, so subsequent writes through this Shadow (or any Shadow restored
 // from the snapshot) copy the page before mutating it.
 func (s *Shadow) Snapshot() *ShadowSnap {
-	snap := &ShadowSnap{pages: make(map[uint64]*shadowPage, len(s.pages)), sentinel: s.sentinel}
+	return s.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot reusing a retired snapshot's containers. The
+// work-stealing sweep refcounts snapshots: once every seeded unit has
+// restored from one, its struct and page map (never the page buffers,
+// which stay shared) can back the next capture without reallocation.
+// Passing nil allocates fresh, exactly like Snapshot.
+func (s *Shadow) SnapshotInto(snap *ShadowSnap) *ShadowSnap {
+	if snap == nil || snap.pages == nil {
+		snap = &ShadowSnap{pages: make(map[uint64]*shadowPage, len(s.pages))}
+	} else {
+		clear(snap.pages)
+	}
+	snap.sentinel = s.sentinel
 	for pn, pg := range s.pages {
 		// Only flip private pages: an already-shared page may be visible to
 		// sibling shadows restored from an earlier snapshot, and re-writing

@@ -399,3 +399,31 @@ func SweepStress(al *mem.Allocator, spawns, preamble, body int) func(*cilk.Ctx) 
 		c.Sync()
 	}
 }
+
+// ReducerBench is the cheetah reducer_bench-style intsum stress loop: one
+// flat row of spawns — 100 in the canonical configuration — whose children
+// each add their index into a single int-sum reducer, with no other
+// instrumented memory. It is the reducer-heavy program that makes 10^4+
+// §7 families realistic: every continuation of the row lands in one sync
+// block, so MaxSyncBlock equals spawns and the reduce family alone has
+// K² + C(K,3) members (spawns = 40 → ~13k specifications, spawns = 100 →
+// ~171k). The program is race-free and ostensibly deterministic; the
+// returned sum is Σ i for i < spawns under every schedule, which the
+// sweep's byte-identical verdicts across strategies implicitly re-prove.
+func ReducerBench(al *mem.Allocator, spawns int) func(*cilk.Ctx) {
+	// One token address per spawn keeps the shadow spaces materialized
+	// enough for snapshot handoffs to carry real pages without dominating
+	// unit cost.
+	region := al.Alloc("reducer-bench", spawns)
+	return func(c *cilk.Ctx) {
+		r := c.NewReducer("intsum", SumMonoid, 0)
+		for i := 0; i < spawns; i++ {
+			i := i
+			c.Spawn("add", func(c *cilk.Ctx) {
+				c.Store(region.At(i))
+				c.Update(r, func(_ *cilk.Ctx, v any) any { return v.(int) + i })
+			})
+		}
+		c.Sync()
+	}
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package rader
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// clockThreadCPUTime is CLOCK_THREAD_CPUTIME_ID from <time.h>: the CPU
+// time consumed by the calling thread alone.
+const clockThreadCPUTime = 3
+
+// threadCPU reads the calling thread's consumed CPU time. The worker
+// loop bills units with deltas of this clock instead of wall time, so a
+// lane's busy total excludes time it spent preempted — on an
+// oversubscribed host (8 workers on 1 core) wall-time billing would make
+// every lane look busy for the whole sweep and the critical path
+// meaningless. Callers must be pinned with runtime.LockOSThread for
+// deltas to be coherent.
+func threadCPU() (time.Duration, bool) {
+	var ts syscall.Timespec
+	_, _, errno := syscall.Syscall(syscall.SYS_CLOCK_GETTIME, clockThreadCPUTime, uintptr(unsafe.Pointer(&ts)), 0)
+	if errno != 0 {
+		return 0, false
+	}
+	return time.Duration(ts.Sec)*time.Second + time.Duration(ts.Nsec), true
+}

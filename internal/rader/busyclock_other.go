@@ -1,0 +1,9 @@
+//go:build !linux
+
+package rader
+
+import "time"
+
+// threadCPU is unavailable off Linux; the worker loop falls back to
+// wall-time billing.
+func threadCPU() (time.Duration, bool) { return 0, false }

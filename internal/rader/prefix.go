@@ -1,7 +1,7 @@
 package rader
 
 import (
-	"sync"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/cilk"
@@ -15,20 +15,27 @@ import (
 // The prefix-sharing sweep makes each unit's cost proportional to its
 // specification's divergent suffix instead of the whole execution. The
 // family's specs are grouped by longest common prefix of steal decisions
-// into a trie (specgen.BuildTrie); each trie leaf is one group of
-// stream-identical specs and is analysed exactly once. A sweep unit walks
-// the leftmost path of its subtree: it re-executes the program with the
-// SP+ detector gated off for the shared prefix, restores the detector from
-// the snapshot captured at the subtree's divergence probe, and lets the
-// gate open there. At each branch node on its path it captures a fresh
-// copy-on-write snapshot and spawns one unit per sibling subtree. The
+// into a trie (specgen.BuildTrieIndexed, expanded lazily as units walk
+// it); each trie leaf is one group of stream-identical specs and is
+// analysed exactly once. A sweep unit walks the leftmost path of its
+// subtree: it re-executes the program with the SP+ detector gated off for
+// the shared prefix, restores the detector from the snapshot captured at
+// the subtree's divergence probe, and lets the gate open there. At each
+// branch node on its path it captures a fresh copy-on-write snapshot and
+// pushes one unit per sibling subtree onto its own deque — the
+// work-stealing scheduler in parsweep.go distributes those units across
+// workers, handing the snapshot off with each stolen unit. The
 // budget/deadline guard sits outside the gate, so every unit counts the
 // full event stream — budget and deadline aborts land on the same event,
 // with the same error text, as the naive per-spec sweep.
 
 // SweepStats accounts for how a sweep was executed. It is diagnostic
 // output: two sweeps over the same program are equivalent iff their
-// canonical CoverageResult fields match, regardless of Stats.
+// canonical CoverageResult fields match, regardless of Stats. The
+// scheduling fields (Workers, Steals, Handoffs, PagesPooled, WorkerBusy)
+// are nondeterministic across runs and never enter the report document;
+// the sampling fields (SpecsTotal, Sampled, CoverageFraction, Confidence)
+// are deterministic and do.
 type SweepStats struct {
 	// Strategy is "prefix" or "naive".
 	Strategy string
@@ -47,6 +54,34 @@ type SweepStats struct {
 	// Groups is the number of distinct event streams the family collapsed
 	// to (specs with identical steal decisions and reduce mode share one).
 	Groups int
+
+	// Workers is the scheduler width the sweep ran at.
+	Workers int
+	// Steals counts units taken from another worker's deque; Handoffs
+	// counts the stolen units that carried a snapshot across workers (the
+	// rest ran live — root and failure-respawn units).
+	Steals   int64
+	Handoffs int64
+	// PagesPooled is the shadow-page free-list residency summed over the
+	// workers' pooled detectors at sweep end (each list capped, so a
+	// 10^4-spec sweep cannot hoard pages unboundedly).
+	PagesPooled int
+	// WorkerBusy is each worker's total unit time in nanoseconds — thread
+	// CPU time on Linux, per-unit wall time elsewhere. Max over workers is
+	// the sweep's critical path — the scaling measure on hosts with fewer
+	// cores than workers, where wall-time billing would charge every lane
+	// for time spent preempted.
+	WorkerBusy []int64
+
+	// SpecsTotal is the full family size; when the sweep was sampled,
+	// Sampled is set, CoverageFraction is the fraction of the family that
+	// ran, and Confidence carries the human-readable caveat. All four are
+	// deterministic for a given (program, options) and are part of the
+	// report document.
+	SpecsTotal       int
+	Sampled          bool
+	CoverageFraction float64
+	Confidence       string
 }
 
 // unitTask is one schedulable sweep unit: analyse the leftmost leaf group
@@ -55,7 +90,7 @@ type SweepStats struct {
 // fallback units respawned after an upstream failure).
 type unitTask struct {
 	node    *specgen.TrieNode
-	snap    *spplus.Snapshot
+	snap    *snapRef
 	seedSeq int
 	root    bool
 }
@@ -75,31 +110,29 @@ type prefixSweep struct {
 	opts    SweepOptions
 	clock   sweepClock
 
-	specs []cilk.StealSpec
-	names []string
-	trie  *specgen.Trie
+	fam  *specgen.Family
+	sel  []int // family indices the sweep runs (all, or the sample)
+	trie *specgen.Trie
 
 	results []groupResult // one slot per trie group, each written once
 	psErr   error         // root-unit failure, doubling as the peer-set loss
 
-	pool sync.Pool // of *spplus.Detector
-	// lanes is both the concurrency bound and the span-lane allocator: it
-	// holds the values 1..workers, a unit runs while holding one, and no
-	// two concurrent units can hold the same lane — so per-unit spans on
-	// lane TIDs never interleave on one timeline row.
-	lanes    chan int
-	wg       sync.WaitGroup
+	sched    *wsSched
 	progress *progressSink
 
 	hits, misses, skipped, pages atomic.Int64
 }
 
-// sweepPrefix runs the §7 sweep with prefix sharing. Equivalence contract:
-// the returned CoverageResult's canonical fields (Profile, SpecsRun,
-// ViewReads, Races, Failures, TotalReports) are byte-identical to the
-// naive per-specification sweep's.
+// specAt returns the specification at position pos of the selection.
+func (s *prefixSweep) specAt(pos int) cilk.StealSpec { return s.fam.At(s.sel[pos]) }
+
+// sweepPrefix runs the §7 sweep with prefix sharing on the work-stealing
+// scheduler. Equivalence contract: the returned CoverageResult's canonical
+// fields (Profile, SpecsRun, ViewReads, Races, Failures, TotalReports) are
+// byte-identical to the naive per-specification sweep's, at any worker
+// count and under the same sampling options.
 func sweepPrefix(factory func() func(*cilk.Ctx), opts SweepOptions, workers int, clock sweepClock) *CoverageResult {
-	cr := &CoverageResult{ViewReads: &core.Report{}, Stats: SweepStats{Strategy: "prefix"}}
+	cr := &CoverageResult{ViewReads: &core.Report{}, Stats: SweepStats{Strategy: "prefix", Workers: workers}}
 
 	pspan := opts.Trace.Start("profile")
 	profile, probes, err := measureProbes(factory)
@@ -110,50 +143,51 @@ func sweepPrefix(factory func() func(*cilk.Ctx), opts SweepOptions, workers int,
 	}
 	cr.Profile = profile
 
-	specs := specgen.All(cr.Profile)
+	fam := specgen.NewFamily(profile)
+	sel := specgen.SampleFamily(fam, probes, opts.SampleSpecs, opts.SampleSeed)
+	applySampleStats(&cr.Stats, fam.Len(), len(sel))
 	s := &prefixSweep{
 		factory: factory, opts: opts, clock: clock,
-		specs:    specs,
-		names:    make([]string, len(specs)),
-		trie:     specgen.BuildTrie(specs, probes),
-		lanes:    make(chan int, workers),
+		fam: fam, sel: sel,
+		trie:     specgen.BuildTrieIndexed(len(sel), func(pos int) cilk.StealSpec { return fam.At(sel[pos]) }, probes),
 		progress: newProgressSink(opts.OnProgress),
 	}
-	for lane := 1; lane <= workers; lane++ {
-		s.lanes <- lane
-	}
-	for i, spec := range specs {
-		s.names[i] = sched.Format(spec)
-	}
 	s.results = make([]groupResult, len(s.trie.Groups))
-	s.pool.New = func() any { return spplus.New() }
 	cr.Stats.Groups = len(s.trie.Groups)
 	s.progress.start(len(s.trie.Groups))
 
-	s.spawn(unitTask{node: s.trie.Root, root: true})
-	s.wg.Wait()
+	ws := newWSSched(s, workers)
+	s.sched = ws
+	ws.push(ws.workers[0], unitTask{node: s.trie.Root, root: true})
+	ws.runAll()
 
 	cr.Stats.SnapshotHits = s.hits.Load()
 	cr.Stats.SnapshotMisses = s.misses.Load()
 	cr.Stats.EventsSkipped = s.skipped.Load()
 	cr.Stats.PagesCopied = s.pages.Load()
+	cr.Stats.Steals = ws.steals.Load()
+	cr.Stats.Handoffs = ws.handoffs.Load()
+	for _, w := range ws.workers {
+		cr.Stats.WorkerBusy = append(cr.Stats.WorkerBusy, w.busy.Nanoseconds())
+		cr.Stats.PagesPooled += w.pooled
+	}
 
 	// Collect exactly as the naive sweep does, replicating each group's
-	// verdict to every member specification in spec-index order so race
+	// verdict to every member specification in selection order so race
 	// attribution (first spec to report a distinct race wins) matches.
 	cspan := opts.Trace.Start("collect")
-	groupOf := make([]int, len(specs))
+	groupOf := make([]int, len(sel))
 	for g, members := range s.trie.Groups {
-		for _, i := range members {
-			groupOf[i] = g
+		for _, pos := range members {
+			groupOf[pos] = g
 		}
 	}
 	seen := make(map[string]bool)
-	for i := range specs {
-		res := s.results[groupOf[i]]
-		name := s.names[i]
+	for pos := range sel {
+		res := s.results[groupOf[pos]]
 		if res.err != nil {
-			if i == 0 && s.psErr != nil {
+			name := sched.Format(s.specAt(pos))
+			if pos == 0 && s.psErr != nil {
 				// The root unit carried the Peer-Set pass too; its loss must
 				// be visible under both names, as in the naive piggyback.
 				cr.Failures = append(cr.Failures, SpecFailure{Spec: "peer-set", Err: s.psErr})
@@ -170,7 +204,7 @@ func sweepPrefix(factory func() func(*cilk.Ctx), opts SweepOptions, workers int,
 			key := race.String()
 			if !seen[key] {
 				seen[key] = true
-				cr.Races = append(cr.Races, CoverageFinding{Spec: name, Race: race})
+				cr.Races = append(cr.Races, CoverageFinding{Spec: sched.Format(s.specAt(pos)), Race: race})
 			}
 		}
 	}
@@ -180,19 +214,27 @@ func sweepPrefix(factory func() func(*cilk.Ctx), opts SweepOptions, workers int,
 	return cr
 }
 
-// spawn schedules a unit on the worker pool. The semaphore bounds
-// concurrency; the goroutine itself is cheap, so a unit capturing a
-// snapshot mid-run never blocks on its children.
-func (s *prefixSweep) spawn(t unitTask) {
-	s.wg.Add(1)
-	go func() {
-		lane := <-s.lanes
-		defer func() {
-			s.lanes <- lane
-			s.wg.Done()
-		}()
-		s.runUnit(t, lane)
-	}()
+// applySampleStats fills the deterministic sampling fields shared by both
+// sweep strategies.
+func applySampleStats(st *SweepStats, total, selected int) {
+	st.SpecsTotal = total
+	st.CoverageFraction = 1
+	if total > 0 {
+		st.CoverageFraction = float64(selected) / float64(total)
+	}
+	if selected < total {
+		st.Sampled = true
+		st.Confidence = confidenceNote(selected, total)
+	}
+}
+
+// confidenceNote renders the deterministic caveat attached to a sampled
+// sweep's stats (and report document): a sampled sweep proves races it
+// finds, but its clean verdict covers only the schedules it ran.
+func confidenceNote(selected, total int) string {
+	return fmt.Sprintf("sampled %d of %d specifications (%.1f%% of the family, "+
+		"stratified by first-steal subtree); a clean verdict covers only the sampled schedules",
+		selected, total, 100*float64(selected)/float64(total))
 }
 
 func deadlineSkip() error {
@@ -200,11 +242,11 @@ func deadlineSkip() error {
 		"sweep deadline exceeded before specification ran")
 }
 
-// runUnit analyses the leftmost leaf group of t.node, on the given span
-// lane, and spawns one unit per sibling subtree at each branch node on
-// the way down.
-func (s *prefixSweep) runUnit(t unitTask, lane int) {
+// runUnit analyses the leftmost leaf group of t.node on worker w, and
+// pushes one unit per sibling subtree at each branch node on the way down.
+func (s *prefixSweep) runUnit(t unitTask, w *sweepWorker) {
 	if s.clock.expired() {
+		t.snap.release(w)
 		err := deadlineSkip()
 		groups := t.node.Leaves(nil)
 		for _, g := range groups {
@@ -220,25 +262,32 @@ func (s *prefixSweep) runUnit(t unitTask, lane int) {
 
 	var branches []*specgen.TrieNode
 	n := t.node
-	for !n.IsLeaf() {
+	for {
+		s.trie.Expand(n)
+		if n.IsLeaf() {
+			break
+		}
 		branches = append(branches, n)
 		n = n.Children[0]
 	}
 	leaf := n.Group
-	leafSpec := s.specs[s.trie.Groups[leaf][0]]
-	name := s.names[s.trie.Groups[leaf][0]]
-	span := s.opts.Trace.StartTID(lane, "spec:"+name)
+	leafSpec := s.specAt(s.trie.Groups[leaf][0])
+	name := sched.Format(leafSpec)
+	span := s.opts.Trace.StartTID(w.id+1, "spec:"+name)
 
-	det := s.pool.Get().(*spplus.Detector)
+	det := w.detPool.Get().(*spplus.Detector)
 	det.Reset()
 	pagesBefore := int64(det.PagesCopied())
-	if t.snap != nil {
-		det.Restore(t.snap)
+	seeded := t.snap != nil
+	if seeded {
+		det.Restore(t.snap.snap)
+		t.snap.release(w)
 		s.hits.Add(1)
 	} else {
 		s.misses.Add(1)
 	}
-	gate := cilk.NewGate(det, t.snap == nil)
+	gate := w.gate
+	gate.Rearm(det, !seeded)
 
 	// nextBranch is shared with the recovery path: sibling subtrees of
 	// branch nodes the failing unit never reached must still be analysed,
@@ -259,7 +308,7 @@ func (s *prefixSweep) runUnit(t unitTask, lane int) {
 			}
 			for _, b := range branches[nextBranch:] {
 				for _, child := range b.Children[1:] {
-					s.spawn(unitTask{node: child})
+					s.sched.push(w, unitTask{node: child})
 				}
 			}
 			span.Arg("error", err.Error()).End()
@@ -267,7 +316,8 @@ func (s *prefixSweep) runUnit(t unitTask, lane int) {
 		// Resolved one leaf group, by verdict or by failure.
 		s.progress.unitDone(1, unitRaces, skipped, pages)
 		det.Reset()
-		s.pool.Put(det)
+		w.pooled = det.PagesPooled()
+		w.detPool.Put(det)
 	}()
 
 	onProbe := func(ci cilk.ContInfo) {
@@ -278,9 +328,9 @@ func (s *prefixSweep) runUnit(t unitTask, lane int) {
 		for nextBranch < len(branches) && ci.Seq == branches[nextBranch].Seq {
 			b := branches[nextBranch]
 			nextBranch++
-			snap := det.Snapshot()
+			ref := newSnapRef(det.SnapshotInto(w.takeSnap()), len(b.Children)-1)
 			for _, child := range b.Children[1:] {
-				s.spawn(unitTask{node: child, snap: snap, seedSeq: b.Seq})
+				s.sched.push(w, unitTask{node: child, snap: ref, seedSeq: b.Seq})
 			}
 		}
 	}

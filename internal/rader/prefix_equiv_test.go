@@ -54,7 +54,7 @@ func requireEquivalent(t *testing.T, prefix, naive *CoverageResult) {
 func TestSweepPrefixEquivalence(t *testing.T) {
 	for _, e := range corpus.All() {
 		t.Run(e.Name, func(t *testing.T) {
-			for _, workers := range []int{1, 4} {
+			for _, workers := range []int{1, 4, 8} {
 				prefix := sweepEntry(e, SweepOptions{Workers: workers})
 				naive := sweepEntry(e, SweepOptions{Workers: workers, Naive: true})
 				if prefix.Stats.Strategy != "prefix" {
@@ -105,6 +105,49 @@ func TestSweepPrefixEquivalenceUnderFaults(t *testing.T) {
 				t.Fatalf("wrapped sweep took strategy %q, want naive fallback", def.Stats.Strategy)
 			}
 			requireEquivalent(t, def, naive)
+		})
+	}
+}
+
+// Sampling is part of the equivalence contract: a sampled sweep must pick
+// the identical coverage-guided subset on the naive and the prefix path,
+// at any worker count, and report the deterministic sampling stats on
+// both. Every race a sampled sweep reports must also appear in the full
+// sweep (sampling runs fewer schedules; it never invents findings).
+func TestSweepSampledEquivalence(t *testing.T) {
+	for _, e := range corpus.All() {
+		t.Run(e.Name, func(t *testing.T) {
+			full := sweepEntry(e, SweepOptions{Workers: 4})
+			total := full.Stats.SpecsTotal
+			n := total/2 + 1
+			prefix := sweepEntry(e, SweepOptions{Workers: 8, SampleSpecs: n, SampleSeed: 11})
+			naive := sweepEntry(e, SweepOptions{Workers: 1, SampleSpecs: n, SampleSeed: 11, Naive: true})
+			requireEquivalent(t, prefix, naive)
+			if n >= total {
+				return // family too small to sample below full coverage
+			}
+			for _, cr := range []*CoverageResult{prefix, naive} {
+				st := cr.Stats
+				if !st.Sampled || st.SpecsTotal != total || st.Confidence == "" {
+					t.Errorf("%s sampling stats not reported: %+v", st.Strategy, st)
+				}
+				if st.CoverageFraction <= 0 || st.CoverageFraction >= 1 {
+					t.Errorf("%s coverage fraction %v, want in (0,1)", st.Strategy, st.CoverageFraction)
+				}
+			}
+			if prefix.SpecsRun+len(prefix.Failures) > n {
+				t.Errorf("sampled sweep settled %d specs, cap was %d",
+					prefix.SpecsRun+len(prefix.Failures), n)
+			}
+			known := make(map[string]bool)
+			for _, f := range full.Races {
+				known[f.Race.String()] = true
+			}
+			for _, f := range prefix.Races {
+				if !known[f.Race.String()] {
+					t.Errorf("sampled sweep invented race %v", f.Race)
+				}
+			}
 		})
 	}
 }

@@ -393,6 +393,19 @@ type SweepOptions struct {
 	// divergent suffixes from copy-on-write detector snapshots; both paths
 	// produce byte-identical canonical CoverageResults.
 	Naive bool
+	// SampleSpecs, when positive and below the family size, caps how many
+	// specifications the sweep runs: the budget-aware sampler
+	// (specgen.SampleFamily) picks that many coverage-guided — stratified
+	// by first-steal divergence point, always keeping the all-serial base
+	// schedule — and the sweep reports Sampled, CoverageFraction and a
+	// Confidence note in its Stats. Sampling is deterministic for a given
+	// seed and applies identically to every sweep strategy, so naive and
+	// prefix sweeps of a sampled family still produce byte-identical
+	// canonical results.
+	SampleSpecs int
+	// SampleSeed seeds the sampler's shuffle (0 is a valid, fixed seed —
+	// never wall-clock randomness, which would break result caching).
+	SampleSeed uint64
 	// Trace, when set, collects per-phase spans: "profile", "peer-set",
 	// one "spec:<name>" per sweep unit (on the worker's lane), and
 	// "collect" for the merge. Nil disables collection at zero cost.
@@ -503,10 +516,20 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 		return func(h cilk.Hooks) cilk.Hooks { return opts.Wrap(i, spec, h) }
 	}
 
-	cr := &CoverageResult{ViewReads: &core.Report{}, Stats: SweepStats{Strategy: "naive"}}
+	cr := &CoverageResult{ViewReads: &core.Report{}, Stats: SweepStats{Strategy: "naive", Workers: workers}}
 
 	pspan := opts.Trace.Start("profile")
-	profile, err := measure(factory)
+	var profile specgen.Profile
+	var probes []specgen.ProbeRecord
+	var err error
+	if opts.SampleSpecs > 0 {
+		// The coverage-guided sampler stratifies by first-steal probe, so a
+		// sampled naive sweep records the probe sequence the prefix sweep
+		// would — both strategies then select the identical subset.
+		profile, probes, err = measureProbes(factory)
+	} else {
+		profile, err = measure(factory)
+	}
 	pspan.End()
 	if err != nil {
 		// Without a profile there is no specification family to sweep;
@@ -517,7 +540,13 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 	}
 	cr.Profile = profile
 
-	specs := specgen.All(cr.Profile)
+	fam := specgen.NewFamily(cr.Profile)
+	sel := specgen.SampleFamily(fam, probes, opts.SampleSpecs, opts.SampleSeed)
+	applySampleStats(&cr.Stats, fam.Len(), len(sel))
+	specs := make([]cilk.StealSpec, len(sel))
+	for i, idx := range sel {
+		specs[i] = fam.At(idx)
+	}
 	sink := newProgressSink(opts.OnProgress)
 	sink.start(len(specs))
 
@@ -590,7 +619,7 @@ func Sweep(factory func() func(*cilk.Ctx), opts SweepOptions) *CoverageResult {
 				out, err := Run(factory(), Config{
 					Detector: SPPlus, Spec: specs[i],
 					EventBudget: opts.EventBudget, Deadline: deadline,
-					Wrap: wrapFor(i, specs[i]),
+					Wrap: wrapFor(sel[i], specs[i]),
 				})
 				if err != nil {
 					results[i] = specResult{spec: name, err: err}

@@ -28,8 +28,10 @@ import (
 // Schema is the current schema version, carried by every document.
 // Version 2 added the per-race provenance section; version 3 added the
 // sweep document's execution-stats section; version 4 added the parallel
-// detector's stats section (workers, shard merges, fast-path hit rate).
-const Schema = 4
+// detector's stats section (workers, shard merges, fast-path hit rate);
+// version 5 added the sweep document's sampling section (family size,
+// coverage fraction, confidence note).
+const Schema = 5
 
 // Access is one side of a race.
 type Access struct {
@@ -271,10 +273,13 @@ type SweepFailure struct {
 }
 
 // SweepStats mirrors the sweep's execution accounting: which strategy
-// ran and what prefix sharing saved. The values are deterministic for a
-// given program and strategy (the trie, the snapshot points and the
-// copy-on-write writes are all schedule-independent), so they are safe in
-// the byte-identical cached document.
+// ran, what prefix sharing saved, and how much of the family the sweep
+// covered. The values are deterministic for a given program and options
+// (the trie, the snapshot points, the copy-on-write writes and the
+// stratified sample are all schedule-independent), so they are safe in
+// the byte-identical cached document. The scheduler-dependent counters
+// (workers, steals, handoffs, per-worker busy time) are deliberately NOT
+// here: they vary run to run and would break document identity.
 type SweepStats struct {
 	Strategy       string `json:"strategy"`
 	Groups         int    `json:"groups"`
@@ -282,6 +287,13 @@ type SweepStats struct {
 	SnapshotMisses int64  `json:"snapshotMisses"`
 	EventsSkipped  int64  `json:"eventsSkipped"`
 	PagesCopied    int64  `json:"pagesCopied"`
+	// SpecsTotal is the full family size; when the sweep sampled a subset,
+	// Sampled is set, CoverageFraction is the fraction that ran, and
+	// Confidence carries the human-readable caveat.
+	SpecsTotal       int     `json:"specsTotal"`
+	Sampled          bool    `json:"sampled,omitempty"`
+	CoverageFraction float64 `json:"coverageFraction"`
+	Confidence       string  `json:"confidence,omitempty"`
 }
 
 // Sweep is the verdict document for a §7 coverage sweep.
@@ -320,12 +332,16 @@ func FromCoverage(cr *rader.CoverageResult) *Sweep {
 		Clean:        cr.Clean(),
 		Complete:     cr.Complete(),
 		Stats: SweepStats{
-			Strategy:       cr.Stats.Strategy,
-			Groups:         cr.Stats.Groups,
-			SnapshotHits:   cr.Stats.SnapshotHits,
-			SnapshotMisses: cr.Stats.SnapshotMisses,
-			EventsSkipped:  cr.Stats.EventsSkipped,
-			PagesCopied:    cr.Stats.PagesCopied,
+			Strategy:         cr.Stats.Strategy,
+			Groups:           cr.Stats.Groups,
+			SnapshotHits:     cr.Stats.SnapshotHits,
+			SnapshotMisses:   cr.Stats.SnapshotMisses,
+			EventsSkipped:    cr.Stats.EventsSkipped,
+			PagesCopied:      cr.Stats.PagesCopied,
+			SpecsTotal:       cr.Stats.SpecsTotal,
+			Sampled:          cr.Stats.Sampled,
+			CoverageFraction: cr.Stats.CoverageFraction,
+			Confidence:       cr.Stats.Confidence,
 		},
 	}
 	if cr.ViewReads != nil {

@@ -59,6 +59,9 @@ type metrics struct {
 	sweepSnapMisses *obs.Counter
 	sweepSkipped    *obs.Counter
 	sweepPages      *obs.Counter
+	sweepSteals     *obs.Counter
+	sweepHandoffs   *obs.Counter
+	sweepPooled     *obs.Gauge
 
 	depaMerges   *obs.Counter
 	depaFastPath *obs.Gauge
@@ -139,6 +142,12 @@ func newMetrics(pool *pool, cache *resultCache, jobs *jobTable, st *store.Store,
 		"Detector events skipped over shared steal-decision prefixes.", "")
 	m.sweepPages = reg.Counter("raderd_sweep_pages_copied_total",
 		"Shadow-memory pages copied on write by snapshot-seeded sweep units.", "")
+	m.sweepSteals = reg.Counter("raderd_sweep_steals_total",
+		"Sweep units taken from another worker's deque by the work-stealing scheduler.", "")
+	m.sweepHandoffs = reg.Counter("raderd_sweep_handoffs_total",
+		"Stolen sweep units that carried a copy-on-write snapshot across workers.", "")
+	m.sweepPooled = reg.Gauge("raderd_sweep_pages_pooled",
+		"Shadow-page free-list residency of the most recent sweep's pooled detectors.", "")
 
 	m.depaMerges = reg.Counter("raderd_depa_shard_merges_total",
 		"Shard merges performed by completed depa (parallel detector) analyses.", "")
@@ -260,14 +269,19 @@ func (m *metrics) elide(events, bytes int64) {
 	}
 }
 
-// sweep accumulates the sharing counters of one completed coverage sweep.
-// Naive sweeps contribute zeros; the counters then read as a flat line,
-// which is itself the signal that prefix sharing is off.
+// sweep accumulates the sharing and scheduling counters of one completed
+// coverage sweep. Naive sweeps contribute zeros; the counters then read
+// as a flat line, which is itself the signal that prefix sharing is off.
+// Pages pooled tracks the most recent sweep (matching lastEPS's
+// convention) since free-list residency is a level, not a flow.
 func (m *metrics) sweep(st rader.SweepStats) {
 	m.sweepSnapHits.Add(uint64(st.SnapshotHits))
 	m.sweepSnapMisses.Add(uint64(st.SnapshotMisses))
 	m.sweepSkipped.Add(uint64(st.EventsSkipped))
 	m.sweepPages.Add(uint64(st.PagesCopied))
+	m.sweepSteals.Add(uint64(st.Steals))
+	m.sweepHandoffs.Add(uint64(st.Handoffs))
+	m.sweepPooled.Set(float64(st.PagesPooled))
 }
 
 // snapshotHits returns the current cache-hit count (tests poll it).

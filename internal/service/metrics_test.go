@@ -250,6 +250,8 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"raderd_events_per_second", "raderd_sweep_jobs",
 		"raderd_sweep_snapshot_hits_total", "raderd_sweep_snapshot_misses_total",
 		"raderd_sweep_events_skipped_total", "raderd_sweep_pages_copied_total",
+		"raderd_sweep_steals_total", "raderd_sweep_handoffs_total",
+		"raderd_sweep_pages_pooled",
 		"raderd_depa_shard_merges_total", "raderd_depa_fast_path_rate",
 		"raderd_elide_events_elided_total", "raderd_elide_bytes_saved_total",
 		"raderd_trace_propagated_total", "raderd_span_trees_persisted_total",
@@ -599,6 +601,11 @@ func TestSweepSharingMetricsSeries(t *testing.T) {
 		t.Error("snapshot-seeded units must skip prefix events")
 	}
 	value("raderd_sweep_pages_copied_total") // presence is the contract; fig1 may or may not COW
+	// Scheduler series exist from boot; their values depend on how the
+	// two workers raced, so only presence is pinned.
+	value("raderd_sweep_steals_total")
+	value("raderd_sweep_handoffs_total")
+	value("raderd_sweep_pages_pooled")
 
 	vars := s.MetricsSnapshot()
 	for _, name := range []string{
@@ -606,6 +613,9 @@ func TestSweepSharingMetricsSeries(t *testing.T) {
 		"raderd_sweep_snapshot_misses_total",
 		"raderd_sweep_events_skipped_total",
 		"raderd_sweep_pages_copied_total",
+		"raderd_sweep_steals_total",
+		"raderd_sweep_handoffs_total",
+		"raderd_sweep_pages_pooled",
 	} {
 		if _, ok := vars[name]; !ok {
 			t.Errorf("/debug/vars snapshot missing %s", name)

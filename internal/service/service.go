@@ -12,8 +12,13 @@
 //	POST /analyze     trace bytes in the body, or ?prog=<name>[&scale=][&spec=];
 //	                  ?detector= selects the analysis (default sp+).
 //	                  Synchronous; sheds load with 429 when saturated.
-//	POST /sweep       ?prog=<name>[&scale=] — the §7 coverage sweep as an
-//	                  asynchronous job; returns an ID to poll.
+//	POST /sweep       ?prog=<name>[&scale=][&workers=][&sample=] — the §7
+//	                  coverage sweep as an asynchronous job; returns an ID
+//	                  to poll. workers overrides the scheduler width for
+//	                  this job (same verdict, different wall time); sample
+//	                  caps the family at that many coverage-guided
+//	                  specifications and is part of the verdict (and the
+//	                  cache key).
 //	GET  /sweep/{id}  job state, then the sweep verdict document.
 //	PUT  /traces/{digest}  chunked resumable trace ingest (?offset=,
 //	                  &complete=1); HEAD reports the resume offset.
@@ -265,7 +270,7 @@ func (s *Server) requeueRecovered(pending []store.JobRecord) {
 		log := s.log.With("req", s.nextReqID("recover"), "prog", jr.Prog, "journal", jr.ID)
 		if err != nil {
 			log.Warn("recovered job names unknown program; marking failed", "err", err)
-			_ = s.store.JournalJob(store.JobRecord{ID: jr.ID, Prog: jr.Prog, Scale: jr.Scale, State: store.JobFailed})
+			_ = s.store.JournalJob(store.JobRecord{ID: jr.ID, Prog: jr.Prog, Scale: jr.Scale, Sample: jr.Sample, State: store.JobFailed})
 			continue
 		}
 		if !s.pool.tryAdmit() {
@@ -276,13 +281,14 @@ func (s *Server) requeueRecovered(pending []store.JobRecord) {
 		}
 		s.recovered.Add(1)
 		job := s.jobs.add(jr.Prog)
-		job.setSpansKey(programDigest(identity) + "|sweep")
+		job.setSpansKey(sweepKey(programDigest(identity), jr.Sample))
 		log.Info("re-enqueued recovered sweep job", "job", job.view().ID)
 		// A recovered job has no client request to inherit a traceparent
-		// from; it roots a fresh trace.
+		// from; it roots a fresh trace. It re-runs at the configured
+		// scheduler width — workers never change the verdict.
 		tr := obs.NewTrace()
 		tr.SetContext(obs.NewSpanContext())
-		go s.runSweep(job, prog, identity, jr, tr, log)
+		go s.runSweep(job, prog, identity, 0, jr, tr, log)
 	}
 }
 
@@ -770,7 +776,20 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	key := programDigest(identity) + "|sweep"
+	workers, err := queryInt(r, "workers")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sample, err := queryInt(r, "sample")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// workers only changes how fast the verdict is computed, so it stays
+	// out of the cache key; sample changes which specifications run, so
+	// it is part of the verdict's identity.
+	key := sweepKey(programDigest(identity), sample)
 	log := s.log.With("req", s.nextReqID("sweep"), "prog", name)
 	hit, ok := s.cache.get(key)
 	if !ok {
@@ -807,23 +826,48 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	// dies between the 202 and the verdict, the next start re-enqueues it.
 	// The journal ID carries this boot's nonce so the sweep-N table IDs,
 	// which restart from 1 every boot, never collide across incarnations.
-	jr := store.JobRecord{ID: s.bootID + "-" + job.view().ID, Prog: name, Scale: scale, State: store.JobQueued}
+	jr := store.JobRecord{ID: s.bootID + "-" + job.view().ID, Prog: name, Scale: scale, Sample: sample, State: store.JobQueued}
 	if s.store != nil {
 		if err := s.store.JournalJob(jr); err != nil {
 			log.Error("job journal write failed; job will not survive a crash", "err", err)
 			jr.ID = "" // skip the terminal record too
 		}
 	}
-	go s.runSweep(job, prog, identity, jr, tr, log)
+	go s.runSweep(job, prog, identity, workers, jr, tr, log)
 	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+// sweepKey is the cache/store key of a sweep verdict: the program digest
+// plus any sampling cap, which selects a different (smaller) verdict.
+func sweepKey(digest string, sample int) string {
+	key := digest + "|sweep"
+	if sample > 0 {
+		key += "|sample=" + strconv.Itoa(sample)
+	}
+	return key
+}
+
+// queryInt parses an optional non-negative integer query parameter.
+func queryInt(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("?%s= must be a non-negative integer, got %q", name, raw)
+	}
+	return v, nil
 }
 
 // runSweep executes one admitted sweep job to completion: it acquires a
 // worker slot, runs the §7 coverage sweep, memoizes complete verdicts in
 // both cache layers, and writes the job's terminal journal record. It is
 // the shared body behind fresh submissions and crash-recovered re-runs —
-// jr is the journal record to close out (jr.ID == "" means unjournaled).
-func (s *Server) runSweep(job *sweepJob, prog Program, identity string, jr store.JobRecord, tr *obs.Trace, log *slog.Logger) {
+// jr is the journal record to close out (jr.ID == "" means unjournaled)
+// and carries the sampling cap; workers (0 = configured default) is this
+// job's scheduler width, which never changes the verdict.
+func (s *Server) runSweep(job *sweepJob, prog Program, identity string, workers int, jr store.JobRecord, tr *obs.Trace, log *slog.Logger) {
 	defer s.pool.unadmit()
 	// journalTerminal closes the journal record; without it the job would
 	// re-run on every restart forever.
@@ -831,7 +875,7 @@ func (s *Server) runSweep(job *sweepJob, prog Program, identity string, jr store
 		if s.store == nil || jr.ID == "" {
 			return
 		}
-		if err := s.store.JournalJob(store.JobRecord{ID: jr.ID, Prog: jr.Prog, Scale: jr.Scale, State: state}); err != nil {
+		if err := s.store.JournalJob(store.JobRecord{ID: jr.ID, Prog: jr.Prog, Scale: jr.Scale, Sample: jr.Sample, State: state}); err != nil {
 			log.Error("job journal terminal write failed", "err", err)
 		}
 	}
@@ -850,8 +894,12 @@ func (s *Server) runSweep(job *sweepJob, prog Program, identity string, jr store
 	job.set(stateRunning)
 	start := time.Now()
 	rspan := tr.Start("run").Arg("prog", job.prog)
+	if workers < 1 {
+		workers = s.cfg.SweepWorkers
+	}
 	cr := rader.Sweep(prog.Factory, rader.SweepOptions{
-		Workers:     s.cfg.SweepWorkers,
+		Workers:     workers,
+		SampleSpecs: jr.Sample,
 		EventBudget: s.cfg.EventBudget,
 		Timeout:     s.cfg.JobTimeout,
 		Trace:       tr,
@@ -889,7 +937,7 @@ func (s *Server) runSweep(job *sweepJob, prog Program, identity string, jr store
 	// the submitting job; the next submission reruns the sweep.
 	if cr.Complete() {
 		digest := programDigest(identity)
-		key := digest + "|sweep"
+		key := sweepKey(digest, jr.Sample)
 		s.cache.put(key, &cached{digest: digest, report: raw, clean: cr.Clean()})
 		s.storePersist(key, digest, "sweep", "", cr.Clean(), raw, log)
 		// The span tree persists under the same key, so later cache-served

@@ -418,6 +418,111 @@ func TestSweepAsyncJob(t *testing.T) {
 	}
 }
 
+// pollSweepDone polls a submitted sweep job until it reaches a terminal
+// state and requires that state to be done.
+func pollSweepDone(t *testing.T, base string, sr SweepResponse) SweepResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for sr.State != stateDone && sr.State != stateFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck in state %q", sr.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		pr, err := http.Get(base + "/sweep/" + sr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, _ := io.ReadAll(pr.Body)
+		pr.Body.Close()
+		if pr.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d %s", pr.StatusCode, pb)
+		}
+		if err := json.Unmarshal(pb, &sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sr.State != stateDone {
+		t.Fatalf("sweep failed: %s", sr.Error)
+	}
+	return sr
+}
+
+// ?sample= caps the sweep at that many coverage-guided specifications and
+// is part of the verdict's cache identity; ?workers= only changes the
+// scheduler width, so it shares the cache entry. Malformed values 400.
+func TestSweepSampleAndWorkersParams(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, SweepWorkers: 2})
+
+	submit := func(query string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/sweep?"+query, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, body
+	}
+
+	resp, body := submit("prog=fig1&sample=3&workers=4")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sampled sweep submit: %d %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	sr = pollSweepDone(t, ts.URL, sr)
+	var sweep report.Sweep
+	if err := json.Unmarshal(sr.Sweep, &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if !sweep.Stats.Sampled || sweep.Stats.Confidence == "" {
+		t.Fatalf("sampled sweep document missing sampling stats: %+v", sweep.Stats)
+	}
+	if sweep.Stats.CoverageFraction <= 0 || sweep.Stats.CoverageFraction >= 1 {
+		t.Fatalf("coverage fraction %v, want in (0,1)", sweep.Stats.CoverageFraction)
+	}
+	if sweep.SpecsRun > 3 {
+		t.Fatalf("sampled sweep ran %d specs, cap was 3", sweep.SpecsRun)
+	}
+
+	// The full-family sweep must not be served from the sampled verdict.
+	resp2, body2 := submit("prog=fig1")
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("full sweep after sampled: %d %s (a cache hit here would serve the wrong verdict)",
+			resp2.StatusCode, body2)
+	}
+	var full SweepResponse
+	if err := json.Unmarshal(body2, &full); err != nil {
+		t.Fatal(err)
+	}
+	pollSweepDone(t, ts.URL, full)
+
+	// The same sampled request is a cache hit; a different workers= value
+	// still hits, because scheduler width never changes the verdict.
+	for _, q := range []string{"prog=fig1&sample=3", "prog=fig1&sample=3&workers=8"} {
+		resp3, body3 := submit(q)
+		var again SweepResponse
+		if err := json.Unmarshal(body3, &again); err != nil {
+			t.Fatal(err)
+		}
+		if resp3.StatusCode != http.StatusOK || again.State != stateDone {
+			t.Fatalf("%s: %d %+v, want cache-served done job", q, resp3.StatusCode, again)
+		}
+		if !bytes.Equal(again.Sweep, sr.Sweep) {
+			t.Fatalf("%s served a different document than the computing job", q)
+		}
+	}
+
+	for _, q := range []string{"prog=fig1&sample=x", "prog=fig1&sample=-1", "prog=fig1&workers=no"} {
+		resp4, body4 := submit(q)
+		if resp4.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %d %s, want 400", q, resp4.StatusCode, body4)
+		}
+	}
+}
+
 func TestHealthzAndMetrics(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	resp, err := http.Get(ts.URL + "/healthz")

@@ -1,0 +1,166 @@
+package specgen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cilk"
+)
+
+var familyProfiles = []Profile{
+	{},
+	{MaxPDepth: 1, MaxSyncBlock: 1, CilkDepth: 1},
+	{MaxPDepth: 3, MaxSyncBlock: 3, CilkDepth: 2},
+	{MaxPDepth: 5, MaxSyncBlock: 4, CilkDepth: 3},
+	{MaxPDepth: 2, MaxSyncBlock: 7, CilkDepth: 2},
+	{MaxPDepth: 12, MaxSyncBlock: 9, CilkDepth: 4},
+}
+
+// The virtual family must be the materialized family: same length, same
+// member at every index — the sweep's determinism contract hangs on the
+// two being interchangeable.
+func TestFamilyMatchesAll(t *testing.T) {
+	for _, p := range familyProfiles {
+		all := All(p)
+		fam := NewFamily(p)
+		if fam.Len() != len(all) {
+			t.Fatalf("profile %+v: Len()=%d, All yields %d", p, fam.Len(), len(all))
+		}
+		for i, want := range all {
+			if got := fam.At(i); !reflect.DeepEqual(got, want) {
+				t.Fatalf("profile %+v: At(%d)=%#v, All[%d]=%#v", p, got, i, i, want)
+			}
+		}
+	}
+}
+
+func TestFamilyAtPanicsOutOfRange(t *testing.T) {
+	fam := NewFamily(Profile{MaxPDepth: 2, MaxSyncBlock: 2})
+	for _, i := range []int{-1, fam.Len()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			fam.At(i)
+		}()
+	}
+}
+
+// The lazy indexed construction must group identically to the eager one
+// and expand to the identical structure.
+func TestBuildTrieIndexedMatchesEager(t *testing.T) {
+	for _, p := range familyProfiles[1:] {
+		probes := flatProbes(p.MaxSyncBlock)
+		specs := All(p)
+		eager := BuildTrie(specs, probes)
+		lazy := BuildTrieIndexed(len(specs), func(i int) cilk.StealSpec { return specs[i] }, probes)
+		if !reflect.DeepEqual(eager.Groups, lazy.Groups) {
+			t.Fatalf("profile %+v: groups differ:\neager %v\nlazy  %v", p, eager.Groups, lazy.Groups)
+		}
+		lazy.ExpandAll(lazy.Root)
+		if !sameShape(eager.Root, lazy.Root) {
+			t.Fatalf("profile %+v: expanded lazy trie differs structurally from eager", p)
+		}
+	}
+}
+
+// sameShape compares two expanded tries node by node.
+func sameShape(a, b *TrieNode) bool {
+	if a.IsLeaf() != b.IsLeaf() || a.Seq != b.Seq || a.Group != b.Group ||
+		len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !sameShape(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Leaves on an unexpanded node must settle the same group set as the
+// fully expanded subtree (order aside) — the deadline-skip contract.
+func TestLazyLeavesCoverSubtree(t *testing.T) {
+	p := Profile{MaxPDepth: 5, MaxSyncBlock: 5, CilkDepth: 2}
+	probes := flatProbes(p.MaxSyncBlock)
+	specs := All(p)
+	lazy := BuildTrieIndexed(len(specs), func(i int) cilk.StealSpec { return specs[i] }, probes)
+	before := append([]int(nil), lazy.Root.Leaves(nil)...)
+	lazy.ExpandAll(lazy.Root)
+	after := lazy.Root.Leaves(nil)
+	if len(before) != len(after) {
+		t.Fatalf("unexpanded leaves %d, expanded %d", len(before), len(after))
+	}
+	seen := make(map[int]bool, len(before))
+	for _, g := range before {
+		seen[g] = true
+	}
+	for _, g := range after {
+		if !seen[g] {
+			t.Fatalf("group %d missing from unexpanded cover", g)
+		}
+	}
+}
+
+// Sampling is deterministic per seed, always keeps member 0, returns
+// sorted unique indices, and covers every first-steal stratum before
+// exhausting any.
+func TestSampleFamilyDeterministic(t *testing.T) {
+	p := Profile{MaxPDepth: 6, MaxSyncBlock: 6, CilkDepth: 2}
+	probes := flatProbes(p.MaxSyncBlock)
+	fam := NewFamily(p)
+	n := fam.Len() / 3
+
+	a := SampleFamily(fam, probes, n, 42)
+	b := SampleFamily(fam, probes, n, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed sampled differently:\n%v\n%v", a, b)
+	}
+	if len(a) != n {
+		t.Fatalf("sampled %d, want %d", len(a), n)
+	}
+	if a[0] != 0 {
+		t.Fatalf("member 0 not kept: %v", a[:5])
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("sample not sorted/unique at %d: %v", i, a)
+		}
+	}
+
+	c := SampleFamily(fam, probes, n, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds sampled identically")
+	}
+
+	// Coverage guidance: with n at least the stratum count, every
+	// first-steal stratum contributes at least one member.
+	strata := make(map[int]bool)
+	for i := 0; i < fam.Len(); i++ {
+		strata[FirstSteal(fam.At(i), probes)] = true
+	}
+	if n < len(strata) {
+		t.Fatalf("test setup: n=%d below stratum count %d", n, len(strata))
+	}
+	covered := make(map[int]bool)
+	for _, i := range a {
+		covered[FirstSteal(fam.At(i), probes)] = true
+	}
+	if len(covered) != len(strata) {
+		t.Fatalf("sample covers %d of %d strata", len(covered), len(strata))
+	}
+}
+
+func TestSampleFamilyFullWhenUncapped(t *testing.T) {
+	p := Profile{MaxPDepth: 3, MaxSyncBlock: 3, CilkDepth: 2}
+	probes := flatProbes(p.MaxSyncBlock)
+	fam := NewFamily(p)
+	for _, n := range []int{0, -1, fam.Len(), fam.Len() + 5} {
+		sel := SampleFamily(fam, probes, n, 7)
+		if len(sel) != fam.Len() {
+			t.Fatalf("n=%d: got %d indices, want all %d", n, len(sel), fam.Len())
+		}
+	}
+}

@@ -20,6 +20,7 @@ package specgen
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/cilk"
 )
@@ -72,6 +73,15 @@ func MeasureProbes(prog func(*cilk.Ctx)) (Profile, []ProbeRecord) {
 	return pr.p, probes
 }
 
+// evalProbe replays one recorded probe against a specification offline.
+func evalProbe(spec cilk.StealSpec, p ProbeRecord) bool {
+	f := &cilk.Frame{ID: p.Frame, Label: p.Label, Depth: p.Depth, SyncBlock: p.SyncBlock}
+	return spec.ShouldSteal(cilk.ContInfo{
+		Frame: f, Label: p.Label, Depth: p.Depth, SyncBlock: p.SyncBlock,
+		Index: p.Index, Seq: p.Seq, PDepth: p.PDepth,
+	})
+}
+
 // DecisionVector evaluates spec offline over the recorded probes: element
 // i is ShouldSteal's answer at probe i+1. Specifications in the §7 family
 // decide from the probe's scalar fields alone, so offline evaluation
@@ -79,11 +89,7 @@ func MeasureProbes(prog func(*cilk.Ctx)) (Profile, []ProbeRecord) {
 func DecisionVector(spec cilk.StealSpec, probes []ProbeRecord) []bool {
 	vec := make([]bool, len(probes))
 	for i, p := range probes {
-		f := &cilk.Frame{ID: p.Frame, Label: p.Label, Depth: p.Depth, SyncBlock: p.SyncBlock}
-		vec[i] = spec.ShouldSteal(cilk.ContInfo{
-			Frame: f, Label: p.Label, Depth: p.Depth, SyncBlock: p.SyncBlock,
-			Index: p.Index, Seq: p.Seq, PDepth: p.PDepth,
-		})
+		vec[i] = evalProbe(spec, p)
 	}
 	return vec
 }
@@ -92,17 +98,35 @@ func DecisionVector(spec cilk.StealSpec, probes []ProbeRecord) []bool {
 // the probe sequence number its children decide differently at and its
 // children ordered shared-prefix-first (the no-steal edge, when present,
 // is Children[0]); a leaf carries the specification group it covers.
+//
+// Nodes built by BuildTrieIndexed start unexpanded: the group partition
+// and divergence scan run only when Trie.Expand materializes a node's
+// children, so a sweep that never reaches a subtree (deadline skip,
+// sampling) never pays for its structure. BuildTrie expands everything,
+// matching the original eager construction exactly.
 type TrieNode struct {
 	Seq      int
 	Children []*TrieNode
 	Group    int
+
+	// groups is the unexpanded cover set (nil once expanded, or for a
+	// leaf); scanFrom is the probe sequence the divergence scan resumes at.
+	groups   []int
+	scanFrom int
 }
 
 // IsLeaf reports whether the node covers a single specification group.
-func (n *TrieNode) IsLeaf() bool { return len(n.Children) == 0 }
+func (n *TrieNode) IsLeaf() bool { return len(n.Children) == 0 && len(n.groups) == 0 }
 
 // Leaves appends the group indices of every leaf under n, leftmost first.
+// An unexpanded node reports its cover set without materializing children
+// (in partition order, which is only guaranteed to be leftmost-first once
+// expanded) — the deadline-skip path settles whole subtrees this way
+// without forcing their structure.
 func (n *TrieNode) Leaves(out []int) []int {
+	if len(n.groups) > 0 {
+		return append(out, n.groups...)
+	}
 	if n.IsLeaf() {
 		return append(out, n.Group)
 	}
@@ -125,8 +149,13 @@ type Trie struct {
 	// one group (e.g. a program with no continuations).
 	Root *TrieNode
 
-	vectors    [][]bool // per group, the representative decision vector
+	bits       [][]byte // per group, the packed decision bitset (bit j = probe j+1 steals)
 	firstSteal []int    // per group, seq of first steal (len(Probes)+1 = none)
+}
+
+// stealAt reports group g's decision at probe seq (1-based).
+func (t *Trie) stealAt(g, seq int) bool {
+	return t.bits[g][(seq-1)>>3]&(1<<((seq-1)&7)) != 0
 }
 
 // modeKey fingerprints the schedule semantics that can influence the event
@@ -141,24 +170,41 @@ func modeKey(spec cilk.StealSpec, idx int) string {
 }
 
 // BuildTrie evaluates every specification over the recorded probes and
-// builds the decision trie.
+// builds the decision trie, fully expanded — the eager construction the
+// original prefix-sharing sweep used, kept for callers (and tests) that
+// want the whole structure up front. It is BuildTrieIndexed over the slice
+// plus a full expansion, so the two constructions are structurally
+// identical by definition.
 func BuildTrie(specs []cilk.StealSpec, probes []ProbeRecord) *Trie {
+	t := BuildTrieIndexed(len(specs), func(i int) cilk.StealSpec { return specs[i] }, probes)
+	t.ExpandAll(t.Root)
+	return t
+}
+
+// BuildTrieIndexed groups a virtual specification sequence — count members
+// fetched one at a time through at, typically Family.At or a sampled
+// remapping of it — by identical (decision bitset, reduce mode), and
+// returns a trie whose root is unexpanded: subtree structure materializes
+// through Expand only when a sweep unit actually walks it. Each member is
+// held only while its bitset is packed, so a 10^4+-spec family never
+// exists as a slice.
+func BuildTrieIndexed(count int, at func(int) cilk.StealSpec, probes []ProbeRecord) *Trie {
 	t := &Trie{Probes: probes}
 	groupOf := make(map[string]int)
-	for i, spec := range specs {
-		vec := DecisionVector(spec, probes)
+	nb := (len(probes) + 7) / 8
+	for i := 0; i < count; i++ {
+		spec := at(i)
+		bits := make([]byte, nb)
 		first := len(probes) + 1
-		key := make([]byte, len(vec))
-		for j, b := range vec {
-			key[j] = '0'
-			if b {
-				key[j] = '1'
+		for j, p := range probes {
+			if evalProbe(spec, p) {
+				bits[j>>3] |= 1 << (j & 7)
 				if first > len(probes) {
 					first = j + 1
 				}
 			}
 		}
-		gk := string(key)
+		gk := string(bits)
 		if first <= len(probes) {
 			// Reduce mode only matters once a steal occurs; all-serial
 			// vectors coincide regardless of mode.
@@ -169,7 +215,7 @@ func BuildTrie(specs []cilk.StealSpec, probes []ProbeRecord) *Trie {
 			g = len(t.Groups)
 			groupOf[gk] = g
 			t.Groups = append(t.Groups, nil)
-			t.vectors = append(t.vectors, vec)
+			t.bits = append(t.bits, bits)
 			t.firstSteal = append(t.firstSteal, first)
 		}
 		t.Groups[g] = append(t.Groups[g], i)
@@ -178,56 +224,57 @@ func BuildTrie(specs []cilk.StealSpec, probes []ProbeRecord) *Trie {
 	for g := range all {
 		all[g] = g
 	}
-	t.Root = t.build(all, 1)
+	t.Root = t.newNode(all, 1)
 	return t
+}
+
+// newNode covers a group set whose divergence scan starts at scanFrom. A
+// single-group set is a leaf immediately; anything larger stays unexpanded
+// until Expand partitions it.
+func (t *Trie) newNode(groups []int, scanFrom int) *TrieNode {
+	if len(groups) == 1 {
+		return &TrieNode{Group: groups[0]}
+	}
+	return &TrieNode{groups: groups, scanFrom: scanFrom}
 }
 
 // edgeKey is the trie edge label of group g's decision at probe seq:
 // decisions share freely while no steal has occurred on the path ("0");
-// after the first steal the reduce mode joins the key, so only schedules
-// with identical post-steal semantics stay on one path. Keys sort with
-// the no-steal edge first ("0" < "0|…" < "1|…").
-func (t *Trie) edgeKey(g, seq int, modes []string) string {
-	steal := t.vectors[g][seq-1]
+// after the first steal the group identity joins the key (the
+// representative's reduce mode was folded into the group key, so distinct
+// modes are already distinct groups), and only schedules with identical
+// post-steal semantics stay on one path. Keys sort with the no-steal edge
+// first ("0" < "0|…" < "1|…").
+func (t *Trie) edgeKey(g, seq int) string {
+	steal := t.stealAt(g, seq)
 	prior := t.firstSteal[g] < seq
 	switch {
 	case !steal && !prior:
 		return "0"
 	case !steal:
-		return "0|" + modes[g]
+		return "0|g" + strconv.Itoa(g)
 	default:
-		return "1|" + modes[g]
+		return "1|g" + strconv.Itoa(g)
 	}
 }
 
-// groupModes lazily computes, per group, the mode key of its
-// representative spec. Captured once in build via closure state.
-func (t *Trie) build(groups []int, seq int) *TrieNode {
-	if len(groups) == 1 {
-		return &TrieNode{Group: groups[0]}
+// Expand materializes n's children: scan probes from the node's resume
+// point until the cover set's edge keys diverge, then partition. It is
+// idempotent and a no-op on leaves and already-expanded nodes. Callers
+// must serialize expansion of a given node themselves; the sweep gets this
+// for free because a node is only ever walked by the one unit that covers
+// it, and units hand nodes to other workers only through the deque's
+// mutex.
+func (t *Trie) Expand(n *TrieNode) {
+	if n.Children != nil || len(n.groups) == 0 {
+		return
 	}
-	modes := make([]string, len(t.Groups))
-	for _, g := range groups {
-		if t.firstSteal[g] <= len(t.Probes) {
-			// Mode of the group's vector: any member agrees past the first
-			// steal by group construction; encode via the vector's group id
-			// position (stable) — the representative's mode was folded into
-			// the group key, so groups with different modes are distinct.
-			modes[g] = fmt.Sprintf("g%d", g)
-		}
-	}
-	return t.buildAt(groups, seq, modes)
-}
-
-func (t *Trie) buildAt(groups []int, seq int, modes []string) *TrieNode {
-	if len(groups) == 1 {
-		return &TrieNode{Group: groups[0]}
-	}
-	for ; seq <= len(t.Probes); seq++ {
+	groups := n.groups
+	for seq := n.scanFrom; seq <= len(t.Probes); seq++ {
 		byKey := make(map[string][]int)
 		var keys []string
 		for _, g := range groups {
-			k := t.edgeKey(g, seq, modes)
+			k := t.edgeKey(g, seq)
 			if _, ok := byKey[k]; !ok {
 				keys = append(keys, k)
 			}
@@ -237,14 +284,24 @@ func (t *Trie) buildAt(groups []int, seq int, modes []string) *TrieNode {
 			continue
 		}
 		sort.Strings(keys)
-		node := &TrieNode{Seq: seq}
+		n.Seq = seq
+		n.Children = make([]*TrieNode, 0, len(keys))
 		for _, k := range keys {
-			node.Children = append(node.Children, t.buildAt(byKey[k], seq+1, modes))
+			n.Children = append(n.Children, t.newNode(byKey[k], seq+1))
 		}
-		return node
+		n.groups = nil
+		return
 	}
 	// Distinct groups share every edge key: possible only when vectors are
 	// identical and modes differ without any steal — excluded by grouping —
 	// so reaching here is a construction bug.
 	panic(fmt.Sprintf("specgen: trie groups %v never diverge", groups))
+}
+
+// ExpandAll expands the whole subtree under n.
+func (t *Trie) ExpandAll(n *TrieNode) {
+	t.Expand(n)
+	for _, c := range n.Children {
+		t.ExpandAll(c)
+	}
 }

@@ -51,14 +51,18 @@ func cloneBag(memo map[*bag]*bag, b *bag) *bag {
 // cloneFrames deep-copies a frame stack, memoizing bag copies so shared
 // references stay shared on the other side.
 func cloneFrames(stack []*frameRec, memo map[*bag]*bag) []*frameRec {
-	out := make([]*frameRec, len(stack))
-	for i, fr := range stack {
+	return cloneFramesInto(make([]*frameRec, 0, len(stack)), stack, memo)
+}
+
+// cloneFramesInto is cloneFrames appending into a recycled slice.
+func cloneFramesInto(out []*frameRec, stack []*frameRec, memo map[*bag]*bag) []*frameRec {
+	for _, fr := range stack {
 		nfr := &frameRec{id: fr.id, label: fr.label, elem: fr.elem, s: cloneBag(memo, fr.s)}
 		nfr.pstack = make([]*bag, len(fr.pstack))
 		for j, b := range fr.pstack {
 			nfr.pstack[j] = cloneBag(memo, b)
 		}
-		out[i] = nfr
+		out = append(out, nfr)
 	}
 	return out
 }
@@ -78,25 +82,47 @@ func remapPayloads(f *dsu.Forest, memo map[*bag]*bag) {
 // view-aware section or reduce strand — the sweep only snapshots at
 // continuation probes, where neither can be live.
 func (d *Detector) Snapshot() *Snapshot {
+	return d.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot reusing a retired snapshot's containers: the
+// frame-stack slice, the forest's backing arrays, the shadow page maps and
+// the report's storage. The work-stealing sweep refcounts handed-off
+// snapshots and, once every seeded thief has restored, recycles the struct
+// through a per-worker free list — the capture itself then allocates only
+// the cloned bags. Passing nil allocates fresh, exactly like Snapshot.
+// Recycling is safe because Restore copies state out of the snapshot; the
+// only aliased storage is the copy-on-write page buffers, which are
+// immutable once shared and are never reused here.
+func (d *Detector) SnapshotInto(s *Snapshot) *Snapshot {
 	if d.vaDepth != 0 || d.inReduce {
 		panic(core.Violatef("spplus", core.StreamState, d.currentFrameID(),
 			"snapshot inside a view-aware or reduce strand (vaDepth=%d inReduce=%v)",
 			d.vaDepth, d.inReduce))
 	}
+	if s == nil {
+		s = &Snapshot{}
+	}
 	memo := make(map[*bag]*bag)
-	s := &Snapshot{
-		stack:    cloneFrames(d.stack, memo),
-		current:  -1,
-		forest:   d.forest.Clone(),
-		reader:   d.reader.Snapshot(),
-		writer:   d.writer.Snapshot(),
-		readerEv: d.readerEv.Snapshot(),
-		writerEv: d.writerEv.Snapshot(),
-		report:   d.report.Clone(),
-		counts:   d.counts,
-		events:   d.events,
+	s.stack = cloneFramesInto(s.stack[:0], d.stack, memo)
+	s.current = -1
+	if s.forest == nil {
+		s.forest = d.forest.Clone()
+	} else {
+		s.forest.CopyFrom(d.forest)
 	}
 	remapPayloads(s.forest, memo)
+	s.reader = d.reader.SnapshotInto(s.reader)
+	s.writer = d.writer.SnapshotInto(s.writer)
+	s.readerEv = d.readerEv.SnapshotInto(s.readerEv)
+	s.writerEv = d.writerEv.SnapshotInto(s.writerEv)
+	if s.report == nil {
+		s.report = d.report.Clone()
+	} else {
+		s.report.CopyFrom(&d.report)
+	}
+	s.counts = d.counts
+	s.events = d.events
 	for i, fr := range d.stack {
 		if fr == d.current {
 			s.current = i
@@ -164,6 +190,13 @@ func (d *Detector) Reset() {
 func (d *Detector) PagesCopied() uint64 {
 	return d.reader.PagesCopied() + d.writer.PagesCopied() +
 		d.readerEv.PagesCopied() + d.writerEv.PagesCopied()
+}
+
+// PagesPooled totals the page buffers parked on the four shadow free
+// lists, the residency behind the raderd_sweep_pages_pooled gauge.
+func (d *Detector) PagesPooled() int {
+	return d.reader.PagesPooled() + d.writer.PagesPooled() +
+		d.readerEv.PagesPooled() + d.writerEv.PagesPooled()
 }
 
 // Events reports the detector-relative ordinal of the last processed

@@ -23,7 +23,10 @@ type JobRecord struct {
 	ID    string `json:"id"`
 	Prog  string `json:"prog"`
 	Scale string `json:"scale,omitempty"`
-	State string `json:"state"`
+	// Sample is the job's specification-sampling cap (0 = full family).
+	// It is part of the verdict, so a recovered job must re-run with it.
+	Sample int    `json:"sample,omitempty"`
+	State  string `json:"state"`
 }
 
 // journal is an append-only JSONL file of JobRecords. Appends are

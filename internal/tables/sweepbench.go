@@ -44,11 +44,36 @@ type SweepBench struct {
 	SnapshotMisses int64 `json:"snapshotMisses"`
 	EventsSkipped  int64 `json:"eventsSkipped"`
 	PagesCopied    int64 `json:"pagesCopied"`
+
+	// The work-stealing section (BENCH_PR10.json): the same prefix sweep
+	// run on a 10^4-specification stress family, once at one worker and
+	// once at Workers lanes. Wall clock on a small host conflates the two
+	// runs with CPU contention, so the scaling gate is critical-path
+	// speedup: total busy time at one worker over the busiest lane at
+	// Workers lanes — the wall-clock ratio an unloaded Workers-core host
+	// would see. The acceptance bar demands >= 3 at 8 workers.
+	StressProgram string `json:"stressProgram"`
+	// StressSpecs is the stress family size (>= 10^4 by construction);
+	// StressGroups is its trie-group count — the unit count the scheduler
+	// actually balances.
+	StressSpecs         int     `json:"stressSpecs"`
+	StressGroups        int     `json:"stressGroups"`
+	Workers             int     `json:"workers"`
+	SerialBusyMs        float64 `json:"serialBusyMs"`
+	MaxLaneBusyMs       float64 `json:"maxLaneBusyMs"`
+	CriticalPathSpeedup float64 `json:"criticalPathSpeedup"`
+	// Steals and Handoffs come from the Workers-lane run: units taken
+	// from another lane's deque, and how many of those crossed with a
+	// copy-on-write snapshot. PagesPooled is the shadow-page free-list
+	// residency of the pooled detectors after that run.
+	Steals      int64 `json:"steals"`
+	Handoffs    int64 `json:"handoffs"`
+	PagesPooled int   `json:"pagesPooled"`
 }
 
 // Render formats the comparison as benchtab's sweep table.
 func (sb *SweepBench) Render() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"program:            %s\n"+
 			"family:             %d specifications in %d trie groups\n"+
 			"naive sweep:        %8.2f ms   (one detector run per specification)\n"+
@@ -58,6 +83,19 @@ func (sb *SweepBench) Render() string {
 			"detector work skipped: %d events; copy-on-write pages copied: %d\n",
 		sb.Program, sb.Specs, sb.Groups, sb.NaiveMs, sb.PrefixMs, sb.Speedup,
 		sb.SnapshotHits, sb.SnapshotMisses, sb.EventsSkipped, sb.PagesCopied)
+	if sb.Workers > 1 {
+		out += fmt.Sprintf(
+			"\n--- work-stealing scheduler, %d lanes ---\n"+
+				"stress family:      %s: %d specifications in %d trie groups\n"+
+				"serial busy:        %8.2f ms   (total unit time at one worker)\n"+
+				"busiest lane:       %8.2f ms   (max unit time over %d workers)\n"+
+				"critical-path speedup: %5.2fx\n"+
+				"steals: %d (snapshot handoffs: %d); shadow pages pooled: %d\n",
+			sb.Workers, sb.StressProgram, sb.StressSpecs, sb.StressGroups,
+			sb.SerialBusyMs, sb.MaxLaneBusyMs, sb.Workers,
+			sb.CriticalPathSpeedup, sb.Steals, sb.Handoffs, sb.PagesPooled)
+	}
+	return out
 }
 
 // measureSweep times f over trials and returns the median duration plus
@@ -115,7 +153,52 @@ func MeasureSweep(trials int) (*SweepBench, error) {
 	out.SnapshotMisses = cr.Stats.SnapshotMisses
 	out.EventsSkipped = cr.Stats.EventsSkipped
 	out.PagesCopied = cr.Stats.PagesCopied
+	if err := measureStealing(out, 40, 8, 10000); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// measureStealing fills the work-stealing section: the prefix sweep on a
+// minSpecs-specification family at one worker versus lanes, compared by
+// critical path (busiest lane) rather than wall clock so the number
+// means the same thing on a loaded one-core CI host as on an idle
+// eight-core workstation.
+func measureStealing(out *SweepBench, stressSpawns, lanes, minSpecs int) error {
+	factory := func() func(*cilk.Ctx) {
+		return progs.ReducerBench(mem.NewAllocator(), stressSpawns)
+	}
+	serial := rader.Sweep(factory, rader.SweepOptions{Workers: 1})
+	par := rader.Sweep(factory, rader.SweepOptions{Workers: lanes})
+	if err := sweepsAgree(serial, par); err != nil {
+		return fmt.Errorf("1-vs-%d-worker %w", lanes, err)
+	}
+	out.StressProgram = fmt.Sprintf("ReducerBench(spawns=%d)", stressSpawns)
+	out.StressSpecs = serial.Stats.SpecsTotal
+	out.StressGroups = par.Stats.Groups
+	if out.StressSpecs < minSpecs {
+		return fmt.Errorf("tables: stress family has %d specs, want >= %d", out.StressSpecs, minSpecs)
+	}
+	var sumBusy, maxLane int64
+	for _, b := range serial.Stats.WorkerBusy {
+		sumBusy += b
+	}
+	for _, b := range par.Stats.WorkerBusy {
+		if b > maxLane {
+			maxLane = b
+		}
+	}
+	if maxLane <= 0 {
+		return fmt.Errorf("tables: degenerate %d-worker busy measurement", lanes)
+	}
+	out.Workers = lanes
+	out.SerialBusyMs = float64(sumBusy) / 1e6
+	out.MaxLaneBusyMs = float64(maxLane) / 1e6
+	out.CriticalPathSpeedup = float64(sumBusy) / float64(maxLane)
+	out.Steals = par.Stats.Steals
+	out.Handoffs = par.Stats.Handoffs
+	out.PagesPooled = par.Stats.PagesPooled
+	return nil
 }
 
 // sweepsAgree checks the canonical verdict fields the equivalence

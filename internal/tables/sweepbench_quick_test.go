@@ -1,0 +1,33 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMeasureStealingQuick exercises the work-stealing measurement end
+// to end at a tiny scale: the 1-vs-N-worker verdict parity must hold,
+// the accounting fields must be populated, and the render must carry the
+// scheduler section.
+func TestMeasureStealingQuick(t *testing.T) {
+	out := &SweepBench{}
+	if err := measureStealing(out, 10, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out.Workers != 4 {
+		t.Fatalf("Workers = %d, want 4", out.Workers)
+	}
+	if out.StressSpecs <= 0 || out.StressGroups <= 0 {
+		t.Fatalf("empty stress family: specs=%d groups=%d", out.StressSpecs, out.StressGroups)
+	}
+	if out.SerialBusyMs <= 0 || out.MaxLaneBusyMs <= 0 || out.CriticalPathSpeedup <= 0 {
+		t.Fatalf("degenerate busy accounting: serial=%.3f maxLane=%.3f speedup=%.3f",
+			out.SerialBusyMs, out.MaxLaneBusyMs, out.CriticalPathSpeedup)
+	}
+	if out.Steals < 0 || out.Handoffs > out.Steals {
+		t.Fatalf("impossible steal accounting: steals=%d handoffs=%d", out.Steals, out.Handoffs)
+	}
+	if !strings.Contains(out.Render(), "work-stealing scheduler") {
+		t.Fatal("render is missing the work-stealing section")
+	}
+}
